@@ -1,0 +1,84 @@
+// The paper's Fig. 1 scenario end to end: matching pennies with a hidden
+// manipulation strategy, with and without the game authority.
+//
+// Run with: go run ./examples/matchingpennies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ga "gameauthority"
+)
+
+const rounds = 20000
+
+func main() {
+	fmt.Println("Fig. 1 — matching pennies with a hidden manipulation (payoffs):")
+	g := ga.MatchingPenniesManipulated()
+	fmt.Println("  A\\B        Heads     Tails  Manipulate")
+	for i := 0; i < 2; i++ {
+		fmt.Printf("  %-8s", g.ActionName(0, i))
+		for j := 0; j < 3; j++ {
+			p := ga.Profile{i, j}
+			fmt.Printf("  (%+.0f,%+.0f) ", g.Payoff(0, p), g.Payoff(1, p))
+		}
+		fmt.Println()
+	}
+
+	// The elected game is plain matching pennies; its unique equilibrium
+	// is (1/2, 1/2) for both agents.
+	eqs := ga.MixedNashEquilibria2P(ga.MatchingPennies(), 0)
+	fmt.Printf("\nelected-game equilibrium: A=%v B=%v (expected payoff 0 each)\n",
+		eqs[0][0], eqs[0][1])
+
+	strategies := func(int, ga.Profile) ga.MixedProfile {
+		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+	}
+	manipulator := &ga.MixedAgent{Override: func(round, honest int) int { return ga.ManipulateAction }}
+
+	// --- Without the authority -------------------------------------------------
+	unsup, err := ga.NewMixedSession(ga.MixedConfig{
+		Elected:    ga.MatchingPennies(),
+		Actual:     g,
+		Strategies: strategies,
+		Agents:     []*ga.MixedAgent{nil, manipulator},
+		Mode:       ga.AuditOff,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := unsup.Play(rounds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout authority (%d plays):\n", rounds)
+	fmt.Printf("  A's average payoff: %+.3f   (paper: 0 → −4)\n", unsup.CumulativePayoff(0)/rounds)
+	fmt.Printf("  B's average payoff: %+.3f   (paper: 0 → +4)\n", unsup.CumulativePayoff(1)/rounds)
+
+	// --- With the authority ------------------------------------------------------
+	sup, err := ga.NewMixedSession(ga.MixedConfig{
+		Elected:    ga.MatchingPennies(),
+		Actual:     g,
+		Strategies: strategies,
+		Agents:     []*ga.MixedAgent{nil, manipulator},
+		Scheme:     ga.NewDisconnectScheme(2, 0),
+		Mode:       ga.AuditPerRound,
+		Seed:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sup.Play(rounds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith authority (%d plays):\n", rounds)
+	fmt.Printf("  A's average payoff: %+.3f   (restored to ≈ 0)\n", sup.CumulativePayoff(0)/rounds)
+	fmt.Printf("  B's average payoff: %+.3f   (restored to ≈ 0)\n", sup.CumulativePayoff(1)/rounds)
+	verdicts := sup.Verdicts()
+	if len(verdicts) > 0 && len(verdicts[0].Fouls) > 0 {
+		f := verdicts[0].Fouls[0]
+		fmt.Printf("  first verdict: agent %d convicted (%s) on play 0 — %s\n", f.Agent, f.Reason, f.Detail)
+	}
+	fmt.Printf("  manipulator excluded: %v\n", sup.Excluded(1))
+}

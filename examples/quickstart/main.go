@@ -1,0 +1,65 @@
+// Quickstart: elect a game, run supervised repeated play, and watch the
+// judicial service convict a cheater.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ga "gameauthority"
+)
+
+func main() {
+	// 1. The legislative service: the agents elect the rules of the game
+	// with a robust (commit-reveal) vote.
+	candidates := []ga.Candidate{
+		{Game: ga.PrisonersDilemma(), Description: "prisoner's dilemma"},
+		{Game: ga.CoordinationGame(), Description: "coordination"},
+	}
+	voters := []ga.Voter{
+		{Prefs: []int{0, 1}},
+		{Prefs: []int{0, 1}},
+		{Prefs: []int{1, 0}},
+	}
+	elected, err := ga.RobustElection(candidates, voters, 42)
+	if err != nil {
+		log.Fatalf("election: %v", err)
+	}
+	g := candidates[elected.Winner].Game
+	fmt.Printf("legislative: elected candidate %d (%s), scores %v\n",
+		elected.Winner, candidates[elected.Winner].Description, elected.Scores)
+
+	// 2. A supervised session: agent 0 is honest; agent 1 stubbornly
+	// cooperates — which, after the first play, is not a best response
+	// and therefore foul play under §3.2.
+	stubborn := &ga.Agent{Choose: func(round int, prev ga.Profile) int { return 0 }}
+	agents := []*ga.Agent{ga.HonestPure(g, 0), stubborn}
+	scheme := ga.NewReputationScheme(2, 0.5, 0.2, 0.01)
+	session, err := ga.NewPureSession(g, agents, scheme, 7)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+
+	// 3. Play ten audited rounds.
+	for round := 0; round < 10; round++ {
+		res, err := session.PlayRound()
+		if err != nil {
+			log.Fatalf("play: %v", err)
+		}
+		fmt.Printf("round %d: outcome %v", res.Round, res.Outcome)
+		for _, foul := range res.Verdict.Fouls {
+			fmt.Printf("  [foul: agent %d, %s]", foul.Agent, foul.Reason)
+		}
+		if len(res.Excluded) > 0 {
+			fmt.Printf("  excluded=%v", res.Excluded)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("cumulative costs: agent0=%.1f agent1=%.1f\n",
+		session.CumulativeCost(0), session.CumulativeCost(1))
+	if session.Excluded(1) {
+		fmt.Println("the repeat offender has been excluded; the executive now plays on its behalf")
+	}
+}

@@ -1,0 +1,61 @@
+// Self(ish)-stabilization (§4) end to end: a distributed authority cluster
+// is hit by a transient fault that scrambles every processor's state —
+// clocks, agreement instances, evidence, even the punish ledgers. The
+// self-stabilizing clock re-converges, the next wrap restarts the §3.3
+// protocol cleanly, and every honest replica records identical plays again.
+//
+// Run with: go run ./examples/selfstabilization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ga "gameauthority"
+	"gameauthority/internal/core"
+	"gameauthority/internal/prng"
+)
+
+func main() {
+	const (
+		n, f = 4, 1
+	)
+	g, err := ga.PublicGoods(n, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := core.NewDistSession(n, f, g, make([]*ga.Agent, n), 99, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed authority: n=%d f=%d, %d pulses per play\n\n", n, f, ga.PulsesPerPlay(f))
+
+	report := func(stage string, plays int) {
+		s.RunPlays(plays)
+		res := s.Procs[s.Honest[0]].Results()
+		last := "none"
+		if len(res) > 0 {
+			last = fmt.Sprintf("%v @pulse %d", res[len(res)-1].Outcome, res[len(res)-1].Pulse)
+		}
+		consistency := "consistent"
+		if err := s.ConsistentResults(3); err != nil {
+			consistency = "DIVERGED: " + err.Error()
+		}
+		fmt.Printf("%-28s plays=%-3d last=%-22s replicas %s\n", stage, len(res), last, consistency)
+	}
+
+	report("clean run:", 4)
+
+	fmt.Println("\n>>> transient fault: corrupting clocks, agreement state, evidence, ledgers <<<")
+	ent := prng.New(0xFA11)
+	s.Net.Corrupt(ent.Uint64)
+
+	// Right after corruption nothing is aligned; run pulse bursts and show
+	// the system healing.
+	for burst := 1; burst <= 4; burst++ {
+		report(fmt.Sprintf("after recovery burst %d:", burst), 3)
+	}
+
+	fmt.Println("\nThe §4 property in action: every sequence of plays after the last")
+	fmt.Println("transient fault satisfies the task — no manual reset, no coordination.")
+}

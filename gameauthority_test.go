@@ -1,0 +1,148 @@
+package gameauthority_test
+
+import (
+	"math"
+	"testing"
+
+	ga "gameauthority"
+)
+
+// TestEndToEndFig1 exercises the full public API on the paper's headline
+// scenario: the Fig. 1 hidden manipulation, unsupervised vs supervised.
+func TestEndToEndFig1(t *testing.T) {
+	const rounds = 5000
+	strategies := func(int, ga.Profile) ga.MixedProfile {
+		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+	}
+	manipulator := &ga.MixedAgent{Override: func(round, honest int) int { return ga.ManipulateAction }}
+
+	unsup, err := ga.NewMixedSession(ga.MixedConfig{
+		Elected:    ga.MatchingPennies(),
+		Actual:     ga.MatchingPenniesManipulated(),
+		Strategies: strategies,
+		Agents:     []*ga.MixedAgent{nil, manipulator},
+		Mode:       ga.AuditOff,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unsup.Play(rounds); err != nil {
+		t.Fatal(err)
+	}
+
+	sup, err := ga.NewMixedSession(ga.MixedConfig{
+		Elected:    ga.MatchingPennies(),
+		Actual:     ga.MatchingPenniesManipulated(),
+		Strategies: strategies,
+		Agents:     []*ga.MixedAgent{nil, manipulator},
+		Scheme:     ga.NewDisconnectScheme(2, 0),
+		Mode:       ga.AuditPerRound,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Play(rounds); err != nil {
+		t.Fatal(err)
+	}
+
+	gainUnsup := unsup.CumulativePayoff(1) / rounds
+	gainSup := sup.CumulativePayoff(1) / rounds
+	if gainUnsup < 3.5 {
+		t.Fatalf("unsupervised manipulation gain = %v, want ≈ 4", gainUnsup)
+	}
+	if math.Abs(gainSup) > 0.1 {
+		t.Fatalf("supervised manipulation gain = %v, want ≈ 0", gainSup)
+	}
+	if !sup.Excluded(1) {
+		t.Fatal("supervised session did not exclude the manipulator")
+	}
+}
+
+// TestEndToEndDistributed runs the full distributed middleware through the
+// facade: an agent playing outside Π is convicted by every honest replica.
+func TestEndToEndDistributed(t *testing.T) {
+	g := ga.PrisonersDilemma()
+	behaviors := make([]*ga.Agent, 2)
+	// Two-player game on a 4-processor network is not supported (one
+	// player per processor), so use the 2-processor degenerate bound:
+	// f must be 0 (n > 3f).
+	s, err := ga.NewDistributedSession(2, 0, g, behaviors, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunPlays(4)
+	if err := s.ConsistentResults(3); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Procs[0].Results()
+	if len(res) < 3 {
+		t.Fatalf("plays completed = %d", len(res))
+	}
+	// Best-response dynamics land on defect/defect.
+	last := res[len(res)-1]
+	if !last.Outcome.Equal(ga.Profile{1, 1}) {
+		t.Fatalf("distributed PD outcome = %v, want [1 1]", last.Outcome)
+	}
+}
+
+// TestEndToEndRRATheorem5 sweeps R(k) through the facade and checks the
+// Theorem 5 bound.
+func TestEndToEndRRATheorem5(t *testing.T) {
+	const (
+		n, b = 8, 4
+		k    = 2000
+	)
+	h, err := ga.NewSupervisedRRA(n, b, 3, ga.NewDisconnectScheme(n, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Play(k); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ga.MultiRoundAnarchyCost(float64(h.RRA().MaxLoad()), ga.OptMaxLoad(n, b, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > ga.Theorem5Bound(b, k)+0.05 {
+		t.Fatalf("R(k)=%v above bound %v", r, ga.Theorem5Bound(b, k))
+	}
+	if r < 1-1e-9 {
+		t.Fatalf("R(k)=%v below 1", r)
+	}
+}
+
+// TestEndToEndElection verifies the legislative service through the facade.
+func TestEndToEndElection(t *testing.T) {
+	candidates := []ga.Candidate{
+		{Game: ga.MatchingPennies(), Description: "pennies"},
+		{Game: ga.PrisonersDilemma(), Description: "pd"},
+	}
+	voters := []ga.Voter{
+		{Prefs: []int{0, 1}}, {Prefs: []int{0, 1}}, {Prefs: []int{1, 0}},
+	}
+	out, err := ga.RobustElection(candidates, voters, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != 0 {
+		t.Fatalf("winner = %d, want 0", out.Winner)
+	}
+}
+
+// TestEndToEndMetrics sanity-checks the metric helpers via the facade.
+func TestEndToEndMetrics(t *testing.T) {
+	poa, err := ga.PriceOfAnarchy(ga.PrisonersDilemma(), 0)
+	if err != nil || math.Abs(poa-2) > 1e-9 {
+		t.Fatalf("PoA = %v, %v", poa, err)
+	}
+	pom, err := ga.PriceOfMalice(3, 2)
+	if err != nil || math.Abs(pom-1.5) > 1e-9 {
+		t.Fatalf("PoM = %v, %v", pom, err)
+	}
+	eqs := ga.MixedNashEquilibria2P(ga.MatchingPennies(), 0)
+	if len(eqs) != 1 || math.Abs(eqs[0][0][0]-0.5) > 1e-6 {
+		t.Fatalf("matching pennies equilibrium = %v", eqs)
+	}
+}

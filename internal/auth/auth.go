@@ -1,0 +1,154 @@
+// Package auth provides message authentication for the Byzantine protocols.
+//
+// The paper's footnote 2 assumes authenticated channels ("authentication
+// utilizes a Byzantine agreement that needs only a majority"). Real systems
+// would use transferable digital signatures; this simulation substitutes
+// pairwise HMAC-SHA256 tags dealt by a trusted setup (see DESIGN.md §4).
+// For transferable authentication — needed by Dolev–Strong style relaying —
+// a signer produces a *vector* of tags, one per potential verifier, so any
+// processor can check the component addressed to it while Byzantine
+// processors cannot forge tags for keys they do not hold.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gameauthority/internal/prng"
+)
+
+// TagSize is the size in bytes of a single HMAC tag.
+const TagSize = sha256.Size
+
+// Sentinel errors.
+var (
+	ErrBadTag      = errors.New("auth: tag verification failed")
+	ErrUnknownPeer = errors.New("auth: unknown peer id")
+)
+
+// Tag is a single authenticator over a message.
+type Tag [TagSize]byte
+
+// TagVector carries one tag per processor so that any of the n processors
+// can verify the (claimed) signer. Index i is the tag verifiable by
+// processor i.
+type TagVector []Tag
+
+// Dealer generates the pairwise-key material during trusted setup and hands
+// each processor its Authenticator. Keys are derived deterministically from
+// a seed so whole experiments are replayable.
+type Dealer struct {
+	n    int
+	keys [][]byte // keys[i*n+j]: key shared between signer i and verifier j
+}
+
+// NewDealer creates key material for n processors from the given seed.
+func NewDealer(n int, seed uint64) *Dealer {
+	d := &Dealer{n: n, keys: make([][]byte, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src := prng.Derive(seed, 0xA0711, uint64(i), uint64(j))
+			key := make([]byte, 32)
+			for k := 0; k < 32; k += 8 {
+				binary.LittleEndian.PutUint64(key[k:], src.Uint64())
+			}
+			d.keys[i*n+j] = key
+		}
+	}
+	return d
+}
+
+// N returns the number of processors provisioned.
+func (d *Dealer) N() int { return d.n }
+
+// Authenticator returns processor id's view of the key material: it can sign
+// as id (producing tags every peer can verify) and verify any peer's tags
+// addressed to id.
+func (d *Dealer) Authenticator(id int) (*Authenticator, error) {
+	if id < 0 || id >= d.n {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	a := &Authenticator{id: id, n: d.n}
+	a.signKeys = make([][]byte, d.n)
+	a.verifyKeys = make([][]byte, d.n)
+	for j := 0; j < d.n; j++ {
+		a.signKeys[j] = d.keys[id*d.n+j]   // sign as id, verifiable by j
+		a.verifyKeys[j] = d.keys[j*d.n+id] // verify j's tags addressed to id
+	}
+	return a, nil
+}
+
+// Authenticator is one processor's signing/verification handle.
+type Authenticator struct {
+	id         int
+	n          int
+	signKeys   [][]byte
+	verifyKeys [][]byte
+}
+
+// ID returns the processor id this authenticator belongs to.
+func (a *Authenticator) ID() int { return a.id }
+
+// N returns the number of processors in the system.
+func (a *Authenticator) N() int { return a.n }
+
+// SignFor produces the tag over msg that verifier can check.
+func (a *Authenticator) SignFor(verifier int, msg []byte) (Tag, error) {
+	var t Tag
+	if verifier < 0 || verifier >= a.n {
+		return t, fmt.Errorf("%w: %d", ErrUnknownPeer, verifier)
+	}
+	mac := hmac.New(sha256.New, a.signKeys[verifier])
+	mac.Write(msg)
+	copy(t[:], mac.Sum(nil))
+	return t, nil
+}
+
+// Sign produces a full tag vector over msg (one tag per processor), giving
+// the message transferable authentication within the simulation.
+func (a *Authenticator) Sign(msg []byte) TagVector {
+	tv := make(TagVector, a.n)
+	for j := 0; j < a.n; j++ {
+		t, _ := a.SignFor(j, msg) // j is always in range here
+		tv[j] = t
+	}
+	return tv
+}
+
+// Verify checks that signer produced the component of tv addressed to this
+// processor over msg.
+func (a *Authenticator) Verify(signer int, msg []byte, tv TagVector) error {
+	if signer < 0 || signer >= a.n {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, signer)
+	}
+	if len(tv) != a.n {
+		return fmt.Errorf("%w: tag vector has %d entries, want %d", ErrBadTag, len(tv), a.n)
+	}
+	mac := hmac.New(sha256.New, a.verifyKeys[signer])
+	mac.Write(msg)
+	var want Tag
+	copy(want[:], mac.Sum(nil))
+	if !hmac.Equal(want[:], tv[a.id][:]) {
+		return ErrBadTag
+	}
+	return nil
+}
+
+// VerifyOne checks a single tag (no vector) from signer addressed to this
+// processor. Used on direct point-to-point messages.
+func (a *Authenticator) VerifyOne(signer int, msg []byte, t Tag) error {
+	if signer < 0 || signer >= a.n {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, signer)
+	}
+	mac := hmac.New(sha256.New, a.verifyKeys[signer])
+	mac.Write(msg)
+	var want Tag
+	copy(want[:], mac.Sum(nil))
+	if !hmac.Equal(want[:], t[:]) {
+		return ErrBadTag
+	}
+	return nil
+}

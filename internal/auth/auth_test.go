@@ -1,0 +1,161 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newAuths(t *testing.T, n int, seed uint64) []*Authenticator {
+	t.Helper()
+	d := NewDealer(n, seed)
+	out := make([]*Authenticator, n)
+	for i := 0; i < n; i++ {
+		a, err := d.Authenticator(id(i))
+		if err != nil {
+			t.Fatalf("Authenticator(%d): %v", i, err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func id(i int) int { return i }
+
+func TestSignVerifyAllPairs(t *testing.T) {
+	auths := newAuths(t, 5, 1)
+	msg := []byte("round 3: commit digest 0xabc")
+	for i, signer := range auths {
+		tv := signer.Sign(msg)
+		for j, verifier := range auths {
+			if err := verifier.Verify(i, msg, tv); err != nil {
+				t.Errorf("verifier %d rejects signer %d: %v", j, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	auths := newAuths(t, 4, 2)
+	msg := []byte("m")
+	tv := auths[0].Sign(msg)
+	if err := auths[1].Verify(2, msg, tv); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("claimed wrong signer: err = %v, want ErrBadTag", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	auths := newAuths(t, 4, 3)
+	tv := auths[0].Sign([]byte("original"))
+	if err := auths[1].Verify(0, []byte("tampered"), tv); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("tampered msg: err = %v, want ErrBadTag", err)
+	}
+}
+
+func TestVerifyRejectsForgedTagVector(t *testing.T) {
+	auths := newAuths(t, 4, 4)
+	msg := []byte("m")
+	// Byzantine processor 3 tries to forge a vector as signer 0.
+	forged := auths[3].Sign(msg) // signed with 3's keys, claimed as 0's
+	if err := auths[1].Verify(0, msg, forged); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("forged vector accepted: err = %v", err)
+	}
+}
+
+func TestVerifyRejectsShortVector(t *testing.T) {
+	auths := newAuths(t, 4, 5)
+	msg := []byte("m")
+	tv := auths[0].Sign(msg)
+	if err := auths[1].Verify(0, msg, tv[:2]); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("short vector accepted: err = %v", err)
+	}
+}
+
+func TestUnknownPeerErrors(t *testing.T) {
+	d := NewDealer(3, 6)
+	if _, err := d.Authenticator(7); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("Authenticator(7): err = %v, want ErrUnknownPeer", err)
+	}
+	auths := newAuths(t, 3, 6)
+	if _, err := auths[0].SignFor(9, []byte("m")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("SignFor(9): err = %v, want ErrUnknownPeer", err)
+	}
+	if err := auths[0].Verify(-1, []byte("m"), make(TagVector, 3)); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("Verify(-1): err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestVerifyOne(t *testing.T) {
+	auths := newAuths(t, 3, 7)
+	msg := []byte("p2p")
+	tag, err := auths[0].SignFor(2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auths[2].VerifyOne(0, msg, tag); err != nil {
+		t.Fatalf("VerifyOne valid tag: %v", err)
+	}
+	if err := auths[1].VerifyOne(0, msg, tag); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("tag for 2 accepted by 1: err = %v", err)
+	}
+}
+
+func TestDealerDeterministic(t *testing.T) {
+	a1 := NewDealer(4, 42)
+	a2 := NewDealer(4, 42)
+	auth1, _ := a1.Authenticator(1)
+	auth2, _ := a2.Authenticator(1)
+	msg := []byte("m")
+	tv1, tv2 := auth1.Sign(msg), auth2.Sign(msg)
+	for i := range tv1 {
+		if tv1[i] != tv2[i] {
+			t.Fatal("dealer not deterministic for fixed seed")
+		}
+	}
+	b := NewDealer(4, 43)
+	authB, _ := b.Authenticator(1)
+	if authB.Sign(msg)[0] == tv1[0] {
+		t.Fatal("different seeds produced identical tags")
+	}
+}
+
+func TestQuickSignVerify(t *testing.T) {
+	d := NewDealer(5, 99)
+	auths := make([]*Authenticator, 5)
+	for i := range auths {
+		auths[i], _ = d.Authenticator(i)
+	}
+	f := func(msg []byte, signerRaw, verifierRaw uint8) bool {
+		signer := int(signerRaw) % 5
+		verifier := int(verifierRaw) % 5
+		tv := auths[signer].Sign(msg)
+		return auths[verifier].Verify(signer, msg, tv) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignVector(b *testing.B) {
+	d := NewDealer(10, 1)
+	a, _ := d.Authenticator(0)
+	msg := []byte("benchmark message payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	d := NewDealer(10, 1)
+	s, _ := d.Authenticator(0)
+	v, _ := d.Authenticator(1)
+	msg := []byte("benchmark message payload")
+	tv := s.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Verify(0, msg, tv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

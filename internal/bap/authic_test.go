@@ -1,0 +1,155 @@
+package bap
+
+import (
+	"fmt"
+	"testing"
+
+	"gameauthority/internal/auth"
+	"gameauthority/internal/sim"
+)
+
+// buildAuthIC wires n authenticated-IC processors over a full mesh.
+func buildAuthIC(t *testing.T, n, f int, seed uint64) (*sim.Network, []*AuthICProc, []*auth.Authenticator) {
+	t.Helper()
+	dealer := auth.NewDealer(n, seed)
+	procs := make([]sim.Process, n)
+	raw := make([]*AuthICProc, n)
+	auths := make([]*auth.Authenticator, n)
+	for i := 0; i < n; i++ {
+		a, err := dealer.Authenticator(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = a
+		p, err := NewAuthICProc(i, n, f, a, Value(fmt.Sprintf("private-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = p
+		procs[i] = p
+	}
+	nw, err := sim.NewNetwork(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, raw, auths
+}
+
+func TestAuthICAllHonest(t *testing.T) {
+	nw, procs, _ := buildAuthIC(t, 4, 1, 1)
+	nw.Run(AuthICTotalPulses(1))
+	for i, p := range procs {
+		if !p.Done() {
+			t.Fatalf("proc %d not done", i)
+		}
+		vec := p.Vector()
+		for s := 0; s < 4; s++ {
+			want := Value(fmt.Sprintf("private-%d", s))
+			if vec[s] != want {
+				t.Fatalf("proc %d slot %d = %q, want %q", i, s, vec[s], want)
+			}
+		}
+	}
+}
+
+func TestAuthICHonestMajorityF2of5(t *testing.T) {
+	// With authentication, f=2 of n=5 is fine (n > 2f), which EIG-based
+	// IC (n > 3f) could not tolerate.
+	nw, procs, _ := buildAuthIC(t, 5, 2, 2)
+	nw.SetByzantine(3, sim.SilentAdversary())
+	nw.SetByzantine(4, sim.SilentAdversary())
+	nw.Run(AuthICTotalPulses(2))
+	for i := 0; i < 3; i++ {
+		if !procs[i].Done() {
+			t.Fatalf("proc %d not done", i)
+		}
+		vec := procs[i].Vector()
+		for s := 0; s < 3; s++ {
+			want := Value(fmt.Sprintf("private-%d", s))
+			if vec[s] != want {
+				t.Fatalf("proc %d slot %d = %q, want %q", i, s, vec[s], want)
+			}
+		}
+		// Silent sources resolve to the default value.
+		if vec[3] != DefaultValue || vec[4] != DefaultValue {
+			t.Fatalf("silent slots = %q %q, want defaults", vec[3], vec[4])
+		}
+	}
+	// All honest must hold identical vectors.
+	ref := procs[0].Vector()
+	for i := 1; i < 3; i++ {
+		vec := procs[i].Vector()
+		for s := range ref {
+			if vec[s] != ref[s] {
+				t.Fatalf("vector disagreement at proc %d slot %d", i, s)
+			}
+		}
+	}
+}
+
+func TestAuthICEquivocatingSource(t *testing.T) {
+	// Source 0 signs different values for different destinations; honest
+	// receivers cross-relay the chains and must all land on the same
+	// decision for slot 0.
+	nw, procs, auths := buildAuthIC(t, 4, 1, 3)
+	nw.SetByzantine(0, sim.AdversaryFunc(func(pulse, id int, out []sim.Message) []sim.Message {
+		if pulse != 0 {
+			return out
+		}
+		forged := make([]sim.Message, 0, len(out))
+		for _, m := range out {
+			pl, ok := m.Payload.(authICPayload)
+			if !ok || pl.Instance != 0 {
+				forged = append(forged, m)
+				continue
+			}
+			v := Value("x")
+			if m.To%2 == 1 {
+				v = "y"
+			}
+			body := dsMessageBody(0, v)
+			pl.Inner = dsPayload{Val: v, Chain: []dsChainLink{{Signer: 0, Tags: auths[0].Sign(body)}}}
+			m.Payload = pl
+			forged = append(forged, m)
+		}
+		return forged
+	}))
+	nw.Run(AuthICTotalPulses(1))
+	var slot0 Value
+	first := true
+	for i := 1; i < 4; i++ {
+		if !procs[i].Done() {
+			t.Fatalf("proc %d not done", i)
+		}
+		vec := procs[i].Vector()
+		if first {
+			slot0, first = vec[0], false
+		} else if vec[0] != slot0 {
+			t.Fatalf("slot 0 disagreement: %q vs %q", vec[0], slot0)
+		}
+		// Honest slots are exact.
+		for s := 1; s < 4; s++ {
+			if vec[s] != Value(fmt.Sprintf("private-%d", s)) {
+				t.Fatalf("honest slot %d corrupted: %q", s, vec[s])
+			}
+		}
+	}
+	if slot0 != DefaultValue {
+		t.Fatalf("equivocating source should resolve to default, got %q", slot0)
+	}
+}
+
+func TestAuthICValidation(t *testing.T) {
+	if _, err := NewAuthICProc(0, 4, 1, nil, "v"); err == nil {
+		t.Fatal("nil authenticator accepted")
+	}
+}
+
+func TestAuthICCorruptRecovers(t *testing.T) {
+	_, procs, _ := buildAuthIC(t, 4, 1, 5)
+	seedCounter := uint64(0)
+	procs[0].Corrupt(func() uint64 { seedCounter++; return seedCounter * 7919 })
+	for pulse := 0; pulse < 10; pulse++ {
+		_ = procs[0].Step(pulse, nil) // must not panic
+	}
+}

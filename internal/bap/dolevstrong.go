@@ -1,0 +1,212 @@
+package bap
+
+import (
+	"fmt"
+	"sort"
+
+	"gameauthority/internal/auth"
+	"gameauthority/internal/sim"
+)
+
+// Dolev–Strong authenticated broadcast: with transferable authentication a
+// designated sender broadcasts a value; after f+1 rounds every honest
+// processor accepts the same value (or the default if the sender
+// equivocated/failed). This is the paper's footnote-2 regime where
+// "authentication utilizes a Byzantine agreement that needs only a
+// majority" — resilience is bounded by the signature scheme, not n > 3f.
+
+// dsChainLink is one signature in a relay chain.
+type dsChainLink struct {
+	Signer int
+	Tags   auth.TagVector
+}
+
+// dsPayload carries a value plus its signature chain.
+type dsPayload struct {
+	Val   Value
+	Chain []dsChainLink
+}
+
+// dsMessageBody returns the byte string every chain signature covers:
+// the sender id and the value (chains bind to the broadcast instance).
+func dsMessageBody(sender int, v Value) []byte {
+	return []byte(fmt.Sprintf("ds|%d|%s", sender, string(v)))
+}
+
+// DSProc is one processor's state in a Dolev–Strong broadcast with a fixed
+// designated sender.
+type DSProc struct {
+	id, n, f int
+	sender   int
+	authn    *auth.Authenticator
+	initial  Value // only used when id == sender
+
+	extracted map[Value][]dsChainLink // accepted values → best chain seen
+	relayQ    []dsPayload             // values to relay next pulse
+	pulseNo   int
+	done      bool
+	decision  Value
+}
+
+var _ sim.Process = (*DSProc)(nil)
+var _ sim.Corruptible = (*DSProc)(nil)
+
+// NewDSProc creates processor id's state for a broadcast from sender.
+// f may be any value < n (authenticated protocols tolerate more faults);
+// rounds used = f+1.
+func NewDSProc(id, n, f, sender int, authn *auth.Authenticator, initial Value) (*DSProc, error) {
+	if n < 2 || f < 0 || f >= n {
+		return nil, fmt.Errorf("%w: n=%d f=%d", ErrConfig, n, f)
+	}
+	if id < 0 || id >= n || sender < 0 || sender >= n {
+		return nil, fmt.Errorf("%w: id=%d sender=%d", ErrConfig, id, sender)
+	}
+	if authn == nil {
+		return nil, fmt.Errorf("%w: nil authenticator", ErrConfig)
+	}
+	return &DSProc{
+		id: id, n: n, f: f, sender: sender, authn: authn, initial: initial,
+		extracted: make(map[Value][]dsChainLink),
+	}, nil
+}
+
+// ID implements sim.Process.
+func (p *DSProc) ID() int { return p.id }
+
+// DSTotalPulses returns the pulses a Dolev–Strong broadcast needs:
+// rounds 1..f+1 plus the final decision pulse.
+func DSTotalPulses(f int) int { return f + 2 }
+
+// Step implements sim.Process.
+func (p *DSProc) Step(pulse int, inbox []sim.Message) []sim.Message {
+	defer func() { p.pulseNo++ }()
+
+	// Absorb: validate chains of length == pulseNo (received in round
+	// pulseNo, they must carry pulseNo signatures starting with sender).
+	if p.pulseNo >= 1 {
+		for _, m := range inbox {
+			pl, ok := m.Payload.(dsPayload)
+			if !ok {
+				continue
+			}
+			p.absorb(pl, p.pulseNo)
+		}
+	}
+
+	switch {
+	case p.pulseNo == 0:
+		if p.id != p.sender {
+			return nil
+		}
+		// Round 1: sender signs and broadcasts.
+		body := dsMessageBody(p.sender, p.initial)
+		chain := []dsChainLink{{Signer: p.sender, Tags: p.authn.Sign(body)}}
+		p.extracted[p.initial] = chain
+		return broadcastAll(p.id, p.n, dsPayload{Val: p.initial, Chain: chain})
+
+	case p.pulseNo < p.f+1:
+		// Relay newly extracted values with our signature appended.
+		out := p.flushRelays()
+		return out
+
+	case p.pulseNo == p.f+1:
+		// Final relay round then decide.
+		out := p.flushRelays()
+		p.decide()
+		return out
+
+	default:
+		if !p.done {
+			p.decide()
+		}
+		return nil
+	}
+}
+
+// absorb validates an incoming payload at the given round: the chain must
+// have exactly `round` distinct signers beginning with the designated
+// sender, all tags valid. Valid new values are queued for relay.
+func (p *DSProc) absorb(pl dsPayload, round int) {
+	if len(pl.Chain) != round || round < 1 {
+		return
+	}
+	if pl.Chain[0].Signer != p.sender {
+		return
+	}
+	seen := make(map[int]bool, len(pl.Chain))
+	body := dsMessageBody(p.sender, pl.Val)
+	for _, link := range pl.Chain {
+		if seen[link.Signer] {
+			return // duplicate signer
+		}
+		seen[link.Signer] = true
+		if err := p.authn.Verify(link.Signer, body, link.Tags); err != nil {
+			return
+		}
+	}
+	if _, known := p.extracted[pl.Val]; known {
+		return
+	}
+	p.extracted[pl.Val] = pl.Chain
+	if !seen[p.id] {
+		// Queue for relay with our signature.
+		chain := append(append([]dsChainLink(nil), pl.Chain...),
+			dsChainLink{Signer: p.id, Tags: p.authn.Sign(body)})
+		p.relayQ = append(p.relayQ, dsPayload{Val: pl.Val, Chain: chain})
+	}
+}
+
+// flushRelays emits queued relays to everyone.
+func (p *DSProc) flushRelays() []sim.Message {
+	if len(p.relayQ) == 0 {
+		return nil
+	}
+	var out []sim.Message
+	for _, pl := range p.relayQ {
+		out = append(out, broadcastAll(p.id, p.n, pl)...)
+	}
+	p.relayQ = nil
+	return out
+}
+
+// decide applies the Dolev–Strong rule: exactly one extracted value →
+// accept it; zero or several (sender equivocated) → default.
+func (p *DSProc) decide() {
+	p.done = true
+	if len(p.extracted) == 1 {
+		for v := range p.extracted {
+			p.decision = v
+		}
+		return
+	}
+	p.decision = DefaultValue
+	// Deterministic documentation of the conflict set (sorted) could be
+	// logged; the decision itself is the default value.
+	if len(p.extracted) > 1 {
+		vals := make([]string, 0, len(p.extracted))
+		for v := range p.extracted {
+			vals = append(vals, string(v))
+		}
+		sort.Strings(vals)
+	}
+}
+
+// Done and Decision expose the outcome.
+func (p *DSProc) Done() bool { return p.done }
+
+// Decision returns the accepted value or ErrNotDecided.
+func (p *DSProc) Decision() (Value, error) {
+	if !p.done {
+		return DefaultValue, ErrNotDecided
+	}
+	return p.decision, nil
+}
+
+// Corrupt implements sim.Corruptible.
+func (p *DSProc) Corrupt(entropy func() uint64) {
+	p.pulseNo = int(entropy() % uint64(p.f+3))
+	p.done = false
+	p.decision = DefaultValue
+	p.extracted = make(map[Value][]dsChainLink)
+	p.relayQ = nil
+}

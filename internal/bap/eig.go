@@ -1,0 +1,183 @@
+// Package bap implements the Byzantine agreement protocols ("BAP") the game
+// authority is built on (paper §3.3): the exponential-information-gathering
+// (EIG) protocol of Lamport, Shostak and Pease [19] for n > 3f without
+// authentication, a Dolev–Strong style authenticated broadcast (the paper's
+// footnote 2 variant that "needs only a majority" given authentication), and
+// interactive consistency (vector agreement) built from parallel instances.
+//
+// EIG message size is exponential in f; the paper cites Garay–Moses [16] as
+// the polynomial alternative. At the simulated scales (n ≤ 13, f ≤ 4) EIG is
+// simpler and behaviourally identical, which is what matters for the
+// middleware (see DESIGN.md §4, substitutions).
+package bap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Value is an agreement value. Protocol payloads are canonically encoded
+// strings so values are comparable and hashable.
+type Value string
+
+// DefaultValue is the fallback decision when no majority emerges.
+const DefaultValue Value = ""
+
+// Common errors.
+var (
+	ErrConfig     = errors.New("bap: invalid configuration")
+	ErrNotDecided = errors.New("bap: protocol has not terminated")
+)
+
+// Rounds returns the number of communication rounds EIG needs: f+1.
+func Rounds(f int) int { return f + 1 }
+
+// EIG is one processor's state in a single EIG agreement instance.
+// It is a pure state machine: the caller moves messages between instances
+// (the sim adapter in process.go does this over a Network).
+type EIG struct {
+	id, n, f int
+	round    int // completed rounds
+	tree     map[string]Value
+	decided  bool
+	decision Value
+}
+
+// Pair is one EIG tree entry in transit: the label path and the value the
+// sender stores for it.
+type Pair struct {
+	Label string
+	Val   Value
+}
+
+// NewEIG creates processor id's state for one agreement on initial.
+// Requires n > 3f (the LSP bound) and 0 ≤ id < n.
+func NewEIG(id, n, f int, initial Value) (*EIG, error) {
+	if n <= 3*f {
+		return nil, fmt.Errorf("%w: n=%d must exceed 3f=%d", ErrConfig, n, 3*f)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("%w: id=%d out of range", ErrConfig, id)
+	}
+	e := &EIG{id: id, n: n, f: f, tree: map[string]Value{"": initial}}
+	return e, nil
+}
+
+// labelContains reports whether the label path includes processor j.
+func labelContains(label string, j int) bool {
+	for i := 0; i < len(label); i++ {
+		if int(label[i]) == j {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundMessages returns the pairs processor id must broadcast in the given
+// round (0-based): all tree nodes at level == round whose label does not
+// contain id. Every processor receives the same pairs (honest behaviour).
+func (e *EIG) RoundMessages(round int) []Pair {
+	var out []Pair
+	for label, val := range e.tree {
+		if len(label) != round || labelContains(label, e.id) {
+			continue
+		}
+		out = append(out, Pair{Label: label, Val: val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Absorb ingests the pairs received from processor `from` in the given
+// round: pair (L, v) becomes tree[L·from] provided the label has the right
+// level, does not already contain `from`, and does not contain this
+// processor (nodes through own id are redundant).
+func (e *EIG) Absorb(round, from int, pairs []Pair) {
+	if from < 0 || from >= e.n {
+		return
+	}
+	for _, p := range pairs {
+		if len(p.Label) != round || labelContains(p.Label, from) {
+			continue
+		}
+		child := p.Label + string(byte(from))
+		if len(child) > e.f+1 {
+			continue
+		}
+		if _, exists := e.tree[child]; exists {
+			continue // first writer wins; duplicates from a liar are ignored
+		}
+		e.tree[child] = p.Val
+	}
+}
+
+// EndRound marks a communication round complete. After Rounds(f) rounds the
+// instance resolves and decides.
+func (e *EIG) EndRound() {
+	e.round++
+	if e.round >= Rounds(e.f) && !e.decided {
+		e.decision = e.resolve("")
+		e.decided = true
+	}
+}
+
+// Decided reports termination, and Decision returns the agreed value.
+func (e *EIG) Decided() bool { return e.decided }
+
+// Decision returns the decided value or ErrNotDecided.
+func (e *EIG) Decision() (Value, error) {
+	if !e.decided {
+		return DefaultValue, ErrNotDecided
+	}
+	return e.decision, nil
+}
+
+// resolve computes the recursive majority ("resolve") of the EIG tree.
+func (e *EIG) resolve(label string) Value {
+	if len(label) == e.f+1 {
+		if v, ok := e.tree[label]; ok {
+			return v
+		}
+		return DefaultValue
+	}
+	counts := make(map[Value]int)
+	children := 0
+	for j := 0; j < e.n; j++ {
+		if labelContains(label, j) {
+			continue
+		}
+		children++
+		counts[e.resolve(label+string(byte(j)))]++
+	}
+	if children == 0 {
+		if v, ok := e.tree[label]; ok {
+			return v
+		}
+		return DefaultValue
+	}
+	// Strict majority, with deterministic tie handling (default).
+	for v, c := range counts {
+		if 2*c > children {
+			return v
+		}
+	}
+	return DefaultValue
+}
+
+// TreeSize returns the number of stored tree nodes (for overhead metrics).
+func (e *EIG) TreeSize() int { return len(e.tree) }
+
+// Corrupt scrambles the instance's internal state (transient fault model):
+// random round counter, garbage tree entries, arbitrary decision flag.
+func (e *EIG) Corrupt(entropy func() uint64) {
+	e.round = int(entropy() % uint64(e.f+2))
+	e.decided = entropy()&1 == 0
+	e.decision = Value(fmt.Sprintf("garbage-%d", entropy()%97))
+	e.tree = map[string]Value{"": e.decision}
+	// A few arbitrary nodes.
+	for i := uint64(0); i < entropy()%5; i++ {
+		j := byte(entropy() % uint64(e.n))
+		e.tree[string(j)] = Value(fmt.Sprintf("junk-%d", entropy()%31))
+	}
+}

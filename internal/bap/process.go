@@ -1,0 +1,235 @@
+package bap
+
+import (
+	"fmt"
+
+	"gameauthority/internal/sim"
+)
+
+// This file adapts the EIG state machine onto the synchronous network of
+// internal/sim: one protocol round per pulse, plus the interactive
+// consistency (vector agreement) composition used by the game authority to
+// agree on per-agent payloads (outcomes, commitment sets, reveal sets, foul
+// sets — §3.3).
+
+// eigPayload is the wire format of one EIG round broadcast.
+type eigPayload struct {
+	Instance int // interactive-consistency instance (source id), or 0
+	Round    int
+	Pairs    []Pair
+}
+
+// icInit is the pre-round payload of interactive consistency: the sender's
+// own private value.
+type icInit struct {
+	Val Value
+}
+
+// Proc runs a single EIG agreement instance over a sim.Network.
+type Proc struct {
+	id    int
+	eig   *EIG
+	round int
+}
+
+var _ sim.Process = (*Proc)(nil)
+var _ sim.Corruptible = (*Proc)(nil)
+
+// NewProc builds a sim process executing one EIG instance.
+func NewProc(id, n, f int, initial Value) (*Proc, error) {
+	e, err := NewEIG(id, n, f, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Proc{id: id, eig: e}, nil
+}
+
+// ID implements sim.Process.
+func (p *Proc) ID() int { return p.id }
+
+// Step implements sim.Process: absorb last round's traffic, end the round,
+// then broadcast this round's tree level.
+func (p *Proc) Step(pulse int, inbox []sim.Message) []sim.Message {
+	if p.round > 0 {
+		for _, m := range inbox {
+			pl, ok := m.Payload.(eigPayload)
+			if !ok || pl.Round != p.round-1 {
+				continue
+			}
+			p.eig.Absorb(pl.Round, m.From, pl.Pairs)
+		}
+		p.eig.EndRound()
+	}
+	if p.eig.Decided() {
+		return nil
+	}
+	pairs := p.eig.RoundMessages(p.round)
+	payload := eigPayload{Round: p.round, Pairs: pairs}
+	p.round++
+	return broadcastAll(p.id, p.eig.n, payload)
+}
+
+// Decided and Decision expose the instance's outcome.
+func (p *Proc) Decided() bool            { return p.eig.Decided() }
+func (p *Proc) Decision() (Value, error) { return p.eig.Decision() }
+
+// Corrupt implements sim.Corruptible.
+func (p *Proc) Corrupt(entropy func() uint64) {
+	p.round = int(entropy() % uint64(p.eig.f+2))
+	p.eig.Corrupt(entropy)
+}
+
+// broadcastAll fabricates one message per destination (including self,
+// which simplifies quorum counting); the network enforces topology and
+// stamps From.
+func broadcastAll(from, n int, payload any) []sim.Message {
+	out := make([]sim.Message, 0, n)
+	for to := 0; to < n; to++ {
+		out = append(out, sim.Message{From: from, To: to, Payload: payload})
+	}
+	return out
+}
+
+// ICProc runs interactive consistency: n parallel EIG instances, one per
+// source processor, so that all honest processors agree on the full vector
+// of private values. Pulse 0 disseminates private values; pulses 1..f+1 run
+// the EIG rounds of all instances in lock-step.
+type ICProc struct {
+	id, n, f int
+	private  Value
+	insts    []*EIG
+	pulseNo  int
+	done     bool
+	vector   []Value
+}
+
+var _ sim.Process = (*ICProc)(nil)
+var _ sim.Corruptible = (*ICProc)(nil)
+
+// NewICProc builds processor id's interactive-consistency process carrying
+// the given private value.
+func NewICProc(id, n, f int, private Value) (*ICProc, error) {
+	if n <= 3*f {
+		return nil, fmt.Errorf("%w: n=%d must exceed 3f=%d", ErrConfig, n, 3*f)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("%w: id=%d", ErrConfig, id)
+	}
+	return &ICProc{id: id, n: n, f: f, private: private}, nil
+}
+
+// ID implements sim.Process.
+func (p *ICProc) ID() int { return p.id }
+
+// TotalPulses returns the number of pulses interactive consistency needs:
+// one dissemination pulse, f+1 EIG rounds, and one final absorb pulse.
+func TotalPulses(f int) int { return Rounds(f) + 2 }
+
+// Step implements sim.Process.
+func (p *ICProc) Step(pulse int, inbox []sim.Message) []sim.Message {
+	switch {
+	case p.pulseNo == 0:
+		// Dissemination pulse: broadcast the private value.
+		p.pulseNo++
+		return broadcastAll(p.id, p.n, icInit{Val: p.private})
+
+	case p.pulseNo == 1:
+		// Instances start: instance s's initial value is what we heard
+		// from s (default if silent).
+		heard := make(map[int]Value, p.n)
+		for _, m := range inbox {
+			if init, ok := m.Payload.(icInit); ok {
+				if _, dup := heard[m.From]; !dup {
+					heard[m.From] = init.Val
+				}
+			}
+		}
+		p.insts = make([]*EIG, p.n)
+		for s := 0; s < p.n; s++ {
+			initial, ok := heard[s]
+			if !ok {
+				initial = DefaultValue
+			}
+			inst, err := NewEIG(p.id, p.n, p.f, initial)
+			if err != nil {
+				// Config was validated in NewICProc; unreachable.
+				panic(fmt.Sprintf("bap: ic instance: %v", err))
+			}
+			p.insts[s] = inst
+		}
+		p.pulseNo++
+		return p.broadcastRound(0)
+
+	default:
+		round := p.pulseNo - 2 // EIG round completed by this pulse's inbox
+		for _, m := range inbox {
+			pl, ok := m.Payload.(eigPayload)
+			if !ok || pl.Round != round || pl.Instance < 0 || pl.Instance >= p.n {
+				continue
+			}
+			if p.insts == nil {
+				continue // corrupted state: instances not initialized
+			}
+			p.insts[pl.Instance].Absorb(pl.Round, m.From, pl.Pairs)
+		}
+		if p.insts == nil {
+			// Recover from corruption: restart as if at pulse 0.
+			p.pulseNo = 0
+			return nil
+		}
+		for _, inst := range p.insts {
+			if !inst.Decided() {
+				inst.EndRound()
+			}
+		}
+		if p.insts[0].Decided() {
+			if !p.done {
+				p.vector = make([]Value, p.n)
+				for s, inst := range p.insts {
+					v, err := inst.Decision()
+					if err != nil {
+						v = DefaultValue
+					}
+					p.vector[s] = v
+				}
+				p.done = true
+			}
+			return nil
+		}
+		p.pulseNo++
+		return p.broadcastRound(round + 1)
+	}
+}
+
+// broadcastRound gathers round messages of every instance.
+func (p *ICProc) broadcastRound(round int) []sim.Message {
+	var out []sim.Message
+	for s, inst := range p.insts {
+		pairs := inst.RoundMessages(round)
+		payload := eigPayload{Instance: s, Round: round, Pairs: pairs}
+		out = append(out, broadcastAll(p.id, p.n, payload)...)
+	}
+	return out
+}
+
+// Done reports whether the vector has been decided.
+func (p *ICProc) Done() bool { return p.done }
+
+// Vector returns the agreed vector (nil before Done).
+func (p *ICProc) Vector() []Value {
+	if !p.done {
+		return nil
+	}
+	return append([]Value(nil), p.vector...)
+}
+
+// Corrupt implements sim.Corruptible.
+func (p *ICProc) Corrupt(entropy func() uint64) {
+	p.pulseNo = int(entropy() % 5)
+	p.done = false
+	p.vector = nil
+	p.insts = nil
+	if entropy()&1 == 0 {
+		p.private = Value(fmt.Sprintf("corrupt-%d", entropy()%13))
+	}
+}

@@ -1,0 +1,87 @@
+package clocksync
+
+import (
+	"testing"
+
+	"gameauthority/internal/prng"
+	"gameauthority/internal/sim"
+)
+
+func TestConvergenceUnderMessageDrops(t *testing.T) {
+	// A Byzantine clock that randomly drops 70% of its traffic: honest
+	// clocks must converge anyway (the quorum needs only n−f votes, which
+	// the honest provide by themselves).
+	for trial := uint64(0); trial < 4; trial++ {
+		nw, clocks := buildNet(t, 4, 1, 8, 400+trial)
+		nw.SetByzantine(3, sim.DropAdversary(trial, 0.7))
+		ent := prng.New(800 + trial)
+		nw.Corrupt(ent.Uint64)
+		honest := []int{0, 1, 2}
+		if p := ConvergencePulses(nw, clocks, honest, 3, 50000); p > 50000 {
+			t.Fatalf("trial %d: no convergence under drops", trial)
+		}
+	}
+}
+
+func TestConcurrentEngineMatchesLockstep(t *testing.T) {
+	// The protocols must behave identically under the goroutine engine:
+	// same seeds, same pulse count, same final clock values.
+	build := func() (*sim.Network, []*Clock) {
+		return buildNet(t, 4, 1, 8, 123)
+	}
+	a, clocksA := build()
+	b, clocksB := build()
+	a.Run(50)
+	b.RunConcurrent(50)
+	for i := range clocksA {
+		if clocksA[i].Value() != clocksB[i].Value() {
+			t.Fatalf("clock %d: lockstep %d != concurrent %d",
+				i, clocksA[i].Value(), clocksB[i].Value())
+		}
+	}
+}
+
+func TestReplayAdversaryDoesNotBreakClosure(t *testing.T) {
+	// A stale-state attacker replays last pulse's ticks; with f=1 the
+	// other three clocks still form quorums and stay synchronized.
+	nw, clocks := buildNet(t, 4, 1, 8, 321)
+	nw.SetByzantine(3, sim.ReplayAdversary())
+	nw.Run(5) // settle
+	honest := []int{0, 1, 2}
+	for pulse := 0; pulse < 60; pulse++ {
+		nw.StepLockstep()
+		if !Synchronized(clocks, honest) {
+			t.Fatalf("replay attack desynchronized honest clocks at pulse %d", pulse)
+		}
+	}
+}
+
+func TestVoteDeduplicatesSenders(t *testing.T) {
+	c, err := New(0, 4, 1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender 2 votes twice for different values; only the first counts.
+	c.Vote(1, 3)
+	c.Vote(2, 3)
+	c.Vote(2, 5)
+	c.Vote(3, 3)
+	c.Vote(0, 3)
+	c.Tick()
+	// 4 distinct senders, quorum (n−f=3) on value 3 → clock = 4.
+	if got := c.Value(); got != 4 {
+		t.Fatalf("clock = %d, want 4 (duplicate vote must not break quorum)", got)
+	}
+}
+
+func TestTickWithoutVotesKeepsValue(t *testing.T) {
+	c, err := New(0, 4, 1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.value = 5
+	c.Tick()
+	if c.Value() != 5 {
+		t.Fatalf("no-vote tick changed value to %d", c.Value())
+	}
+}

@@ -1,0 +1,190 @@
+package clocksync
+
+import (
+	"errors"
+	"testing"
+
+	"gameauthority/internal/prng"
+	"gameauthority/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 1, 8, 1); !errors.Is(err, ErrConfig) {
+		t.Fatalf("n=3f: err = %v", err)
+	}
+	if _, err := New(5, 4, 1, 8, 1); !errors.Is(err, ErrConfig) {
+		t.Fatalf("bad id: err = %v", err)
+	}
+	if _, err := New(0, 4, 1, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Fatalf("m=1: err = %v", err)
+	}
+}
+
+// buildNet creates n clocks with modulus m and returns the network plus the
+// clock handles.
+func buildNet(t testing.TB, n, f, m int, seed uint64) (*sim.Network, []*Clock) {
+	t.Helper()
+	clocks := make([]*Clock, n)
+	procs := make([]sim.Process, n)
+	for i := 0; i < n; i++ {
+		c, err := New(i, n, f, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clocks[i] = c
+		procs[i] = c
+	}
+	nw, err := sim.NewNetwork(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, clocks
+}
+
+func honestIDs(n int, byz map[int]bool) []int {
+	var ids []int
+	for i := 0; i < n; i++ {
+		if !byz[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+func TestClosureFromSynchronizedState(t *testing.T) {
+	// All clocks start at 0 (synchronized); they must tick in lock-step
+	// forever, wrapping modulo M.
+	nw, clocks := buildNet(t, 4, 1, 8, 42)
+	nw.StepLockstep() // initial broadcast
+	prev := clocks[0].Value()
+	for pulse := 0; pulse < 40; pulse++ {
+		nw.StepLockstep()
+		if !Synchronized(clocks, []int{0, 1, 2, 3}) {
+			t.Fatalf("pulse %d: clocks diverged: %d %d %d %d", pulse,
+				clocks[0].Value(), clocks[1].Value(), clocks[2].Value(), clocks[3].Value())
+		}
+		got := clocks[0].Value()
+		if got != (prev+1)%8 {
+			t.Fatalf("pulse %d: clock jumped from %d to %d", pulse, prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestConvergenceFromArbitraryStates(t *testing.T) {
+	// Lemma 2 (shape): from arbitrary clock values the system reaches a
+	// synchronized configuration within a finite number of pulses.
+	for trial := uint64(0); trial < 10; trial++ {
+		nw, clocks := buildNet(t, 4, 1, 8, 100+trial)
+		ent := prng.New(500 + trial)
+		nw.Corrupt(ent.Uint64)
+		honest := []int{0, 1, 2, 3}
+		pulses := ConvergencePulses(nw, clocks, honest, 3, 5000)
+		if pulses > 5000 {
+			t.Fatalf("trial %d: no convergence within 5000 pulses", trial)
+		}
+	}
+}
+
+func TestConvergenceWithByzantineEquivocator(t *testing.T) {
+	// A Byzantine clock reports different values to different processors
+	// every pulse; honest clocks must still converge and stay converged.
+	for trial := uint64(0); trial < 5; trial++ {
+		nw, clocks := buildNet(t, 4, 1, 8, 200+trial)
+		evil := prng.New(900 + trial)
+		nw.SetByzantine(3, sim.EquivocateAdversary(func(to int, payload any) any {
+			return tickMsg{Val: int(evil.Uint64() % 8)}
+		}))
+		ent := prng.New(700 + trial)
+		nw.Corrupt(ent.Uint64)
+		honest := []int{0, 1, 2}
+		pulses := ConvergencePulses(nw, clocks, honest, 3, 20000)
+		if pulses > 20000 {
+			t.Fatalf("trial %d: no convergence under equivocation", trial)
+		}
+		// Closure under continued attack: 50 more pulses stay in sync.
+		for p := 0; p < 50; p++ {
+			nw.StepLockstep()
+			if !Synchronized(clocks, honest) {
+				t.Fatalf("trial %d: lost sync at post-convergence pulse %d", trial, p)
+			}
+		}
+	}
+}
+
+func TestSevenProcessorsTwoByzantine(t *testing.T) {
+	nw, clocks := buildNet(t, 7, 2, 16, 31)
+	evil := prng.New(77)
+	nw.SetByzantine(5, sim.EquivocateAdversary(func(to int, payload any) any {
+		return tickMsg{Val: int(evil.Uint64()) % 16}
+	}))
+	nw.SetByzantine(6, sim.SilentAdversary())
+	ent := prng.New(13)
+	nw.Corrupt(ent.Uint64)
+	honest := []int{0, 1, 2, 3, 4}
+	pulses := ConvergencePulses(nw, clocks, honest, 3, 100000)
+	if pulses > 100000 {
+		t.Fatal("n=7 f=2: no convergence")
+	}
+}
+
+func TestQuorumRuleUsedWhenSynchronized(t *testing.T) {
+	nw, clocks := buildNet(t, 4, 1, 8, 5)
+	nw.Run(5)
+	for i, c := range clocks {
+		if !c.LastQuorum() {
+			t.Fatalf("clock %d not in quorum regime while synchronized", i)
+		}
+	}
+}
+
+func TestSanitizesGarbageVotes(t *testing.T) {
+	// Byzantine sends wildly out-of-range values; honest must not adopt
+	// an out-of-range clock.
+	nw, clocks := buildNet(t, 4, 1, 8, 6)
+	nw.SetByzantine(3, sim.EquivocateAdversary(func(to int, payload any) any {
+		return tickMsg{Val: -999999}
+	}))
+	nw.Run(30)
+	for i := 0; i < 3; i++ {
+		v := clocks[i].Value()
+		if v < 0 || v >= 8 {
+			t.Fatalf("clock %d out of range: %d", i, v)
+		}
+	}
+}
+
+func TestCorruptPutsValueBackInRangeAfterOneUpdate(t *testing.T) {
+	nw, clocks := buildNet(t, 4, 1, 8, 7)
+	ent := prng.New(3)
+	nw.Corrupt(ent.Uint64)
+	nw.Run(2) // one broadcast + one update round
+	for i, c := range clocks {
+		if v := c.Value(); v < 0 || v >= 8 {
+			t.Fatalf("clock %d still out of range after update: %d", i, v)
+		}
+	}
+}
+
+func TestSynchronizedHelper(t *testing.T) {
+	_, clocks := buildNet(t, 4, 1, 8, 8)
+	if !Synchronized(clocks, nil) {
+		t.Fatal("empty id set should be trivially synchronized")
+	}
+	clocks[2].value = 5
+	if Synchronized(clocks, []int{0, 1, 2}) {
+		t.Fatal("divergent clocks reported synchronized")
+	}
+	if !Synchronized(clocks, []int{0, 1}) {
+		t.Fatal("identical clocks reported divergent")
+	}
+}
+
+func BenchmarkConvergenceN4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw, clocks := buildNet(b, 4, 1, 8, uint64(i))
+		ent := prng.New(uint64(i) + 999)
+		nw.Corrupt(ent.Uint64)
+		ConvergencePulses(nw, clocks, []int{0, 1, 2, 3}, 3, 100000)
+	}
+}

@@ -1,0 +1,92 @@
+// Package commit implements the cryptographic commitment scheme the game
+// authority uses to make action choices private and simultaneous (paper
+// §3.3, following Blum's coin-flipping-by-telephone construction [4]).
+//
+// A commitment is SHA-256(domain ‖ len(value) ‖ value ‖ nonce) with a
+// 256-bit random nonce. Against the simulated adversary this is hiding
+// (the nonce blinds the value) and binding (finding a second preimage is
+// infeasible), which is all the play protocol relies on: an agent must not
+// learn other agents' choices before committing, and must not be able to
+// change its own choice after the commitments are agreed upon.
+package commit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"gameauthority/internal/prng"
+)
+
+// DigestSize is the size in bytes of a commitment digest.
+const DigestSize = sha256.Size
+
+// NonceSize is the size in bytes of the blinding nonce.
+const NonceSize = 32
+
+// domainTag separates this scheme's hashes from any other SHA-256 use.
+var domainTag = []byte("gameauthority/commit/v1")
+
+// Sentinel errors for verification failures. Callers (the judicial service)
+// match on these to classify foul play.
+var (
+	ErrDigestMismatch = errors.New("commit: opening does not match digest")
+	ErrBadNonceSize   = errors.New("commit: nonce has wrong size")
+)
+
+// Digest is an opaque commitment value that can be published and agreed on
+// before the committed value is revealed.
+type Digest [DigestSize]byte
+
+// Opening reveals a previously committed value together with its nonce.
+type Opening struct {
+	Value []byte
+	Nonce [NonceSize]byte
+}
+
+// Commit produces a commitment to value using randomness drawn from src.
+// It returns the public digest and the private opening the committer must
+// keep until the reveal phase.
+func Commit(src *prng.Source, value []byte) (Digest, Opening) {
+	var nonce [NonceSize]byte
+	for i := 0; i < NonceSize; i += 8 {
+		binary.LittleEndian.PutUint64(nonce[i:], src.Uint64())
+	}
+	op := Opening{Value: append([]byte(nil), value...), Nonce: nonce}
+	return hash(op.Value, nonce), op
+}
+
+// Verify checks that opening opens digest. A nil error means the opening is
+// valid; ErrDigestMismatch means the value or nonce was altered.
+func Verify(digest Digest, opening Opening) error {
+	if hash(opening.Value, opening.Nonce) != digest {
+		return ErrDigestMismatch
+	}
+	return nil
+}
+
+func hash(value []byte, nonce [NonceSize]byte) Digest {
+	h := sha256.New()
+	h.Write(domainTag)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(value)))
+	h.Write(lenBuf[:])
+	h.Write(value)
+	h.Write(nonce[:])
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Equal reports whether two openings commit to the same value (ignores
+// nonce). Used by audit code when comparing revealed actions.
+func (o Opening) Equal(other Opening) bool {
+	return bytes.Equal(o.Value, other.Value)
+}
+
+// Clone returns a deep copy of the opening so callers can stash it without
+// aliasing the committer's buffer.
+func (o Opening) Clone() Opening {
+	return Opening{Value: append([]byte(nil), o.Value...), Nonce: o.Nonce}
+}

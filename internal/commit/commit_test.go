@@ -1,0 +1,119 @@
+package commit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gameauthority/internal/prng"
+)
+
+func TestCommitVerifyRoundTrip(t *testing.T) {
+	src := prng.New(1)
+	for _, value := range [][]byte{nil, {}, []byte("x"), []byte("hello world"), make([]byte, 1024)} {
+		d, op := Commit(src, value)
+		if err := Verify(d, op); err != nil {
+			t.Fatalf("Verify(Commit(%q)) = %v, want nil", value, err)
+		}
+	}
+}
+
+func TestVerifyDetectsValueTamper(t *testing.T) {
+	src := prng.New(2)
+	d, op := Commit(src, []byte("heads"))
+	op.Value = []byte("tails")
+	if err := Verify(d, op); err != ErrDigestMismatch {
+		t.Fatalf("tampered value: err = %v, want ErrDigestMismatch", err)
+	}
+}
+
+func TestVerifyDetectsNonceTamper(t *testing.T) {
+	src := prng.New(3)
+	d, op := Commit(src, []byte("heads"))
+	op.Nonce[0] ^= 1
+	if err := Verify(d, op); err != ErrDigestMismatch {
+		t.Fatalf("tampered nonce: err = %v, want ErrDigestMismatch", err)
+	}
+}
+
+func TestCommitmentsAreHiding(t *testing.T) {
+	// Two commitments to the same value with different randomness must
+	// produce different digests — otherwise observers could test guesses.
+	src := prng.New(4)
+	d1, _ := Commit(src, []byte("heads"))
+	d2, _ := Commit(src, []byte("heads"))
+	if d1 == d2 {
+		t.Fatal("same value committed twice produced identical digests")
+	}
+}
+
+func TestEmptyVsNilDistinctFromOthers(t *testing.T) {
+	// The length prefix must prevent ambiguity between value boundaries:
+	// commit("ab" ‖ nonce-start) must not collide with commit("a").
+	src := prng.New(5)
+	dA, opA := Commit(src, []byte("a"))
+	if err := Verify(dA, Opening{Value: []byte("ab"), Nonce: opA.Nonce}); err == nil {
+		t.Fatal("extended value verified against original digest")
+	}
+}
+
+func TestOpeningCloneIndependence(t *testing.T) {
+	src := prng.New(6)
+	_, op := Commit(src, []byte("abc"))
+	cl := op.Clone()
+	cl.Value[0] = 'z'
+	if op.Value[0] == 'z' {
+		t.Fatal("Clone aliased the original value buffer")
+	}
+	if !op.Equal(Opening{Value: []byte("abc")}) {
+		t.Fatal("Equal should compare values only")
+	}
+}
+
+func TestQuickRoundTripAndBinding(t *testing.T) {
+	f := func(seed uint64, value, other []byte) bool {
+		src := prng.New(seed)
+		d, op := Commit(src, value)
+		if Verify(d, op) != nil {
+			return false
+		}
+		if string(other) != string(value) {
+			bad := op
+			bad.Value = other
+			if Verify(d, bad) == nil {
+				return false // binding violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitDeterministicGivenSeed(t *testing.T) {
+	d1, o1 := Commit(prng.New(9), []byte("v"))
+	d2, o2 := Commit(prng.New(9), []byte("v"))
+	if d1 != d2 || o1.Nonce != o2.Nonce {
+		t.Fatal("commitment must be deterministic for a fixed seed (replayable audits)")
+	}
+}
+
+func BenchmarkCommit(b *testing.B) {
+	src := prng.New(1)
+	value := []byte("action:3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Commit(src, value)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	src := prng.New(1)
+	d, op := Commit(src, []byte("action:3"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(d, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the paper's primary contribution: the game
+// authority middleware (§3). It wires the three services together:
+//
+//   - legislative — the agents elect the game Γ (rules + cost functions)
+//     democratically (robust commit-reveal voting, §3.1);
+//   - judicial — every play is audited: legitimate action choice, private
+//     and simultaneous choice via commitments, foul-play detection against
+//     best responses or committed PRG streams (§3.2, §5);
+//   - executive — outcomes are published, choices collected, and agents
+//     convicted by the judicial service are punished (§3.4).
+//
+// Two drivers execute the play protocol of §3.3:
+//
+//   - the trusted driver (trusted.go) runs the same legislate/audit/punish
+//     code paths centrally — used for the game-theoretic experiments where
+//     tens of thousands of plays are needed;
+//   - the distributed driver (distributed.go) runs the full protocol over
+//     the synchronous network: a self-stabilizing Byzantine clock schedules
+//     the phases and every agreement (outcome, commitment set, reveal set,
+//     verdict) goes through interactive consistency on the BAP.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
+)
+
+// Common errors.
+var (
+	ErrConfig   = errors.New("core: invalid configuration")
+	ErrNoAgents = errors.New("core: no agents")
+	ErrClosed   = errors.New("core: session closed")
+)
+
+// Agent models one application-layer participant's *behaviour*. The
+// authority drives the protocol; the agent only decides what to play and
+// whether to cheat. The zero value plus a Choose function is an honest
+// agent; the optional hooks inject the §5.1-style manipulations.
+type Agent struct {
+	// Choose returns the agent's action for the round given the agreed
+	// previous outcome (nil on the first play). Returning an action
+	// outside Πi models the Fig. 1 hidden-manipulation strategy.
+	Choose func(round int, prev game.Profile) int
+
+	// TamperOpening, if non-nil, lets the agent replace its reveal after
+	// the commitment was agreed (judicial must detect the mismatch).
+	TamperOpening func(round int, op commit.Opening) commit.Opening
+
+	// Withhold, if non-nil, makes the agent refuse to reveal this round.
+	Withhold func(round int) bool
+}
+
+// HonestPure returns an honest agent for the elected game g playing id's
+// best response to the previous outcome (the §3.2 notion of honesty).
+// On the first play it plays action 0 (any legitimate action is honest).
+func HonestPure(g game.Game, id int) *Agent {
+	return &Agent{
+		Choose: func(round int, prev game.Profile) int {
+			if prev == nil {
+				return 0
+			}
+			return game.BestResponse(g, id, prev)
+		},
+	}
+}
+
+// --- Canonical wire encodings -------------------------------------------------
+//
+// Everything the processors agree on via the BAP travels as a canonical
+// string (bap.Value). Encoders are deliberately simple and deterministic;
+// decoders treat malformed input as Byzantine garbage (error, never panic).
+
+// EncodeProfile canonically encodes an action profile ("1,0,2"); -1 entries
+// (unknown actions) are preserved.
+func EncodeProfile(p game.Profile) string {
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = strconv.Itoa(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// DecodeProfile parses EncodeProfile output; n is the required arity.
+func DecodeProfile(s string, n int) (game.Profile, error) {
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty profile", ErrConfig)
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%w: profile arity %d, want %d", ErrConfig, len(parts), n)
+	}
+	p := make(game.Profile, n)
+	for i, part := range parts {
+		a, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%w: profile entry %q", ErrConfig, part)
+		}
+		p[i] = a
+	}
+	return p, nil
+}
+
+// EncodeDigest hex-encodes a commitment digest.
+func EncodeDigest(d commit.Digest) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 0, 2*len(d))
+	for _, b := range d {
+		out = append(out, hexdigits[b>>4], hexdigits[b&0xf])
+	}
+	return string(out)
+}
+
+// DecodeDigest parses EncodeDigest output.
+func DecodeDigest(s string) (commit.Digest, error) {
+	var d commit.Digest
+	if len(s) != 2*len(d) {
+		return d, fmt.Errorf("%w: digest hex length %d", ErrConfig, len(s))
+	}
+	for i := 0; i < len(d); i++ {
+		hi, ok1 := unhex(s[2*i])
+		lo, ok2 := unhex(s[2*i+1])
+		if !ok1 || !ok2 {
+			return d, fmt.Errorf("%w: digest hex at %d", ErrConfig, i)
+		}
+		d[i] = hi<<4 | lo
+	}
+	return d, nil
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// EncodeOpening canonically encodes a commitment opening as
+// "<value-hex>|<nonce-hex>".
+func EncodeOpening(op commit.Opening) string {
+	const hexdigits = "0123456789abcdef"
+	enc := func(b []byte) string {
+		out := make([]byte, 0, 2*len(b))
+		for _, x := range b {
+			out = append(out, hexdigits[x>>4], hexdigits[x&0xf])
+		}
+		return string(out)
+	}
+	return enc(op.Value) + "|" + enc(op.Nonce[:])
+}
+
+// DecodeOpening parses EncodeOpening output.
+func DecodeOpening(s string) (commit.Opening, error) {
+	var op commit.Opening
+	parts := strings.Split(s, "|")
+	if len(parts) != 2 {
+		return op, fmt.Errorf("%w: opening has %d segments", ErrConfig, len(parts))
+	}
+	value, err := unhexBytes(parts[0])
+	if err != nil {
+		return op, err
+	}
+	nonce, err := unhexBytes(parts[1])
+	if err != nil {
+		return op, err
+	}
+	if len(nonce) != commit.NonceSize {
+		return op, fmt.Errorf("%w: nonce length %d", ErrConfig, len(nonce))
+	}
+	op.Value = value
+	copy(op.Nonce[:], nonce)
+	return op, nil
+}
+
+func unhexBytes(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd hex length", ErrConfig)
+	}
+	out := make([]byte, len(s)/2)
+	for i := range out {
+		hi, ok1 := unhex(s[2*i])
+		lo, ok2 := unhex(s[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: bad hex", ErrConfig)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+// EncodeFoulSet canonically encodes the guilty agent ids ("1;3;4", "" for
+// none) — the value the judicial service agrees on before ordering
+// punishment.
+func EncodeFoulSet(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ";")
+}
+
+// DecodeFoulSet parses EncodeFoulSet output.
+func DecodeFoulSet(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: foul set entry %q", ErrConfig, p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// deriveAgentSource gives each (session seed, agent, round) its own
+// deterministic randomness stream for commitments.
+func deriveAgentSource(seed uint64, agent, round int) *prng.Source {
+	return prng.Derive(seed, 0xA6E27, uint64(agent), uint64(round))
+}

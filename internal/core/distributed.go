@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gameauthority/internal/audit"
+	"gameauthority/internal/bap"
+	"gameauthority/internal/clocksync"
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/punish"
+	"gameauthority/internal/sim"
+)
+
+// The distributed driver runs the complete §3.3 play protocol on the
+// synchronous network: a self-stabilizing Byzantine clock (§4) schedules
+// four phases per play, each phase being one interactive-consistency (BAP)
+// execution:
+//
+//	phase 0 OUTCOME — agree on the outcome of the previous play;
+//	phase 1 COMMIT  — agree on the set of action commitments;
+//	phase 2 REVEAL  — agree on the set of openings;
+//	phase 3 VERDICT — every processor audits the agreed evidence locally
+//	                  (deterministically) and the foul set is agreed, after
+//	                  which each processor's executive replica punishes.
+//
+// Because the phase position is derived from the self-stabilizing clock
+// value, the whole loop is self(ish)-stabilizing in the paper's sense: any
+// transient corruption dies at the next clock wrap. The executive's punish
+// ledger is reset by the fault injector and rebuilt from fresh verdicts —
+// the paper's §4 remark that the executive service must be made
+// self-stabilizing "on a case basis".
+
+// debugDist enables phase-vector tracing in tests.
+var debugDist = false
+
+// distPhase identifies the protocol phase within a play.
+type distPhase int
+
+const (
+	phaseOutcome distPhase = iota
+	phaseCommit
+	phaseReveal
+	phaseVerdict
+	numPhases
+)
+
+// distMsg is the combined wire payload: a clock vote plus an optional
+// phase-tagged inner interactive-consistency message.
+type distMsg struct {
+	Tick  int
+	Phase distPhase
+	// Inner carries the bap IC payloads opaquely (one per in-flight
+	// agreement instance); empty when the sender has no protocol traffic
+	// this pulse.
+	Inner []any
+	// HasInner distinguishes "no traffic" from an empty list forged by an
+	// adversary.
+	HasInner bool
+}
+
+// DistProcessor is one agent's full middleware stack: clock + phase machine
+// + judicial/executive replicas + application-layer behaviour.
+type DistProcessor struct {
+	id, n, f int
+	g        game.Game
+	behavior *Agent
+	scheme   punish.Scheme
+	seed     uint64
+
+	clock    *clocksync.Clock
+	phaseLen int
+	m        int
+
+	ic        *bap.ICProc
+	icPhase   distPhase
+	icPulse   int
+	completed [numPhases]bool
+
+	// Per-play working state (agreed evidence).
+	prev      game.Profile
+	round     int
+	myOpening commit.Opening
+	digests   []commit.Digest
+	openings  []commit.Opening
+	revealed  []bool
+
+	results []DistRound
+}
+
+// DistRound is one completed play as recorded by a processor.
+type DistRound struct {
+	Pulse   int
+	Outcome game.Profile
+	Guilty  []int
+}
+
+var (
+	_ sim.Process     = (*DistProcessor)(nil)
+	_ sim.Corruptible = (*DistProcessor)(nil)
+)
+
+// DistModulus returns the clock modulus used by the distributed driver:
+// four interactive-consistency phases plus wrap slack.
+func DistModulus(f int) int { return int(numPhases)*bap.TotalPulses(f) + 2 }
+
+// PulsesPerPlay returns the number of network pulses one complete play
+// takes in the distributed driver.
+func PulsesPerPlay(f int) int { return DistModulus(f) }
+
+// NewDistProcessor builds processor id running the authority middleware for
+// the elected game g with the given behaviour and punishment scheme replica.
+func NewDistProcessor(id, n, f int, g game.Game, behavior *Agent, scheme punish.Scheme, seed uint64) (*DistProcessor, error) {
+	if g == nil || behavior == nil || behavior.Choose == nil {
+		return nil, fmt.Errorf("%w: nil game or behaviour", ErrConfig)
+	}
+	if g.NumPlayers() != n {
+		return nil, fmt.Errorf("%w: game has %d players for %d processors", ErrConfig, g.NumPlayers(), n)
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("%w: nil punishment scheme", ErrConfig)
+	}
+	m := DistModulus(f)
+	clock, err := clocksync.New(id, n, f, m, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return &DistProcessor{
+		id: id, n: n, f: f, g: g, behavior: behavior, scheme: scheme, seed: seed,
+		clock: clock, phaseLen: bap.TotalPulses(f), m: m,
+	}, nil
+}
+
+// ID implements sim.Process.
+func (p *DistProcessor) ID() int { return p.id }
+
+// Results returns the plays this processor has completed (oldest first).
+func (p *DistProcessor) Results() []DistRound {
+	out := make([]DistRound, len(p.results))
+	for i, r := range p.results {
+		out[i] = DistRound{Pulse: r.Pulse, Outcome: r.Outcome.Clone(), Guilty: append([]int(nil), r.Guilty...)}
+	}
+	return out
+}
+
+// Excluded reports whether this processor's executive replica has excluded
+// the given agent.
+func (p *DistProcessor) Excluded(agent int) bool { return p.scheme.Excluded(agent) }
+
+// Step implements sim.Process.
+func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
+	// 1. Split inbox into clock votes and phase traffic.
+	var inner []sim.Message
+	for _, m := range inbox {
+		msg, ok := m.Payload.(distMsg)
+		if !ok {
+			continue
+		}
+		p.clock.Vote(m.From, msg.Tick)
+		if msg.HasInner && p.ic != nil && msg.Phase == p.icPhase {
+			for _, payload := range msg.Inner {
+				inner = append(inner, sim.Message{From: m.From, To: p.id, Payload: payload})
+			}
+		}
+	}
+	v := p.clock.Tick()
+
+	// 2. Map the clock value onto (phase, relative pulse). Values 0 and
+	// M-1 are the wrap slack with no protocol activity.
+	phase, rel, active := p.locate(v)
+
+	var out []sim.Message
+	if active {
+		if rel == 0 {
+			p.startPhase(phase, pulse)
+		}
+		if p.ic != nil && p.icPhase == phase {
+			out = p.ic.Step(p.icPulse, inner)
+			p.icPulse++
+			if p.ic.Done() {
+				p.finishPhase(phase, p.ic.Vector(), pulse)
+				p.ic = nil
+			}
+		}
+	}
+
+	// 3. Broadcast combined payload. The IC outbox holds one message per
+	// (instance, destination) pair; group them all per destination.
+	msgs := make([]sim.Message, 0, p.n)
+	tick := p.clock.Value()
+	perDest := make(map[int][]any, p.n)
+	for _, m := range out {
+		perDest[m.To] = append(perDest[m.To], m.Payload)
+	}
+	for to := 0; to < p.n; to++ {
+		dm := distMsg{Tick: tick, Phase: p.icPhase}
+		if payloads, ok := perDest[to]; ok {
+			dm.Inner = payloads
+			dm.HasInner = true
+		}
+		msgs = append(msgs, sim.Message{From: p.id, To: to, Payload: dm})
+	}
+	return msgs
+}
+
+// locate maps a clock value to the protocol schedule.
+func (p *DistProcessor) locate(v int) (distPhase, int, bool) {
+	if v < 1 || v > int(numPhases)*p.phaseLen {
+		return 0, 0, false
+	}
+	idx := v - 1
+	return distPhase(idx / p.phaseLen), idx % p.phaseLen, true
+}
+
+// startPhase begins the interactive consistency of the given phase with
+// this processor's private value.
+func (p *DistProcessor) startPhase(phase distPhase, pulse int) {
+	private := p.privateValue(phase, pulse)
+	ic, err := bap.NewICProc(p.id, p.n, p.f, private)
+	if err != nil {
+		p.ic = nil // configuration was validated; only corruption gets here
+		return
+	}
+	p.ic = ic
+	p.icPhase = phase
+	p.icPulse = 0
+	p.completed[phase] = false
+}
+
+// privateValue computes what this processor contributes to each phase.
+func (p *DistProcessor) privateValue(phase distPhase, pulse int) bap.Value {
+	switch phase {
+	case phaseOutcome:
+		if p.prev == nil {
+			return "none"
+		}
+		return bap.Value(EncodeProfile(p.prev))
+
+	case phaseCommit:
+		action := p.behavior.Choose(p.round, clonePrev(p.prev))
+		src := deriveAgentSource(p.seed, p.id, p.round)
+		digest, opening := commit.Commit(src, audit.EncodeAction(action))
+		p.myOpening = opening
+		return bap.Value(EncodeDigest(digest))
+
+	case phaseReveal:
+		if p.behavior.Withhold != nil && p.behavior.Withhold(p.round) {
+			return ""
+		}
+		op := p.myOpening
+		if p.behavior.TamperOpening != nil {
+			op = p.behavior.TamperOpening(p.round, op.Clone())
+		}
+		return bap.Value(EncodeOpening(op))
+
+	case phaseVerdict:
+		verdict, _, err := p.localAudit()
+		if err != nil {
+			return ""
+		}
+		return bap.Value(EncodeFoulSet(verdict.Guilty()))
+	}
+	return ""
+}
+
+// finishPhase consumes an agreed vector.
+func (p *DistProcessor) finishPhase(phase distPhase, vector []bap.Value, pulse int) {
+	if vector == nil {
+		return
+	}
+	p.completed[phase] = true
+	if debugDist {
+		fmt.Printf("DBG proc %d phase %d vector %q\n", p.id, phase, vector)
+	}
+	switch phase {
+	case phaseOutcome:
+		// Majority claim wins; the vector is identical at every honest
+		// processor, so the (deterministic) choice is too.
+		claim := majorityValue(vector)
+		if claim == "none" {
+			p.prev = nil
+			return
+		}
+		if prof, err := DecodeProfile(string(claim), p.n); err == nil {
+			p.prev = prof
+		} else {
+			p.prev = nil
+		}
+
+	case phaseCommit:
+		p.digests = make([]commit.Digest, p.n)
+		for i, v := range vector {
+			if d, err := DecodeDigest(string(v)); err == nil {
+				p.digests[i] = d
+			}
+		}
+
+	case phaseReveal:
+		p.openings = make([]commit.Opening, p.n)
+		p.revealed = make([]bool, p.n)
+		for i, v := range vector {
+			if v == "" {
+				continue
+			}
+			if op, err := DecodeOpening(string(v)); err == nil {
+				p.openings[i] = op
+				p.revealed[i] = true
+			}
+		}
+
+	case phaseVerdict:
+		p.finishPlay(vector, pulse)
+	}
+}
+
+// localAudit runs the judicial check over the agreed evidence. It is a
+// pure function of Byzantine-agreed data, so every honest processor
+// computes the same verdict.
+func (p *DistProcessor) localAudit() (audit.Verdict, game.Profile, error) {
+	if p.digests == nil || p.openings == nil || p.revealed == nil {
+		return audit.Verdict{}, nil, fmt.Errorf("%w: no evidence", ErrConfig)
+	}
+	ev := audit.PlayEvidence{
+		Round:       p.round,
+		PrevOutcome: p.prev,
+		Commitments: p.digests,
+		Openings:    p.openings,
+		Revealed:    p.revealed,
+	}
+	// A corrupted prev that fails validation would error the audit; treat
+	// it as "first play" evidence instead (self-stabilization over
+	// strictness — the next wrap re-agrees everything).
+	if ev.PrevOutcome != nil {
+		if game.ValidateProfile(p.g, ev.PrevOutcome) != nil {
+			ev.PrevOutcome = nil
+		}
+	}
+	return audit.PerRound(p.g, ev)
+}
+
+// finishPlay applies the agreed verdict, publishes the outcome, punishes,
+// and advances to the next play.
+func (p *DistProcessor) finishPlay(verdictVector []bap.Value, pulse int) {
+	// Strong-majority foul set: during convergence chaos there is no
+	// n−f support, so no one gets punished on garbage.
+	foulClaim, support := majorityWithCount(verdictVector)
+	var guilty []int
+	if support >= p.n-p.f {
+		if ids, err := DecodeFoulSet(string(foulClaim)); err == nil {
+			guilty = ids
+		}
+	}
+	// Outcome: established actions, with executive substitutions for
+	// convicted or unestablished agents.
+	verdict, actions, err := p.localAudit()
+	if err != nil {
+		return // no evidence (corruption); next wrap restarts cleanly
+	}
+	_ = verdict
+	outcome := make(game.Profile, p.n)
+	convicted := make(map[int]bool, len(guilty))
+	for _, id := range guilty {
+		if id >= 0 && id < p.n {
+			convicted[id] = true
+			_ = p.scheme.Punish(id, p.round, 1)
+		}
+	}
+	for i := 0; i < p.n; i++ {
+		if actions[i] >= 0 && !convicted[i] && !p.scheme.Excluded(i) {
+			outcome[i] = actions[i]
+			continue
+		}
+		// Executive restriction/substitution.
+		if p.prev != nil {
+			outcome[i] = game.BestResponse(p.g, i, p.prev)
+		}
+	}
+	p.results = append(p.results, DistRound{Pulse: pulse, Outcome: outcome, Guilty: guilty})
+	p.prev = outcome
+	p.round++
+	p.digests, p.openings, p.revealed = nil, nil, nil
+}
+
+// Corrupt implements sim.Corruptible: scrambles every piece of state the
+// transient-fault adversary can reach. The punish replica is rebuilt fresh
+// (see the package comment on the §4 executive remark).
+func (p *DistProcessor) Corrupt(entropy func() uint64) {
+	p.clock.Corrupt(entropy)
+	p.ic = nil
+	p.icPulse = int(entropy() % 7)
+	p.icPhase = distPhase(entropy() % uint64(numPhases))
+	p.round = int(entropy() % 13)
+	p.digests, p.openings, p.revealed = nil, nil, nil
+	if entropy()&1 == 0 {
+		garbage := make(game.Profile, p.n)
+		for i := range garbage {
+			garbage[i] = int(entropy() % 7)
+		}
+		p.prev = garbage
+	} else {
+		p.prev = nil
+	}
+	p.results = nil
+	p.scheme = freshScheme(p.scheme, p.n)
+}
+
+// freshScheme rebuilds an empty replica of the same scheme type.
+func freshScheme(s punish.Scheme, n int) punish.Scheme {
+	switch s.(type) {
+	case *punish.Reputation:
+		return punish.NewReputation(n, 0, 0, 0)
+	case *punish.Deposit:
+		return punish.NewDeposit(n, 0, 0)
+	default:
+		return punish.NewDisconnect(n, 0)
+	}
+}
+
+// majorityValue returns the most frequent value (ties → lexicographically
+// smallest), deterministic across processors given identical vectors.
+func majorityValue(vector []bap.Value) bap.Value {
+	v, _ := majorityWithCount(vector)
+	return v
+}
+
+func majorityWithCount(vector []bap.Value) (bap.Value, int) {
+	counts := make(map[bap.Value]int, len(vector))
+	for _, v := range vector {
+		counts[v]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	best, bestCount := bap.Value(""), -1
+	for _, k := range keys {
+		if c := counts[bap.Value(k)]; c > bestCount {
+			best, bestCount = bap.Value(k), c
+		}
+	}
+	return best, bestCount
+}
+
+// --- Distributed session harness ---------------------------------------------
+
+// DistSession wires n DistProcessors over a full mesh.
+type DistSession struct {
+	Net    *sim.Network
+	Procs  []*DistProcessor
+	Honest []int
+}
+
+// NewDistSession builds the distributed authority network. behaviors[i] may
+// be nil for an honest best-response agent. byz installs network-level
+// adversaries (message tampering) on top of behavioural cheats.
+func NewDistSession(n, f int, g game.Game, behaviors []*Agent, seed uint64, byz map[int]sim.Adversary) (*DistSession, error) {
+	if len(behaviors) != n {
+		return nil, fmt.Errorf("%w: %d behaviours for %d processors", ErrConfig, len(behaviors), n)
+	}
+	procs := make([]sim.Process, n)
+	raw := make([]*DistProcessor, n)
+	for i := 0; i < n; i++ {
+		b := behaviors[i]
+		if b == nil {
+			b = HonestPure(g, i)
+		}
+		dp, err := NewDistProcessor(i, n, f, g, b, punish.NewDisconnect(n, 0), seed)
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = dp
+		procs[i] = dp
+	}
+	nw, err := sim.NewNetwork(procs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var honest []int
+	for i := 0; i < n; i++ {
+		if adv, bad := byz[i]; bad {
+			nw.SetByzantine(i, adv)
+		} else {
+			honest = append(honest, i)
+		}
+	}
+	return &DistSession{Net: nw, Procs: raw, Honest: honest}, nil
+}
+
+// RunPlays advances the network by the given number of complete plays.
+func (s *DistSession) RunPlays(plays int) {
+	f := s.Procs[0].f
+	s.Net.Run(plays * PulsesPerPlay(f))
+}
+
+// ConsistentResults checks that all honest processors recorded identical
+// play outcomes over their last `plays` results; it returns an error
+// describing the first divergence.
+func (s *DistSession) ConsistentResults(plays int) error {
+	if len(s.Honest) == 0 {
+		return nil
+	}
+	ref := tail(s.Procs[s.Honest[0]].Results(), plays)
+	for _, id := range s.Honest[1:] {
+		got := tail(s.Procs[id].Results(), plays)
+		if len(got) != len(ref) {
+			return fmt.Errorf("core: proc %d recorded %d plays, proc %d recorded %d",
+				id, len(got), s.Honest[0], len(ref))
+		}
+		for k := range ref {
+			if got[k].Pulse != ref[k].Pulse || !got[k].Outcome.Equal(ref[k].Outcome) {
+				return fmt.Errorf("core: play %d diverges: proc %d %v@%d vs proc %d %v@%d",
+					k, id, got[k].Outcome, got[k].Pulse, s.Honest[0], ref[k].Outcome, ref[k].Pulse)
+			}
+			if EncodeFoulSet(got[k].Guilty) != EncodeFoulSet(ref[k].Guilty) {
+				return fmt.Errorf("core: play %d verdicts diverge: %v vs %v", k, got[k].Guilty, ref[k].Guilty)
+			}
+		}
+	}
+	return nil
+}
+
+func tail(rs []DistRound, k int) []DistRound {
+	if len(rs) > k {
+		return rs[len(rs)-k:]
+	}
+	return rs
+}

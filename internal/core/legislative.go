@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
+	"gameauthority/internal/voting"
+)
+
+// The legislative service (§3.1): "allows agents to set up the rules of the
+// game in a democratic manner". Candidates are games; voters rank them; the
+// commit-reveal election of internal/voting prevents adaptive manipulation;
+// the winner becomes the elected game the other services enforce.
+
+// Candidate pairs a game with a human-readable description for ballots.
+type Candidate struct {
+	Game        game.Game
+	Description string
+}
+
+// Voter supplies one agent's preferences over the candidates. Honest
+// voters rank sincerely; a Manipulative voter gets (via the hook) the other
+// ballots before choosing — which only helps in a naive election.
+type Voter struct {
+	// Prefs ranks candidate indices, most preferred first. Required.
+	Prefs []int
+	// Manipulative marks the voter as strategic: in a naive election it
+	// sees all earlier ballots and best-responds (§3.1's threat model).
+	Manipulative bool
+}
+
+// ElectionOutcome reports a completed legislative decision.
+type ElectionOutcome struct {
+	Winner   int
+	Scores   []float64
+	Cheaters []int
+}
+
+// NaiveElection models the unprotected baseline: voters cast plurality
+// ballots in id order, and manipulative voters observe all earlier ballots
+// (as on an open bulletin board) before choosing strategically.
+func NaiveElection(candidates []Candidate, voters []Voter) (ElectionOutcome, error) {
+	k := len(candidates)
+	if k == 0 {
+		return ElectionOutcome{}, voting.ErrNoCandidates
+	}
+	var cast []voting.Ballot
+	for _, v := range voters {
+		if len(v.Prefs) == 0 {
+			return ElectionOutcome{}, fmt.Errorf("%w: voter without preferences", ErrConfig)
+		}
+		if v.Manipulative {
+			cast = append(cast, voting.BestStrategicBallot(cast, v.Prefs, k))
+			continue
+		}
+		cast = append(cast, voting.Ballot{Ranking: []int{v.Prefs[0]}})
+	}
+	winner, scores, _, err := voting.Tally(voting.Plurality, cast, k)
+	if err != nil {
+		return ElectionOutcome{}, err
+	}
+	return ElectionOutcome{Winner: winner, Scores: scores}, nil
+}
+
+// RobustElection runs the authority's commit-reveal election: all ballots
+// are committed before any is revealed, so manipulative voters have nothing
+// to condition on and are reduced to sincere voting (or abstention).
+// Commitments and reveal sets are Byzantine-agreed in the distributed
+// driver; this trusted version exercises the identical validation logic.
+func RobustElection(candidates []Candidate, voters []Voter, seed uint64) (ElectionOutcome, error) {
+	k := len(candidates)
+	if k == 0 {
+		return ElectionOutcome{}, voting.ErrNoCandidates
+	}
+	e, err := voting.NewElection(voting.Plurality, len(voters), k)
+	if err != nil {
+		return ElectionOutcome{}, err
+	}
+	src := prng.New(seed)
+	openings := make([]commit.Opening, len(voters))
+	for i, v := range voters {
+		if len(v.Prefs) == 0 {
+			return ElectionOutcome{}, fmt.Errorf("%w: voter without preferences", ErrConfig)
+		}
+		// With commitments up front, the manipulator's best strategy
+		// degenerates to a sincere first preference: it cannot see any
+		// other ballot yet.
+		b := voting.Ballot{Ranking: []int{v.Prefs[0]}}
+		d, op := voting.CommitBallot(src, b)
+		if err := e.SubmitCommit(i, d); err != nil {
+			return ElectionOutcome{}, err
+		}
+		openings[i] = op
+	}
+	e.CloseCommits()
+	for i := range voters {
+		if err := e.SubmitReveal(i, openings[i]); err != nil {
+			return ElectionOutcome{}, err
+		}
+	}
+	winner, scores, cheaters, err := e.Result()
+	if err != nil {
+		return ElectionOutcome{}, err
+	}
+	return ElectionOutcome{Winner: winner, Scores: scores, Cheaters: cheaters}, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gameauthority/internal/game"
+	"gameauthority/internal/voting"
+)
+
+func threeCandidates() []Candidate {
+	return []Candidate{
+		{Game: game.MatchingPennies(), Description: "matching pennies"},
+		{Game: game.PrisonersDilemma(), Description: "prisoners dilemma"},
+		{Game: game.CoordinationGame(), Description: "coordination"},
+	}
+}
+
+func TestNaiveElectionManipulable(t *testing.T) {
+	// 4 sincere voters split 2-2 between candidates 0 and 1; the
+	// manipulator (prefers 1) votes last and tips the election.
+	voters := []Voter{
+		{Prefs: []int{0, 1, 2}}, {Prefs: []int{0, 1, 2}},
+		{Prefs: []int{1, 0, 2}}, {Prefs: []int{1, 0, 2}},
+		{Prefs: []int{1, 2, 0}, Manipulative: true},
+	}
+	out, err := NaiveElection(threeCandidates(), voters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != 1 {
+		t.Fatalf("naive winner = %d, want manipulator's pick 1", out.Winner)
+	}
+}
+
+func TestNaiveVsRobustDivergeUnderManipulation(t *testing.T) {
+	// A manipulator whose sincere preference is candidate 2 but who would
+	// strategically vote 1 when it can see a 2-2 tie: in the robust
+	// election it cannot see anything and votes sincerely (2), leaving
+	// the tie to break deterministically to 0.
+	voters := []Voter{
+		{Prefs: []int{0, 1, 2}}, {Prefs: []int{0, 1, 2}},
+		{Prefs: []int{1, 0, 2}}, {Prefs: []int{1, 0, 2}},
+		{Prefs: []int{2, 1, 0}, Manipulative: true},
+	}
+	naive, err := NaiveElection(threeCandidates(), voters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := RobustElection(threeCandidates(), voters, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive: manipulator cannot elect 2 (0 votes among others), so it
+	// settles for 1 → winner 1. Robust: it votes sincerely for 2 →
+	// tally 2-2-1 → tie breaks to 0.
+	if naive.Winner != 1 {
+		t.Fatalf("naive winner = %d, want 1", naive.Winner)
+	}
+	if robust.Winner != 0 {
+		t.Fatalf("robust winner = %d, want 0", robust.Winner)
+	}
+	if len(robust.Cheaters) != 0 {
+		t.Fatalf("robust cheaters = %v", robust.Cheaters)
+	}
+}
+
+func TestRobustElectionAllSincere(t *testing.T) {
+	voters := []Voter{
+		{Prefs: []int{2, 0, 1}}, {Prefs: []int{2, 1, 0}}, {Prefs: []int{0, 1, 2}},
+	}
+	out, err := RobustElection(threeCandidates(), voters, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != 2 {
+		t.Fatalf("winner = %d, want 2", out.Winner)
+	}
+	if out.Scores[2] != 2 {
+		t.Fatalf("scores = %v", out.Scores)
+	}
+}
+
+func TestElectionErrors(t *testing.T) {
+	if _, err := NaiveElection(nil, nil); !errors.Is(err, voting.ErrNoCandidates) {
+		t.Fatalf("no candidates: %v", err)
+	}
+	if _, err := NaiveElection(threeCandidates(), []Voter{{}}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("voter without prefs: %v", err)
+	}
+	if _, err := RobustElection(nil, nil, 1); !errors.Is(err, voting.ErrNoCandidates) {
+		t.Fatalf("robust no candidates: %v", err)
+	}
+	if _, err := RobustElection(threeCandidates(), []Voter{{}}, 1); !errors.Is(err, ErrConfig) {
+		t.Fatalf("robust voter without prefs: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"gameauthority/internal/audit"
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
+)
+
+// This file implements the paper's suggested auditing refinements beyond
+// the base per-round/batched disciplines:
+//
+//   - AuditSampled — §1.1: "further research can improve the design and
+//     allow better scalability (e.g., using auditing, rather than constant
+//     monitoring)". Seeds are committed every round (cheap), but the
+//     expensive reveal+verdict agreements run only on randomly spot-checked
+//     rounds. Cheaters are still caught — later, with probability 1 over
+//     time — for a fraction of the agreement traffic.
+//
+//   - AuditStatistical — §5.2's screening problem: with no seeds at all,
+//     the judicial service watches each agent's empirical action frequency
+//     against its declared mixed strategy over a sliding window and flags
+//     deviations (audit.FrequencyCheck). Detection is probabilistic and
+//     gradual (ReasonSuspiciousDistribution has low severity), trading
+//     certainty for zero cryptographic overhead.
+
+// Additional audit modes (continuing the AuditMode enumeration).
+const (
+	// AuditSampled audits each round only with probability SampleProb.
+	AuditSampled AuditMode = iota + 4
+	// AuditStatistical audits action frequencies over sliding windows.
+	AuditStatistical
+)
+
+// modeString extends AuditMode.String for the extension modes; called from
+// AuditMode.String.
+func modeString(m AuditMode) (string, bool) {
+	switch m {
+	case AuditSampled:
+		return "sampled", true
+	case AuditStatistical:
+		return "statistical", true
+	default:
+		return "", false
+	}
+}
+
+// sampledThisRound decides (deterministically from the session seed)
+// whether the judicial service spot-checks the given round.
+func (s *MixedSession) sampledThisRound(round int) bool {
+	src := prng.Derive(s.cfg.Seed, 0x5A3B1E, uint64(round))
+	return src.Float64() < s.cfg.SampleProb
+}
+
+// playSampled handles one play under AuditSampled. Commitments are made
+// every round (so evidence exists whenever a check fires); reveal and
+// verdict agreements run only on sampled rounds.
+func (s *MixedSession) playSampled(strategies game.MixedProfile) (game.Profile, error) {
+	// Outcome agreement for the previous play.
+	if s.round > 0 {
+		s.addAgreement()
+	}
+	n := s.n
+	roundSeeds := make([]uint64, n)
+	roundCommits := make([]commit.Digest, n)
+	roundOps := make([]commit.Opening, n)
+	for i := 0; i < n; i++ {
+		roundSeeds[i] = prng.Derive(s.cfg.Seed, 0x5EED, uint64(i), uint64(s.round)).Uint64()
+		src := deriveAgentSource(s.cfg.Seed, i, s.round)
+		roundCommits[i], roundOps[i] = commit.Commit(src, audit.EncodeSeed(roundSeeds[i]))
+		s.stats.Commitments++
+	}
+	s.addAgreement() // commitment set (every round: binds the choice)
+
+	outcome, err := s.selectActions(strategies, func(i int) uint64 { return roundSeeds[i] })
+	if err != nil {
+		return nil, err
+	}
+	s.addAgreement() // publish outcome
+
+	for i := 0; i < n; i++ {
+		s.cumCost[i] += s.actual.Cost(i, outcome)
+	}
+
+	if s.sampledThisRound(s.round) {
+		ev := audit.MixedEvidence{
+			Round:           s.round,
+			Strategies:      strategies,
+			SeedCommitments: roundCommits,
+			SeedOpenings:    make([]commit.Opening, n),
+			Revealed:        make([]bool, n),
+			Actions:         outcome,
+		}
+		for i := 0; i < n; i++ {
+			agent := s.cfg.Agents[i]
+			if !s.Excluded(i) && agent != nil && agent.Withhold != nil && agent.Withhold(s.round) {
+				continue
+			}
+			op := roundOps[i]
+			if !s.Excluded(i) && agent != nil && agent.TamperSeedOpening != nil {
+				op = agent.TamperSeedOpening(s.round, op.Clone())
+			}
+			ev.SeedOpenings[i] = op
+			ev.Revealed[i] = true
+			s.stats.Reveals++
+		}
+		s.addAgreement() // reveal set
+		verdict, err := audit.MixedPerRound(s.cfg.Elected, ev)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampled audit: %w", err)
+		}
+		s.applyVerdict(verdict)
+	}
+
+	s.prev = outcome
+	s.round++
+	return outcome, nil
+}
+
+// playStatistical handles one play under AuditStatistical: actions are
+// sampled without commitments; the judicial service checks legitimacy every
+// round and frequency conformance every Window rounds.
+func (s *MixedSession) playStatistical(strategies game.MixedProfile) (game.Profile, error) {
+	if s.round > 0 {
+		s.addAgreement() // previous outcome
+	}
+	outcome, err := s.selectActions(strategies, func(i int) uint64 {
+		return prng.Derive(s.cfg.Seed, 0x5EED, uint64(i), uint64(s.round)).Uint64()
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.addAgreement() // publish outcome
+
+	for i := 0; i < s.n; i++ {
+		s.cumCost[i] += s.actual.Cost(i, outcome)
+	}
+
+	// Legitimacy is checked instantly (actions are public).
+	var verdict audit.Verdict
+	for i := 0; i < s.n; i++ {
+		if s.Excluded(i) {
+			continue
+		}
+		if outcome[i] < 0 || outcome[i] >= s.cfg.Elected.NumActions(i) {
+			verdict.Fouls = append(verdict.Fouls, audit.Foul{
+				Agent: i, Reason: audit.ReasonIllegitimateAction,
+				Detail: fmt.Sprintf("round %d: action %d outside Π(%d)", s.round, outcome[i], i),
+			})
+			continue
+		}
+		s.window[i] = append(s.window[i], outcome[i])
+	}
+
+	// Window full → frequency screen per agent.
+	if (s.round+1)%s.cfg.Window == 0 {
+		for i := 0; i < s.n; i++ {
+			if s.Excluded(i) || len(s.window[i]) == 0 {
+				s.window[i] = s.window[i][:0]
+				continue
+			}
+			stat, suspicious, err := audit.FrequencyCheck(strategies[i], s.window[i], s.cfg.ChiThreshold)
+			if err != nil {
+				return nil, fmt.Errorf("core: frequency check: %w", err)
+			}
+			if suspicious {
+				verdict.Fouls = append(verdict.Fouls, audit.Foul{
+					Agent: i, Reason: audit.ReasonSuspiciousDistribution,
+					Detail: fmt.Sprintf("rounds %d-%d: χ²=%.2f > %.2f", s.round+1-s.cfg.Window, s.round, stat, s.cfg.ChiThreshold),
+				})
+			}
+			s.window[i] = s.window[i][:0]
+		}
+	}
+	if len(verdict.Fouls) > 0 || (s.round+1)%s.cfg.Window == 0 {
+		s.applyVerdict(verdict)
+	}
+
+	s.prev = outcome
+	s.round++
+	return outcome, nil
+}
+
+// selectActions draws every agent's action: excluded agents get the
+// executive's sample, honest agents their own stream, cheaters whatever
+// Override returns.
+func (s *MixedSession) selectActions(strategies game.MixedProfile, seedOf func(i int) uint64) (game.Profile, error) {
+	outcome := make(game.Profile, s.n)
+	for i := 0; i < s.n; i++ {
+		honest, err := audit.ExpectedAction(strategies[i], seedOf(i), i, s.round)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample agent %d: %w", i, err)
+		}
+		action := honest
+		agent := s.cfg.Agents[i]
+		if s.Excluded(i) {
+			execSeed := prng.Derive(s.cfg.Seed, 0xE8EC, uint64(i)).Uint64()
+			action, err = audit.ExpectedAction(strategies[i], execSeed, i, s.round)
+			if err != nil {
+				return nil, fmt.Errorf("core: executive sample %d: %w", i, err)
+			}
+		} else if agent != nil && agent.Override != nil {
+			action = agent.Override(s.round, honest)
+		}
+		outcome[i] = action
+	}
+	return outcome, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"gameauthority/internal/game"
+	"gameauthority/internal/punish"
+)
+
+// The §3.1 design extension: "a possible design extension can follow the
+// agents' changing preferences and repeatedly reelect the system's game."
+// A ReelectionSeries runs one robust election per legislative term; a
+// TermDriver then plays each elected game for the term's duration with
+// honest best-response agents, accumulating per-term social costs so the
+// society can see what its (changing) choices cost it.
+
+// ReelectionConfig configures a repeated legislative process.
+type ReelectionConfig struct {
+	// Candidates are the games on the ballot (stable across terms).
+	Candidates []Candidate
+	// Voters is the electorate size.
+	Voters int
+	// Prefs returns voter v's ranking (most preferred first) in the given
+	// term — preferences may drift between terms.
+	Prefs func(term, voter int) []int
+	// TermLength is the number of plays per legislative term.
+	TermLength int
+	// Seed drives ballots' commitment randomness and term play.
+	Seed uint64
+}
+
+// TermResult records one legislative term.
+type TermResult struct {
+	Term       int
+	Election   ElectionOutcome
+	SocialCost float64 // total social cost of the term's plays
+}
+
+// validate checks the configuration.
+func (cfg ReelectionConfig) validate() error {
+	if len(cfg.Candidates) == 0 {
+		return fmt.Errorf("%w: no candidates", ErrConfig)
+	}
+	if cfg.Voters < 1 {
+		return fmt.Errorf("%w: no voters", ErrConfig)
+	}
+	if cfg.Prefs == nil {
+		return fmt.Errorf("%w: nil preference function", ErrConfig)
+	}
+	if cfg.TermLength < 1 {
+		return fmt.Errorf("%w: term length %d", ErrConfig, cfg.TermLength)
+	}
+	return nil
+}
+
+// ReelectionSeries runs `terms` robust elections with drifting preferences
+// and returns each term's outcome.
+func ReelectionSeries(cfg ReelectionConfig, terms int) ([]ElectionOutcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ElectionOutcome, 0, terms)
+	for term := 0; term < terms; term++ {
+		voters := make([]Voter, cfg.Voters)
+		for v := range voters {
+			voters[v] = Voter{Prefs: cfg.Prefs(term, v)}
+		}
+		res, err := RobustElection(cfg.Candidates, voters, cfg.Seed+uint64(term))
+		if err != nil {
+			return nil, fmt.Errorf("core: term %d election: %w", term, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PlayTerms runs the full legislate-then-play loop: each term elects a game
+// and plays it for TermLength supervised rounds with honest best-response
+// agents, reporting the social cost of every term. It demonstrates the
+// §3.1 extension end to end.
+func PlayTerms(cfg ReelectionConfig, terms int) ([]TermResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	results := make([]TermResult, 0, terms)
+	for term := 0; term < terms; term++ {
+		voters := make([]Voter, cfg.Voters)
+		for v := range voters {
+			voters[v] = Voter{Prefs: cfg.Prefs(term, v)}
+		}
+		election, err := RobustElection(cfg.Candidates, voters, cfg.Seed+uint64(term))
+		if err != nil {
+			return nil, fmt.Errorf("core: term %d election: %w", term, err)
+		}
+		g := cfg.Candidates[election.Winner].Game
+		agents := make([]*Agent, g.NumPlayers())
+		for i := range agents {
+			agents[i] = HonestPure(g, i)
+		}
+		session, err := NewPureSession(g, agents, punish.NewDisconnect(g.NumPlayers(), 0), cfg.Seed+uint64(1000+term))
+		if err != nil {
+			return nil, fmt.Errorf("core: term %d session: %w", term, err)
+		}
+		var total float64
+		for round := 0; round < cfg.TermLength; round++ {
+			res, err := session.PlayRound()
+			if err != nil {
+				return nil, fmt.Errorf("core: term %d round %d: %w", term, round, err)
+			}
+			total += game.SocialCost(g, res.Outcome, nil)
+		}
+		results = append(results, TermResult{Term: term, Election: election, SocialCost: total})
+	}
+	return results, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gameauthority/internal/game"
+)
+
+func driftingPrefs(term, voter int) []int {
+	// Terms 0-1: everyone prefers candidate 0; from term 2 the majority
+	// drifts to candidate 1.
+	if term < 2 || voter == 0 {
+		return []int{0, 1}
+	}
+	return []int{1, 0}
+}
+
+func twoCandidates() []Candidate {
+	return []Candidate{
+		{Game: game.PrisonersDilemma(), Description: "pd"},
+		{Game: game.CoordinationGame(), Description: "coord"},
+	}
+}
+
+func TestReelectionSeriesFollowsPreferences(t *testing.T) {
+	cfg := ReelectionConfig{
+		Candidates: twoCandidates(),
+		Voters:     5,
+		Prefs:      driftingPrefs,
+		TermLength: 3,
+		Seed:       1,
+	}
+	outcomes, err := ReelectionSeries(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	for term, out := range outcomes {
+		if out.Winner != want[term] {
+			t.Fatalf("term %d winner = %d, want %d", term, out.Winner, want[term])
+		}
+	}
+}
+
+func TestPlayTermsAccumulatesCosts(t *testing.T) {
+	cfg := ReelectionConfig{
+		Candidates: twoCandidates(),
+		Voters:     5,
+		Prefs:      driftingPrefs,
+		TermLength: 5,
+		Seed:       2,
+	}
+	results, err := PlayTerms(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("terms = %d", len(results))
+	}
+	for _, r := range results {
+		if r.SocialCost <= 0 {
+			t.Fatalf("term %d social cost = %v", r.Term, r.SocialCost)
+		}
+	}
+	// The electorate's drift away from the prisoner's dilemma (whose
+	// equilibrium is costly) should lower the per-term social cost:
+	// coordination converges to the cheap (L,L) equilibrium.
+	if !(results[3].SocialCost < results[0].SocialCost) {
+		t.Fatalf("reelection did not lower social cost: term0=%v term3=%v",
+			results[0].SocialCost, results[3].SocialCost)
+	}
+}
+
+func TestReelectionValidation(t *testing.T) {
+	good := ReelectionConfig{
+		Candidates: twoCandidates(), Voters: 3,
+		Prefs: driftingPrefs, TermLength: 1, Seed: 1,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ReelectionConfig)
+	}{
+		{"no candidates", func(c *ReelectionConfig) { c.Candidates = nil }},
+		{"no voters", func(c *ReelectionConfig) { c.Voters = 0 }},
+		{"nil prefs", func(c *ReelectionConfig) { c.Prefs = nil }},
+		{"zero term", func(c *ReelectionConfig) { c.TermLength = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if _, err := ReelectionSeries(cfg, 1); !errors.Is(err, ErrConfig) {
+				t.Fatalf("err = %v, want ErrConfig", err)
+			}
+			if _, err := PlayTerms(cfg, 1); !errors.Is(err, ErrConfig) {
+				t.Fatalf("PlayTerms err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"gameauthority/internal/audit"
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
+	"gameauthority/internal/punish"
+)
+
+// RRASupervised runs the §6 repeated resource allocation game under the
+// game authority: honest agents sample the symmetric water-filling
+// equilibrium from committed seeds; Byzantine agents may play anything, but
+// the seed audit exposes every off-stream action and the executive then
+// restricts them. This is the harness behind Theorem 5's experiments
+// (E-T5): supervision keeps the multi-round anarchy cost at 1 + O(b/k).
+type RRASupervised struct {
+	rra    *game.RRA
+	scheme punish.Scheme
+	seed   uint64
+	// byzChoose[i], if set, overrides agent i's choice (e.g. the hog).
+	byzChoose map[int]func(agent int, loads []int64) int
+	supervise bool
+
+	fouls []audit.Foul
+}
+
+// NewRRASupervised builds the harness. scheme nil + supervise false is the
+// unsupervised baseline; supervise true requires a scheme.
+func NewRRASupervised(n, b int, seed uint64, scheme punish.Scheme, supervise bool) (*RRASupervised, error) {
+	if supervise && scheme == nil {
+		return nil, fmt.Errorf("%w: supervision requires a punishment scheme", ErrConfig)
+	}
+	rra, err := game.NewRRA(n, b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return &RRASupervised{
+		rra:       rra,
+		scheme:    scheme,
+		seed:      seed,
+		byzChoose: make(map[int]func(int, []int64) int),
+		supervise: supervise,
+	}, nil
+}
+
+// SetByzantine installs a malicious choice function for the agent.
+func (h *RRASupervised) SetByzantine(agent int, choose func(agent int, loads []int64) int) {
+	h.byzChoose[agent] = choose
+}
+
+// RRA exposes the underlying game state for measurements.
+func (h *RRASupervised) RRA() *game.RRA { return h.rra }
+
+// Fouls returns every foul detected so far.
+func (h *RRASupervised) Fouls() []audit.Foul {
+	return append([]audit.Foul(nil), h.fouls...)
+}
+
+// Excluded reports whether agent i has been excluded.
+func (h *RRASupervised) Excluded(i int) bool {
+	return h.scheme != nil && h.scheme.Excluded(i)
+}
+
+// roundSeed derives agent i's committed seed for the given round.
+func (h *RRASupervised) roundSeed(agent, round int) uint64 {
+	return prng.Derive(h.seed, 0x22A0, uint64(agent), uint64(round)).Uint64()
+}
+
+// ExpectedChoice returns the committed-stream sample agent i must play in
+// the upcoming round — the action the executive substitutes for excluded
+// agents, and the reference the judicial service audits against.
+func (h *RRASupervised) ExpectedChoice(agent int) (int, error) {
+	round := h.rra.Rounds()
+	strategy := h.rra.EquilibriumStrategy()
+	return audit.ExpectedAction(strategy, h.roundSeed(agent, round), agent, round)
+}
+
+// PlayRound executes one play: honest agents draw their committed PRG
+// sample of the equilibrium strategy; Byzantine agents act out; the
+// authority (when supervising) audits the round's seeds and punishes.
+func (h *RRASupervised) PlayRound() error {
+	n := h.rra.N()
+	round := h.rra.Rounds()
+	roundView := h.rra.RoundView() // strategic form of this play (pre-step loads)
+	strategy := h.rra.EquilibriumStrategy()
+
+	// Per-round seeds and Blum commitments (§5.3 per-round discipline).
+	seeds := make([]uint64, n)
+	digests := make([]commit.Digest, n)
+	openings := make([]commit.Opening, n)
+	expected := make([]int, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = h.roundSeed(i, round)
+		src := deriveAgentSource(h.seed, i, round)
+		digests[i], openings[i] = commit.Commit(src, audit.EncodeSeed(seeds[i]))
+		a, err := audit.ExpectedAction(strategy, seeds[i], i, round)
+		if err != nil {
+			return fmt.Errorf("core: rra sample agent %d: %w", i, err)
+		}
+		expected[i] = a
+	}
+
+	choices, err := h.rra.Step(func(agent int, loads []int64) int {
+		if h.Excluded(agent) {
+			// Executive restriction: authority plays the honest
+			// sample on the excluded agent's behalf.
+			return expected[agent]
+		}
+		if choose, bad := h.byzChoose[agent]; bad {
+			return choose(agent, loads)
+		}
+		return expected[agent]
+	})
+	if err != nil {
+		return fmt.Errorf("core: rra step: %w", err)
+	}
+
+	if !h.supervise {
+		return nil
+	}
+	// Judicial: the real seed audit over the round's strategic form —
+	// every published action must open against its committed stream
+	// (§5.3). Excluded agents are the executive's wards and always pass.
+	strategies := make([]game.Mixed, n)
+	revealed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		strategies[i] = strategy
+		revealed[i] = true
+	}
+	verdict, err := audit.MixedPerRound(roundView, audit.MixedEvidence{
+		Round:           round,
+		Strategies:      strategies,
+		SeedCommitments: digests,
+		SeedOpenings:    openings,
+		Revealed:        revealed,
+		Actions:         choices,
+	})
+	if err != nil {
+		return fmt.Errorf("core: rra audit: %w", err)
+	}
+	for _, foul := range verdict.Fouls {
+		if h.Excluded(foul.Agent) {
+			continue
+		}
+		h.fouls = append(h.fouls, foul)
+		_ = h.scheme.Punish(foul.Agent, round, foul.Reason.Severity())
+	}
+	return nil
+}
+
+// Play runs k rounds.
+func (h *RRASupervised) Play(k int) error {
+	for i := 0; i < k; i++ {
+		if err := h.PlayRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"gameauthority/internal/audit"
+	"gameauthority/internal/commit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/punish"
+)
+
+// PureSession is the trusted driver for repeated plays under pure
+// strategies (§3.3): commitments make choices private and simultaneous,
+// the judicial service audits every play, and the executive applies the
+// punishment scheme. The agreement steps are executed centrally — the
+// distributed driver proves they can be Byzantine-agreed; this driver
+// reuses the identical audit/punish logic at game-sweep speed.
+type PureSession struct {
+	g      game.Game
+	agents []*Agent
+	scheme punish.Scheme
+	seed   uint64
+
+	round   int
+	prev    game.Profile
+	history []RoundResult
+
+	// cumulative per-agent cost over plays where the agent was active.
+	cumCost []float64
+}
+
+// RoundResult records one audited play.
+type RoundResult struct {
+	Round int
+	// Outcome is the published PSP of the play (after executive
+	// substitutions for convicted/unrevealed actions).
+	Outcome game.Profile
+	// Verdict is the judicial service's finding.
+	Verdict audit.Verdict
+	// Excluded lists agents barred from this play (punished earlier);
+	// their actions were chosen by the executive on their behalf.
+	Excluded []int
+	// Costs[i] is agent i's cost in this play.
+	Costs []float64
+}
+
+// NewPureSession builds a session over the elected game with one Agent per
+// player. scheme may be nil for punish-less operation (the "no authority"
+// baseline in experiments).
+func NewPureSession(g game.Game, agents []*Agent, scheme punish.Scheme, seed uint64) (*PureSession, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil game", ErrConfig)
+	}
+	if len(agents) != g.NumPlayers() {
+		return nil, fmt.Errorf("%w: %d agents for %d players", ErrConfig, len(agents), g.NumPlayers())
+	}
+	for i, a := range agents {
+		if a == nil || a.Choose == nil {
+			return nil, fmt.Errorf("%w: agent %d has no Choose", ErrConfig, i)
+		}
+	}
+	return &PureSession{
+		g:       g,
+		agents:  agents,
+		scheme:  scheme,
+		seed:    seed,
+		cumCost: make([]float64, len(agents)),
+	}, nil
+}
+
+// Round returns the number of completed plays.
+func (s *PureSession) Round() int { return s.round }
+
+// History returns all round results (oldest first).
+func (s *PureSession) History() []RoundResult {
+	return append([]RoundResult(nil), s.history...)
+}
+
+// CumulativeCost returns agent i's total cost so far.
+func (s *PureSession) CumulativeCost(i int) float64 { return s.cumCost[i] }
+
+// CumulativePayoff returns agent i's total payoff (negated cost) so far —
+// the Fig. 1 experiments report payoffs.
+func (s *PureSession) CumulativePayoff(i int) float64 { return -s.cumCost[i] }
+
+// Excluded reports whether agent i is currently excluded by the scheme.
+func (s *PureSession) Excluded(i int) bool {
+	return s.scheme != nil && s.scheme.Excluded(i)
+}
+
+// PlayRound executes one full play of the protocol: choice → commitment →
+// reveal → audit → punish → publish.
+func (s *PureSession) PlayRound() (RoundResult, error) {
+	n := s.g.NumPlayers()
+	ev := audit.PlayEvidence{
+		Round:       s.round,
+		PrevOutcome: s.prev,
+		Commitments: make([]commit.Digest, n),
+		Openings:    make([]commit.Opening, n),
+		Revealed:    make([]bool, n),
+	}
+	var excluded []int
+
+	// Choice + commitment phase. Excluded agents do not choose: the
+	// executive restricts them to the authority-computed best response
+	// (§3.4 "restricts the action of dishonest agents").
+	chosen := make(game.Profile, n)
+	for i, a := range s.agents {
+		if s.Excluded(i) {
+			excluded = append(excluded, i)
+			chosen[i] = s.executiveAction(i)
+			// The executive commits on the restricted agent's behalf.
+			src := deriveAgentSource(s.seed, i, s.round)
+			ev.Commitments[i], ev.Openings[i] = commit.Commit(src, audit.EncodeAction(chosen[i]))
+			ev.Revealed[i] = true
+			continue
+		}
+		chosen[i] = a.Choose(s.round, clonePrev(s.prev))
+		src := deriveAgentSource(s.seed, i, s.round)
+		d, op := commit.Commit(src, audit.EncodeAction(chosen[i]))
+		ev.Commitments[i] = d
+		// Reveal phase (after all commitments are fixed): cheating hooks
+		// apply here.
+		if a.Withhold != nil && a.Withhold(s.round) {
+			ev.Revealed[i] = false
+			continue
+		}
+		if a.TamperOpening != nil {
+			op = a.TamperOpening(s.round, op.Clone())
+		}
+		ev.Openings[i] = op
+		ev.Revealed[i] = true
+	}
+
+	// Judicial phase.
+	verdict, actions, err := audit.PerRound(s.g, ev)
+	if err != nil {
+		return RoundResult{}, fmt.Errorf("core: audit: %w", err)
+	}
+
+	// Executive phase: punish the guilty, substitute actions that could
+	// not be established, and publish the outcome.
+	if s.scheme != nil {
+		for _, f := range verdict.Fouls {
+			if err := s.scheme.Punish(f.Agent, s.round, f.Reason.Severity()); err != nil {
+				return RoundResult{}, fmt.Errorf("core: punish: %w", err)
+			}
+		}
+	}
+	outcome := make(game.Profile, n)
+	for i := 0; i < n; i++ {
+		if actions[i] >= 0 {
+			outcome[i] = actions[i]
+		} else {
+			outcome[i] = s.executiveAction(i)
+		}
+	}
+
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		costs[i] = s.g.Cost(i, outcome)
+		s.cumCost[i] += costs[i]
+	}
+
+	res := RoundResult{
+		Round:    s.round,
+		Outcome:  outcome,
+		Verdict:  verdict,
+		Excluded: excluded,
+		Costs:    costs,
+	}
+	s.history = append(s.history, res)
+	s.prev = outcome
+	s.round++
+	return res, nil
+}
+
+// Play runs the given number of rounds, returning the last result.
+func (s *PureSession) Play(rounds int) (RoundResult, error) {
+	var last RoundResult
+	var err error
+	for i := 0; i < rounds; i++ {
+		last, err = s.PlayRound()
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// executiveAction is the action the executive service substitutes for a
+// restricted or unestablished agent: the best response to the previous
+// outcome (a legitimate, honest action), or 0 on the first play.
+func (s *PureSession) executiveAction(i int) int {
+	if s.prev == nil {
+		return 0
+	}
+	return game.BestResponse(s.g, i, s.prev)
+}
+
+func clonePrev(p game.Profile) game.Profile {
+	if p == nil {
+		return nil
+	}
+	return p.Clone()
+}

@@ -1,0 +1,140 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Cross-validation tests: independent computations of the same quantity
+// must agree. These guard the analytical pieces the experiments lean on.
+
+func TestRRAEquilibriumIsMixedNashOfRoundGame(t *testing.T) {
+	// The water-filling strategy of §6 must be a symmetric mixed Nash
+	// equilibrium of the one-shot RoundGame: no pure deviation may lower
+	// expected cost (checked with the generic expected-cost machinery).
+	cases := []struct {
+		n     int
+		loads []int64
+	}{
+		{2, []int64{0, 0}},
+		{3, []int64{0, 0, 0}},
+		{3, []int64{2, 0, 1}},
+		{4, []int64{5, 5, 0}},
+		{2, []int64{7, 1, 3}},
+	}
+	for _, tc := range cases {
+		m := rraEquilibrium(tc.loads, tc.n)
+		rg := &RoundGame{NAgents: tc.n, Loads: tc.loads}
+		mp := make(MixedProfile, tc.n)
+		for i := range mp {
+			mp[i] = m
+		}
+		if !IsMixedNash(rg, mp, 1e-6) {
+			t.Errorf("n=%d loads=%v: water-filling %v is not a mixed Nash of the round game",
+				tc.n, tc.loads, m)
+		}
+	}
+}
+
+func TestQuickRRAEquilibriumNashProperty(t *testing.T) {
+	f := func(l0, l1 uint8, nRaw uint8) bool {
+		n := int(nRaw%4) + 2 // 2..5 agents (cost of exact check grows fast)
+		loads := []int64{int64(l0 % 16), int64(l1 % 16)}
+		m := rraEquilibrium(loads, n)
+		rg := &RoundGame{NAgents: n, Loads: loads}
+		mp := make(MixedProfile, n)
+		for i := range mp {
+			mp[i] = m
+		}
+		return IsMixedNash(rg, mp, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportEnumerationMatchesKnownFormula(t *testing.T) {
+	// For a generic 2x2 game with no PNE, the mixed equilibrium has the
+	// closed form: p = (d−c)/(a−b−c+d) on the opponent's costs. Verify
+	// support enumeration against it for a hand-built game.
+	// Player 0 costs: [[1, 4], [3, 2]]; player 1 costs: [[2, 1], [1, 3]].
+	g, err := NewBimatrix("generic", [][]float64{{1, 4}, {3, 2}}, [][]float64{{2, 1}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs := MixedNashEquilibria2P(g, 0)
+	if len(eqs) != 1 {
+		t.Fatalf("equilibria = %d, want 1", len(eqs))
+	}
+	// Player 0 mixes to equalize player 1's costs: x·2+(1−x)·1 = x·1+(1−x)·3
+	// ⇒ x = 2/3. Player 1 mixes to equalize player 0's: y·1+(1−y)·4 =
+	// y·3+(1−y)·2 ⇒ y = 1/2.
+	if math.Abs(eqs[0][0][0]-2.0/3) > 1e-6 {
+		t.Fatalf("x = %v, want 2/3", eqs[0][0][0])
+	}
+	if math.Abs(eqs[0][1][0]-0.5) > 1e-6 {
+		t.Fatalf("y = %v, want 1/2", eqs[0][1][0])
+	}
+}
+
+func TestInoculationSocialCostMatchesNodeCosts(t *testing.T) {
+	// SocialCost must equal the sum of NodeCost over the same set.
+	g, err := NewInoculation(5, 4, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure := make([]bool, g.N())
+	for i := 0; i < g.N(); i += 3 {
+		secure[i] = true
+	}
+	var manual float64
+	for id := 0; id < g.N(); id++ {
+		manual += g.NodeCost(id, secure)
+	}
+	total := g.SocialCost(secure, nil)
+	if math.Abs(manual-total) > 1e-9 {
+		t.Fatalf("SocialCost %v != Σ NodeCost %v", total, manual)
+	}
+}
+
+func TestBestResponseDynamicsAgreesWithPNEEnumeration(t *testing.T) {
+	// For dominant-strategy games, BR dynamics from any start must land
+	// on the unique enumerated PNE.
+	g, err := PublicGoods(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pnes, err := PureNashEquilibria(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pnes) != 1 {
+		t.Fatalf("want unique PNE, got %d", len(pnes))
+	}
+	starts := []Profile{{0, 0, 0, 0}, {1, 1, 1, 1}, {1, 0, 1, 0}}
+	for _, start := range starts {
+		final, ok := BestResponseDynamics(g, start, 200)
+		if !ok || !final.Equal(pnes[0]) {
+			t.Fatalf("BR dynamics from %v ended at %v (nash=%v), want %v", start, final, ok, pnes[0])
+		}
+	}
+}
+
+func TestExpectedCostLinearity(t *testing.T) {
+	// E[cost] under a mixed profile must equal the probability-weighted
+	// sum over pure profiles — computed independently here.
+	g := MatchingPenniesManipulated()
+	mp := MixedProfile{Mixed{0.3, 0.7}, Mixed{0.2, 0.5, 0.3}}
+	for player := 0; player < 2; player++ {
+		var manual float64
+		ForEachProfile(g, func(p Profile) bool {
+			prob := mp[0][p[0]] * mp[1][p[1]]
+			manual += prob * g.Cost(player, p)
+			return true
+		})
+		if got := ExpectedCost(g, player, mp); math.Abs(got-manual) > 1e-12 {
+			t.Fatalf("player %d: ExpectedCost %v != manual %v", player, got, manual)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package game implements the strategic-form game model of the paper's §2:
+// games Γ = ⟨N, (Πi)i∈N, (ui)i∈N⟩ with pure strategy profiles (PSPs), social
+// cost, pure Nash equilibria, mixed strategies, and best responses — plus the
+// concrete games the paper studies: matching pennies with a hidden
+// manipulation strategy (Fig. 1), the repeated resource allocation game of
+// §6, and the virus inoculation game of Moscibroda et al. [21] used for the
+// price-of-malice experiments.
+//
+// Convention: following §2, ui is a *cost* function and agents minimize.
+// A pure Nash equilibrium is a profile π with ui(π) ≤ ui(π′i, π−i) for every
+// player i and deviation π′i. Games that are naturally stated in payoffs
+// (e.g. Fig. 1) are converted with FromPayoffs, which negates.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used when comparing costs. Strategic-form tables in
+// this package are small rational numbers, so a fixed epsilon is safe.
+const Eps = 1e-9
+
+// Sentinel errors.
+var (
+	ErrPlayerRange  = errors.New("game: player index out of range")
+	ErrActionRange  = errors.New("game: action index out of range")
+	ErrProfileShape = errors.New("game: profile does not match game shape")
+	ErrTooLarge     = errors.New("game: profile space too large to enumerate")
+)
+
+// Profile is a pure strategy profile (PSP): Profile[i] is player i's action.
+type Profile []int
+
+// Clone returns an independent copy of the profile.
+func (p Profile) Clone() Profile {
+	return append(Profile(nil), p...)
+}
+
+// Equal reports whether two profiles choose identical actions.
+func (p Profile) Equal(q Profile) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Game is a finite strategic-form game with cost functions (minimized).
+type Game interface {
+	// NumPlayers returns |N|.
+	NumPlayers() int
+	// NumActions returns |Πi| for player i.
+	NumActions(player int) int
+	// Cost returns ui(profile), the cost player i pays under the profile.
+	Cost(player int, profile Profile) float64
+}
+
+// Named is an optional extension games can implement for readable output.
+type Named interface {
+	Name() string
+	ActionName(player, action int) string
+}
+
+// ValidateProfile checks that the profile matches the game's shape and all
+// actions are legitimate (the judicial service's "legitimate action choice"
+// requirement, §3.2).
+func ValidateProfile(g Game, p Profile) error {
+	if len(p) != g.NumPlayers() {
+		return fmt.Errorf("%w: got %d entries, want %d", ErrProfileShape, len(p), g.NumPlayers())
+	}
+	for i, a := range p {
+		if a < 0 || a >= g.NumActions(i) {
+			return fmt.Errorf("%w: player %d action %d (|Π|=%d)", ErrActionRange, i, a, g.NumActions(i))
+		}
+	}
+	return nil
+}
+
+// SocialCost returns the sum of individual costs over the given players
+// (paper §2: "the sum of all individual costs of honest agents"). Pass nil
+// to include every player.
+func SocialCost(g Game, p Profile, honest []int) float64 {
+	var total float64
+	if honest == nil {
+		for i := 0; i < g.NumPlayers(); i++ {
+			total += g.Cost(i, p)
+		}
+		return total
+	}
+	for _, i := range honest {
+		total += g.Cost(i, p)
+	}
+	return total
+}
+
+// ProfileSpaceSize returns the number of pure strategy profiles, or
+// ErrTooLarge if it exceeds limit (guarding exhaustive enumeration).
+func ProfileSpaceSize(g Game, limit int) (int, error) {
+	size := 1
+	for i := 0; i < g.NumPlayers(); i++ {
+		na := g.NumActions(i)
+		if na <= 0 {
+			return 0, fmt.Errorf("%w: player %d has %d actions", ErrActionRange, i, na)
+		}
+		if size > limit/na {
+			return 0, ErrTooLarge
+		}
+		size *= na
+	}
+	return size, nil
+}
+
+// ForEachProfile enumerates every pure strategy profile in lexicographic
+// order, invoking fn with a reused buffer (clone it to retain). Enumeration
+// stops early if fn returns false.
+func ForEachProfile(g Game, fn func(Profile) bool) {
+	n := g.NumPlayers()
+	p := make(Profile, n)
+	for {
+		if !fn(p) {
+			return
+		}
+		// Lexicographic increment.
+		i := n - 1
+		for i >= 0 {
+			p[i]++
+			if p[i] < g.NumActions(i) {
+				break
+			}
+			p[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// BestResponse returns player i's cost-minimizing action against the other
+// players' actions in profile (profile[i] is ignored). Ties break toward the
+// lowest action index so audits are deterministic. The paper assumes best
+// responses are efficiently computable (§2); for table games this is a scan.
+func BestResponse(g Game, player int, profile Profile) int {
+	work := profile.Clone()
+	best, bestCost := 0, math.Inf(1)
+	for a := 0; a < g.NumActions(player); a++ {
+		work[player] = a
+		if c := g.Cost(player, work); c < bestCost-Eps {
+			best, bestCost = a, c
+		}
+	}
+	return best
+}
+
+// BestResponseSet returns every action whose cost is within Eps of player
+// i's minimum against profile. The judicial service treats any action in
+// this set as honest (§3.2 requirement 3).
+func BestResponseSet(g Game, player int, profile Profile) []int {
+	work := profile.Clone()
+	bestCost := math.Inf(1)
+	for a := 0; a < g.NumActions(player); a++ {
+		work[player] = a
+		if c := g.Cost(player, work); c < bestCost {
+			bestCost = c
+		}
+	}
+	var set []int
+	for a := 0; a < g.NumActions(player); a++ {
+		work[player] = a
+		if g.Cost(player, work) <= bestCost+Eps {
+			set = append(set, a)
+		}
+	}
+	return set
+}
+
+// IsBestResponse reports whether action is within Eps of player i's best
+// response cost against profile — the §3.2 foul-play test for pure
+// strategies.
+func IsBestResponse(g Game, player, action int, profile Profile) bool {
+	work := profile.Clone()
+	work[player] = action
+	cost := g.Cost(player, work)
+	for a := 0; a < g.NumActions(player); a++ {
+		work[player] = a
+		if g.Cost(player, work) < cost-Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPureNash reports whether profile is a pure Nash equilibrium: no player
+// can lower its cost by a unilateral deviation.
+func IsPureNash(g Game, p Profile) bool {
+	for i := 0; i < g.NumPlayers(); i++ {
+		if !IsBestResponse(g, i, p[i], p) {
+			return false
+		}
+	}
+	return true
+}
+
+// PureNashEquilibria enumerates all PNEs. It refuses (ErrTooLarge) when the
+// profile space exceeds limit; pass 0 for the default of 1<<20.
+func PureNashEquilibria(g Game, limit int) ([]Profile, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	if _, err := ProfileSpaceSize(g, limit); err != nil {
+		return nil, err
+	}
+	var out []Profile
+	ForEachProfile(g, func(p Profile) bool {
+		if IsPureNash(g, p) {
+			out = append(out, p.Clone())
+		}
+		return true
+	})
+	return out, nil
+}
+
+// BestResponseDynamics repeatedly lets players deviate to best responses
+// (round-robin) starting from start, for at most maxSteps player-updates.
+// It returns the final profile and whether it is a PNE (a fixed point).
+// Many games used here (congestion-style) converge; matching pennies cycles.
+func BestResponseDynamics(g Game, start Profile, maxSteps int) (Profile, bool) {
+	p := start.Clone()
+	n := g.NumPlayers()
+	stable := 0
+	for step := 0; step < maxSteps; step++ {
+		i := step % n
+		br := BestResponse(g, i, p)
+		if IsBestResponse(g, i, p[i], p) {
+			stable++
+			if stable >= n {
+				return p, true
+			}
+			continue
+		}
+		p[i] = br
+		stable = 0
+	}
+	return p, IsPureNash(g, p)
+}

@@ -1,0 +1,219 @@
+package game
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateProfile(t *testing.T) {
+	g := MatchingPennies()
+	cases := []struct {
+		name    string
+		profile Profile
+		wantErr error
+	}{
+		{"valid", Profile{0, 1}, nil},
+		{"short", Profile{0}, ErrProfileShape},
+		{"long", Profile{0, 1, 0}, ErrProfileShape},
+		{"negative", Profile{-1, 0}, ErrActionRange},
+		{"toolarge", Profile{0, 2}, ErrActionRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateProfile(g, tc.profile)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("ValidateProfile = %v, want nil", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("ValidateProfile = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestProfileCloneEqual(t *testing.T) {
+	p := Profile{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(Profile{1, 2}) {
+		t.Fatal("profiles of different length compared equal")
+	}
+}
+
+func TestSocialCost(t *testing.T) {
+	g := PrisonersDilemma()
+	// Both defect: cost 2 each.
+	if got := SocialCost(g, Profile{1, 1}, nil); got != 4 {
+		t.Fatalf("SocialCost(defect,defect) = %v, want 4", got)
+	}
+	// Honest subset: only player 0.
+	if got := SocialCost(g, Profile{1, 1}, []int{0}); got != 2 {
+		t.Fatalf("SocialCost(honest={0}) = %v, want 2", got)
+	}
+	if got := SocialCost(g, Profile{1, 1}, []int{}); got != 0 {
+		t.Fatalf("SocialCost(honest={}) = %v, want 0", got)
+	}
+}
+
+func TestForEachProfileEnumeratesAll(t *testing.T) {
+	g := MatchingPenniesManipulated() // 2x3
+	var seen []Profile
+	ForEachProfile(g, func(p Profile) bool {
+		seen = append(seen, p.Clone())
+		return true
+	})
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d profiles, want 6", len(seen))
+	}
+	// Lexicographic order expected.
+	want := []Profile{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	for i := range want {
+		if !seen[i].Equal(want[i]) {
+			t.Fatalf("profile %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestForEachProfileEarlyStop(t *testing.T) {
+	g := MatchingPennies()
+	count := 0
+	ForEachProfile(g, func(Profile) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestProfileSpaceSizeGuards(t *testing.T) {
+	g := MatchingPenniesManipulated()
+	size, err := ProfileSpaceSize(g, 100)
+	if err != nil || size != 6 {
+		t.Fatalf("ProfileSpaceSize = %d, %v; want 6, nil", size, err)
+	}
+	if _, err := ProfileSpaceSize(g, 5); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("limit 5: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBestResponseMatchingPennies(t *testing.T) {
+	g := MatchingPennies()
+	// If B plays Heads(0), A's best response is Heads (payoff +1 = cost −1).
+	if br := BestResponse(g, 0, Profile{0, 0}); br != 0 {
+		t.Fatalf("A's BR to B=Heads is %d, want Heads(0)", br)
+	}
+	// If A plays Heads, B wants mismatch: Tails(1).
+	if br := BestResponse(g, 1, Profile{0, 0}); br != 1 {
+		t.Fatalf("B's BR to A=Heads is %d, want Tails(1)", br)
+	}
+}
+
+func TestBestResponseSetTies(t *testing.T) {
+	// A game where player 0 is indifferent between both actions.
+	g, err := NewBimatrix("flat", [][]float64{{1, 1}, {1, 1}}, [][]float64{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := BestResponseSet(g, 0, Profile{0, 0})
+	if len(set) != 2 {
+		t.Fatalf("BestResponseSet = %v, want both actions", set)
+	}
+	// Deterministic tie-break in BestResponse: lowest index.
+	if br := BestResponse(g, 0, Profile{1, 1}); br != 0 {
+		t.Fatalf("tie-break returned %d, want 0", br)
+	}
+}
+
+func TestIsBestResponseFoulDetection(t *testing.T) {
+	g := MatchingPenniesManipulated()
+	// Previous outcome: A=Heads, B=Heads. B's best response to A=Heads is
+	// Tails (+1). Manipulate against Heads yields −1, so Manipulate is a
+	// foul play here.
+	prev := Profile{0, 0}
+	if IsBestResponse(g, 1, ManipulateAction, prev) {
+		t.Fatal("Manipulate judged a best response to A=Heads; it is not")
+	}
+	if !IsBestResponse(g, 1, 1, prev) {
+		t.Fatal("Tails should be B's best response to A=Heads")
+	}
+	// Against A=Tails, Manipulate pays +9 — it IS the (greedy) best
+	// response in the manipulated game; the authority's defence is that
+	// Manipulate is not a legitimate action of the elected game at all.
+	prev = Profile{1, 0}
+	if !IsBestResponse(g, 1, ManipulateAction, prev) {
+		t.Fatal("Manipulate should maximize B's payoff against A=Tails")
+	}
+}
+
+func TestPureNashEquilibria(t *testing.T) {
+	t.Run("matching pennies has none", func(t *testing.T) {
+		pnes, err := PureNashEquilibria(MatchingPennies(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pnes) != 0 {
+			t.Fatalf("matching pennies PNEs = %v, want none", pnes)
+		}
+	})
+	t.Run("prisoners dilemma has defect-defect", func(t *testing.T) {
+		pnes, err := PureNashEquilibria(PrisonersDilemma(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pnes) != 1 || !pnes[0].Equal(Profile{1, 1}) {
+			t.Fatalf("PD PNEs = %v, want [[1 1]]", pnes)
+		}
+	})
+	t.Run("coordination has two", func(t *testing.T) {
+		pnes, err := PureNashEquilibria(CoordinationGame(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pnes) != 2 {
+			t.Fatalf("coordination PNEs = %v, want 2", pnes)
+		}
+	})
+}
+
+func TestBestResponseDynamics(t *testing.T) {
+	// PD converges to defect-defect from cooperation.
+	g := PrisonersDilemma()
+	final, isNash := BestResponseDynamics(g, Profile{0, 0}, 100)
+	if !isNash || !final.Equal(Profile{1, 1}) {
+		t.Fatalf("BR dynamics on PD ended at %v (nash=%v), want [1 1] true", final, isNash)
+	}
+	// Matching pennies cycles: should report non-convergence.
+	_, isNash = BestResponseDynamics(MatchingPennies(), Profile{0, 0}, 100)
+	if isNash {
+		t.Fatal("BR dynamics claimed convergence on matching pennies")
+	}
+}
+
+func TestRestrictedGame(t *testing.T) {
+	base := MatchingPenniesManipulated()
+	// Executive service restricts B to the legitimate actions {0, 1}.
+	r := &Restricted{Base: base, Allowed: map[int][]int{1: {0, 1}}}
+	if got := r.Cost(1, Profile{1, ManipulateAction}); got < 1e17 {
+		t.Fatalf("forbidden action cost = %v, want huge sentinel", got)
+	}
+	if got := r.Cost(1, Profile{1, 0}); got != base.Cost(1, Profile{1, 0}) {
+		t.Fatalf("allowed action cost changed: %v", got)
+	}
+	// Player 0 unrestricted.
+	if got := r.Cost(0, Profile{1, ManipulateAction}); got != base.Cost(0, Profile{1, ManipulateAction}) {
+		t.Fatalf("unrestricted player cost changed: %v", got)
+	}
+	// Best response for B under restriction never picks Manipulate.
+	for a0 := 0; a0 < 2; a0++ {
+		if br := BestResponse(r, 1, Profile{a0, 0}); br == ManipulateAction {
+			t.Fatalf("restricted best response picked forbidden action (A=%d)", a0)
+		}
+	}
+}

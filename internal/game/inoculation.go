@@ -1,0 +1,330 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+
+	"gameauthority/internal/prng"
+)
+
+// This file re-implements the virus inoculation game of Moscibroda, Schmid
+// and Wattenhofer ("When selfish meets evil: Byzantine players in a virus
+// inoculation game", PODC 2006 — the paper's reference [21]), which defines
+// the price of malice (PoM) the game authority is shown to reduce (§1.2,
+// §5.4). n nodes sit on a grid; each chooses to inoculate (cost C) or stay
+// insecure. A virus starts at one uniformly random node and infects the
+// whole connected component of insecure nodes it lands in; an infected node
+// loses L. An insecure node in an "attack component" of size k therefore
+// bears expected cost L·k/n, and an inoculated node bears C.
+//
+// Byzantine nodes stay insecure while *claiming* to be inoculated, so
+// oblivious selfish nodes under-protect: perceived components look smaller
+// than the true ones. The game authority detects the lie by auditing
+// commitments against actual actions and punishes by disconnection, which
+// removes the liar as an infection conduit.
+
+// ErrInoculationConfig reports an invalid game configuration.
+var ErrInoculationConfig = errors.New("game: invalid inoculation configuration")
+
+// Inoculation is the grid-based virus inoculation game.
+type Inoculation struct {
+	w, h int
+	c, l float64
+
+	// byzantine[i]: node never inoculates but claims to be inoculated.
+	byzantine []bool
+	// removed[i]: node was disconnected by the executive service; it is
+	// neither infectable nor a conduit and pays no cost.
+	removed []bool
+}
+
+// NewInoculation builds a w×h grid game with inoculation cost c and
+// infection loss l.
+func NewInoculation(w, h int, c, l float64) (*Inoculation, error) {
+	if w < 1 || h < 1 || c <= 0 || l <= 0 {
+		return nil, fmt.Errorf("%w: w=%d h=%d c=%v l=%v", ErrInoculationConfig, w, h, c, l)
+	}
+	n := w * h
+	return &Inoculation{
+		w: w, h: h, c: c, l: l,
+		byzantine: make([]bool, n),
+		removed:   make([]bool, n),
+	}, nil
+}
+
+// N returns the number of nodes.
+func (g *Inoculation) N() int { return g.w * g.h }
+
+// C and L return the cost parameters.
+func (g *Inoculation) C() float64 { return g.c }
+func (g *Inoculation) L() float64 { return g.l }
+
+// SetByzantine marks the given nodes Byzantine (insecure liars). Panics on
+// out-of-range ids — configuration errors are programmer errors here.
+func (g *Inoculation) SetByzantine(ids ...int) {
+	for _, id := range ids {
+		g.byzantine[id] = true
+	}
+}
+
+// Byzantine reports whether node id is Byzantine.
+func (g *Inoculation) Byzantine(id int) bool { return g.byzantine[id] }
+
+// Disconnect removes node id from the network (the executive service's
+// punishment, §3.4): it no longer spreads infection and pays no cost.
+func (g *Inoculation) Disconnect(id int) { g.removed[id] = true }
+
+// Removed reports whether node id has been disconnected.
+func (g *Inoculation) Removed(id int) bool { return g.removed[id] }
+
+// neighbors appends the 4-neighbourhood of id (excluding removed nodes) to
+// buf and returns it.
+func (g *Inoculation) neighbors(id int, buf []int) []int {
+	x, y := id%g.w, id/g.w
+	if x > 0 && !g.removed[id-1] {
+		buf = append(buf, id-1)
+	}
+	if x < g.w-1 && !g.removed[id+1] {
+		buf = append(buf, id+1)
+	}
+	if y > 0 && !g.removed[id-g.w] {
+		buf = append(buf, id-g.w)
+	}
+	if y < g.h-1 && !g.removed[id+g.w] {
+		buf = append(buf, id+g.w)
+	}
+	return buf
+}
+
+// componentSizes labels the connected components of insecure, non-removed
+// nodes. insecure[i] must be the *actual or perceived* security state being
+// analyzed. It returns comp (component id per node, −1 for secure/removed)
+// and the size of each component.
+func (g *Inoculation) componentSizes(insecure func(i int) bool) (comp []int, sizes []int) {
+	n := g.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue, nbuf []int
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 || g.removed[start] || !insecure(start) {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		queue = append(queue[:0], start)
+		comp[start] = id
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			nbuf = g.neighbors(cur, nbuf[:0])
+			for _, nb := range nbuf {
+				if comp[nb] < 0 && !g.removed[nb] && insecure(nb) {
+					comp[nb] = id
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return comp, sizes
+}
+
+// activeN returns the number of non-removed nodes — the virus's landing
+// universe after punishments.
+func (g *Inoculation) activeN() int {
+	n := 0
+	for _, r := range g.removed {
+		if !r {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeCost returns node id's actual expected cost when the true security
+// states are secure: C if inoculated, L·k/n if insecure in a true attack
+// component of size k, 0 if removed.
+func (g *Inoculation) NodeCost(id int, secure []bool) float64 {
+	if g.removed[id] {
+		return 0
+	}
+	if secure[id] {
+		return g.c
+	}
+	comp, sizes := g.componentSizes(func(i int) bool { return !secure[i] })
+	an := g.activeN()
+	if an == 0 {
+		return 0
+	}
+	return g.l * float64(sizes[comp[id]]) / float64(an)
+}
+
+// SocialCost returns the total actual cost over the given nodes (nil =
+// all non-removed nodes). Per §2, the PoM experiments sum costs of honest
+// nodes only.
+func (g *Inoculation) SocialCost(secure []bool, include []int) float64 {
+	comp, sizes := g.componentSizes(func(i int) bool { return !secure[i] })
+	an := g.activeN()
+	cost := func(id int) float64 {
+		switch {
+		case g.removed[id]:
+			return 0
+		case secure[id]:
+			return g.c
+		case an == 0:
+			return 0
+		default:
+			return g.l * float64(sizes[comp[id]]) / float64(an)
+		}
+	}
+	var total float64
+	if include == nil {
+		for id := 0; id < g.N(); id++ {
+			total += cost(id)
+		}
+		return total
+	}
+	for _, id := range include {
+		total += cost(id)
+	}
+	return total
+}
+
+// HonestNodes returns the ids of non-Byzantine, non-removed nodes.
+func (g *Inoculation) HonestNodes() []int {
+	var out []int
+	for id := 0; id < g.N(); id++ {
+		if !g.byzantine[id] && !g.removed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Equilibrium runs asynchronous best-response dynamics among honest nodes
+// until a fixed point (a Nash equilibrium of the perceived game) or
+// maxSweeps full sweeps. Honest nodes are *oblivious* ([21]): they evaluate
+// risk against the perceived state in which Byzantine nodes appear
+// inoculated. It returns the true security vector (secure[i] == true iff i
+// actually inoculated; Byzantine nodes are never actually secure) and
+// whether the dynamics converged.
+func (g *Inoculation) Equilibrium(seed uint64, maxSweeps int) (secure []bool, converged bool) {
+	n := g.N()
+	secure = make([]bool, n)
+	// Perceived security: honest follow their own action; Byzantine claim
+	// inoculated.
+	perceived := func(i int) bool {
+		if g.byzantine[i] {
+			return true
+		}
+		return secure[i]
+	}
+	src := prng.New(seed)
+	order := src.Perm(n)
+	threshold := g.c / g.l // insecure is stable iff k/n ≤ C/L
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, id := range order {
+			if g.byzantine[id] || g.removed[id] {
+				continue
+			}
+			// Perceived component size if id stays/becomes insecure:
+			// recompute with id forced insecure.
+			comp, sizes := g.componentSizes(func(i int) bool {
+				if i == id {
+					return true
+				}
+				return !perceived(i)
+			})
+			an := g.activeN()
+			k := sizes[comp[id]]
+			wantSecure := float64(k)/float64(an) > threshold+1e-12
+			if wantSecure != secure[id] {
+				secure[id] = wantSecure
+				changed = true
+			}
+		}
+		if !changed {
+			return secure, true
+		}
+	}
+	return secure, false
+}
+
+// AuditByzantine returns the ids of Byzantine nodes whose claim
+// ("inoculated") contradicts their actual state — exactly what the judicial
+// service detects when commitments are checked against actions (§3.2, §5.4).
+func (g *Inoculation) AuditByzantine(secure []bool) []int {
+	var liars []int
+	for id := 0; id < g.N(); id++ {
+		if g.byzantine[id] && !g.removed[id] && !secure[id] {
+			liars = append(liars, id)
+		}
+	}
+	return liars
+}
+
+// StripeOptimum computes a near-optimal centralized solution by inoculating
+// every s-th grid row for the best s, the standard upper-bound construction
+// for grid inoculation. Returns the security vector and its social cost
+// (all active nodes). Used for PoA/PoS shape reporting, not exact optima.
+func (g *Inoculation) StripeOptimum() ([]bool, float64) {
+	bestCost := -1.0
+	var best []bool
+	for s := 1; s <= g.h+1; s++ {
+		secure := make([]bool, g.N())
+		for y := 0; y < g.h; y++ {
+			if s <= g.h && y%s == s-1 {
+				for x := 0; x < g.w; x++ {
+					secure[y*g.w+x] = true
+				}
+			}
+		}
+		cost := g.SocialCost(secure, nil)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			best = secure
+		}
+	}
+	// Also consider the empty and full assignments.
+	empty := make([]bool, g.N())
+	if c := g.SocialCost(empty, nil); c < bestCost {
+		bestCost, best = c, empty
+	}
+	full := make([]bool, g.N())
+	for i := range full {
+		full[i] = true
+	}
+	if c := g.SocialCost(full, nil); c < bestCost {
+		bestCost, best = c, full
+	}
+	return best, bestCost
+}
+
+// InoculationForm is the strategic-form view of a (small) inoculation game:
+// every node is a player with actions {0: insecure, 1: inoculate}. Used by
+// tests to cross-check Equilibrium against exhaustive PNE enumeration.
+type InoculationForm struct {
+	G *Inoculation
+}
+
+var _ Game = (*InoculationForm)(nil)
+
+// NumPlayers implements Game.
+func (f *InoculationForm) NumPlayers() int { return f.G.N() }
+
+// NumActions implements Game.
+func (f *InoculationForm) NumActions(int) int { return 2 }
+
+// Cost implements Game.
+func (f *InoculationForm) Cost(player int, p Profile) float64 {
+	secure := make([]bool, f.G.N())
+	for i, a := range p {
+		secure[i] = a == 1
+	}
+	return f.G.NodeCost(player, secure)
+}

@@ -1,0 +1,198 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewInoculationValidation(t *testing.T) {
+	if _, err := NewInoculation(0, 3, 1, 1); !errors.Is(err, ErrInoculationConfig) {
+		t.Fatalf("w=0: err = %v", err)
+	}
+	if _, err := NewInoculation(3, 3, 0, 1); !errors.Is(err, ErrInoculationConfig) {
+		t.Fatalf("c=0: err = %v", err)
+	}
+	g, err := NewInoculation(4, 5, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.C() != 1 || g.L() != 10 {
+		t.Fatal("basic accessors wrong")
+	}
+}
+
+func TestComponentSizesGrid(t *testing.T) {
+	// 3x3 grid; secure the middle column → two insecure components of 3.
+	g, _ := NewInoculation(3, 3, 1, 10)
+	secure := make([]bool, 9)
+	secure[1], secure[4], secure[7] = true, true, true
+	comp, sizes := g.componentSizes(func(i int) bool { return !secure[i] })
+	if len(sizes) != 2 {
+		t.Fatalf("components = %d, want 2 (sizes %v)", len(sizes), sizes)
+	}
+	for _, s := range sizes {
+		if s != 3 {
+			t.Fatalf("component sizes = %v, want [3 3]", sizes)
+		}
+	}
+	if comp[0] == comp[2] {
+		t.Fatal("left and right columns merged across the secure wall")
+	}
+}
+
+func TestNodeCost(t *testing.T) {
+	g, _ := NewInoculation(3, 1, 2, 9) // 1x3 line, C=2, L=9
+	secure := []bool{false, true, false}
+	// Node 0 insecure in component of size 1: cost = 9·1/3 = 3.
+	if c := g.NodeCost(0, secure); math.Abs(c-3) > 1e-12 {
+		t.Fatalf("insecure cost = %v, want 3", c)
+	}
+	if c := g.NodeCost(1, secure); c != 2 {
+		t.Fatalf("inoculated cost = %v, want C=2", c)
+	}
+}
+
+func TestSocialCostSubsets(t *testing.T) {
+	g, _ := NewInoculation(2, 2, 1, 4)
+	secure := []bool{true, false, false, true}
+	all := g.SocialCost(secure, nil)
+	parts := g.SocialCost(secure, []int{0, 1}) + g.SocialCost(secure, []int{2, 3})
+	if math.Abs(all-parts) > 1e-12 {
+		t.Fatalf("social cost not additive: %v vs %v", all, parts)
+	}
+}
+
+func TestEquilibriumIsNash(t *testing.T) {
+	// Cross-check the dynamics against the strategic-form PNE test on a
+	// small grid.
+	g, _ := NewInoculation(3, 3, 1, 6)
+	secure, converged := g.Equilibrium(1, 100)
+	if !converged {
+		t.Fatal("best-response dynamics did not converge")
+	}
+	form := &InoculationForm{G: g}
+	p := make(Profile, g.N())
+	for i, s := range secure {
+		if s {
+			p[i] = 1
+		}
+	}
+	if !IsPureNash(form, p) {
+		t.Fatalf("equilibrium state %v is not a PNE of the strategic form", p)
+	}
+}
+
+func TestEquilibriumNoInoculationWhenCheapRisk(t *testing.T) {
+	// If L·n/n ≤ C (even a full component is bearable), nobody inoculates.
+	g, _ := NewInoculation(3, 3, 10, 5) // worst case loss 5 < C=10
+	secure, converged := g.Equilibrium(2, 100)
+	if !converged {
+		t.Fatal("did not converge")
+	}
+	for i, s := range secure {
+		if s {
+			t.Fatalf("node %d inoculated although risk < cost everywhere", i)
+		}
+	}
+}
+
+func TestEquilibriumFullInoculationWhenRiskHuge(t *testing.T) {
+	// If even a singleton component costs more than C (L/n > C), every
+	// node wants inoculation.
+	g, _ := NewInoculation(2, 2, 0.1, 100) // L/n = 25 > C
+	secure, converged := g.Equilibrium(3, 100)
+	if !converged {
+		t.Fatal("did not converge")
+	}
+	for i, s := range secure {
+		if !s {
+			t.Fatalf("node %d stayed insecure although singleton risk > C", i)
+		}
+	}
+}
+
+func TestByzantineRaiseHonestCost(t *testing.T) {
+	// The PoM effect ([21]): Byzantine liars make the honest equilibrium
+	// more expensive in actuality.
+	mk := func(byz []int) float64 {
+		g, _ := NewInoculation(6, 6, 1, 12)
+		g.SetByzantine(byz...)
+		secure, conv := g.Equilibrium(5, 200)
+		if !conv {
+			t.Fatal("no convergence")
+		}
+		return g.SocialCost(secure, g.HonestNodes())
+	}
+	honestOnly := mk(nil)
+	// Byzantine placed along a row to bridge components.
+	withByz := mk([]int{14, 15, 16, 20, 21, 22})
+	if withByz <= honestOnly {
+		t.Fatalf("Byzantine presence did not raise honest social cost: %v vs %v",
+			withByz, honestOnly)
+	}
+}
+
+func TestAuditDetectsLiars(t *testing.T) {
+	g, _ := NewInoculation(4, 4, 1, 10)
+	g.SetByzantine(5, 10)
+	secure, _ := g.Equilibrium(7, 200)
+	liars := g.AuditByzantine(secure)
+	if len(liars) != 2 {
+		t.Fatalf("audit found %v, want the 2 planted Byzantine", liars)
+	}
+	// Disconnect them; audit again reports nothing.
+	for _, id := range liars {
+		g.Disconnect(id)
+	}
+	if left := g.AuditByzantine(secure); len(left) != 0 {
+		t.Fatalf("after disconnection audit still reports %v", left)
+	}
+	if !g.Removed(5) || !g.Removed(10) {
+		t.Fatal("Removed not reflecting disconnection")
+	}
+}
+
+func TestDisconnectionLimitsComponents(t *testing.T) {
+	// A line of 5 insecure nodes forms one component of 5. Disconnecting
+	// the middle node splits it.
+	g, _ := NewInoculation(5, 1, 1, 10)
+	secure := make([]bool, 5)
+	_, sizes := g.componentSizes(func(i int) bool { return !secure[i] })
+	if len(sizes) != 1 || sizes[0] != 5 {
+		t.Fatalf("before: sizes = %v, want [5]", sizes)
+	}
+	g.Disconnect(2)
+	_, sizes = g.componentSizes(func(i int) bool { return !secure[i] })
+	if len(sizes) != 2 {
+		t.Fatalf("after disconnect: sizes = %v, want two components", sizes)
+	}
+	if g.activeN() != 4 {
+		t.Fatalf("activeN = %d, want 4", g.activeN())
+	}
+}
+
+func TestStripeOptimumBeatsExtremes(t *testing.T) {
+	g, _ := NewInoculation(8, 8, 1, 20)
+	_, optCost := g.StripeOptimum()
+	empty := make([]bool, g.N())
+	full := make([]bool, g.N())
+	for i := range full {
+		full[i] = true
+	}
+	if optCost > g.SocialCost(empty, nil)+1e-9 {
+		t.Fatalf("stripe optimum %v worse than doing nothing %v", optCost, g.SocialCost(empty, nil))
+	}
+	if optCost > g.SocialCost(full, nil)+1e-9 {
+		t.Fatalf("stripe optimum %v worse than full inoculation %v", optCost, g.SocialCost(full, nil))
+	}
+}
+
+func TestRemovedNodesPayNothing(t *testing.T) {
+	g, _ := NewInoculation(2, 2, 1, 8)
+	g.Disconnect(3)
+	secure := make([]bool, 4)
+	if c := g.NodeCost(3, secure); c != 0 {
+		t.Fatalf("removed node cost = %v, want 0", c)
+	}
+}

@@ -1,0 +1,57 @@
+package game
+
+import (
+	"errors"
+	"math"
+)
+
+// errSingular is returned by solveLinear when the system has no unique
+// solution (within pivot tolerance).
+var errSingular = errors.New("game: singular linear system")
+
+// solveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// A is modified in place; len(A) == len(b) == n, len(A[i]) == n. The solver
+// is only used on the tiny indifference systems of support enumeration, so
+// an O(n³) dense method is appropriate.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errSingular
+	}
+	const pivotTol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < pivotTol {
+			return nil, errSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

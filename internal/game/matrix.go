@@ -1,0 +1,226 @@
+package game
+
+import "fmt"
+
+// Bimatrix is a two-player strategic-form game stored as dense cost
+// matrices. CostA[i][j] is player 0's cost when player 0 plays i and player
+// 1 plays j; CostB[i][j] is player 1's cost for the same profile.
+type Bimatrix struct {
+	GameName string
+	// RowNames and ColNames are optional action labels.
+	RowNames, ColNames []string
+	CostA, CostB       [][]float64
+}
+
+var (
+	_ Game  = (*Bimatrix)(nil)
+	_ Named = (*Bimatrix)(nil)
+)
+
+// NewBimatrix constructs a bimatrix game from cost matrices, validating
+// shape consistency.
+func NewBimatrix(name string, costA, costB [][]float64) (*Bimatrix, error) {
+	if len(costA) == 0 || len(costA) != len(costB) {
+		return nil, fmt.Errorf("%w: matrices must be non-empty with equal row counts", ErrProfileShape)
+	}
+	cols := len(costA[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("%w: zero columns", ErrProfileShape)
+	}
+	for r := range costA {
+		if len(costA[r]) != cols || len(costB[r]) != cols {
+			return nil, fmt.Errorf("%w: ragged matrix at row %d", ErrProfileShape, r)
+		}
+	}
+	return &Bimatrix{GameName: name, CostA: costA, CostB: costB}, nil
+}
+
+// FromPayoffs builds a Bimatrix from *payoff* matrices (maximized), negating
+// them into the package's cost convention. Fig. 1 of the paper is stated in
+// payoffs; use this to enter it verbatim.
+func FromPayoffs(name string, payA, payB [][]float64) (*Bimatrix, error) {
+	costA := negate(payA)
+	costB := negate(payB)
+	return NewBimatrix(name, costA, costB)
+}
+
+func negate(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			out[i][j] = -v
+		}
+	}
+	return out
+}
+
+// NumPlayers implements Game.
+func (b *Bimatrix) NumPlayers() int { return 2 }
+
+// NumActions implements Game.
+func (b *Bimatrix) NumActions(player int) int {
+	if player == 0 {
+		return len(b.CostA)
+	}
+	return len(b.CostA[0])
+}
+
+// Cost implements Game.
+func (b *Bimatrix) Cost(player int, p Profile) float64 {
+	if player == 0 {
+		return b.CostA[p[0]][p[1]]
+	}
+	return b.CostB[p[0]][p[1]]
+}
+
+// Payoff returns the payoff (negated cost) — convenience for examples that
+// present results in the paper's Fig. 1 orientation.
+func (b *Bimatrix) Payoff(player int, p Profile) float64 {
+	return -b.Cost(player, p)
+}
+
+// Name implements Named.
+func (b *Bimatrix) Name() string { return b.GameName }
+
+// ActionName implements Named.
+func (b *Bimatrix) ActionName(player, action int) string {
+	if player == 0 && action < len(b.RowNames) {
+		return b.RowNames[action]
+	}
+	if player == 1 && action < len(b.ColNames) {
+		return b.ColNames[action]
+	}
+	return fmt.Sprintf("a%d", action)
+}
+
+// MatchingPennies returns the classical 2×2 matching pennies game: if the
+// pennies match, agent A receives 1 from agent B; otherwise B receives 1
+// from A (§5). It has no PNE and a unique mixed equilibrium at (1/2, 1/2).
+func MatchingPennies() *Bimatrix {
+	payA := [][]float64{
+		{+1, -1},
+		{-1, +1},
+	}
+	payB := [][]float64{
+		{-1, +1},
+		{+1, -1},
+	}
+	g, err := FromPayoffs("matching-pennies", payA, payB)
+	if err != nil {
+		panic(err) // static tables; cannot fail
+	}
+	g.RowNames = []string{"Heads", "Tails"}
+	g.ColNames = []string{"Heads", "Tails"}
+	return g
+}
+
+// MatchingPenniesManipulated returns the Fig. 1 game: agent B gains a third,
+// hidden "Manipulate" strategy that behaves like Heads except that when the
+// pennies do not match (A plays Tails), A pays 9 to B instead of receiving 1.
+//
+//	A\B      Heads    Tails    Manipulate
+//	Heads   (+1,−1)  (−1,+1)   (+1,−1)
+//	Tails   (−1,+1)  (+1,−1)   (−9,+9)
+func MatchingPenniesManipulated() *Bimatrix {
+	payA := [][]float64{
+		{+1, -1, +1},
+		{-1, +1, -9},
+	}
+	payB := [][]float64{
+		{-1, +1, -1},
+		{+1, -1, +9},
+	}
+	g, err := FromPayoffs("matching-pennies-manipulated", payA, payB)
+	if err != nil {
+		panic(err) // static tables; cannot fail
+	}
+	g.RowNames = []string{"Heads", "Tails"}
+	g.ColNames = []string{"Heads", "Tails", "Manipulate"}
+	return g
+}
+
+// ManipulateAction is the index of B's hidden manipulation strategy in
+// MatchingPenniesManipulated.
+const ManipulateAction = 2
+
+// PrisonersDilemma returns the classical prisoner's dilemma in cost form
+// (years in prison): cooperate/defect with the standard ordering
+// T<R<P<S translated to costs 0<1<2<3.
+func PrisonersDilemma() *Bimatrix {
+	costA := [][]float64{
+		{1, 3},
+		{0, 2},
+	}
+	costB := [][]float64{
+		{1, 0},
+		{3, 2},
+	}
+	g, err := NewBimatrix("prisoners-dilemma", costA, costB)
+	if err != nil {
+		panic(err) // static tables; cannot fail
+	}
+	g.RowNames = []string{"Cooperate", "Defect"}
+	g.ColNames = []string{"Cooperate", "Defect"}
+	return g
+}
+
+// CoordinationGame returns a 2×2 coordination game with two PNEs of
+// different social cost — handy for exercising PoA vs PoS (the gap between
+// worst and best equilibrium).
+func CoordinationGame() *Bimatrix {
+	costA := [][]float64{
+		{1, 4},
+		{4, 2},
+	}
+	costB := [][]float64{
+		{1, 4},
+		{4, 2},
+	}
+	g, err := NewBimatrix("coordination", costA, costB)
+	if err != nil {
+		panic(err) // static tables; cannot fail
+	}
+	g.RowNames = []string{"Left", "Right"}
+	g.ColNames = []string{"Left", "Right"}
+	return g
+}
+
+// Restricted wraps a game with per-player permitted action sets, modelling
+// the executive service restricting the actions of punished agents (§3.4:
+// "this service restricts the action of dishonest agents"). A restricted
+// player's cost for a forbidden action is +Inf, and forbidden actions are
+// excluded from best-response sets by construction.
+type Restricted struct {
+	Base Game
+	// Allowed[i] lists permitted actions for player i; nil means all.
+	Allowed map[int][]int
+}
+
+var _ Game = (*Restricted)(nil)
+
+// NumPlayers implements Game.
+func (r *Restricted) NumPlayers() int { return r.Base.NumPlayers() }
+
+// NumActions implements Game. The action space keeps its original indexing
+// (so profiles remain comparable); forbidden actions simply cost +Inf.
+func (r *Restricted) NumActions(player int) int { return r.Base.NumActions(player) }
+
+// Cost implements Game.
+func (r *Restricted) Cost(player int, p Profile) float64 {
+	if allowed, ok := r.Allowed[player]; ok && allowed != nil {
+		permitted := false
+		for _, a := range allowed {
+			if p[player] == a {
+				permitted = true
+				break
+			}
+		}
+		if !permitted {
+			return inf()
+		}
+	}
+	return r.Base.Cost(player, p)
+}
+
+func inf() float64 { return 1e18 } // large finite sentinel: keeps arithmetic (sums) well-behaved

@@ -1,0 +1,96 @@
+package game
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewBimatrixValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		costA, costB [][]float64
+	}{
+		{"empty", nil, nil},
+		{"rowMismatch", [][]float64{{1}}, [][]float64{{1}, {2}}},
+		{"zeroCols", [][]float64{{}}, [][]float64{{}}},
+		{"ragged", [][]float64{{1, 2}, {3}}, [][]float64{{1, 2}, {3, 4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewBimatrix("bad", tc.costA, tc.costB); !errors.Is(err, ErrProfileShape) {
+				t.Fatalf("err = %v, want ErrProfileShape", err)
+			}
+		})
+	}
+}
+
+func TestFromPayoffsNegates(t *testing.T) {
+	g, err := FromPayoffs("t", [][]float64{{5}}, [][]float64{{-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Cost(0, Profile{0, 0}); got != -5 {
+		t.Fatalf("cost A = %v, want -5", got)
+	}
+	if got := g.Payoff(1, Profile{0, 0}); got != -3 {
+		t.Fatalf("payoff B = %v, want -3", got)
+	}
+}
+
+func TestFig1MatrixVerbatim(t *testing.T) {
+	// The paper's Fig. 1 (payoffs):
+	//   A\B      Heads    Tails    Manipulate
+	//   Heads   (+1,−1)  (−1,+1)   (+1,−1)
+	//   Tails   (−1,+1)  (+1,−1)   (−9,+9)
+	g := MatchingPenniesManipulated()
+	wantA := [][]float64{{+1, -1, +1}, {-1, +1, -9}}
+	wantB := [][]float64{{-1, +1, -1}, {+1, -1, +9}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			p := Profile{i, j}
+			if got := g.Payoff(0, p); got != wantA[i][j] {
+				t.Errorf("payoff A at (%d,%d) = %v, want %v", i, j, got, wantA[i][j])
+			}
+			if got := g.Payoff(1, p); got != wantB[i][j] {
+				t.Errorf("payoff B at (%d,%d) = %v, want %v", i, j, got, wantB[i][j])
+			}
+		}
+	}
+	if g.NumActions(0) != 2 || g.NumActions(1) != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", g.NumActions(0), g.NumActions(1))
+	}
+}
+
+func TestMatchingPenniesZeroSum(t *testing.T) {
+	g := MatchingPennies()
+	ForEachProfile(g, func(p Profile) bool {
+		if s := g.Payoff(0, p) + g.Payoff(1, p); s != 0 {
+			t.Errorf("profile %v payoffs sum to %v, want 0", p, s)
+		}
+		return true
+	})
+}
+
+func TestManipulatedGameZeroSum(t *testing.T) {
+	// Fig. 1 stays zero-sum: whatever A loses, B gains (A pays B).
+	g := MatchingPenniesManipulated()
+	ForEachProfile(g, func(p Profile) bool {
+		if s := g.Payoff(0, p) + g.Payoff(1, p); s != 0 {
+			t.Errorf("profile %v payoffs sum to %v, want 0", p, s)
+		}
+		return true
+	})
+}
+
+func TestActionNames(t *testing.T) {
+	g := MatchingPenniesManipulated()
+	if got := g.ActionName(1, ManipulateAction); got != "Manipulate" {
+		t.Fatalf("ActionName = %q, want Manipulate", got)
+	}
+	if got := g.ActionName(0, 5); got != "a5" {
+		t.Fatalf("fallback ActionName = %q, want a5", got)
+	}
+	if g.Name() == "" {
+		t.Fatal("empty game name")
+	}
+}

@@ -1,0 +1,198 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"gameauthority/internal/prng"
+)
+
+// Mixed is a mixed strategy for one player: a probability distribution over
+// its actions. Entries must be non-negative and sum to 1 (within Eps).
+type Mixed []float64
+
+// Validate checks that m is a probability distribution over k actions.
+func (m Mixed) Validate(k int) error {
+	if len(m) != k {
+		return fmt.Errorf("%w: mixed strategy has %d entries, want %d", ErrProfileShape, len(m), k)
+	}
+	var sum float64
+	for i, p := range m {
+		if p < -Eps || math.IsNaN(p) {
+			return fmt.Errorf("%w: probability %v at action %d", ErrActionRange, p, i)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: probabilities sum to %v", ErrActionRange, sum)
+	}
+	return nil
+}
+
+// Support returns the actions played with probability > Eps.
+func (m Mixed) Support() []int {
+	var s []int
+	for a, p := range m {
+		if p > Eps {
+			s = append(s, a)
+		}
+	}
+	return s
+}
+
+// Sampler converts the mixed strategy into an exact categorical sampler
+// (integer thresholds) so that committed-seed audits can replay choices
+// bit-for-bit (§5.3).
+func (m Mixed) Sampler() (*prng.Categorical, error) {
+	return prng.NewCategorical([]float64(m))
+}
+
+// Uniform returns the uniform mixed strategy over k actions.
+func Uniform(k int) Mixed {
+	m := make(Mixed, k)
+	for i := range m {
+		m[i] = 1 / float64(k)
+	}
+	return m
+}
+
+// Degenerate returns the pure strategy "play action a" as a Mixed.
+func Degenerate(k, a int) Mixed {
+	m := make(Mixed, k)
+	m[a] = 1
+	return m
+}
+
+// MixedProfile assigns a mixed strategy to every player.
+type MixedProfile []Mixed
+
+// ValidateMixedProfile checks shape and normalization against g.
+func ValidateMixedProfile(g Game, mp MixedProfile) error {
+	if len(mp) != g.NumPlayers() {
+		return fmt.Errorf("%w: %d strategies for %d players", ErrProfileShape, len(mp), g.NumPlayers())
+	}
+	for i, m := range mp {
+		if err := m.Validate(g.NumActions(i)); err != nil {
+			return fmt.Errorf("player %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExpectedCost returns player i's expected cost under the mixed profile by
+// exhaustive enumeration (suitable for the small games audited here).
+func ExpectedCost(g Game, player int, mp MixedProfile) float64 {
+	var total float64
+	n := g.NumPlayers()
+	p := make(Profile, n)
+	var rec func(i int, prob float64)
+	rec = func(i int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == n {
+			total += prob * g.Cost(player, p)
+			return
+		}
+		for a := 0; a < g.NumActions(i); a++ {
+			p[i] = a
+			rec(i+1, prob*mp[i][a])
+		}
+	}
+	rec(0, 1)
+	return total
+}
+
+// ExpectedCostOfAction returns player i's expected cost of playing the pure
+// action a while everyone else follows mp.
+func ExpectedCostOfAction(g Game, player, action int, mp MixedProfile) float64 {
+	forced := make(MixedProfile, len(mp))
+	copy(forced, mp)
+	forced[player] = Degenerate(g.NumActions(player), action)
+	return ExpectedCost(g, player, forced)
+}
+
+// MixedBestResponseSet returns the set of pure actions that minimize player
+// i's expected cost against mp[-i], within tol.
+func MixedBestResponseSet(g Game, player int, mp MixedProfile, tol float64) []int {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	best := math.Inf(1)
+	k := g.NumActions(player)
+	costs := make([]float64, k)
+	for a := 0; a < k; a++ {
+		costs[a] = ExpectedCostOfAction(g, player, a, mp)
+		if costs[a] < best {
+			best = costs[a]
+		}
+	}
+	var set []int
+	for a := 0; a < k; a++ {
+		if costs[a] <= best+tol {
+			set = append(set, a)
+		}
+	}
+	return set
+}
+
+// IsMixedNash reports whether mp is a (mixed) Nash equilibrium within tol:
+// every action in each player's support must be an expected-cost best
+// response (Nash's indifference condition) and no pure deviation may gain.
+func IsMixedNash(g Game, mp MixedProfile, tol float64) bool {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	for i := 0; i < g.NumPlayers(); i++ {
+		best := math.Inf(1)
+		k := g.NumActions(i)
+		costs := make([]float64, k)
+		for a := 0; a < k; a++ {
+			costs[a] = ExpectedCostOfAction(g, i, a, mp)
+			if costs[a] < best {
+				best = costs[a]
+			}
+		}
+		for a := 0; a < k; a++ {
+			if mp[i][a] > Eps && costs[a] > best+tol {
+				return false // plays a suboptimal action with positive probability
+			}
+		}
+	}
+	return true
+}
+
+// ExpectedSocialCost returns the expected sum of the given players' costs
+// under mp (nil honest means everyone).
+func ExpectedSocialCost(g Game, mp MixedProfile, honest []int) float64 {
+	var total float64
+	if honest == nil {
+		for i := 0; i < g.NumPlayers(); i++ {
+			total += ExpectedCost(g, i, mp)
+		}
+		return total
+	}
+	for _, i := range honest {
+		total += ExpectedCost(g, i, mp)
+	}
+	return total
+}
+
+// SampleProfile draws a pure profile from the mixed profile using per-player
+// streams derived from seed and round, exactly as honest agents do in the
+// authority protocol — so a later audit can reproduce the same draw.
+func SampleProfile(g Game, mp MixedProfile, seed uint64, round uint64) (Profile, error) {
+	if err := ValidateMixedProfile(g, mp); err != nil {
+		return nil, err
+	}
+	p := make(Profile, g.NumPlayers())
+	for i := range p {
+		sampler, err := mp[i].Sampler()
+		if err != nil {
+			return nil, fmt.Errorf("player %d: %w", i, err)
+		}
+		src := prng.Derive(seed, uint64(i), round)
+		p[i] = sampler.Sample(src)
+	}
+	return p, nil
+}

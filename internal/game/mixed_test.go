@@ -1,0 +1,166 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixedValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Mixed
+		k    int
+		ok   bool
+	}{
+		{"uniform", Uniform(3), 3, true},
+		{"degenerate", Degenerate(4, 2), 4, true},
+		{"wrongLen", Uniform(3), 4, false},
+		{"negative", Mixed{-0.5, 1.5}, 2, false},
+		{"sumLow", Mixed{0.2, 0.2}, 2, false},
+		{"nan", Mixed{math.NaN(), 1}, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate(tc.k)
+			if tc.ok && err != nil {
+				t.Fatalf("Validate = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := Mixed{0.5, 0, 0.5}
+	s := m.Support()
+	if len(s) != 2 || s[0] != 0 || s[1] != 2 {
+		t.Fatalf("Support = %v, want [0 2]", s)
+	}
+}
+
+func TestExpectedCostMatchingPenniesEquilibrium(t *testing.T) {
+	g := MatchingPennies()
+	mp := MixedProfile{Uniform(2), Uniform(2)}
+	// At the unique equilibrium both expected payoffs are 0.
+	for i := 0; i < 2; i++ {
+		if c := ExpectedCost(g, i, mp); math.Abs(c) > 1e-12 {
+			t.Errorf("player %d expected cost = %v, want 0", i, c)
+		}
+	}
+}
+
+func TestManipulationExpectedGain(t *testing.T) {
+	// §5.1: against A playing (1/2, 1/2), B's Manipulate strategy pays
+	// E = 1/2·(−1) + 1/2·(+9) = +4, lifting B from 0 to +4 and pushing A
+	// from 0 to −4. This is the E-F1 headline number.
+	g := MatchingPenniesManipulated()
+	aUniform := Uniform(2)
+	bManipulate := Degenerate(3, ManipulateAction)
+	mp := MixedProfile{aUniform, bManipulate}
+	gainB := -ExpectedCost(g, 1, mp) // payoff = −cost
+	lossA := -ExpectedCost(g, 0, mp)
+	if math.Abs(gainB-4) > 1e-12 {
+		t.Fatalf("B's manipulation payoff = %v, want +4", gainB)
+	}
+	if math.Abs(lossA-(-4)) > 1e-12 {
+		t.Fatalf("A's payoff under manipulation = %v, want −4", lossA)
+	}
+	// And Manipulate strictly beats Heads/Tails for B against uniform A:
+	best := MixedBestResponseSet(g, 1, MixedProfile{aUniform, Uniform(3)}, 1e-9)
+	if len(best) != 1 || best[0] != ManipulateAction {
+		t.Fatalf("B's best response vs uniform A = %v, want [Manipulate]", best)
+	}
+}
+
+func TestExpectedCostOfActionMatchesDegenerate(t *testing.T) {
+	g := MatchingPenniesManipulated()
+	mp := MixedProfile{Uniform(2), Uniform(3)}
+	for a := 0; a < 3; a++ {
+		viaHelper := ExpectedCostOfAction(g, 1, a, mp)
+		forced := MixedProfile{mp[0], Degenerate(3, a)}
+		direct := ExpectedCost(g, 1, forced)
+		if math.Abs(viaHelper-direct) > 1e-12 {
+			t.Errorf("action %d: helper %v != direct %v", a, viaHelper, direct)
+		}
+	}
+}
+
+func TestIsMixedNash(t *testing.T) {
+	g := MatchingPennies()
+	if !IsMixedNash(g, MixedProfile{Uniform(2), Uniform(2)}, 1e-9) {
+		t.Fatal("uniform/uniform must be the matching pennies equilibrium")
+	}
+	if IsMixedNash(g, MixedProfile{Mixed{0.9, 0.1}, Uniform(2)}, 1e-9) {
+		t.Fatal("biased strategy wrongly accepted as equilibrium")
+	}
+}
+
+func TestValidateMixedProfile(t *testing.T) {
+	g := MatchingPennies()
+	if err := ValidateMixedProfile(g, MixedProfile{Uniform(2), Uniform(2)}); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if err := ValidateMixedProfile(g, MixedProfile{Uniform(2)}); err == nil {
+		t.Fatal("short profile accepted")
+	}
+	if err := ValidateMixedProfile(g, MixedProfile{Uniform(2), Uniform(3)}); err == nil {
+		t.Fatal("wrong-shape strategy accepted")
+	}
+}
+
+func TestExpectedSocialCostZeroSum(t *testing.T) {
+	g := MatchingPennies()
+	mp := MixedProfile{Mixed{0.3, 0.7}, Mixed{0.6, 0.4}}
+	if sc := ExpectedSocialCost(g, mp, nil); math.Abs(sc) > 1e-12 {
+		t.Fatalf("zero-sum expected social cost = %v, want 0", sc)
+	}
+	one := ExpectedSocialCost(g, mp, []int{0})
+	if math.Abs(one-ExpectedCost(g, 0, mp)) > 1e-12 {
+		t.Fatal("honest-subset social cost mismatch")
+	}
+}
+
+func TestSampleProfileDeterministicAndLegitimate(t *testing.T) {
+	g := MatchingPenniesManipulated()
+	mp := MixedProfile{Uniform(2), Uniform(3)}
+	p1, err := SampleProfile(g, mp, 42, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := SampleProfile(g, mp, 42, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) {
+		t.Fatal("SampleProfile not replayable for fixed (seed, round)")
+	}
+	if err := ValidateProfile(g, p1); err != nil {
+		t.Fatalf("sampled profile invalid: %v", err)
+	}
+	p3, err := SampleProfile(g, mp, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p3 // different round may or may not differ; just must be valid
+	if err := ValidateProfile(g, p3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSampledFrequenciesRespectSupport(t *testing.T) {
+	g := MatchingPennies()
+	f := func(seed uint64) bool {
+		mp := MixedProfile{Degenerate(2, 1), Uniform(2)}
+		p, err := SampleProfile(g, mp, seed, 0)
+		if err != nil {
+			return false
+		}
+		return p[0] == 1 // degenerate strategy must always play action 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

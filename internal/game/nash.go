@@ -1,0 +1,197 @@
+package game
+
+import (
+	"math"
+	"sort"
+)
+
+// MixedNashEquilibria2P computes mixed Nash equilibria of a two-player game
+// by support enumeration: for every pair of equal-size supports it solves
+// the indifference equations (Nash [22]) and keeps solutions that are valid
+// distributions with no profitable outside deviation. Suitable for the small
+// matrix games the paper analyzes (e.g. Fig. 1); action counts above ~12
+// become expensive.
+//
+// The returned equilibria are deduplicated within tolerance and sorted by
+// player 0's expected cost (best first).
+func MixedNashEquilibria2P(g Game, tol float64) []MixedProfile {
+	if g.NumPlayers() != 2 {
+		return nil
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	ka, kb := g.NumActions(0), g.NumActions(1)
+	var results []MixedProfile
+
+	supportsA := enumerateSupports(ka)
+	supportsB := enumerateSupports(kb)
+	for _, sa := range supportsA {
+		for _, sb := range supportsB {
+			if len(sa) != len(sb) {
+				continue
+			}
+			mp, ok := solveSupports(g, sa, sb, tol)
+			if !ok {
+				continue
+			}
+			if !IsMixedNash(g, mp, tol*10) {
+				continue
+			}
+			if !containsEquilibrium(results, mp, 1e-5) {
+				results = append(results, mp)
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return ExpectedCost(g, 0, results[i]) < ExpectedCost(g, 0, results[j])
+	})
+	return results
+}
+
+// enumerateSupports returns all non-empty subsets of {0..k-1} as sorted
+// slices, ordered by size then lexicographically.
+func enumerateSupports(k int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<k; mask++ {
+		var s []int
+		for a := 0; a < k; a++ {
+			if mask&(1<<a) != 0 {
+				s = append(s, a)
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for x := range out[i] {
+			if out[i][x] != out[j][x] {
+				return out[i][x] < out[j][x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// solveSupports solves the indifference system for supports (sa, sb).
+// Player 1's mixed strategy y must make player 0 indifferent across sa;
+// player 0's x must make player 1 indifferent across sb.
+func solveSupports(g Game, sa, sb []int, tol float64) (MixedProfile, bool) {
+	m := len(sa) // == len(sb)
+	p := make(Profile, 2)
+
+	costA := func(a, b int) float64 { p[0], p[1] = a, b; return g.Cost(0, p) }
+	costB := func(a, b int) float64 { p[0], p[1] = a, b; return g.Cost(1, p) }
+
+	// Solve for y over sb: rows are (cost of sa[r] − cost of sa[r+1]) · y = 0
+	// for r < m−1, plus Σ y = 1.
+	y, ok := solveIndifference(m, func(r, c int) float64 {
+		return costA(sa[r], sb[c]) - costA(sa[r+1], sb[c])
+	})
+	if !ok {
+		return nil, false
+	}
+	// Solve for x over sa symmetric: player 1 indifferent across sb.
+	x, ok := solveIndifference(m, func(r, c int) float64 {
+		return costB(sa[c], sb[r]) - costB(sa[c], sb[r+1])
+	})
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < m; i++ {
+		if x[i] < -tol || y[i] < -tol {
+			return nil, false
+		}
+	}
+	mx := make(Mixed, g.NumActions(0))
+	my := make(Mixed, g.NumActions(1))
+	for i, a := range sa {
+		mx[a] = clampProb(x[i])
+	}
+	for i, b := range sb {
+		my[b] = clampProb(y[i])
+	}
+	normalize(mx)
+	normalize(my)
+	return MixedProfile{mx, my}, true
+}
+
+// solveIndifference builds and solves the m×m system whose first m−1 rows
+// are diff(r, ·)·z = 0 and last row is Σz = 1.
+func solveIndifference(m int, diff func(r, c int) float64) ([]float64, bool) {
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r := 0; r < m-1; r++ {
+		a[r] = make([]float64, m)
+		for c := 0; c < m; c++ {
+			a[r][c] = diff(r, c)
+		}
+	}
+	a[m-1] = make([]float64, m)
+	for c := 0; c < m; c++ {
+		a[m-1][c] = 1
+	}
+	b[m-1] = 1
+	z, err := solveLinear(a, b)
+	if err != nil {
+		return nil, false
+	}
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	return z, true
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func normalize(m Mixed) {
+	var sum float64
+	for _, p := range m {
+		sum += p
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range m {
+		m[i] /= sum
+	}
+}
+
+func containsEquilibrium(list []MixedProfile, mp MixedProfile, tol float64) bool {
+	for _, e := range list {
+		if equilibriaClose(e, mp, tol) {
+			return true
+		}
+	}
+	return false
+}
+
+func equilibriaClose(a, b MixedProfile, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5; x − y = 1 ⇒ x=2, y=1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {2, 2}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(a, b); err == nil {
+		t.Fatal("singular system solved without error")
+	}
+	if _, err := solveLinear(nil, nil); err == nil {
+		t.Fatal("empty system solved without error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero in the top-left forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 4}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v, want [4 3]", x)
+	}
+}
+
+func TestMixedNashMatchingPennies(t *testing.T) {
+	g := MatchingPennies()
+	eqs := MixedNashEquilibria2P(g, 0)
+	if len(eqs) != 1 {
+		t.Fatalf("found %d equilibria, want exactly 1 (the unique mixed NE)", len(eqs))
+	}
+	mp := eqs[0]
+	for i := 0; i < 2; i++ {
+		for a := 0; a < 2; a++ {
+			if math.Abs(mp[i][a]-0.5) > 1e-6 {
+				t.Fatalf("equilibrium = %v, want (1/2,1/2) each", mp)
+			}
+		}
+	}
+}
+
+func TestMixedNashPrisonersDilemma(t *testing.T) {
+	eqs := MixedNashEquilibria2P(PrisonersDilemma(), 0)
+	if len(eqs) != 1 {
+		t.Fatalf("PD equilibria = %d, want 1", len(eqs))
+	}
+	// The unique equilibrium is pure defect/defect.
+	if math.Abs(eqs[0][0][1]-1) > 1e-6 || math.Abs(eqs[0][1][1]-1) > 1e-6 {
+		t.Fatalf("PD equilibrium = %v, want pure defect", eqs[0])
+	}
+}
+
+func TestMixedNashCoordinationIncludesPureAndMixed(t *testing.T) {
+	eqs := MixedNashEquilibria2P(CoordinationGame(), 0)
+	// Two pure equilibria plus one interior mixed equilibrium.
+	if len(eqs) < 2 {
+		t.Fatalf("coordination equilibria = %d, want ≥ 2", len(eqs))
+	}
+	for _, mp := range eqs {
+		if !IsMixedNash(CoordinationGame(), mp, 1e-5) {
+			t.Fatalf("returned profile %v is not an equilibrium", mp)
+		}
+	}
+	// Sorted best-first: the first must be the (Left,Left) equilibrium
+	// with cost 1 for player 0.
+	if c := ExpectedCost(CoordinationGame(), 0, eqs[0]); math.Abs(c-1) > 1e-6 {
+		t.Fatalf("best equilibrium cost = %v, want 1", c)
+	}
+}
+
+func TestMixedNashManipulatedGame(t *testing.T) {
+	// In the Fig. 1 game, B's Tails is weakly better paired against
+	// Manipulate; the game still has an equilibrium and every returned
+	// profile must verify.
+	g := MatchingPenniesManipulated()
+	eqs := MixedNashEquilibria2P(g, 0)
+	if len(eqs) == 0 {
+		t.Fatal("no equilibrium found for Fig. 1 game (Nash guarantees one exists)")
+	}
+	for _, mp := range eqs {
+		if !IsMixedNash(g, mp, 1e-5) {
+			t.Fatalf("non-equilibrium returned: %v", mp)
+		}
+	}
+}
+
+func TestMixedNashNonTwoPlayerReturnsNil(t *testing.T) {
+	rg := &RoundGame{NAgents: 3, Loads: []int64{0, 0}}
+	if eqs := MixedNashEquilibria2P(rg, 0); eqs != nil {
+		t.Fatalf("3-player game returned %v, want nil", eqs)
+	}
+}
+
+func TestEnumerateSupports(t *testing.T) {
+	s := enumerateSupports(3)
+	if len(s) != 7 { // 2^3 − 1 non-empty subsets
+		t.Fatalf("supports = %d, want 7", len(s))
+	}
+	// Size-ordered: singletons first.
+	if len(s[0]) != 1 || len(s[6]) != 3 {
+		t.Fatalf("support ordering wrong: %v", s)
+	}
+}

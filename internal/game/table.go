@@ -1,0 +1,196 @@
+package game
+
+import "fmt"
+
+// TableGame is a general n-player strategic-form game with dense cost
+// tables: costs[player][profileIndex], where profileIndex enumerates pure
+// profiles lexicographically (player 0 slowest). It is the workhorse for
+// games that do not fit the two-player Bimatrix shape.
+type TableGame struct {
+	GameName string
+	// Shape[i] is |Πi|.
+	Shape []int
+	// costs[i][idx] is player i's cost at the idx-th profile.
+	costs [][]float64
+	// strides[i] converts a profile into its lexicographic index.
+	strides []int
+	// ActionNames[i][a] optionally labels actions.
+	ActionNames [][]string
+}
+
+var (
+	_ Game  = (*TableGame)(nil)
+	_ Named = (*TableGame)(nil)
+)
+
+// NewTableGame allocates a zero-cost table game with the given shape.
+// Costs are filled in with SetCost (or Fill).
+func NewTableGame(name string, shape []int) (*TableGame, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: no players", ErrProfileShape)
+	}
+	size := 1
+	for i, k := range shape {
+		if k < 1 {
+			return nil, fmt.Errorf("%w: player %d has %d actions", ErrActionRange, i, k)
+		}
+		if size > (1<<28)/k {
+			return nil, fmt.Errorf("%w: table would need > 2^28 entries", ErrTooLarge)
+		}
+		size *= k
+	}
+	strides := make([]int, len(shape))
+	stride := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= shape[i]
+	}
+	costs := make([][]float64, len(shape))
+	for i := range costs {
+		costs[i] = make([]float64, size)
+	}
+	return &TableGame{
+		GameName: name,
+		Shape:    append([]int(nil), shape...),
+		costs:    costs,
+		strides:  strides,
+	}, nil
+}
+
+// index converts a profile to its table index.
+func (t *TableGame) index(p Profile) int {
+	idx := 0
+	for i, a := range p {
+		idx += a * t.strides[i]
+	}
+	return idx
+}
+
+// SetCost sets player i's cost at the given profile.
+func (t *TableGame) SetCost(player int, p Profile, cost float64) error {
+	if player < 0 || player >= len(t.Shape) {
+		return fmt.Errorf("%w: player %d", ErrPlayerRange, player)
+	}
+	if err := ValidateProfile(t, p); err != nil {
+		return err
+	}
+	t.costs[player][t.index(p)] = cost
+	return nil
+}
+
+// Fill computes every entry of the table from fn — convenient for games
+// defined by a formula.
+func (t *TableGame) Fill(fn func(player int, p Profile) float64) {
+	ForEachProfile(t, func(p Profile) bool {
+		idx := t.index(p)
+		for i := range t.Shape {
+			t.costs[i][idx] = fn(i, p)
+		}
+		return true
+	})
+}
+
+// NumPlayers implements Game.
+func (t *TableGame) NumPlayers() int { return len(t.Shape) }
+
+// NumActions implements Game.
+func (t *TableGame) NumActions(player int) int { return t.Shape[player] }
+
+// Cost implements Game.
+func (t *TableGame) Cost(player int, p Profile) float64 {
+	return t.costs[player][t.index(p)]
+}
+
+// Name implements Named.
+func (t *TableGame) Name() string { return t.GameName }
+
+// ActionName implements Named.
+func (t *TableGame) ActionName(player, action int) string {
+	if player < len(t.ActionNames) && action < len(t.ActionNames[player]) {
+		return t.ActionNames[player][action]
+	}
+	return fmt.Sprintf("a%d", action)
+}
+
+// FromGame materializes any Game into a TableGame (snapshotting its costs),
+// useful for caching expensive cost functions before exhaustive analysis.
+func FromGame(name string, g Game, limit int) (*TableGame, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	if _, err := ProfileSpaceSize(g, limit); err != nil {
+		return nil, err
+	}
+	shape := make([]int, g.NumPlayers())
+	for i := range shape {
+		shape[i] = g.NumActions(i)
+	}
+	t, err := NewTableGame(name, shape)
+	if err != nil {
+		return nil, err
+	}
+	t.Fill(func(player int, p Profile) float64 { return g.Cost(player, p) })
+	return t, nil
+}
+
+// MinorityGame returns the classical n-player minority game (odd n): agents
+// pick one of two sides; those on the minority side win (cost 0), the
+// majority pays 1. A standard multi-player test game with many equilibria.
+func MinorityGame(n int) (*TableGame, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("%w: minority game needs odd n ≥ 3", ErrProfileShape)
+	}
+	shape := make([]int, n)
+	for i := range shape {
+		shape[i] = 2
+	}
+	t, err := NewTableGame("minority", shape)
+	if err != nil {
+		return nil, err
+	}
+	t.Fill(func(player int, p Profile) float64 {
+		ones := 0
+		for _, a := range p {
+			ones += a
+		}
+		minority := 1
+		if ones > n/2 {
+			minority = 0
+		}
+		if p[player] == minority {
+			return 0
+		}
+		return 1
+	})
+	return t, nil
+}
+
+// PublicGoods returns an n-player public goods game in cost form: each
+// contributor pays 1; every contribution lowers everyone's cost by
+// benefit/n (benefit > 1 makes contributing socially optimal but free
+// riding individually dominant — an n-player prisoner's dilemma).
+func PublicGoods(n int, benefit float64) (*TableGame, error) {
+	if n < 2 || benefit <= 0 {
+		return nil, fmt.Errorf("%w: n=%d benefit=%v", ErrProfileShape, n, benefit)
+	}
+	shape := make([]int, n)
+	for i := range shape {
+		shape[i] = 2
+	}
+	t, err := NewTableGame("public-goods", shape)
+	if err != nil {
+		return nil, err
+	}
+	t.Fill(func(player int, p Profile) float64 {
+		contributions := 0
+		for _, a := range p {
+			contributions += a
+		}
+		cost := -float64(contributions) * benefit / float64(n)
+		if p[player] == 1 {
+			cost += 1
+		}
+		return cost
+	})
+	return t, nil
+}

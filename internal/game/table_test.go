@@ -1,0 +1,175 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableGameValidation(t *testing.T) {
+	if _, err := NewTableGame("x", nil); !errors.Is(err, ErrProfileShape) {
+		t.Fatalf("no players: %v", err)
+	}
+	if _, err := NewTableGame("x", []int{2, 0}); !errors.Is(err, ErrActionRange) {
+		t.Fatalf("zero actions: %v", err)
+	}
+	if _, err := NewTableGame("x", []int{1 << 10, 1 << 10, 1 << 10}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge table: %v", err)
+	}
+}
+
+func TestTableGameSetAndGet(t *testing.T) {
+	g, err := NewTableGame("t", []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCost(0, Profile{1, 2}, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Cost(0, Profile{1, 2}); got != 7.5 {
+		t.Fatalf("cost = %v, want 7.5", got)
+	}
+	if got := g.Cost(1, Profile{1, 2}); got != 0 {
+		t.Fatalf("untouched cost = %v, want 0", got)
+	}
+	if err := g.SetCost(5, Profile{0, 0}, 1); !errors.Is(err, ErrPlayerRange) {
+		t.Fatalf("bad player: %v", err)
+	}
+	if err := g.SetCost(0, Profile{9, 0}, 1); !errors.Is(err, ErrActionRange) {
+		t.Fatalf("bad profile: %v", err)
+	}
+}
+
+func TestTableGameIndexingIsBijective(t *testing.T) {
+	g, err := NewTableGame("t", []int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	ForEachProfile(g, func(p Profile) bool {
+		idx := g.index(p)
+		if seen[idx] {
+			t.Fatalf("profile %v collides at index %d", p, idx)
+		}
+		seen[idx] = true
+		return true
+	})
+	if len(seen) != 12 {
+		t.Fatalf("indexed %d profiles, want 12", len(seen))
+	}
+}
+
+func TestFromGameSnapshotsCosts(t *testing.T) {
+	src := MatchingPenniesManipulated()
+	snap, err := FromGame("snap", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ForEachProfile(src, func(p Profile) bool {
+		for i := 0; i < 2; i++ {
+			if snap.Cost(i, p) != src.Cost(i, p) {
+				t.Fatalf("snapshot differs at %v player %d", p, i)
+			}
+		}
+		return true
+	})
+	if _, err := FromGame("x", src, 3); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("limit: %v", err)
+	}
+}
+
+func TestMinorityGame(t *testing.T) {
+	if _, err := MinorityGame(4); err == nil {
+		t.Fatal("even n accepted")
+	}
+	g, err := MinorityGame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile (0,0,1): player 2 is the minority → cost 0; others pay 1.
+	p := Profile{0, 0, 1}
+	if g.Cost(2, p) != 0 || g.Cost(0, p) != 1 || g.Cost(1, p) != 1 {
+		t.Fatalf("minority costs wrong: %v %v %v", g.Cost(0, p), g.Cost(1, p), g.Cost(2, p))
+	}
+	// Every 2-1 split is a PNE (the two majority members cannot gain by
+	// switching — they would join a new majority of 2).
+	pnes, err := PureNashEquilibria(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pnes) != 6 {
+		t.Fatalf("minority game PNEs = %d, want 6 (all 2-1 splits)", len(pnes))
+	}
+}
+
+func TestPublicGoodsFreeRiding(t *testing.T) {
+	g, err := PublicGoods(4, 2) // benefit 2 > 1: contributing is efficient
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defect (0) strictly dominates: cost difference 1 − benefit/n = 0.5.
+	all1 := Profile{1, 1, 1, 1}
+	dev := Profile{0, 1, 1, 1}
+	if !(g.Cost(0, dev) < g.Cost(0, all1)) {
+		t.Fatal("free riding does not dominate")
+	}
+	// Unique PNE: nobody contributes.
+	pnes, err := PureNashEquilibria(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pnes) != 1 {
+		t.Fatalf("public goods PNEs = %d, want 1", len(pnes))
+	}
+	for _, a := range pnes[0] {
+		if a != 0 {
+			t.Fatalf("PNE = %v, want all-defect", pnes[0])
+		}
+	}
+	// But all-contribute has lower social cost: the PoA story.
+	if !(SocialCost(g, all1, nil) < SocialCost(g, pnes[0], nil)) {
+		t.Fatal("contribution is not socially better")
+	}
+}
+
+func TestTableGameNames(t *testing.T) {
+	g, err := NewTableGame("named", []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ActionNames = [][]string{{"left", "right"}}
+	if g.Name() != "named" || g.ActionName(0, 1) != "right" {
+		t.Fatal("names wrong")
+	}
+	if g.ActionName(0, 5) != "a5" || g.ActionName(3, 0) != "a0" {
+		t.Fatal("fallback names wrong")
+	}
+}
+
+func TestQuickTableFillMatchesCost(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := NewTableGame("q", []int{2, 2})
+		if err != nil {
+			return false
+		}
+		g.Fill(func(player int, p Profile) float64 {
+			return float64(player) + 2*float64(p[0]) + 4*float64(p[1])
+		})
+		ok := true
+		ForEachProfile(g, func(p Profile) bool {
+			for i := 0; i < 2; i++ {
+				want := float64(i) + 2*float64(p[0]) + 4*float64(p[1])
+				if math.Abs(g.Cost(i, p)-want) > 1e-12 {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package punish implements the executive service's punishment schemes
+// (paper §3.4): disconnection (cf. the BAR-games discussion [6]), reputation
+// decay, and monetary deposits. All schemes share one interface so the
+// E-PUN experiment can compare how quickly each neutralizes a manipulator
+// and how much damage accrues meanwhile.
+package punish
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownAgent is returned for out-of-range agent ids.
+var ErrUnknownAgent = errors.New("punish: unknown agent")
+
+// Event records one punishment application.
+type Event struct {
+	Agent    int
+	Round    int
+	Severity float64
+}
+
+// Scheme is a punishment policy. Implementations must be deterministic.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Punish applies a sanction of the given severity (in [0,1], see
+	// audit.Reason.Severity) to agent at round.
+	Punish(agent, round int, severity float64) error
+	// Excluded reports whether the agent is currently barred from play
+	// (the "restricts the action of dishonest agents" outcome, §3.4).
+	Excluded(agent int) bool
+	// Standing returns a scheme-specific score (reputation, balance,
+	// offence count) for reporting; higher is better.
+	Standing(agent int) float64
+	// History returns all punishment events in application order.
+	History() []Event
+}
+
+// --- Disconnect --------------------------------------------------------------
+
+// Disconnect bars an agent permanently after its offences reach a strike
+// budget (default 1 — the paper's "only effective option is to disconnect
+// Byzantine agents from the network").
+type Disconnect struct {
+	n       int
+	strikes []float64
+	budget  float64
+	events  []Event
+}
+
+var _ Scheme = (*Disconnect)(nil)
+
+// NewDisconnect creates the scheme for n agents; budget ≤ 0 defaults to 1
+// (first proven foul disconnects).
+func NewDisconnect(n int, budget float64) *Disconnect {
+	if budget <= 0 {
+		budget = 1
+	}
+	return &Disconnect{n: n, strikes: make([]float64, n), budget: budget}
+}
+
+// Name implements Scheme.
+func (d *Disconnect) Name() string { return "disconnect" }
+
+// Punish implements Scheme.
+func (d *Disconnect) Punish(agent, round int, severity float64) error {
+	if agent < 0 || agent >= d.n {
+		return fmt.Errorf("%w: %d", ErrUnknownAgent, agent)
+	}
+	d.strikes[agent] += severity
+	d.events = append(d.events, Event{Agent: agent, Round: round, Severity: severity})
+	return nil
+}
+
+// Excluded implements Scheme.
+func (d *Disconnect) Excluded(agent int) bool {
+	return agent >= 0 && agent < d.n && d.strikes[agent] >= d.budget
+}
+
+// Standing implements Scheme: remaining strike budget.
+func (d *Disconnect) Standing(agent int) float64 {
+	if agent < 0 || agent >= d.n {
+		return 0
+	}
+	s := d.budget - d.strikes[agent]
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// History implements Scheme.
+func (d *Disconnect) History() []Event { return append([]Event(nil), d.events...) }
+
+// --- Reputation ---------------------------------------------------------------
+
+// Reputation multiplies an agent's score by a decay factor per offence
+// (weighted by severity) and excludes agents below a threshold. Honest
+// rounds slowly regenerate reputation toward 1, so one-off suspicions
+// (e.g. statistical flags) wash out while repeat offenders fall.
+type Reputation struct {
+	n         int
+	score     []float64
+	decay     float64 // per-unit-severity multiplicative decay, e.g. 0.5
+	threshold float64
+	regen     float64 // additive per honest round, e.g. 0.01
+	events    []Event
+}
+
+var _ Scheme = (*Reputation)(nil)
+
+// NewReputation creates the scheme. Sensible defaults are substituted for
+// out-of-range parameters: decay 0.5, threshold 0.2, regen 0.01.
+func NewReputation(n int, decay, threshold, regen float64) *Reputation {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.5
+	}
+	if threshold <= 0 || threshold >= 1 {
+		threshold = 0.2
+	}
+	if regen < 0 || regen >= 1 {
+		regen = 0.01
+	}
+	r := &Reputation{n: n, score: make([]float64, n), decay: decay, threshold: threshold, regen: regen}
+	for i := range r.score {
+		r.score[i] = 1
+	}
+	return r
+}
+
+// Name implements Scheme.
+func (r *Reputation) Name() string { return "reputation" }
+
+// Punish implements Scheme.
+func (r *Reputation) Punish(agent, round int, severity float64) error {
+	if agent < 0 || agent >= r.n {
+		return fmt.Errorf("%w: %d", ErrUnknownAgent, agent)
+	}
+	// Severity 1 → full decay; severity 0.5 → half-way (geometric
+	// interpolation keeps repeated small offences compounding).
+	factor := 1 - (1-r.decay)*severity
+	r.score[agent] *= factor
+	r.events = append(r.events, Event{Agent: agent, Round: round, Severity: severity})
+	return nil
+}
+
+// Credit rewards an honest round, regenerating reputation toward 1.
+func (r *Reputation) Credit(agent int) {
+	if agent < 0 || agent >= r.n {
+		return
+	}
+	if r.score[agent] < r.threshold {
+		return // excluded agents do not regenerate
+	}
+	r.score[agent] += r.regen
+	if r.score[agent] > 1 {
+		r.score[agent] = 1
+	}
+}
+
+// Excluded implements Scheme.
+func (r *Reputation) Excluded(agent int) bool {
+	return agent >= 0 && agent < r.n && r.score[agent] < r.threshold
+}
+
+// Standing implements Scheme.
+func (r *Reputation) Standing(agent int) float64 {
+	if agent < 0 || agent >= r.n {
+		return 0
+	}
+	return r.score[agent]
+}
+
+// History implements Scheme.
+func (r *Reputation) History() []Event { return append([]Event(nil), r.events...) }
+
+// --- Deposit -------------------------------------------------------------------
+
+// Deposit holds a real-money escrow per agent; offences are fined
+// proportionally to severity, and an empty escrow excludes the agent (the
+// paper's "punishment schemes based on ... real money deposits").
+type Deposit struct {
+	n       int
+	balance []float64
+	fine    float64
+	events  []Event
+}
+
+var _ Scheme = (*Deposit)(nil)
+
+// NewDeposit creates the scheme with the given initial escrow and the fine
+// charged per unit severity. Non-positive parameters default to escrow 3,
+// fine 1.
+func NewDeposit(n int, escrow, fine float64) *Deposit {
+	if escrow <= 0 {
+		escrow = 3
+	}
+	if fine <= 0 {
+		fine = 1
+	}
+	d := &Deposit{n: n, balance: make([]float64, n), fine: fine}
+	for i := range d.balance {
+		d.balance[i] = escrow
+	}
+	return d
+}
+
+// Name implements Scheme.
+func (d *Deposit) Name() string { return "deposit" }
+
+// Punish implements Scheme.
+func (d *Deposit) Punish(agent, round int, severity float64) error {
+	if agent < 0 || agent >= d.n {
+		return fmt.Errorf("%w: %d", ErrUnknownAgent, agent)
+	}
+	d.balance[agent] -= d.fine * severity
+	d.events = append(d.events, Event{Agent: agent, Round: round, Severity: severity})
+	return nil
+}
+
+// Excluded implements Scheme.
+func (d *Deposit) Excluded(agent int) bool {
+	return agent >= 0 && agent < d.n && d.balance[agent] <= 0
+}
+
+// Standing implements Scheme.
+func (d *Deposit) Standing(agent int) float64 {
+	if agent < 0 || agent >= d.n {
+		return 0
+	}
+	if d.balance[agent] < 0 {
+		return 0
+	}
+	return d.balance[agent]
+}
+
+// History implements Scheme.
+func (d *Deposit) History() []Event { return append([]Event(nil), d.events...) }
+
+// ExcludedSet returns the sorted ids currently excluded under the scheme.
+func ExcludedSet(s Scheme, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if s.Excluded(i) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

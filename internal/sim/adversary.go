@@ -1,0 +1,73 @@
+package sim
+
+import "gameauthority/internal/prng"
+
+// Standard adversaries used across experiments. All are deterministic given
+// their seed so every run is replayable.
+
+// SilentAdversary drops all outgoing traffic (a crashed/muted processor —
+// the weakest Byzantine behaviour).
+func SilentAdversary() Adversary {
+	return AdversaryFunc(func(int, int, []Message) []Message { return nil })
+}
+
+// PassthroughAdversary forwards honest traffic unchanged; useful as a
+// control in experiments and for "selfish but protocol-following" nodes.
+func PassthroughAdversary() Adversary {
+	return AdversaryFunc(func(_ int, _ int, out []Message) []Message { return out })
+}
+
+// DropAdversary drops each message independently with probability p.
+func DropAdversary(seed uint64, p float64) Adversary {
+	src := prng.New(seed)
+	return AdversaryFunc(func(_ int, _ int, out []Message) []Message {
+		kept := out[:0:0]
+		for _, m := range out {
+			if src.Float64() >= p {
+				kept = append(kept, m)
+			}
+		}
+		return kept
+	})
+}
+
+// CorruptPayloadAdversary replaces each outgoing payload using rewrite with
+// probability p (rewrite receives the destination so it can equivocate).
+func CorruptPayloadAdversary(seed uint64, p float64, rewrite func(to int, payload any) any) Adversary {
+	src := prng.New(seed)
+	return AdversaryFunc(func(_ int, _ int, out []Message) []Message {
+		res := make([]Message, len(out))
+		for i, m := range out {
+			if src.Float64() < p {
+				m.Payload = rewrite(m.To, m.Payload)
+			}
+			res[i] = m
+		}
+		return res
+	})
+}
+
+// EquivocateAdversary rewrites every outgoing payload as a function of the
+// destination — the classic two-faced Byzantine behaviour that Byzantine
+// agreement must defeat.
+func EquivocateAdversary(rewrite func(to int, payload any) any) Adversary {
+	return AdversaryFunc(func(_ int, _ int, out []Message) []Message {
+		res := make([]Message, len(out))
+		for i, m := range out {
+			m.Payload = rewrite(m.To, m.Payload)
+			res[i] = m
+		}
+		return res
+	})
+}
+
+// ReplayAdversary buffers the previous pulse's outbox and sends it instead
+// of the current one (stale state attack against self-stabilization).
+func ReplayAdversary() Adversary {
+	var prev []Message
+	return AdversaryFunc(func(_ int, _ int, out []Message) []Message {
+		res := prev
+		prev = append([]Message(nil), out...)
+		return res
+	})
+}

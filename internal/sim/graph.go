@@ -1,0 +1,242 @@
+package sim
+
+import "fmt"
+
+// Graph is a simple undirected communication graph over n vertices, as in
+// §4.1: "there is an edge in E between every pair of processors pi and pj
+// that can directly communicate".
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewGraph returns an edgeless graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops are ignored.
+// Panics on out-of-range vertices: topology construction is programmer
+// controlled.
+func (g *Graph) AddEdge(a, b int) {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		panic(fmt.Sprintf("sim: edge (%d,%d) out of range for n=%d", a, b, g.n))
+	}
+	if a == b {
+		return
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// RemoveEdge deletes the undirected edge {a, b} if present.
+func (g *Graph) RemoveEdge(a, b int) {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+}
+
+// RemoveVertexEdges disconnects vertex v entirely — the executive service's
+// "disconnect from the network" punishment (§3.4).
+func (g *Graph) RemoveVertexEdges(v int) {
+	if v < 0 || v >= g.n {
+		return
+	}
+	for nb := range g.adj[v] {
+		delete(g.adj[nb], v)
+	}
+	g.adj[v] = make(map[int]struct{})
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return false
+	}
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Neighbors returns the sorted-free neighbour list of v (iteration order is
+// unspecified; callers needing determinism must sort).
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for nb := range g.adj[v] {
+		out = append(out, nb)
+	}
+	return out
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for v, nbs := range g.adj {
+		for nb := range nbs {
+			if v < nb {
+				c.AddEdge(v, nb)
+			}
+		}
+	}
+	return c
+}
+
+// FullMesh returns the complete graph K_n — the default topology, which
+// trivially satisfies the paper's 2f+1 vertex-disjoint-paths requirement
+// for f < n/2.
+func FullMesh(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Ring returns the cycle C_n.
+func Ring(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Line returns the path P_n.
+func Line(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Connected reports whether the graph is connected ("the communication
+// graph is not partitioned", §4.1 / footnote 2).
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for nb := range g.adj[v] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// VertexDisjointPaths returns the maximum number of internally
+// vertex-disjoint paths between s and t (Menger's theorem), computed by
+// unit-capacity max-flow on the vertex-split digraph. Footnote 2 requires
+// 2f+1 such paths between every pair for resilience against f Byzantine
+// processors.
+func (g *Graph) VertexDisjointPaths(s, t int) int {
+	if s == t || s < 0 || t < 0 || s >= g.n || t >= g.n {
+		return 0
+	}
+	if g.HasEdge(s, t) {
+		// The direct edge contributes one path; remove it, count the
+		// rest, add it back conceptually.
+		h := g.Clone()
+		h.RemoveEdge(s, t)
+		return 1 + h.VertexDisjointPaths(s, t)
+	}
+	// Vertex splitting: node v becomes v_in (2v) → v_out (2v+1) with
+	// capacity 1, except s and t which have infinite vertex capacity.
+	// Edges get capacity 1 in each direction between out/in nodes.
+	type edge struct {
+		to, cap, rev int
+	}
+	size := 2 * g.n
+	graph := make([][]edge, size)
+	addArc := func(u, v, c int) {
+		graph[u] = append(graph[u], edge{to: v, cap: c, rev: len(graph[v])})
+		graph[v] = append(graph[v], edge{to: u, cap: 0, rev: len(graph[u]) - 1})
+	}
+	const infCap = 1 << 30
+	for v := 0; v < g.n; v++ {
+		c := 1
+		if v == s || v == t {
+			c = infCap
+		}
+		addArc(2*v, 2*v+1, c)
+	}
+	for v := 0; v < g.n; v++ {
+		for nb := range g.adj[v] {
+			addArc(2*v+1, 2*nb, 1)
+		}
+	}
+	source, sink := 2*s+1, 2*t
+	// BFS-augmenting max-flow (Edmonds–Karp); capacities are tiny.
+	flow := 0
+	for {
+		parent := make([]int, size)
+		parentEdge := make([]int, size)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[source] = source
+		queue := []int{source}
+		for len(queue) > 0 && parent[sink] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range graph[u] {
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = u
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[sink] == -1 {
+			return flow
+		}
+		// Augment by 1 (unit capacities dominate).
+		v := sink
+		for v != source {
+			u := parent[v]
+			e := &graph[u][parentEdge[v]]
+			e.cap--
+			graph[v][e.rev].cap++
+			v = u
+		}
+		flow++
+	}
+}
+
+// ToleratesByzantine reports whether the topology provides 2f+1 vertex
+// disjoint paths between every pair of processors — the paper's stated
+// connectivity requirement for tolerating f Byzantine processors.
+func (g *Graph) ToleratesByzantine(f int) bool {
+	need := 2*f + 1
+	for s := 0; s < g.n; s++ {
+		for t := s + 1; t < g.n; t++ {
+			if g.VertexDisjointPaths(s, t) < need {
+				return false
+			}
+		}
+	}
+	return true
+}

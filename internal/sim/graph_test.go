@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("degree = %d, want 2", g.Degree(1))
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge not removed")
+	}
+	// Self loops ignored.
+	g.AddEdge(2, 2)
+	if g.HasEdge(2, 2) {
+		t.Fatal("self loop stored")
+	}
+	// Out-of-range HasEdge is false, not a panic.
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 9) {
+		t.Fatal("out-of-range edge reported true")
+	}
+}
+
+func TestRemoveVertexEdges(t *testing.T) {
+	g := FullMesh(4)
+	g.RemoveVertexEdges(2)
+	if g.Degree(2) != 0 {
+		t.Fatal("vertex still has edges")
+	}
+	for v := 0; v < 4; v++ {
+		if g.HasEdge(v, 2) {
+			t.Fatalf("edge (%d,2) survived", v)
+		}
+	}
+	// Rest of the mesh intact.
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 3) {
+		t.Fatal("unrelated edges removed")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !FullMesh(5).Connected() {
+		t.Fatal("K5 not connected")
+	}
+	if !Ring(5).Connected() {
+		t.Fatal("C5 not connected")
+	}
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !NewGraph(0).Connected() {
+		t.Fatal("empty graph should be trivially connected")
+	}
+}
+
+func TestVertexDisjointPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		s, t int
+		want int
+	}{
+		{"K4", FullMesh(4), 0, 3, 3},
+		{"K5", FullMesh(5), 1, 4, 4},
+		{"ring5", Ring(5), 0, 2, 2},
+		{"line4", Line(4), 0, 3, 1},
+		{"same vertex", FullMesh(3), 1, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.VertexDisjointPaths(tc.s, tc.t); got != tc.want {
+				t.Fatalf("paths(%d,%d) = %d, want %d", tc.s, tc.t, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVertexDisjointPathsBottleneck(t *testing.T) {
+	// Two K3 "lobes" joined through a single cut vertex 3:
+	// 0-1-2 fully connected, 4-5-6 fully connected, both lobes attach to 3.
+	g := NewGraph(7)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {4, 5}, {4, 6}, {5, 6},
+		{0, 3}, {1, 3}, {2, 3}, {4, 3}, {5, 3}, {6, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if got := g.VertexDisjointPaths(0, 6); got != 1 {
+		t.Fatalf("through cut vertex: paths = %d, want 1", got)
+	}
+}
+
+func TestToleratesByzantine(t *testing.T) {
+	// K_n gives n−1 disjoint paths; 2f+1 ≤ n−1 ⟺ f ≤ (n−2)/2.
+	if !FullMesh(7).ToleratesByzantine(2) { // need 5 ≤ 6
+		t.Fatal("K7 should tolerate f=2")
+	}
+	if FullMesh(4).ToleratesByzantine(2) { // need 5 > 3
+		t.Fatal("K4 cannot tolerate f=2")
+	}
+	if !Ring(5).ToleratesByzantine(0) { // need 1 path
+		t.Fatal("C5 should tolerate f=0")
+	}
+	if Ring(5).ToleratesByzantine(1) { // need 3 > 2
+		t.Fatal("C5 cannot tolerate f=1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Ring(4)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.N() != g.N() {
+		t.Fatal("clone size mismatch")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := Line(3)
+	nbs := g.Neighbors(1)
+	if len(nbs) != 2 {
+		t.Fatalf("neighbors(1) = %v, want 2 entries", nbs)
+	}
+}

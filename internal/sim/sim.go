@@ -1,0 +1,267 @@
+// Package sim implements the paper's §4.1 system model: a synchronous
+// distributed system of communicating processors. A common pulse triggers
+// each step; a step sends messages to neighbours, receives everything the
+// neighbours sent on the same pulse, and updates local state. The global
+// configuration is the vector of processor states, observed at pulse
+// boundaries when no messages are in transit.
+//
+// The package provides two execution engines with identical semantics:
+//
+//   - Lockstep: a deterministic single-goroutine loop (the reference model;
+//     all experiments use it).
+//   - Concurrent: one goroutine per processor with a pulse barrier,
+//     demonstrating the same protocols running on real concurrency. A
+//     property test asserts both engines produce identical executions.
+//
+// Byzantine processors are modelled by wrapping an honest process with an
+// adversary that may replace its outbox arbitrarily (including equivocating
+// — sending different values to different neighbours). Transient faults are
+// modelled by corrupting processor state between pulses, which is exactly
+// the self-stabilization adversary of §4.1.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrBadTopology = errors.New("sim: invalid topology")
+	ErrBadProcess  = errors.New("sim: invalid process configuration")
+)
+
+// Message is a point-to-point payload delivered on the pulse after it was
+// sent. Payload types are protocol-defined; processes type-switch on them.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// Process is a synchronous protocol participant. Step is called once per
+// pulse with all messages addressed to it from the previous pulse, and
+// returns the messages to deliver on the next pulse.
+type Process interface {
+	// ID returns the processor's identifier (its index in the network).
+	ID() int
+	// Step executes one synchronous step.
+	Step(pulse int, inbox []Message) (outbox []Message)
+}
+
+// Corruptible is implemented by processes whose state the transient-fault
+// injector can scramble (§4.1's arbitrary starting configuration).
+type Corruptible interface {
+	// Corrupt sets the process state to arbitrary values derived from the
+	// given 64-bit entropy source values.
+	Corrupt(entropy func() uint64)
+}
+
+// Adversary intercepts a Byzantine processor's traffic. Given the honest
+// outbox it may return anything: drop, forge, equivocate.
+type Adversary interface {
+	// Intercept rewrites the outbox of processor id at the given pulse.
+	Intercept(pulse int, id int, honestOutbox []Message) []Message
+}
+
+// AdversaryFunc adapts a function to the Adversary interface.
+type AdversaryFunc func(pulse int, id int, honestOutbox []Message) []Message
+
+// Intercept implements Adversary.
+func (f AdversaryFunc) Intercept(pulse int, id int, honestOutbox []Message) []Message {
+	return f(pulse, id, honestOutbox)
+}
+
+// Network is a synchronous network of processes. The zero value is not
+// usable; construct with NewNetwork.
+type Network struct {
+	procs     []Process
+	topo      *Graph
+	byz       map[int]Adversary
+	pulse     int
+	inTransit [][]Message // messages to deliver at the next pulse, per destination
+
+	// Stats counts traffic for the E-AUD overhead experiments.
+	Stats Stats
+}
+
+// Stats accumulates message-level accounting.
+type Stats struct {
+	MessagesSent    int64
+	MessagesDropped int64
+	Pulses          int64
+}
+
+// NewNetwork builds a network over the given processes. topo may be nil for
+// a full mesh. Process IDs must equal their index.
+func NewNetwork(procs []Process, topo *Graph) (*Network, error) {
+	n := len(procs)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no processes", ErrBadProcess)
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("%w: nil process at %d", ErrBadProcess, i)
+		}
+		if p.ID() != i {
+			return nil, fmt.Errorf("%w: process at index %d reports ID %d", ErrBadProcess, i, p.ID())
+		}
+	}
+	if topo == nil {
+		topo = FullMesh(n)
+	}
+	if topo.N() != n {
+		return nil, fmt.Errorf("%w: graph has %d vertices for %d processes", ErrBadTopology, topo.N(), n)
+	}
+	return &Network{
+		procs:     procs,
+		topo:      topo,
+		byz:       make(map[int]Adversary),
+		inTransit: make([][]Message, n),
+	}, nil
+}
+
+// N returns the number of processors.
+func (nw *Network) N() int { return len(nw.procs) }
+
+// Pulse returns the number of completed pulses.
+func (nw *Network) Pulse() int { return nw.pulse }
+
+// Process returns the i-th process (for state inspection by experiments).
+func (nw *Network) Process(i int) Process { return nw.procs[i] }
+
+// SetByzantine installs an adversary on processor id. Passing nil removes
+// it. Byzantine membership is fixed per experiment run, matching the static
+// Byzantine model of the paper.
+func (nw *Network) SetByzantine(id int, adv Adversary) {
+	if adv == nil {
+		delete(nw.byz, id)
+		return
+	}
+	nw.byz[id] = adv
+}
+
+// ByzantineIDs returns the sorted identifiers of Byzantine processors.
+func (nw *Network) ByzantineIDs() []int {
+	ids := make([]int, 0, len(nw.byz))
+	for id := range nw.byz {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// HonestIDs returns the sorted identifiers of honest processors.
+func (nw *Network) HonestIDs() []int {
+	ids := make([]int, 0, nw.N())
+	for i := range nw.procs {
+		if _, bad := nw.byz[i]; !bad {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// Corrupt invokes the transient-fault injector on every Corruptible process
+// (honest and Byzantine alike) and wipes in-transit messages — producing an
+// arbitrary configuration as in §4.1.
+func (nw *Network) Corrupt(entropy func() uint64) {
+	for _, p := range nw.procs {
+		if c, ok := p.(Corruptible); ok {
+			c.Corrupt(entropy)
+		}
+	}
+	for i := range nw.inTransit {
+		nw.inTransit[i] = nil
+	}
+}
+
+// StepLockstep advances the system by one pulse deterministically:
+// every process receives its pending inbox, produces an outbox (possibly
+// rewritten by its adversary), and messages are filtered by the topology.
+func (nw *Network) StepLockstep() {
+	n := nw.N()
+	inboxes := nw.inTransit
+	nw.inTransit = make([][]Message, n)
+
+	outboxes := make([][]Message, n)
+	for i, p := range nw.procs {
+		out := p.Step(nw.pulse, inboxes[i])
+		if adv, bad := nw.byz[i]; bad {
+			out = adv.Intercept(nw.pulse, i, out)
+		}
+		outboxes[i] = out
+	}
+	nw.route(outboxes)
+	nw.pulse++
+	nw.Stats.Pulses++
+}
+
+// route validates and enqueues outgoing messages for next-pulse delivery.
+func (nw *Network) route(outboxes [][]Message) {
+	for from, out := range outboxes {
+		for _, m := range out {
+			m.From = from // processes cannot spoof the source: links are authenticated per §4.1
+			// Self-delivery is always permitted (a processor hears its
+			// own broadcast); other destinations need a topology edge.
+			if m.To < 0 || m.To >= nw.N() || (m.To != from && !nw.topo.HasEdge(from, m.To)) {
+				nw.Stats.MessagesDropped++
+				continue
+			}
+			nw.inTransit[m.To] = append(nw.inTransit[m.To], m)
+			nw.Stats.MessagesSent++
+		}
+	}
+}
+
+// Run advances the system by pulses pulses using the lockstep engine.
+func (nw *Network) Run(pulses int) {
+	for i := 0; i < pulses; i++ {
+		nw.StepLockstep()
+	}
+}
+
+// RunConcurrent advances the system by pulses pulses using one goroutine
+// per processor with a barrier at every pulse. Semantics are identical to
+// Run; the goroutines exist to demonstrate/stress the same protocols under
+// real scheduling. All goroutines are joined before return.
+func (nw *Network) RunConcurrent(pulses int) {
+	n := nw.N()
+	for i := 0; i < pulses; i++ {
+		inboxes := nw.inTransit
+		nw.inTransit = make([][]Message, n)
+		outboxes := make([][]Message, n)
+
+		var wg sync.WaitGroup
+		for id, p := range nw.procs {
+			wg.Add(1)
+			go func(id int, p Process) {
+				defer wg.Done()
+				out := p.Step(nw.pulse, inboxes[id])
+				if adv, bad := nw.byz[id]; bad {
+					out = adv.Intercept(nw.pulse, id, out)
+				}
+				outboxes[id] = out
+			}(id, p)
+		}
+		wg.Wait()
+
+		nw.route(outboxes)
+		nw.pulse++
+		nw.Stats.Pulses++
+	}
+}
+
+// Broadcast builds one message per neighbour of from in the topology,
+// carrying payload. Helper used by most protocols (includes self-loop
+// delivery so a processor hears itself, which simplifies quorum counting).
+func Broadcast(topo *Graph, from int, payload any) []Message {
+	out := make([]Message, 0, topo.N())
+	for to := 0; to < topo.N(); to++ {
+		if to == from || topo.HasEdge(from, to) {
+			out = append(out, Message{From: from, To: to, Payload: payload})
+		}
+	}
+	return out
+}

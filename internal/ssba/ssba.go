@@ -1,0 +1,293 @@
+// Package ssba implements the paper's Theorem 1: a self-stabilizing
+// Byzantine agreement protocol ("SSBA") obtained by composing the
+// self-stabilizing Byzantine clock synchronization of internal/clocksync
+// with the Byzantine agreement protocol of internal/bap. Whenever the clock
+// value reaches 1, a fresh BAP instance is invoked; the clock modulus M is
+// taken large enough that exactly one agreement fits in each wrap (§4:
+// "we take the clock size logM to be large enough to allow exactly one
+// Byzantine agreement").
+//
+// Lemma 2 (convergence): from an arbitrary configuration the clocks
+// synchronize within finitely many pulses; the first synchronized wrap
+// reaching value 1 starts a clean BAP run, so a safe configuration is
+// reached. Lemma 3 (closure): from a safe configuration, every M-pulse
+// period performs exactly one Byzantine agreement satisfying termination,
+// validity and agreement. The E-T1/E-L2/E-L3 experiments measure both.
+package ssba
+
+import (
+	"errors"
+	"fmt"
+
+	"gameauthority/internal/bap"
+	"gameauthority/internal/clocksync"
+	"gameauthority/internal/sim"
+)
+
+// ErrConfig reports an invalid SSBA configuration.
+var ErrConfig = errors.New("ssba: invalid configuration")
+
+// MinModulus returns the smallest clock modulus that fits one complete
+// Byzantine agreement (f+1 rounds plus start/decide slack) per wrap.
+func MinModulus(f int) int { return bap.Rounds(f) + 3 }
+
+// Msg is the combined per-pulse payload: a clock vote plus, when an
+// agreement is in flight, one EIG round of pairs.
+type Msg struct {
+	Tick    int
+	HasBA   bool
+	BARound int
+	Pairs   []bap.Pair
+}
+
+// Decision records one completed agreement.
+type Decision struct {
+	Pulse int       // pulse at which the decision was made
+	Value bap.Value // the agreed value
+}
+
+// ProposeFunc supplies the value this processor proposes for the agreement
+// starting at the given pulse.
+type ProposeFunc func(pulse int) bap.Value
+
+// Proc is one processor's SSBA state machine.
+type Proc struct {
+	id, n, f, m int
+	clock       *clocksync.Clock
+	propose     ProposeFunc
+
+	ba      *bap.EIG
+	baRound int
+
+	pulseNo   int
+	decisions []Decision
+}
+
+var (
+	_ sim.Process     = (*Proc)(nil)
+	_ sim.Corruptible = (*Proc)(nil)
+)
+
+// New creates processor id's SSBA process. m may be 0 to use MinModulus(f).
+// propose must not be nil.
+func New(id, n, f, m int, seed uint64, propose ProposeFunc) (*Proc, error) {
+	if propose == nil {
+		return nil, fmt.Errorf("%w: nil propose function", ErrConfig)
+	}
+	if m == 0 {
+		m = MinModulus(f)
+	}
+	if m < MinModulus(f) {
+		return nil, fmt.Errorf("%w: m=%d below MinModulus=%d", ErrConfig, m, MinModulus(f))
+	}
+	clock, err := clocksync.New(id, n, f, m, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return &Proc{id: id, n: n, f: f, m: m, clock: clock, propose: propose}, nil
+}
+
+// ID implements sim.Process.
+func (p *Proc) ID() int { return p.id }
+
+// ClockValue returns the current clock value (diagnostics).
+func (p *Proc) ClockValue() int { return p.clock.Value() }
+
+// M returns the clock modulus.
+func (p *Proc) M() int { return p.m }
+
+// Decisions returns the log of completed agreements (oldest first).
+func (p *Proc) Decisions() []Decision {
+	return append([]Decision(nil), p.decisions...)
+}
+
+// Step implements sim.Process. Per pulse: (1) feed clock votes and BA pairs
+// from the inbox, (2) tick the clock, (3) progress or complete the BA in
+// flight, (4) start a fresh BA when the clock reads 1, (5) broadcast the
+// combined payload.
+func (p *Proc) Step(pulse int, inbox []sim.Message) []sim.Message {
+	p.pulseNo++
+
+	type baIn struct {
+		from  int
+		pairs []bap.Pair
+	}
+	var baInbox []baIn
+	gotVotes := false
+	for _, m := range inbox {
+		msg, ok := m.Payload.(Msg)
+		if !ok {
+			continue
+		}
+		p.clock.Vote(m.From, msg.Tick)
+		gotVotes = true
+		if msg.HasBA && p.ba != nil && msg.BARound == p.baRound-1 {
+			baInbox = append(baInbox, baIn{from: m.From, pairs: msg.Pairs})
+		}
+	}
+	_ = gotVotes
+	p.clock.Tick()
+
+	// Progress the agreement in flight with last round's pairs.
+	if p.ba != nil && p.baRound > 0 && !p.ba.Decided() {
+		for _, in := range baInbox {
+			p.ba.Absorb(p.baRound-1, in.from, in.pairs)
+		}
+		p.ba.EndRound()
+		if p.ba.Decided() {
+			v, err := p.ba.Decision()
+			if err == nil {
+				p.decisions = append(p.decisions, Decision{Pulse: pulse, Value: v})
+			}
+			p.ba = nil
+		}
+	}
+
+	// Clock reading 1 starts a fresh agreement, unconditionally discarding
+	// any stale instance (self-stabilization: garbage state dies here).
+	if p.clock.Value() == 1 {
+		ba, err := bap.NewEIG(p.id, p.n, p.f, p.propose(pulse))
+		if err == nil {
+			p.ba = ba
+			p.baRound = 0
+		}
+	}
+
+	// Broadcast combined payload.
+	out := Msg{Tick: p.clock.Value()}
+	if p.ba != nil && !p.ba.Decided() {
+		out.HasBA = true
+		out.BARound = p.baRound
+		out.Pairs = p.ba.RoundMessages(p.baRound)
+		p.baRound++
+	}
+	msgs := make([]sim.Message, 0, p.n)
+	for to := 0; to < p.n; to++ {
+		msgs = append(msgs, sim.Message{From: p.id, To: to, Payload: out})
+	}
+	return msgs
+}
+
+// Corrupt implements sim.Corruptible: scrambles clock, BA instance, round
+// counters and the decision log (the §4.1 transient-fault adversary).
+func (p *Proc) Corrupt(entropy func() uint64) {
+	p.clock.Corrupt(entropy)
+	p.baRound = int(entropy() % uint64(p.f+3))
+	if entropy()&1 == 0 {
+		ba, err := bap.NewEIG(p.id, p.n, p.f, bap.Value(fmt.Sprintf("stale-%d", entropy()%7)))
+		if err == nil {
+			ba.Corrupt(entropy)
+			p.ba = ba
+		}
+	} else {
+		p.ba = nil
+	}
+	p.decisions = nil
+}
+
+// Harness drives a set of SSBA processors and checks the Theorem 1
+// properties over the honest subset.
+type Harness struct {
+	Net    *sim.Network
+	Procs  []*Proc
+	Honest []int
+}
+
+// NewHarness builds n SSBA processors over a full mesh. byz maps processor
+// ids to adversaries. propose receives (id, pulse).
+func NewHarness(n, f, m int, seed uint64, propose func(id, pulse int) bap.Value, byz map[int]sim.Adversary) (*Harness, error) {
+	procs := make([]sim.Process, n)
+	raw := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p, err := New(i, n, f, m, seed, func(pulse int) bap.Value { return propose(i, pulse) })
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = p
+		procs[i] = p
+	}
+	nw, err := sim.NewNetwork(procs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var honest []int
+	for i := 0; i < n; i++ {
+		if _, bad := byz[i]; !bad {
+			honest = append(honest, i)
+		} else {
+			nw.SetByzantine(i, byz[i])
+		}
+	}
+	return &Harness{Net: nw, Procs: raw, Honest: honest}, nil
+}
+
+// AgreementViolation describes a Theorem 1 property violation found by
+// CheckDecisions.
+type AgreementViolation struct {
+	Kind  string // "agreement" | "alignment"
+	Pulse int
+	Info  string
+}
+
+// CheckDecisions compares the last `periods` decisions of all honest
+// processors: they must have decided at the same pulses on the same values.
+// Returns violations (empty = Theorem 1 holds over the window).
+func (h *Harness) CheckDecisions(periods int) []AgreementViolation {
+	var out []AgreementViolation
+	if len(h.Honest) == 0 {
+		return out
+	}
+	ref := h.Procs[h.Honest[0]].Decisions()
+	if len(ref) > periods {
+		ref = ref[len(ref)-periods:]
+	}
+	for _, id := range h.Honest[1:] {
+		d := h.Procs[id].Decisions()
+		if len(d) > periods {
+			d = d[len(d)-periods:]
+		}
+		if len(d) != len(ref) {
+			out = append(out, AgreementViolation{
+				Kind: "alignment",
+				Info: fmt.Sprintf("proc %d has %d decisions, proc %d has %d", id, len(d), h.Honest[0], len(ref)),
+			})
+			continue
+		}
+		for k := range ref {
+			if d[k].Pulse != ref[k].Pulse || d[k].Value != ref[k].Value {
+				out = append(out, AgreementViolation{
+					Kind:  "agreement",
+					Pulse: d[k].Pulse,
+					Info:  fmt.Sprintf("proc %d decided %q@%d, proc %d decided %q@%d", id, d[k].Value, d[k].Pulse, h.Honest[0], ref[k].Value, ref[k].Pulse),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ConvergencePulses corrupts the system with the given entropy source, then
+// runs until every honest processor has completed `stable` aligned
+// agreements, returning the pulse count (or maxPulses+1 on timeout).
+// This is the Lemma 2 measurement.
+func (h *Harness) ConvergencePulses(entropy func() uint64, stable, maxPulses int) int {
+	h.Net.Corrupt(entropy)
+	baseline := make([]int, len(h.Procs))
+	for pulse := 1; pulse <= maxPulses; pulse++ {
+		h.Net.StepLockstep()
+		// Converged when all honest have ≥ stable decisions past their
+		// post-corruption baseline and the tails align.
+		ready := true
+		for _, id := range h.Honest {
+			if len(h.Procs[id].Decisions())-baseline[id] < stable {
+				ready = false
+				break
+			}
+		}
+		if ready && len(h.CheckDecisions(stable)) == 0 {
+			return pulse
+		}
+	}
+	return maxPulses + 1
+}

@@ -1,0 +1,375 @@
+// Package voting implements the legislative service's decision mechanism
+// (paper §3.1): the agents "set up the rules of the game in a democratic
+// manner, e.g., robust voting [14]". It provides standard tally rules
+// (plurality, Borda, approval, Condorcet/Copeland) with deterministic
+// tie-breaking, plus a commit-reveal election that prevents a manipulator
+// from conditioning its ballot on the other ballots — the property the
+// hybrid protocols of Elkind–Lipmaa [14] provide cryptographically (see
+// DESIGN.md §4 for the substitution note).
+package voting
+
+import (
+	"errors"
+	"fmt"
+
+	"gameauthority/internal/commit"
+	"gameauthority/internal/prng"
+)
+
+// Rule selects the tally method.
+type Rule int
+
+// Supported tally rules. Values start at 1 so the zero value is invalid by
+// construction.
+const (
+	Plurality Rule = iota + 1
+	Borda
+	Approval
+	Condorcet
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case Plurality:
+		return "plurality"
+	case Borda:
+		return "borda"
+	case Approval:
+		return "approval"
+	case Condorcet:
+		return "condorcet"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// Errors returned by tallies and elections.
+var (
+	ErrBadBallot    = errors.New("voting: malformed ballot")
+	ErrBadRule      = errors.New("voting: unknown rule")
+	ErrNoCandidates = errors.New("voting: no candidates")
+)
+
+// Ballot is one voter's input. For Plurality only Ranking[0] matters; for
+// Borda and Condorcet the full ranking is used; for Approval the Approved
+// set is used.
+type Ballot struct {
+	// Ranking lists candidate indices from most to least preferred.
+	Ranking []int
+	// Approved lists approved candidate indices (Approval rule only).
+	Approved []int
+}
+
+// ValidateBallot checks the ballot against the rule and candidate count.
+func ValidateBallot(rule Rule, b Ballot, numCandidates int) error {
+	switch rule {
+	case Plurality:
+		if len(b.Ranking) < 1 {
+			return fmt.Errorf("%w: plurality needs a first choice", ErrBadBallot)
+		}
+		if b.Ranking[0] < 0 || b.Ranking[0] >= numCandidates {
+			return fmt.Errorf("%w: first choice %d out of range", ErrBadBallot, b.Ranking[0])
+		}
+		return nil
+	case Borda, Condorcet:
+		if len(b.Ranking) != numCandidates {
+			return fmt.Errorf("%w: ranking has %d entries, want %d", ErrBadBallot, len(b.Ranking), numCandidates)
+		}
+		seen := make([]bool, numCandidates)
+		for _, c := range b.Ranking {
+			if c < 0 || c >= numCandidates || seen[c] {
+				return fmt.Errorf("%w: ranking %v is not a permutation", ErrBadBallot, b.Ranking)
+			}
+			seen[c] = true
+		}
+		return nil
+	case Approval:
+		seen := make([]bool, numCandidates)
+		for _, c := range b.Approved {
+			if c < 0 || c >= numCandidates || seen[c] {
+				return fmt.Errorf("%w: approved set %v invalid", ErrBadBallot, b.Approved)
+			}
+			seen[c] = true
+		}
+		return nil
+	default:
+		return ErrBadRule
+	}
+}
+
+// Tally computes per-candidate scores and the winner under the rule.
+// Invalid ballots are skipped (and their indices reported) — the judicial
+// flavour: bad ballots are evidence, not crashes. Ties break toward the
+// lowest candidate index, deterministically.
+func Tally(rule Rule, ballots []Ballot, numCandidates int) (winner int, scores []float64, invalid []int, err error) {
+	if numCandidates < 1 {
+		return 0, nil, nil, ErrNoCandidates
+	}
+	scores = make([]float64, numCandidates)
+	switch rule {
+	case Plurality:
+		for i, b := range ballots {
+			if ValidateBallot(rule, b, numCandidates) != nil {
+				invalid = append(invalid, i)
+				continue
+			}
+			scores[b.Ranking[0]]++
+		}
+	case Borda:
+		for i, b := range ballots {
+			if ValidateBallot(rule, b, numCandidates) != nil {
+				invalid = append(invalid, i)
+				continue
+			}
+			for pos, c := range b.Ranking {
+				scores[c] += float64(numCandidates - 1 - pos)
+			}
+		}
+	case Approval:
+		for i, b := range ballots {
+			if ValidateBallot(rule, b, numCandidates) != nil {
+				invalid = append(invalid, i)
+				continue
+			}
+			for _, c := range b.Approved {
+				scores[c]++
+			}
+		}
+	case Condorcet:
+		// Copeland scores: +1 per pairwise victory, +0.5 per pairwise tie.
+		wins := make([][]int, numCandidates)
+		for i := range wins {
+			wins[i] = make([]int, numCandidates)
+		}
+		for i, b := range ballots {
+			if ValidateBallot(rule, b, numCandidates) != nil {
+				invalid = append(invalid, i)
+				continue
+			}
+			pos := make([]int, numCandidates)
+			for p, c := range b.Ranking {
+				pos[c] = p
+			}
+			for a := 0; a < numCandidates; a++ {
+				for c := a + 1; c < numCandidates; c++ {
+					if pos[a] < pos[c] {
+						wins[a][c]++
+					} else {
+						wins[c][a]++
+					}
+				}
+			}
+		}
+		for a := 0; a < numCandidates; a++ {
+			for c := 0; c < numCandidates; c++ {
+				if a == c {
+					continue
+				}
+				switch {
+				case wins[a][c] > wins[c][a]:
+					scores[a]++
+				case wins[a][c] == wins[c][a]:
+					scores[a] += 0.5
+				}
+			}
+		}
+	default:
+		return 0, nil, nil, ErrBadRule
+	}
+	winner = 0
+	for c := 1; c < numCandidates; c++ {
+		if scores[c] > scores[winner] {
+			winner = c
+		}
+	}
+	return winner, scores, invalid, nil
+}
+
+// --- Robust (commit-reveal) election -------------------------------------
+
+// Election runs a two-phase commit-reveal vote. Phase 1 collects ballot
+// commitments; once all commitments are in (in the full middleware they are
+// agreed via Byzantine agreement), phase 2 collects openings. A voter whose
+// opening does not match its commitment — or who never reveals — is
+// excluded and reported, so no voter can adapt its ballot to the others'.
+type Election struct {
+	rule    Rule
+	numCand int
+	n       int
+
+	commits   []commit.Digest
+	hasCommit []bool
+	ballots   []Ballot
+	revealed  []bool
+	cheaters  []int
+	phase     int // 1 = committing, 2 = revealing, 3 = closed
+}
+
+// NewElection creates an election for n voters over numCandidates.
+func NewElection(rule Rule, n, numCandidates int) (*Election, error) {
+	if numCandidates < 1 {
+		return nil, ErrNoCandidates
+	}
+	if rule < Plurality || rule > Condorcet {
+		return nil, ErrBadRule
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadBallot, n)
+	}
+	return &Election{
+		rule: rule, numCand: numCandidates, n: n,
+		commits:   make([]commit.Digest, n),
+		hasCommit: make([]bool, n),
+		ballots:   make([]Ballot, n),
+		revealed:  make([]bool, n),
+		phase:     1,
+	}, nil
+}
+
+// EncodeBallot serializes a ballot canonically for commitment.
+func EncodeBallot(b Ballot) []byte {
+	out := []byte{byte(len(b.Ranking))}
+	for _, c := range b.Ranking {
+		out = append(out, byte(c))
+	}
+	out = append(out, byte(len(b.Approved)))
+	for _, c := range b.Approved {
+		out = append(out, byte(c))
+	}
+	return out
+}
+
+// DecodeBallot parses EncodeBallot's output.
+func DecodeBallot(data []byte) (Ballot, error) {
+	var b Ballot
+	if len(data) < 1 {
+		return b, ErrBadBallot
+	}
+	nr := int(data[0])
+	data = data[1:]
+	if len(data) < nr+1 {
+		return b, ErrBadBallot
+	}
+	for i := 0; i < nr; i++ {
+		b.Ranking = append(b.Ranking, int(data[i]))
+	}
+	data = data[nr:]
+	na := int(data[0])
+	data = data[1:]
+	if len(data) != na {
+		return b, ErrBadBallot
+	}
+	for i := 0; i < na; i++ {
+		b.Approved = append(b.Approved, int(data[i]))
+	}
+	return b, nil
+}
+
+// CommitBallot creates a voter's commitment using its private randomness.
+// Returns the opening the voter must retain for the reveal phase.
+func CommitBallot(src *prng.Source, b Ballot) (commit.Digest, commit.Opening) {
+	return commit.Commit(src, EncodeBallot(b))
+}
+
+// SubmitCommit registers voter id's ballot commitment (phase 1).
+func (e *Election) SubmitCommit(id int, d commit.Digest) error {
+	if e.phase != 1 {
+		return fmt.Errorf("%w: commit in phase %d", ErrBadBallot, e.phase)
+	}
+	if id < 0 || id >= e.n {
+		return fmt.Errorf("%w: voter %d", ErrBadBallot, id)
+	}
+	if e.hasCommit[id] {
+		return fmt.Errorf("%w: voter %d committed twice", ErrBadBallot, id)
+	}
+	e.commits[id] = d
+	e.hasCommit[id] = true
+	return nil
+}
+
+// CloseCommits moves to the reveal phase. Voters that never committed are
+// simply absent (abstentions).
+func (e *Election) CloseCommits() { e.phase = 2 }
+
+// SubmitReveal registers voter id's opening (phase 2). A mismatching
+// opening marks the voter as a cheater and discards the ballot.
+func (e *Election) SubmitReveal(id int, op commit.Opening) error {
+	if e.phase != 2 {
+		return fmt.Errorf("%w: reveal in phase %d", ErrBadBallot, e.phase)
+	}
+	if id < 0 || id >= e.n || !e.hasCommit[id] {
+		return fmt.Errorf("%w: voter %d has no commitment", ErrBadBallot, id)
+	}
+	if e.revealed[id] {
+		return fmt.Errorf("%w: voter %d revealed twice", ErrBadBallot, id)
+	}
+	if err := commit.Verify(e.commits[id], op); err != nil {
+		e.cheaters = append(e.cheaters, id)
+		e.revealed[id] = true
+		return nil // recorded as foul play, not an API error
+	}
+	b, err := DecodeBallot(op.Value)
+	if err != nil {
+		e.cheaters = append(e.cheaters, id)
+		e.revealed[id] = true
+		return nil
+	}
+	e.ballots[id] = b
+	e.revealed[id] = true
+	return nil
+}
+
+// Result closes the election and tallies the valid revealed ballots.
+// Cheaters lists voters whose reveal failed verification; silent voters
+// (committed but never revealed) are also cheaters — withholding a reveal
+// after seeing others' ballots is the classic manipulation.
+func (e *Election) Result() (winner int, scores []float64, cheaters []int, err error) {
+	e.phase = 3
+	var valid []Ballot
+	cheaters = append(cheaters, e.cheaters...)
+	seen := make(map[int]bool, len(cheaters))
+	for _, c := range cheaters {
+		seen[c] = true
+	}
+	for id := 0; id < e.n; id++ {
+		if !e.hasCommit[id] {
+			continue // abstained before commitments closed: allowed
+		}
+		if !e.revealed[id] {
+			if !seen[id] {
+				cheaters = append(cheaters, id)
+			}
+			continue
+		}
+		if seen[id] {
+			continue
+		}
+		valid = append(valid, e.ballots[id])
+	}
+	winner, scores, _, err = Tally(e.rule, valid, e.numCand)
+	return winner, scores, cheaters, err
+}
+
+// --- Manipulation modelling ----------------------------------------------
+
+// BestStrategicBallot returns the plurality ballot a manipulator should
+// cast, given full knowledge of the other ballots, to elect the candidate
+// it prefers most among those it can make win. prefs ranks the
+// manipulator's candidates (most preferred first). This models the §3.1
+// threat: in a naive (open, sequential) election the last voter can always
+// play this; commit-reveal forecloses it.
+func BestStrategicBallot(others []Ballot, prefs []int, numCandidates int) Ballot {
+	for _, want := range prefs {
+		trial := append(append([]Ballot(nil), others...), Ballot{Ranking: []int{want}})
+		w, _, _, err := Tally(Plurality, trial, numCandidates)
+		if err == nil && w == want {
+			return Ballot{Ranking: []int{want}}
+		}
+	}
+	// Cannot change the outcome: vote sincerely.
+	if len(prefs) > 0 {
+		return Ballot{Ranking: []int{prefs[0]}}
+	}
+	return Ballot{Ranking: []int{0}}
+}

@@ -1,0 +1,328 @@
+package voting
+
+import (
+	"errors"
+	"testing"
+
+	"gameauthority/internal/commit"
+	"gameauthority/internal/prng"
+)
+
+func TestRuleString(t *testing.T) {
+	for _, r := range []Rule{Plurality, Borda, Approval, Condorcet} {
+		if r.String() == "" {
+			t.Fatalf("rule %d has empty name", r)
+		}
+	}
+	if Rule(0).String() != "rule(0)" {
+		t.Fatal("zero rule should stringify as unknown")
+	}
+}
+
+func TestValidateBallot(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		b    Ballot
+		ok   bool
+	}{
+		{"plurality ok", Plurality, Ballot{Ranking: []int{2}}, true},
+		{"plurality empty", Plurality, Ballot{}, false},
+		{"plurality range", Plurality, Ballot{Ranking: []int{5}}, false},
+		{"borda ok", Borda, Ballot{Ranking: []int{2, 0, 1}}, true},
+		{"borda short", Borda, Ballot{Ranking: []int{2, 0}}, false},
+		{"borda dup", Borda, Ballot{Ranking: []int{2, 2, 1}}, false},
+		{"approval ok", Approval, Ballot{Approved: []int{0, 2}}, true},
+		{"approval empty ok", Approval, Ballot{}, true},
+		{"approval dup", Approval, Ballot{Approved: []int{1, 1}}, false},
+		{"condorcet ok", Condorcet, Ballot{Ranking: []int{0, 1, 2}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateBallot(tc.rule, tc.b, 3)
+			if tc.ok && err != nil {
+				t.Fatalf("err = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	if err := ValidateBallot(Rule(99), Ballot{}, 3); !errors.Is(err, ErrBadRule) {
+		t.Fatalf("unknown rule: %v", err)
+	}
+}
+
+func TestTallyPlurality(t *testing.T) {
+	ballots := []Ballot{
+		{Ranking: []int{0}}, {Ranking: []int{1}}, {Ranking: []int{1}},
+		{Ranking: []int{9}}, // invalid
+	}
+	w, scores, invalid, err := Tally(Plurality, ballots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || scores[1] != 2 {
+		t.Fatalf("winner=%d scores=%v", w, scores)
+	}
+	if len(invalid) != 1 || invalid[0] != 3 {
+		t.Fatalf("invalid = %v, want [3]", invalid)
+	}
+}
+
+func TestTallyPluralityTieBreaksLow(t *testing.T) {
+	ballots := []Ballot{{Ranking: []int{2}}, {Ranking: []int{0}}}
+	w, _, _, err := Tally(Plurality, ballots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("tie should break to candidate 0, got %d", w)
+	}
+}
+
+func TestTallyBorda(t *testing.T) {
+	// 2 voters: [0,1,2] gives 0:2,1:1,2:0; [1,0,2] gives 1:2,0:1,2:0.
+	ballots := []Ballot{{Ranking: []int{0, 1, 2}}, {Ranking: []int{1, 0, 2}}}
+	w, scores, _, err := Tally(Borda, ballots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 3 || scores[1] != 3 || scores[2] != 0 {
+		t.Fatalf("borda scores = %v", scores)
+	}
+	if w != 0 { // tie 0 vs 1 → low index
+		t.Fatalf("winner = %d, want 0", w)
+	}
+}
+
+func TestTallyApproval(t *testing.T) {
+	ballots := []Ballot{{Approved: []int{0, 1}}, {Approved: []int{1}}, {Approved: []int{2}}}
+	w, scores, _, err := Tally(Approval, ballots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || scores[1] != 2 {
+		t.Fatalf("approval winner=%d scores=%v", w, scores)
+	}
+}
+
+func TestTallyCondorcet(t *testing.T) {
+	// Candidate 1 beats 0 and 2 pairwise.
+	ballots := []Ballot{
+		{Ranking: []int{1, 0, 2}},
+		{Ranking: []int{1, 2, 0}},
+		{Ranking: []int{0, 1, 2}},
+	}
+	w, scores, _, err := Tally(Condorcet, ballots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("condorcet winner = %d (scores %v), want 1", w, scores)
+	}
+	if scores[1] != 2 {
+		t.Fatalf("copeland score of winner = %v, want 2", scores[1])
+	}
+}
+
+func TestTallyErrors(t *testing.T) {
+	if _, _, _, err := Tally(Plurality, nil, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("no candidates: %v", err)
+	}
+	if _, _, _, err := Tally(Rule(42), nil, 2); !errors.Is(err, ErrBadRule) {
+		t.Fatalf("bad rule: %v", err)
+	}
+}
+
+func TestBallotEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Ballot{
+		{},
+		{Ranking: []int{2, 0, 1}},
+		{Approved: []int{1, 3}},
+		{Ranking: []int{0}, Approved: []int{0, 1, 2}},
+	}
+	for _, b := range cases {
+		got, err := DecodeBallot(EncodeBallot(b))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", b, err)
+		}
+		if len(got.Ranking) != len(b.Ranking) || len(got.Approved) != len(b.Approved) {
+			t.Fatalf("round trip mismatch: %v vs %v", got, b)
+		}
+		for i := range b.Ranking {
+			if got.Ranking[i] != b.Ranking[i] {
+				t.Fatalf("ranking mismatch: %v vs %v", got, b)
+			}
+		}
+		for i := range b.Approved {
+			if got.Approved[i] != b.Approved[i] {
+				t.Fatalf("approved mismatch: %v vs %v", got, b)
+			}
+		}
+	}
+	if _, err := DecodeBallot(nil); !errors.Is(err, ErrBadBallot) {
+		t.Fatalf("nil decode: %v", err)
+	}
+	if _, err := DecodeBallot([]byte{5, 1}); !errors.Is(err, ErrBadBallot) {
+		t.Fatalf("truncated decode: %v", err)
+	}
+}
+
+func TestElectionHappyPath(t *testing.T) {
+	e, err := NewElection(Plurality, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(1)
+	ballots := []Ballot{{Ranking: []int{1}}, {Ranking: []int{1}}, {Ranking: []int{0}}}
+	openings := make([]commit.Opening, 3)
+	for i, b := range ballots {
+		d, op := CommitBallot(src, b)
+		openings[i] = op
+		if err := e.SubmitCommit(i, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.CloseCommits()
+	for i := range ballots {
+		if err := e.SubmitReveal(i, openings[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, scores, cheaters, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || scores[1] != 2 || len(cheaters) != 0 {
+		t.Fatalf("w=%d scores=%v cheaters=%v", w, scores, cheaters)
+	}
+}
+
+func TestElectionDetectsAlteredReveal(t *testing.T) {
+	e, err := NewElection(Plurality, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(2)
+	d0, op0 := CommitBallot(src, Ballot{Ranking: []int{0}})
+	d1, _ := CommitBallot(src, Ballot{Ranking: []int{0}})
+	if err := e.SubmitCommit(0, d0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitCommit(1, d1); err != nil {
+		t.Fatal(err)
+	}
+	e.CloseCommits()
+	if err := e.SubmitReveal(0, op0); err != nil {
+		t.Fatal(err)
+	}
+	// Voter 1 tries to reveal a different ballot than committed.
+	forged := commit.Opening{Value: EncodeBallot(Ballot{Ranking: []int{1}})}
+	if err := e.SubmitReveal(1, forged); err != nil {
+		t.Fatal(err) // recorded as cheat, not an API error
+	}
+	w, _, cheaters, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cheaters) != 1 || cheaters[0] != 1 {
+		t.Fatalf("cheaters = %v, want [1]", cheaters)
+	}
+	if w != 0 {
+		t.Fatalf("winner = %d; forged ballot must not count", w)
+	}
+}
+
+func TestElectionSilentRevealerIsCheater(t *testing.T) {
+	e, _ := NewElection(Plurality, 2, 2)
+	src := prng.New(3)
+	d0, op0 := CommitBallot(src, Ballot{Ranking: []int{0}})
+	d1, _ := CommitBallot(src, Ballot{Ranking: []int{1}})
+	if err := e.SubmitCommit(0, d0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitCommit(1, d1); err != nil {
+		t.Fatal(err)
+	}
+	e.CloseCommits()
+	if err := e.SubmitReveal(0, op0); err != nil {
+		t.Fatal(err)
+	}
+	// Voter 1 never reveals (withholds after seeing the tide turn).
+	_, _, cheaters, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cheaters) != 1 || cheaters[0] != 1 {
+		t.Fatalf("cheaters = %v, want [1]", cheaters)
+	}
+}
+
+func TestElectionPhaseEnforcement(t *testing.T) {
+	e, _ := NewElection(Plurality, 2, 2)
+	src := prng.New(4)
+	d, op := CommitBallot(src, Ballot{Ranking: []int{0}})
+	if err := e.SubmitReveal(0, op); err == nil {
+		t.Fatal("reveal accepted during commit phase")
+	}
+	if err := e.SubmitCommit(0, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitCommit(0, d); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	e.CloseCommits()
+	if err := e.SubmitCommit(1, d); err == nil {
+		t.Fatal("commit accepted after close")
+	}
+	if err := e.SubmitReveal(0, op); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitReveal(0, op); err == nil {
+		t.Fatal("double reveal accepted")
+	}
+}
+
+func TestNewElectionValidation(t *testing.T) {
+	if _, err := NewElection(Plurality, 3, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("0 candidates: %v", err)
+	}
+	if _, err := NewElection(Rule(9), 3, 2); !errors.Is(err, ErrBadRule) {
+		t.Fatalf("bad rule: %v", err)
+	}
+	if _, err := NewElection(Plurality, 0, 2); err == nil {
+		t.Fatal("0 voters accepted")
+	}
+}
+
+func TestBestStrategicBallotSwingsNaiveElection(t *testing.T) {
+	// Others: candidate 0 has 2 votes, candidate 1 has 2 votes.
+	// Manipulator prefers 1: its vote decides.
+	others := []Ballot{
+		{Ranking: []int{0}}, {Ranking: []int{0}},
+		{Ranking: []int{1}}, {Ranking: []int{1}},
+	}
+	b := BestStrategicBallot(others, []int{1, 0}, 2)
+	trial := append(append([]Ballot(nil), others...), b)
+	w, _, _, err := Tally(Plurality, trial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("manipulator failed to elect its preference: winner %d", w)
+	}
+}
+
+func TestBestStrategicBallotSettlesForAchievable(t *testing.T) {
+	// Candidate 0 leads by 3; the manipulator cannot elect 1 and settles
+	// for the best achievable outcome on its preference list (0).
+	others := []Ballot{{Ranking: []int{0}}, {Ranking: []int{0}}, {Ranking: []int{0}}}
+	b := BestStrategicBallot(others, []int{1, 0}, 2)
+	if b.Ranking[0] != 0 {
+		t.Fatalf("ballot = %v, want settle on achievable candidate 0", b)
+	}
+	if got := BestStrategicBallot(nil, nil, 2); got.Ranking[0] != 0 {
+		t.Fatalf("empty prefs fallback = %v", got)
+	}
+}
