@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci fmt fmt-fix vet build test race bench
+
+ci: fmt vet build test race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a bit-rot smoke, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,173 @@
+package gameauthority
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Authority-host errors.
+var (
+	// ErrSessionExists is returned when creating a session under an ID
+	// that is already hosted.
+	ErrSessionExists = errors.New("gameauthority: session id already hosted")
+	// ErrSessionNotFound is returned for lookups of unknown session IDs.
+	ErrSessionNotFound = errors.New("gameauthority: session not found")
+	// ErrSessionID is returned for malformed session IDs (see Host).
+	ErrSessionID = errors.New("gameauthority: invalid session id")
+)
+
+// validSessionID restricts registry keys so every hosted session stays
+// addressable by the single-segment HTTP routes (/sessions/{id}): 1–64
+// characters from [A-Za-z0-9._-].
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	// "." and ".." survive the character class but are path-cleaned away
+	// by net/http routing.
+	if id == "." || id == ".." {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Authority hosts many independent authority sessions keyed by ID behind
+// a sync-safe registry — the middleware as a long-lived multi-tenant
+// service rather than a one-shot driver. All methods are safe for
+// concurrent use, and hosted sessions may be played concurrently (each
+// session serializes its own plays).
+type Authority struct {
+	mu       sync.RWMutex
+	sessions map[string]*HostedSession
+	nextID   uint64
+}
+
+// HostedSession is a Session registered with an Authority under an ID.
+type HostedSession struct {
+	Session
+	id string
+}
+
+// ID returns the session's registry key.
+func (h *HostedSession) ID() string { return h.id }
+
+// NewAuthority creates an empty host.
+func NewAuthority() *Authority {
+	return &Authority{sessions: make(map[string]*HostedSession)}
+}
+
+// Create builds a session with New and hosts it under id. An empty id is
+// assigned automatically ("s-1", "s-2", ...). Creating over an existing
+// id fails with ErrSessionExists.
+func (a *Authority) Create(id string, g Game, opts ...Option) (*HostedSession, error) {
+	// Check the ID before paying for session construction (a distributed
+	// session builds a whole processor mesh). Host re-checks under the
+	// write lock, so a lost race still fails cleanly with ErrSessionExists.
+	if id != "" {
+		if !validSessionID(id) {
+			return nil, fmt.Errorf("%w: %q (want 1-64 characters from [A-Za-z0-9._-])", ErrSessionID, id)
+		}
+		a.mu.RLock()
+		_, taken := a.sessions[id]
+		a.mu.RUnlock()
+		if taken {
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		}
+	}
+	s, err := New(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return a.Host(id, s)
+}
+
+// Host registers an existing session under id (empty = auto-assigned).
+// IDs are restricted to 1–64 characters from [A-Za-z0-9._-] so every
+// session stays addressable over HTTP.
+func (a *Authority) Host(id string, s Session) (*HostedSession, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id == "" {
+		for {
+			a.nextID++
+			id = fmt.Sprintf("s-%d", a.nextID)
+			if _, taken := a.sessions[id]; !taken {
+				break
+			}
+		}
+	} else if !validSessionID(id) {
+		return nil, fmt.Errorf("%w: %q (want 1-64 characters from [A-Za-z0-9._-])", ErrSessionID, id)
+	} else if _, taken := a.sessions[id]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+	}
+	h := &HostedSession{Session: s, id: id}
+	a.sessions[id] = h
+	return h, nil
+}
+
+// Get returns the hosted session with the given ID.
+func (a *Authority) Get(id string) (*HostedSession, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	h, ok := a.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return h, nil
+}
+
+// Remove closes and unregisters the session with the given ID.
+func (a *Authority) Remove(id string) error {
+	a.mu.Lock()
+	h, ok := a.sessions[id]
+	delete(a.sessions, id)
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return h.Close()
+}
+
+// Len returns the number of hosted sessions.
+func (a *Authority) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.sessions)
+}
+
+// Sessions returns the hosted sessions sorted by ID.
+func (a *Authority) Sessions() []*HostedSession {
+	a.mu.RLock()
+	out := make([]*HostedSession, 0, len(a.sessions))
+	for _, h := range a.sessions {
+		out = append(out, h)
+	}
+	a.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Close removes every hosted session, returning the first close error.
+func (a *Authority) Close() error {
+	a.mu.Lock()
+	sessions := a.sessions
+	a.sessions = make(map[string]*HostedSession)
+	a.mu.Unlock()
+	var first error
+	for _, h := range sessions {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

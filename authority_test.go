@@ -1,0 +1,139 @@
+package gameauthority_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	ga "gameauthority"
+)
+
+func TestAuthorityRegistry(t *testing.T) {
+	a := ga.NewAuthority()
+
+	h1, err := a.Create("alpha", ga.PrisonersDilemma(), ga.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.ID() != "alpha" {
+		t.Fatalf("id = %q", h1.ID())
+	}
+	if _, err := a.Create("alpha", ga.PrisonersDilemma()); !errors.Is(err, ga.ErrSessionExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	for _, bad := range []string{"a/b", "a b", "é", ".", "..", string(make([]byte, 65))} {
+		if _, err := a.Create(bad, ga.PrisonersDilemma()); !errors.Is(err, ga.ErrSessionID) {
+			t.Fatalf("Create(%q): %v, want ErrSessionID", bad, err)
+		}
+	}
+
+	h2, err := a.Create("", ga.MatchingPennies(),
+		ga.WithStrategies(uniform2),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+		ga.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ID() == "" {
+		t.Fatal("auto-assigned id is empty")
+	}
+
+	if got, err := a.Get("alpha"); err != nil || got != h1 {
+		t.Fatalf("Get(alpha) = %v, %v", got, err)
+	}
+	if _, err := a.Get("ghost"); !errors.Is(err, ga.ErrSessionNotFound) {
+		t.Fatalf("Get(ghost): %v", err)
+	}
+	if n := a.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+	if list := a.Sessions(); len(list) != 2 || list[0].ID() != "alpha" {
+		t.Fatalf("Sessions = %v", list)
+	}
+
+	if err := a.Remove("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Remove("alpha"); !errors.Is(err, ga.ErrSessionNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.Len(); n != 0 {
+		t.Fatalf("Len after Close = %d", n)
+	}
+}
+
+// TestAuthorityConcurrentSessions hosts many independent sessions and
+// plays them all concurrently — each session additionally from several
+// goroutines — while readers walk the registry. Meant to run under
+// `go test -race`.
+func TestAuthorityConcurrentSessions(t *testing.T) {
+	const (
+		sessions       = 8
+		playersPerSess = 3
+		playsEach      = 20
+	)
+	a := ga.NewAuthority()
+	for i := 0; i < sessions; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = a.Create(fmt.Sprintf("pure-%d", i), ga.PrisonersDilemma(), ga.WithSeed(uint64(i)))
+		} else {
+			_, err = a.Create(fmt.Sprintf("mixed-%d", i), ga.MatchingPennies(),
+				ga.WithStrategies(uniform2),
+				ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+				ga.WithSeed(uint64(i)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*playersPerSess+1)
+	for _, h := range a.Sessions() {
+		// A session subscriber racing with the players.
+		unsubscribe := h.Subscribe(ga.ObserverFunc(func(ga.Event) {}))
+		defer unsubscribe()
+		for p := 0; p < playersPerSess; p++ {
+			wg.Add(1)
+			go func(s ga.Session) {
+				defer wg.Done()
+				for r := 0; r < playsEach; r++ {
+					if _, err := s.Play(ctx); err != nil {
+						errs <- err
+						return
+					}
+					_ = s.Stats()
+				}
+			}(h)
+		}
+	}
+	// A registry reader racing with the players.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, h := range a.Sessions() {
+				_ = h.Stats()
+				_ = h.Results()
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, h := range a.Sessions() {
+		if got := h.Stats().Rounds; got != playersPerSess*playsEach {
+			t.Fatalf("session %s completed %d rounds, want %d", h.ID(), got, playersPerSess*playsEach)
+		}
+	}
+}

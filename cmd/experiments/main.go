@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +21,6 @@ import (
 	"gameauthority/internal/game"
 	"gameauthority/internal/metrics"
 	"gameauthority/internal/prng"
-	"gameauthority/internal/punish"
 	"gameauthority/internal/sim"
 	"gameauthority/internal/ssba"
 )
@@ -85,22 +85,25 @@ func runEF1(quick bool) {
 	strategies := func(int, ga.Profile) ga.MixedProfile {
 		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
 	}
-	run := func(mode ga.MixedConfig) (float64, float64, bool) {
-		s, err := ga.NewMixedSession(mode)
+	run := func(opts ...ga.Option) (float64, float64, bool) {
+		s, err := ga.New(ga.MatchingPennies(), opts...)
 		fatal(err)
-		fatal(s.Play(rounds))
-		return s.CumulativePayoff(0) / float64(rounds), s.CumulativePayoff(1) / float64(rounds), s.Excluded(1)
+		_, err = s.Run(context.Background(), rounds)
+		fatal(err)
+		st := s.Stats()
+		return -st.CumulativeCost[0] / float64(rounds), -st.CumulativeCost[1] / float64(rounds), st.Excluded[1]
 	}
-	manip := &ga.MixedAgent{Override: func(int, int) int { return ga.ManipulateAction }}
-	a0, b0, _ := run(ga.MixedConfig{
-		Elected: ga.MatchingPennies(), Actual: g, Strategies: strategies,
-		Agents: []*ga.MixedAgent{nil, manip}, Mode: ga.AuditOff, Seed: 1,
-	})
-	a1, b1, excl := run(ga.MixedConfig{
-		Elected: ga.MatchingPennies(), Actual: g, Strategies: strategies,
-		Agents: []*ga.MixedAgent{nil, manip}, Scheme: ga.NewDisconnectScheme(2, 0),
-		Mode: ga.AuditPerRound, Seed: 2,
-	})
+	manip := func() *ga.MixedAgent {
+		return &ga.MixedAgent{Override: func(int, int) int { return ga.ManipulateAction }}
+	}
+	a0, b0, _ := run(
+		ga.WithActual(g), ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip()),
+		ga.WithAudit(ga.AuditOff), ga.WithSeed(1),
+	)
+	a1, b1, excl := run(
+		ga.WithActual(g), ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip()),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)), ga.WithAudit(ga.AuditPerRound), ga.WithSeed(2),
+	)
 	fmt.Printf("\n  %-22s %12s %12s\n", "configuration", "A payoff/rd", "B payoff/rd")
 	fmt.Printf("  %-22s %+12.3f %+12.3f   (paper: 0 → −4 / 0 → +4)\n", "no authority", a0, b0)
 	fmt.Printf("  %-22s %+12.3f %+12.3f   (manipulator excluded: %v)\n", "game authority", a1, b1, excl)
@@ -194,10 +197,14 @@ func runET5(quick bool) {
 			}
 			var ratios []float64
 			for seed := 0; seed < seeds; seed++ {
-				h, err := ga.NewSupervisedRRA(cfg.n, cfg.b, uint64(seed), ga.NewDisconnectScheme(cfg.n, 0), true)
+				s, err := ga.New(nil,
+					ga.WithRRA(cfg.n, cfg.b),
+					ga.WithPunishment(ga.NewDisconnectScheme(cfg.n, 0)),
+					ga.WithSeed(uint64(seed)))
 				fatal(err)
-				fatal(h.Play(k))
-				r, err := ga.MultiRoundAnarchyCost(float64(h.RRA().MaxLoad()), ga.OptMaxLoad(cfg.n, cfg.b, k))
+				_, err = s.Run(context.Background(), k)
+				fatal(err)
+				r, err := ga.MultiRoundAnarchyCost(float64(ga.AsRRA(s).RRA().MaxLoad()), ga.OptMaxLoad(cfg.n, cfg.b, k))
 				fatal(err)
 				ratios = append(ratios, r)
 			}
@@ -272,26 +279,22 @@ func runEAUD(quick bool) {
 		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
 	}
 	fmt.Printf("  %-16s %-14s %-14s %-16s %-18s\n", "discipline", "commitments", "agreements", "agreements/rd", "est. messages")
-	runMode := func(label string, mode ga.MixedConfig) {
-		s, err := ga.NewMixedSession(mode)
+	runMode := func(label string, audit ga.Option) {
+		s, err := ga.New(ga.MatchingPennies(),
+			ga.WithStrategies(strategies),
+			ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+			audit, ga.WithSeed(1))
 		fatal(err)
-		fatal(s.Play(rounds))
-		fatal(s.CloseEpoch())
-		st := s.Stats()
+		_, err = s.Run(context.Background(), rounds)
+		fatal(err)
+		fatal(s.Close()) // audits the trailing partial epoch in batched mode
+		st := s.Stats().Protocol
 		fmt.Printf("  %-16s %-14d %-14d %-16.3f %-18d\n", label,
 			st.Commitments, st.Agreements, float64(st.Agreements)/float64(rounds), st.MessageEstimate)
 	}
-	runMode("per-round", ga.MixedConfig{
-		Elected: ga.MatchingPennies(), Strategies: strategies,
-		Agents: []*ga.MixedAgent{nil, nil}, Scheme: ga.NewDisconnectScheme(2, 0),
-		Mode: ga.AuditPerRound, Seed: 1,
-	})
+	runMode("per-round", ga.WithAudit(ga.AuditPerRound))
 	for _, t := range []int{2, 4, 8, 16, 32, 64} {
-		runMode(fmt.Sprintf("batched T=%d", t), ga.MixedConfig{
-			Elected: ga.MatchingPennies(), Strategies: strategies,
-			Agents: []*ga.MixedAgent{nil, nil}, Scheme: ga.NewDisconnectScheme(2, 0),
-			Mode: ga.AuditBatched, EpochLen: t, Seed: 1,
-		})
+		runMode(fmt.Sprintf("batched T=%d", t), ga.WithAudit(ga.AuditBatched, ga.EpochLen(t)))
 	}
 	fmt.Println("  (batched epoch audits amortize the §5.3 overhead roughly as 3/T)")
 }
@@ -301,30 +304,31 @@ func runEPUN(quick bool) {
 		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
 	}
 	fmt.Printf("  %-14s %-20s %-18s\n", "scheme", "rounds to exclude", "damage (B's gain)")
+	ctx := context.Background()
 	for _, mk := range []func() ga.PunishmentScheme{
-		func() ga.PunishmentScheme { return punish.NewDisconnect(2, 0) },
-		func() ga.PunishmentScheme { return punish.NewReputation(2, 0.5, 0.2, 0) },
-		func() ga.PunishmentScheme { return punish.NewDeposit(2, 3, 1) },
+		func() ga.PunishmentScheme { return ga.NewDisconnectScheme(2, 0) },
+		func() ga.PunishmentScheme { return ga.NewReputationScheme(2, 0.5, 0.2, 0) },
+		func() ga.PunishmentScheme { return ga.NewDepositScheme(2, 3, 1) },
 	} {
 		scheme := mk()
 		manip := &ga.MixedAgent{Override: func(int, int) int { return ga.ManipulateAction }}
-		s, err := ga.NewMixedSession(ga.MixedConfig{
-			Elected: ga.MatchingPennies(), Actual: ga.MatchingPenniesManipulated(),
-			Strategies: strategies, Agents: []*ga.MixedAgent{nil, manip},
-			Scheme: scheme, Mode: ga.AuditPerRound, Seed: 9,
-		})
+		s, err := ga.New(ga.MatchingPennies(),
+			ga.WithActual(ga.MatchingPenniesManipulated()),
+			ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip),
+			ga.WithPunishment(scheme), ga.WithAudit(ga.AuditPerRound), ga.WithSeed(9))
 		fatal(err)
 		excludedAt := -1
 		for r := 1; r <= 200; r++ {
-			_, err := s.PlayRound()
+			_, err := s.Play(ctx)
 			fatal(err)
-			if s.Excluded(1) {
+			if s.Stats().Excluded[1] {
 				excludedAt = r
 				break
 			}
 		}
-		fatal(s.Play(100)) // post-exclusion tail
-		fmt.Printf("  %-14s %-20d %-18.2f\n", scheme.Name(), excludedAt, s.CumulativePayoff(1))
+		_, err = s.Run(ctx, 100) // post-exclusion tail
+		fatal(err)
+		fmt.Printf("  %-14s %-20d %-18.2f\n", scheme.Name(), excludedAt, -s.Stats().CumulativeCost[1])
 	}
 	fmt.Println("  (harsher schemes bound the manipulation damage sooner — §3.4)")
 }
@@ -404,31 +408,32 @@ func runEEXT(quick bool) {
 	// --- Sampled auditing (§1.1): detection latency vs overhead ------------
 	fmt.Println("  sampled auditing (§1.1 extension): Fig. 1 manipulator, varying spot-check rate")
 	fmt.Printf("  %-10s %-22s %-18s %-14s\n", "p", "mean rounds to catch", "agreements/rd", "reveals/rd")
+	ctx := context.Background()
 	for _, p := range []float64{1.0, 0.5, 0.2, 0.05} {
 		var latencies []float64
 		var agreements, reveals float64
 		for trial := 0; trial < trials; trial++ {
 			manip := &ga.MixedAgent{Override: func(int, int) int { return ga.ManipulateAction }}
-			s, err := ga.NewMixedSession(ga.MixedConfig{
-				Elected: ga.MatchingPennies(), Actual: ga.MatchingPenniesManipulated(),
-				Strategies: strategies, Agents: []*ga.MixedAgent{nil, manip},
-				Scheme: ga.NewDisconnectScheme(2, 0), Mode: ga.AuditSampled,
-				SampleProb: p, Seed: uint64(trial * 131),
-			})
+			s, err := ga.New(ga.MatchingPennies(),
+				ga.WithActual(ga.MatchingPenniesManipulated()),
+				ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip),
+				ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+				ga.WithAudit(ga.AuditSampled, ga.SampleProb(p)),
+				ga.WithSeed(uint64(trial*131)))
 			fatal(err)
 			caught := float64(rounds + 1)
 			for r := 1; r <= rounds; r++ {
-				_, err := s.PlayRound()
+				_, err := s.Play(ctx)
 				fatal(err)
-				if s.Excluded(1) {
+				if s.Stats().Excluded[1] {
 					caught = float64(r)
 					break
 				}
 			}
 			latencies = append(latencies, caught)
 			st := s.Stats()
-			agreements += float64(st.Agreements) / float64(s.Round())
-			reveals += float64(st.Reveals) / float64(s.Round())
+			agreements += float64(st.Protocol.Agreements) / float64(st.Rounds)
+			reveals += float64(st.Protocol.Reveals) / float64(st.Rounds)
 		}
 		fmt.Printf("  %-10.2f %-22.1f %-18.2f %-14.2f\n",
 			p, metrics.Summarize(latencies).Mean, agreements/float64(trials), reveals/float64(trials))
@@ -437,18 +442,17 @@ func runEEXT(quick bool) {
 	// --- Statistical screening (§5.2) ---------------------------------------
 	fmt.Println("\n  statistical screening (§5.2): biased player vs declared uniform strategy")
 	biased := &ga.MixedAgent{Override: func(int, int) int { return 0 }}
-	scheme := punish.NewReputation(2, 0.5, 0.4, 0)
-	s, err := ga.NewMixedSession(ga.MixedConfig{
-		Elected: ga.MatchingPennies(), Strategies: strategies,
-		Agents: []*ga.MixedAgent{nil, biased}, Scheme: scheme,
-		Mode: ga.AuditStatistical, Window: 50, ChiThreshold: 6.63, Seed: 17,
-	})
+	s, err := ga.New(ga.MatchingPennies(),
+		ga.WithStrategies(strategies), ga.WithMixedAgents(nil, biased),
+		ga.WithPunishment(ga.NewReputationScheme(2, 0.5, 0.4, 0)),
+		ga.WithAudit(ga.AuditStatistical, ga.Window(50), ga.ChiThreshold(6.63)),
+		ga.WithSeed(17))
 	fatal(err)
 	caught := -1
 	for r := 1; r <= 600; r++ {
-		_, err := s.PlayRound()
+		_, err := s.Play(ctx)
 		fatal(err)
-		if s.Excluded(1) {
+		if s.Stats().Excluded[1] {
 			caught = r
 			break
 		}

@@ -1,23 +1,31 @@
-// Command gameauthd runs a simulated distributed game-authority cluster and
-// prints a play-by-play trace: n processors, a self-stabilizing Byzantine
-// clock scheduling the §3.3 protocol phases, interactive consistency for
-// every agreement, judicial audits, and executive punishments.
+// Command gameauthd runs the game-authority middleware in one of two modes.
+//
+// Trace mode (default) simulates one distributed cluster and prints a
+// play-by-play trace: n processors, a self-stabilizing Byzantine clock
+// scheduling the §3.3 protocol phases, interactive consistency for every
+// agreement, judicial audits, and executive punishments.
+//
+// Serve mode (-serve) hosts many independent authority sessions behind the
+// HTTP/JSON API (POST /sessions, POST /sessions/{id}/play,
+// GET /sessions/{id}/events, ...).
 //
 // Usage examples:
 //
 //	go run ./cmd/gameauthd                          # 4 honest processors
 //	go run ./cmd/gameauthd -n 4 -f 1 -cheat 2       # processor 2 plays outside Π
 //	go run ./cmd/gameauthd -corrupt 3 -plays 12     # transient fault after play 3
+//	go run ./cmd/gameauthd -serve :8080             # multi-session HTTP host
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	ga "gameauthority"
-	"gameauthority/internal/core"
-	"gameauthority/internal/game"
 	"gameauthority/internal/prng"
 	"gameauthority/internal/sim"
 )
@@ -30,65 +38,123 @@ func main() {
 		cheat   = flag.Int("cheat", -1, "processor id that plays an illegitimate action (-1: none)")
 		corrupt = flag.Int("corrupt", -1, "inject a transient fault after this play (-1: never)")
 		seed    = flag.Uint64("seed", 7, "root seed")
+		serve   = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
 	)
 	flag.Parse()
 
-	if *n <= 3**f {
-		fmt.Fprintf(os.Stderr, "gameauthd: need n > 3f (got n=%d f=%d)\n", *n, *f)
+	if *serve != "" {
+		// Trace flags do not configure served sessions (those come from
+		// POST /sessions bodies) — reject them loudly instead of silently
+		// ignoring them.
+		var stray []string
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name != "serve" {
+				stray = append(stray, "-"+fl.Name)
+			}
+		})
+		if len(stray) > 0 {
+			fmt.Fprintf(os.Stderr, "gameauthd: %v only apply to trace mode; sessions are configured via POST /sessions\n", stray)
+			os.Exit(2)
+		}
+		authority := ga.NewAuthority()
+		fmt.Printf("gameauthd: serving the authority API on %s\n", *serve)
+		if err := http.ListenAndServe(*serve, ga.NewServer(authority)); err != nil {
+			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := validateFlags(*n, *f, *plays, *cheat); err != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 		os.Exit(2)
 	}
+	if err := trace(*n, *f, *plays, *cheat, *corrupt, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+// validateFlags rejects invalid trace-mode configurations loudly instead
+// of silently ignoring them.
+func validateFlags(n, f, plays, cheat int) error {
+	if n <= 3*f {
+		return fmt.Errorf("need n > 3f (got n=%d f=%d)", n, f)
+	}
+	if plays <= 0 {
+		return fmt.Errorf("-plays must be positive (got %d)", plays)
+	}
+	if cheat != -1 && (cheat < 0 || cheat >= n) {
+		return fmt.Errorf("-cheat must be a processor id in [0,%d) or -1 (got %d)", n, cheat)
+	}
+	return nil
+}
+
+// trace runs one distributed cluster and prints every play. It fails when
+// the pulse budget is exhausted before the requested plays complete.
+func trace(n, f, plays, cheat, corrupt int, seed uint64) error {
 	// The elected game: an n-player public-goods game (defection dominates,
 	// cooperation is socially optimal) — a natural "society" workload.
-	g, err := game.PublicGoods(*n, 2)
+	g, err := ga.PublicGoods(n, 2)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("gameauthd: n=%d f=%d game=%s plays=%d (pulses/play=%d)\n",
-		*n, *f, g.Name(), *plays, ga.PulsesPerPlay(*f))
+		n, f, g.Name(), plays, ga.PulsesPerPlay(f))
 
-	behaviors := make([]*ga.Agent, *n)
-	byz := map[int]sim.Adversary{}
-	if *cheat >= 0 && *cheat < *n {
-		behaviors[*cheat] = &ga.Agent{Choose: func(int, ga.Profile) int { return 99 }}
-		byz[*cheat] = sim.PassthroughAdversary()
-		fmt.Printf("gameauthd: processor %d will play outside its action set\n", *cheat)
+	var byz map[int]ga.Adversary
+	opts := []ga.Option{
+		ga.WithSeed(seed),
+		// Each play gets a budget with recovery slack; a play exceeding it
+		// (a wedged cluster) is a hard failure below.
+		ga.WithPulseBudget((plays + 40) * ga.PulsesPerPlay(f)),
 	}
+	if cheat >= 0 {
+		behaviors := make([]*ga.Agent, n)
+		behaviors[cheat] = &ga.Agent{Choose: func(int, ga.Profile) int { return 99 }}
+		byz = map[int]ga.Adversary{cheat: sim.PassthroughAdversary()}
+		opts = append(opts, ga.WithAgents(behaviors...))
+		fmt.Printf("gameauthd: processor %d will play outside its action set\n", cheat)
+	}
+	opts = append(opts, ga.WithDistributed(n, f, byz))
 
-	s, err := core.NewDistSession(*n, *f, g, behaviors, *seed, byz)
+	s, err := ga.New(g, opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
-		os.Exit(1)
+		return err
 	}
+	unsubscribe := s.Subscribe(ga.ObserverFunc(func(e ga.Event) {
+		switch e.Kind {
+		case ga.EventPlay:
+			fmt.Printf("play %2d @pulse %4d  outcome=%v\n", e.Round, e.Pulse, e.Outcome)
+		case ga.EventConviction:
+			fmt.Printf("          CONVICTED agent %d (disconnected by the executive)\n", e.Agent)
+		case ga.EventClockRecovery:
+			fmt.Printf("          clock recovered: %s\n", e.Detail)
+		}
+	}))
+	defer unsubscribe()
 
-	seen := 0
-	pulseBudget := (*plays + 40) * ga.PulsesPerPlay(*f) // slack for recovery
-	corrupted := false
-	for pulse := 0; pulse < pulseBudget && seen < *plays; pulse++ {
-		s.Net.StepLockstep()
-		ref := s.Procs[s.Honest[0]].Results()
-		for seen < len(ref) {
-			r := ref[seen]
-			fmt.Printf("play %2d @pulse %4d  outcome=%v", seen, r.Pulse, r.Outcome)
-			if len(r.Guilty) > 0 {
-				fmt.Printf("  CONVICTED=%v (disconnected by the executive)", r.Guilty)
+	dist := ga.AsDistributed(s)
+	ctx := context.Background()
+	for seen := 0; seen < plays; seen++ {
+		if _, err := s.Play(ctx); err != nil {
+			if errors.Is(err, ga.ErrPulseBudget) {
+				return fmt.Errorf("pulse budget exhausted after %d of %d plays: %w", seen, plays, err)
 			}
-			fmt.Println()
-			seen++
-			if *corrupt >= 0 && seen == *corrupt && !corrupted {
-				corrupted = true
-				fmt.Println("--- transient fault: corrupting every processor's state ---")
-				ent := prng.New(*seed ^ 0xFA11)
-				s.Net.Corrupt(ent.Uint64)
-			}
+			return err
+		}
+		if corrupt >= 0 && seen+1 == corrupt {
+			fmt.Println("--- transient fault: corrupting every processor's state ---")
+			ent := prng.New(seed ^ 0xFA11)
+			dist.Net.Corrupt(ent.Uint64)
 		}
 	}
 
-	if err := s.ConsistentResults(seen); err != nil {
-		fmt.Fprintf(os.Stderr, "gameauthd: HONEST REPLICA DIVERGENCE: %v\n", err)
-		os.Exit(1)
+	done := s.Stats().Rounds
+	if err := dist.ConsistentResults(done); err != nil {
+		return fmt.Errorf("HONEST REPLICA DIVERGENCE: %w", err)
 	}
 	fmt.Printf("gameauthd: %d plays, all honest replicas consistent; %d messages exchanged\n",
-		seen, s.Net.Stats.MessagesSent)
+		done, dist.Net.Stats.MessagesSent)
+	return nil
 }

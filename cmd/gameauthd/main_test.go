@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name               string
+		n, f, plays, cheat int
+		wantErr            bool
+	}{
+		{"defaults", 4, 1, 8, -1, false},
+		{"cheater in range", 4, 1, 8, 2, false},
+		{"n too small for f", 4, 2, 8, -1, true},
+		{"zero plays", 4, 1, 0, -1, true},
+		{"negative plays", 4, 1, -3, -1, true},
+		{"cheat out of range high", 4, 1, 8, 4, true},
+		{"cheat out of range low", 4, 1, 8, -2, true},
+		{"f zero", 2, 0, 1, -1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.n, tc.f, tc.plays, tc.cheat)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateFlags(%d,%d,%d,%d) = %v, wantErr=%v",
+					tc.n, tc.f, tc.plays, tc.cheat, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTraceCompletes runs a tiny trace end to end, including the
+// budget-exhaustion error path.
+func TestTraceCompletes(t *testing.T) {
+	if err := trace(4, 1, 2, -1, -1, 7); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := trace(4, 1, 2, 2, -1, 7); err != nil {
+		t.Fatalf("trace with cheater: %v", err)
+	}
+}

@@ -2,6 +2,10 @@
 // Schmid and Wattenhofer (the paper's [21]) with Byzantine liars, with and
 // without the game authority's audit-and-disconnect loop (§5.4).
 //
+// This example uses the game-analysis layer only (equilibria, audits,
+// social cost) — it needs no Session; see examples/quickstart for the
+// options API (ga.New) that drives repeated supervised play.
+//
 // Run with: go run ./examples/inoculation
 package main
 

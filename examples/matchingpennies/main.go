@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,49 +37,50 @@ func main() {
 		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
 	}
 	manipulator := &ga.MixedAgent{Override: func(round, honest int) int { return ga.ManipulateAction }}
+	ctx := context.Background()
 
 	// --- Without the authority -------------------------------------------------
-	unsup, err := ga.NewMixedSession(ga.MixedConfig{
-		Elected:    ga.MatchingPennies(),
-		Actual:     g,
-		Strategies: strategies,
-		Agents:     []*ga.MixedAgent{nil, manipulator},
-		Mode:       ga.AuditOff,
-		Seed:       1,
-	})
+	unsup, err := ga.New(ga.MatchingPennies(),
+		ga.WithActual(g),
+		ga.WithStrategies(strategies),
+		ga.WithMixedAgents(nil, manipulator),
+		ga.WithAudit(ga.AuditOff),
+		ga.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := unsup.Play(rounds); err != nil {
+	if _, err := unsup.Run(ctx, rounds); err != nil {
 		log.Fatal(err)
 	}
+	st := unsup.Stats()
 	fmt.Printf("\nwithout authority (%d plays):\n", rounds)
-	fmt.Printf("  A's average payoff: %+.3f   (paper: 0 → −4)\n", unsup.CumulativePayoff(0)/rounds)
-	fmt.Printf("  B's average payoff: %+.3f   (paper: 0 → +4)\n", unsup.CumulativePayoff(1)/rounds)
+	fmt.Printf("  A's average payoff: %+.3f   (paper: 0 → −4)\n", -st.CumulativeCost[0]/rounds)
+	fmt.Printf("  B's average payoff: %+.3f   (paper: 0 → +4)\n", -st.CumulativeCost[1]/rounds)
 
 	// --- With the authority ------------------------------------------------------
-	sup, err := ga.NewMixedSession(ga.MixedConfig{
-		Elected:    ga.MatchingPennies(),
-		Actual:     g,
-		Strategies: strategies,
-		Agents:     []*ga.MixedAgent{nil, manipulator},
-		Scheme:     ga.NewDisconnectScheme(2, 0),
-		Mode:       ga.AuditPerRound,
-		Seed:       2,
-	})
+	sup, err := ga.New(ga.MatchingPennies(),
+		ga.WithActual(g),
+		ga.WithStrategies(strategies),
+		ga.WithMixedAgents(nil, manipulator),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+		ga.WithAudit(ga.AuditPerRound),
+		ga.WithSeed(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sup.Play(rounds); err != nil {
+	if _, err := sup.Run(ctx, rounds); err != nil {
 		log.Fatal(err)
 	}
+	st = sup.Stats()
 	fmt.Printf("\nwith authority (%d plays):\n", rounds)
-	fmt.Printf("  A's average payoff: %+.3f   (restored to ≈ 0)\n", sup.CumulativePayoff(0)/rounds)
-	fmt.Printf("  B's average payoff: %+.3f   (restored to ≈ 0)\n", sup.CumulativePayoff(1)/rounds)
-	verdicts := sup.Verdicts()
-	if len(verdicts) > 0 && len(verdicts[0].Fouls) > 0 {
-		f := verdicts[0].Fouls[0]
+	fmt.Printf("  A's average payoff: %+.3f   (restored to ≈ 0)\n", -st.CumulativeCost[0]/rounds)
+	fmt.Printf("  B's average payoff: %+.3f   (restored to ≈ 0)\n", -st.CumulativeCost[1]/rounds)
+	results := sup.Results()
+	if len(results) > 0 && len(results[0].Verdict.Fouls) > 0 {
+		f := results[0].Verdict.Fouls[0]
 		fmt.Printf("  first verdict: agent %d convicted (%s) on play 0 — %s\n", f.Agent, f.Reason, f.Detail)
 	}
-	fmt.Printf("  manipulator excluded: %v\n", sup.Excluded(1))
+	fmt.Printf("  manipulator excluded: %v\n", st.Excluded[1])
 }

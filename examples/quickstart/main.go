@@ -1,10 +1,14 @@
 // Quickstart: elect a game, run supervised repeated play, and watch the
-// judicial service convict a cheater.
+// judicial service convict a cheater — all through the unified options
+// API: ga.New selects the driver, WithElection runs the legislative
+// service, and the observer stream reports plays, verdicts, and
+// convictions as they happen.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +17,8 @@ import (
 
 func main() {
 	// 1. The legislative service: the agents elect the rules of the game
-	// with a robust (commit-reveal) vote.
+	// with a robust (commit-reveal) vote. WithElection replaces the game
+	// argument; the elected winner is announced on the event stream.
 	candidates := []ga.Candidate{
 		{Game: ga.PrisonersDilemma(), Description: "prisoner's dilemma"},
 		{Game: ga.CoordinationGame(), Description: "coordination"},
@@ -23,43 +28,48 @@ func main() {
 		{Prefs: []int{0, 1}},
 		{Prefs: []int{1, 0}},
 	}
-	elected, err := ga.RobustElection(candidates, voters, 42)
-	if err != nil {
-		log.Fatalf("election: %v", err)
-	}
-	g := candidates[elected.Winner].Game
-	fmt.Printf("legislative: elected candidate %d (%s), scores %v\n",
-		elected.Winner, candidates[elected.Winner].Description, elected.Scores)
 
-	// 2. A supervised session: agent 0 is honest; agent 1 stubbornly
-	// cooperates — which, after the first play, is not a best response
-	// and therefore foul play under §3.2.
+	// 2. A supervised session: agent 0 is honest (nil = best response to
+	// the elected game); agent 1 stubbornly cooperates — which, after the
+	// first play, is not a best response and therefore foul play (§3.2).
 	stubborn := &ga.Agent{Choose: func(round int, prev ga.Profile) int { return 0 }}
-	agents := []*ga.Agent{ga.HonestPure(g, 0), stubborn}
-	scheme := ga.NewReputationScheme(2, 0.5, 0.2, 0.01)
-	session, err := ga.NewPureSession(g, agents, scheme, 7)
+	session, err := ga.New(nil,
+		ga.WithElection(candidates, voters),
+		ga.WithAgents(nil, stubborn),
+		ga.WithPunishment(ga.NewReputationScheme(2, 0.5, 0.2, 0.01)),
+		ga.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
 
-	// 3. Play ten audited rounds.
-	for round := 0; round < 10; round++ {
-		res, err := session.PlayRound()
-		if err != nil {
-			log.Fatalf("play: %v", err)
+	// 3. Subscribe to the observer stream. The election event is sticky,
+	// so subscribing after New still reports the legislative outcome.
+	unsubscribe := session.Subscribe(ga.ObserverFunc(func(e ga.Event) {
+		switch e.Kind {
+		case ga.EventElection:
+			fmt.Printf("legislative: elected candidate %d (%s)\n", e.Winner, e.Detail)
+		case ga.EventPlay:
+			fmt.Printf("round %d: outcome %v\n", e.Round, e.Outcome)
+		case ga.EventVerdict:
+			for _, foul := range e.Fouls {
+				fmt.Printf("  [foul: agent %d, %s]\n", foul.Agent, foul.Reason)
+			}
+		case ga.EventConviction:
+			fmt.Printf("  [agent %d %s]\n", e.Agent, e.Detail)
 		}
-		fmt.Printf("round %d: outcome %v", res.Round, res.Outcome)
-		for _, foul := range res.Verdict.Fouls {
-			fmt.Printf("  [foul: agent %d, %s]", foul.Agent, foul.Reason)
-		}
-		if len(res.Excluded) > 0 {
-			fmt.Printf("  excluded=%v", res.Excluded)
-		}
-		fmt.Println()
+	}))
+	defer unsubscribe()
+
+	// 4. Play ten audited rounds.
+	if _, err := session.Run(context.Background(), 10); err != nil {
+		log.Fatalf("play: %v", err)
 	}
+
+	stats := session.Stats()
 	fmt.Printf("cumulative costs: agent0=%.1f agent1=%.1f\n",
-		session.CumulativeCost(0), session.CumulativeCost(1))
-	if session.Excluded(1) {
+		stats.CumulativeCost[0], stats.CumulativeCost[1])
+	if stats.Excluded[1] {
 		fmt.Println("the repeat offender has been excluded; the executive now plays on its behalf")
 	}
 }

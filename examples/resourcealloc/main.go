@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,15 +19,21 @@ func main() {
 		n = 8 // agents
 		b = 4 // resources
 	)
+	ctx := context.Background()
 	fmt.Printf("RRA: n=%d agents, b=%d resources, supervised honest play\n\n", n, b)
-	h, err := ga.NewSupervisedRRA(n, b, 1, ga.NewDisconnectScheme(n, 0), true)
+	s, err := ga.New(nil,
+		ga.WithRRA(n, b),
+		ga.WithPunishment(ga.NewDisconnectScheme(n, 0)),
+		ga.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	h := ga.AsRRA(s)
 	fmt.Println("    k     M(k)   OPT(k)     R(k)   1+2b/k")
 	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
 		for h.RRA().Rounds() < k {
-			if err := h.PlayRound(); err != nil {
+			if _, err := s.Play(ctx); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -48,18 +55,23 @@ func main() {
 	)
 	fmt.Printf("\nAttack: agent 0 camps resource 0 (n=%d, b=%d, k=%d)\n", nA, bA, k)
 	for _, supervised := range []bool{false, true} {
-		var scheme ga.PunishmentScheme
-		if supervised {
-			scheme = ga.NewDisconnectScheme(nA, 0)
+		// Supervision is on exactly when a punishment scheme is installed.
+		opts := []ga.Option{
+			ga.WithRRA(nA, bA),
+			ga.WithRRAByzantine(0, ga.FixedChooser(0)),
+			ga.WithSeed(2),
 		}
-		hh, err := ga.NewSupervisedRRA(nA, bA, 2, scheme, supervised)
+		if supervised {
+			opts = append(opts, ga.WithPunishment(ga.NewDisconnectScheme(nA, 0)))
+		}
+		ss, err := ga.New(nil, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		hh.SetByzantine(0, ga.FixedChooser(0))
-		if err := hh.Play(k); err != nil {
+		if _, err := ss.Run(ctx, k); err != nil {
 			log.Fatal(err)
 		}
+		hh := ga.AsRRA(ss)
 		r, err := ga.MultiRoundAnarchyCost(float64(hh.RRA().MaxLoad()), ga.OptMaxLoad(nA, bA, k))
 		if err != nil {
 			log.Fatal(err)
@@ -68,8 +80,9 @@ func main() {
 		if supervised {
 			mode = "supervised  "
 		}
+		st := ss.Stats()
 		fmt.Printf("  %s R(k)=%.3f  max load %4d  fouls detected %d  camper excluded: %v\n",
-			mode, r, hh.RRA().MaxLoad(), len(hh.Fouls()), hh.Excluded(0))
+			mode, r, hh.RRA().MaxLoad(), st.Fouls, st.Excluded[0])
 	}
 	fmt.Println("\nThe authority detects the first off-stream action, disconnects the camper,")
 	fmt.Println("and the executive plays the equilibrium sample on its behalf thereafter.")

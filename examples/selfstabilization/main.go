@@ -4,15 +4,21 @@
 // self-stabilizing clock re-converges, the next wrap restarts the §3.3
 // protocol cleanly, and every honest replica records identical plays again.
 //
+// Built on the options API: WithDistributed selects the network driver,
+// WithPulseBudget bounds how long one Play may wait (so recovery shows up
+// as ErrPulseBudget instead of a hang), and the observer stream reports
+// the clock-recovery event when plays resume after the fault.
+//
 // Run with: go run ./examples/selfstabilization
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	ga "gameauthority"
-	"gameauthority/internal/core"
 	"gameauthority/internal/prng"
 )
 
@@ -24,31 +30,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := core.NewDistSession(n, f, g, make([]*ga.Agent, n), 99, nil)
+	s, err := ga.New(g,
+		ga.WithDistributed(n, f, nil),
+		ga.WithPulseBudget(4*ga.PulsesPerPlay(f)),
+		ga.WithSeed(99),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	dist := ga.AsDistributed(s)
+	unsubscribe := s.Subscribe(ga.ObserverFunc(func(e ga.Event) {
+		if e.Kind == ga.EventClockRecovery {
+			fmt.Printf(">>> %s <<<\n", e.Detail)
+		}
+	}))
+	defer unsubscribe()
 	fmt.Printf("distributed authority: n=%d f=%d, %d pulses per play\n\n", n, f, ga.PulsesPerPlay(f))
 
+	ctx := context.Background()
 	report := func(stage string, plays int) {
-		s.RunPlays(plays)
-		res := s.Procs[s.Honest[0]].Results()
-		last := "none"
-		if len(res) > 0 {
-			last = fmt.Sprintf("%v @pulse %d", res[len(res)-1].Outcome, res[len(res)-1].Pulse)
+		completed := 0
+		var last ga.RoundResult
+		for i := 0; i < plays; i++ {
+			res, err := s.Play(ctx)
+			if errors.Is(err, ga.ErrPulseBudget) {
+				break // still re-converging; the next burst keeps stepping
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			last, completed = res, completed+1
+		}
+		lastStr := "none"
+		if completed > 0 {
+			lastStr = fmt.Sprintf("%v @pulse %d", last.Outcome, last.Pulse)
 		}
 		consistency := "consistent"
-		if err := s.ConsistentResults(3); err != nil {
+		if err := dist.ConsistentResults(3); err != nil {
 			consistency = "DIVERGED: " + err.Error()
 		}
-		fmt.Printf("%-28s plays=%-3d last=%-22s replicas %s\n", stage, len(res), last, consistency)
+		fmt.Printf("%-28s plays=%-3d last=%-22s replicas %s\n", stage, s.Stats().Rounds, lastStr, consistency)
 	}
 
 	report("clean run:", 4)
 
 	fmt.Println("\n>>> transient fault: corrupting clocks, agreement state, evidence, ledgers <<<")
 	ent := prng.New(0xFA11)
-	s.Net.Corrupt(ent.Uint64)
+	dist.Net.Corrupt(ent.Uint64)
 
 	// Right after corruption nothing is aligned; run pulse bursts and show
 	// the system healing.

@@ -18,15 +18,25 @@
 //   - Game analysis: strategic-form games, best responses, pure and mixed
 //     Nash equilibria, and the cost metrics the paper studies (price of
 //     anarchy/stability/malice, multi-round anarchy cost).
-//   - Trusted authority sessions: repeated supervised play at simulation
-//     speed (NewPureSession, NewMixedSession, NewSupervisedRRA).
-//   - The distributed authority: the full protocol over a synchronous
-//     Byzantine network — self-stabilizing clock synchronization scheduling
-//     interactive-consistency agreements for every phase of every play
-//     (NewDistributedSession).
+//   - Authority sessions: New builds a uniform Session — trusted
+//     pure-strategy or mixed-strategy supervised play at simulation speed,
+//     the §6 repeated resource allocation harness, or the full distributed
+//     protocol over a synchronous Byzantine network (self-stabilizing clock
+//     synchronization scheduling interactive-consistency agreements for
+//     every phase of every play) — selected by functional options and
+//     observable through an event stream (Subscribe, Events).
+//   - Multi-session hosting: an Authority hosts many independent sessions
+//     keyed by ID behind a sync-safe registry; NewServer exposes it as an
+//     HTTP/JSON API (see cmd/gameauthd -serve).
+//
+// The four historical constructors (NewPureSession, NewMixedSession,
+// NewSupervisedRRA, NewDistributedSession) remain as deprecated wrappers
+// around the same drivers; New with the same seed replays their results
+// exactly.
 //
 // All randomness is seeded and replayable; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduced results.
+// inventory, the new API surface, and the constructor→option migration
+// table, and EXPERIMENTS.md for the reproduced results.
 package gameauthority
 
 import (
@@ -230,6 +240,10 @@ type RoundResult = core.RoundResult
 
 // NewPureSession builds a supervised repeated-play session. scheme may be
 // nil for an unsupervised baseline.
+//
+// Deprecated: use New(g, WithAgents(agents...), WithPunishment(scheme),
+// WithSeed(seed)) — same driver, same seeded results, plus context support
+// and the observer stream.
 func NewPureSession(g Game, agents []*Agent, scheme PunishmentScheme, seed uint64) (*PureSession, error) {
 	return core.NewPureSession(g, agents, scheme, seed)
 }
@@ -262,6 +276,10 @@ const (
 )
 
 // NewMixedSession builds a mixed-strategy session.
+//
+// Deprecated: use New(elected, WithStrategies(...), WithMixedAgents(...),
+// WithActual(actual), WithPunishment(scheme), WithAudit(mode, ...),
+// WithSeed(seed)) — same driver, same seeded results.
 func NewMixedSession(cfg MixedConfig) (*MixedSession, error) {
 	return core.NewMixedSession(cfg)
 }
@@ -272,6 +290,10 @@ type SupervisedRRA = core.RRASupervised
 
 // NewSupervisedRRA builds the Theorem 5 harness. supervise=false with a nil
 // scheme is the unsupervised baseline.
+//
+// Deprecated: use New(nil, WithRRA(n, b), WithPunishment(scheme),
+// WithSeed(seed)) — supervision is on exactly when a punishment scheme is
+// installed; AsRRA recovers the harness for load measurements.
 func NewSupervisedRRA(n, b int, seed uint64, scheme PunishmentScheme, supervise bool) (*SupervisedRRA, error) {
 	return core.NewRRASupervised(n, b, seed, scheme, supervise)
 }
@@ -294,6 +316,10 @@ type Adversary = sim.Adversary
 
 // NewDistributedSession wires n processors (behaviours[i] nil = honest)
 // over a full mesh; byz installs network-level adversaries.
+//
+// Deprecated: use New(g, WithDistributed(n, f, byz), WithAgents(...),
+// WithSeed(seed)) — AsDistributed recovers the network session for fault
+// injection and consistency checks.
 func NewDistributedSession(n, f int, g Game, behaviors []*Agent, seed uint64, byz map[int]Adversary) (*DistributedSession, error) {
 	return core.NewDistSession(n, f, g, behaviors, seed, byz)
 }

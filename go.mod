@@ -1,0 +1,3 @@
+module gameauthority
+
+go 1.24

@@ -135,6 +135,16 @@ func NewDistProcessor(id, n, f int, g game.Game, behavior *Agent, scheme punish.
 // ID implements sim.Process.
 func (p *DistProcessor) ID() int { return p.id }
 
+// ResultCount returns the number of plays this processor has completed
+// since its last transient fault.
+func (p *DistProcessor) ResultCount() int { return len(p.results) }
+
+// ResultAt returns a copy of the i-th completed play.
+func (p *DistProcessor) ResultAt(i int) DistRound {
+	r := p.results[i]
+	return DistRound{Pulse: r.Pulse, Outcome: r.Outcome.Clone(), Guilty: append([]int(nil), r.Guilty...)}
+}
+
 // Results returns the plays this processor has completed (oldest first).
 func (p *DistProcessor) Results() []DistRound {
 	out := make([]DistRound, len(p.results))
@@ -402,19 +412,7 @@ func (p *DistProcessor) Corrupt(entropy func() uint64) {
 		p.prev = nil
 	}
 	p.results = nil
-	p.scheme = freshScheme(p.scheme, p.n)
-}
-
-// freshScheme rebuilds an empty replica of the same scheme type.
-func freshScheme(s punish.Scheme, n int) punish.Scheme {
-	switch s.(type) {
-	case *punish.Reputation:
-		return punish.NewReputation(n, 0, 0, 0)
-	case *punish.Deposit:
-		return punish.NewDeposit(n, 0, 0)
-	default:
-		return punish.NewDisconnect(n, 0)
-	}
+	p.scheme = p.scheme.Fresh()
 }
 
 // majorityValue returns the most frequent value (ties → lexicographically
@@ -456,8 +454,19 @@ type DistSession struct {
 // be nil for an honest best-response agent. byz installs network-level
 // adversaries (message tampering) on top of behavioural cheats.
 func NewDistSession(n, f int, g game.Game, behaviors []*Agent, seed uint64, byz map[int]sim.Adversary) (*DistSession, error) {
+	return NewDistSessionWith(n, f, g, behaviors, seed, byz, nil)
+}
+
+// NewDistSessionWith is NewDistSession with an explicit punishment scheme
+// prototype: every processor's executive replica gets its own Fresh() copy
+// (a shared instance would double-count offences across replicas). A nil
+// scheme defaults to one-strike disconnection.
+func NewDistSessionWith(n, f int, g game.Game, behaviors []*Agent, seed uint64, byz map[int]sim.Adversary, scheme punish.Scheme) (*DistSession, error) {
 	if len(behaviors) != n {
 		return nil, fmt.Errorf("%w: %d behaviours for %d processors", ErrConfig, len(behaviors), n)
+	}
+	if scheme == nil {
+		scheme = punish.NewDisconnect(n, 0)
 	}
 	procs := make([]sim.Process, n)
 	raw := make([]*DistProcessor, n)
@@ -466,7 +475,7 @@ func NewDistSession(n, f int, g game.Game, behaviors []*Agent, seed uint64, byz 
 		if b == nil {
 			b = HonestPure(g, i)
 		}
-		dp, err := NewDistProcessor(i, n, f, g, b, punish.NewDisconnect(n, 0), seed)
+		dp, err := NewDistProcessor(i, n, f, g, b, scheme.Fresh(), seed)
 		if err != nil {
 			return nil, err
 		}

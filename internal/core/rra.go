@@ -25,6 +25,9 @@ type RRASupervised struct {
 	supervise bool
 
 	fouls []audit.Foul
+	// lastChoices is the published profile of the most recent play (for
+	// the Session adapter's round results).
+	lastChoices game.Profile
 }
 
 // NewRRASupervised builds the harness. scheme nil + supervise false is the
@@ -53,6 +56,10 @@ func (h *RRASupervised) SetByzantine(agent int, choose func(agent int, loads []i
 
 // RRA exposes the underlying game state for measurements.
 func (h *RRASupervised) RRA() *game.RRA { return h.rra }
+
+// LastChoices returns the published profile of the most recent play (nil
+// before the first play).
+func (h *RRASupervised) LastChoices() game.Profile { return clonePrev(h.lastChoices) }
 
 // Fouls returns every foul detected so far.
 func (h *RRASupervised) Fouls() []audit.Foul {
@@ -117,6 +124,7 @@ func (h *RRASupervised) PlayRound() error {
 	if err != nil {
 		return fmt.Errorf("core: rra step: %w", err)
 	}
+	h.lastChoices = choices
 
 	if !h.supervise {
 		return nil

@@ -1,0 +1,773 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gameauthority/internal/audit"
+	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
+	"gameauthority/internal/punish"
+	"gameauthority/internal/sim"
+)
+
+// ErrPulseBudget is returned by the distributed driver when a play did not
+// complete within the configured pulse budget (e.g. while the
+// self-stabilizing clock is still re-converging after a transient fault).
+var ErrPulseBudget = errors.New("core: pulse budget exhausted before the play completed")
+
+// SessionKind identifies which driver a Session runs on.
+type SessionKind int
+
+// Session kinds, inferred from the configuration: distributed if
+// DistProcs is set, RRA if RRAAgents is set, mixed if Strategies is set,
+// pure otherwise.
+const (
+	kindUnset SessionKind = iota
+	KindPure
+	KindMixed
+	KindRRA
+	KindDistributed
+)
+
+// String implements fmt.Stringer.
+func (k SessionKind) String() string {
+	switch k {
+	case KindPure:
+		return "pure"
+	case KindMixed:
+		return "mixed"
+	case KindRRA:
+		return "rra"
+	case KindDistributed:
+		return "distributed"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is the uniform authority-session interface implemented by all
+// four drivers (pure, mixed, RRA, distributed). Implementations are safe
+// for concurrent use; plays are serialized internally.
+type Session interface {
+	// Play executes one audited play of the §3.3 protocol.
+	Play(ctx context.Context) (RoundResult, error)
+	// Run executes the given number of plays and returns the last result.
+	Run(ctx context.Context, rounds int) (RoundResult, error)
+	// Results returns all completed plays, oldest first.
+	Results() []RoundResult
+	// Stats returns a snapshot of the session's counters.
+	Stats() SessionStats
+	// Subscribe registers an observer for session events (plays, verdicts,
+	// convictions, elections, clock recoveries); the returned function
+	// cancels the subscription. Sticky events (elections) are replayed to
+	// late subscribers.
+	Subscribe(Observer) (cancel func())
+	// Close finalizes the session: a batched-audit mixed session audits
+	// its trailing partial epoch. Close is idempotent.
+	Close() error
+}
+
+// SessionStats is a point-in-time snapshot of a session's counters.
+type SessionStats struct {
+	Kind    SessionKind
+	Players int
+	// Rounds is the number of completed plays.
+	Rounds int
+	// CumulativeCost[i] is agent i's total cost over all plays (nil for
+	// drivers that do not track per-agent costs: RRA, distributed).
+	CumulativeCost []float64
+	// Excluded[i] reports whether agent i is currently excluded by the
+	// executive service.
+	Excluded []bool
+	// Fouls is the total number of fouls the judicial service detected.
+	Fouls int
+	// Protocol counts audit-protocol overhead (mixed driver).
+	Protocol CostStats
+	// MaxLoad is the maximum resource load so far (RRA driver, §6).
+	MaxLoad int64
+	// Pulses and Messages count network activity (distributed driver).
+	Pulses   int64
+	Messages int64
+}
+
+// ElectionSpec asks NewSession to run the legislative service first: the
+// voters elect the game from the candidates via a robust commit-reveal
+// election, and the winning game becomes the session's elected game.
+type ElectionSpec struct {
+	Candidates []Candidate
+	Voters     []Voter
+}
+
+// SessionConfig is the single configuration surface behind the façade's
+// functional options. Exactly one game source must be set: Game, Election,
+// or (for the RRA driver) RRAAgents/RRAResources. The driver is inferred
+// from the options (see inferKind).
+type SessionConfig struct {
+	// Game is the elected game the authority enforces.
+	Game game.Game
+	// Election, if set, elects the game legislatively instead.
+	Election *ElectionSpec
+	// Seed drives all commitments, honest sampling, and clocks.
+	Seed uint64
+	// Scheme is the executive's punishment policy. For the distributed
+	// driver it is a prototype: each processor replica gets a Fresh copy.
+	Scheme punish.Scheme
+
+	// Agents are pure-strategy behaviours (pure and distributed drivers);
+	// nil entries (or a nil slice) mean honest best-response agents.
+	Agents []*Agent
+
+	// Mixed-driver configuration (§5). Strategies is required for a mixed
+	// session; MixedAgents nil entries mean honest samplers.
+	MixedAgents  []*MixedAgent
+	Strategies   func(round int, prev game.Profile) game.MixedProfile
+	Actual       game.Game
+	Mode         AuditMode
+	EpochLen     int
+	SampleProb   float64
+	Window       int
+	ChiThreshold float64
+
+	// RRA-driver configuration (§6). RRAAgents agents share RRAResources
+	// resources; RRAByz overrides per-agent choices. Supervision is on
+	// exactly when Scheme is set.
+	RRAAgents    int
+	RRAResources int
+	RRAByz       map[int]func(agent int, loads []int64) int
+
+	// Distributed-driver configuration (§3.3 over the synchronous
+	// network). DistProcs processors tolerate DistFaults Byzantine ones
+	// (n > 3f); DistByz installs network-level adversaries.
+	DistProcs  int
+	DistFaults int
+	DistByz    map[int]sim.Adversary
+	// DistPulseBudget bounds how many pulses one Play may consume waiting
+	// for a play to complete (0 = a generous default). Exhaustion returns
+	// ErrPulseBudget, which is recoverable: the next Play keeps stepping.
+	DistPulseBudget int
+}
+
+// inferKind resolves the driver from the configuration.
+func (cfg *SessionConfig) inferKind() SessionKind {
+	switch {
+	case cfg.DistProcs > 0 || cfg.DistFaults > 0 || cfg.DistByz != nil:
+		return KindDistributed
+	case cfg.RRAAgents > 0 || cfg.RRAResources > 0 || cfg.RRAByz != nil:
+		return KindRRA
+	case cfg.Strategies != nil || cfg.MixedAgents != nil || cfg.Mode != 0:
+		return KindMixed
+	default:
+		return KindPure
+	}
+}
+
+// NewSession validates the configuration, runs the legislative service if
+// requested, and builds the driver for the resolved session kind.
+func NewSession(cfg SessionConfig) (Session, error) {
+	hub := newObserverHub()
+
+	if cfg.Election != nil {
+		if cfg.Game != nil {
+			return nil, fmt.Errorf("%w: both a game and an election were supplied", ErrConfig)
+		}
+		out, err := RobustElection(cfg.Election.Candidates, cfg.Election.Voters,
+			prng.Derive(cfg.Seed, 0xE1EC7).Uint64())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Game = cfg.Election.Candidates[out.Winner].Game
+		hub.emit(Event{
+			Kind:   EventElection,
+			Winner: out.Winner,
+			Detail: cfg.Election.Candidates[out.Winner].Description,
+		})
+	}
+
+	kind := cfg.inferKind()
+	switch kind {
+	case KindPure:
+		return newPureDriver(cfg, hub)
+	case KindMixed:
+		return newMixedDriver(cfg, hub)
+	case KindRRA:
+		return newRRADriver(cfg, hub)
+	case KindDistributed:
+		return newDistDriver(cfg, hub)
+	default:
+		return nil, fmt.Errorf("%w: unknown session kind %d", ErrConfig, kind)
+	}
+}
+
+// runSession is the shared Run implementation.
+func runSession(ctx context.Context, s Session, rounds int) (RoundResult, error) {
+	var last RoundResult
+	for i := 0; i < rounds; i++ {
+		res, err := s.Play(ctx)
+		if err != nil {
+			return last, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// snapshotExcluded captures the executive's current exclusion flags.
+func snapshotExcluded(n int, excluded func(int) bool) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = excluded(i)
+	}
+	return out
+}
+
+// newlyExcluded diffs exclusion flags before and after a play.
+func newlyExcluded(before []bool, excluded func(int) bool) []int {
+	var out []int
+	for i, was := range before {
+		if !was && excluded(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func excludedIDs(flags []bool) []int {
+	var out []int
+	for i, f := range flags {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// playEvents assembles the observer events for one completed play.
+func playEvents(res RoundResult, convictions []int) []Event {
+	evs := []Event{{
+		Kind:    EventPlay,
+		Round:   res.Round,
+		Outcome: res.Outcome,
+		Costs:   res.Costs,
+		Pulse:   res.Pulse,
+	}}
+	if len(res.Verdict.Fouls) > 0 {
+		evs = append(evs, Event{Kind: EventVerdict, Round: res.Round, Fouls: res.Verdict.Fouls})
+	}
+	for _, agent := range convictions {
+		evs = append(evs, Event{
+			Kind:   EventConviction,
+			Round:  res.Round,
+			Agent:  agent,
+			Detail: "excluded by the executive service",
+		})
+	}
+	return evs
+}
+
+// --- Pure driver ---------------------------------------------------------------
+
+type pureDriver struct {
+	mu    sync.Mutex
+	s     *PureSession
+	n     int
+	hub   *observerHub
+	fouls int
+}
+
+func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("%w: nil game", ErrConfig)
+	}
+	if cfg.MixedAgents != nil {
+		return nil, fmt.Errorf("%w: mixed agents require strategies (a mixed session)", ErrConfig)
+	}
+	if cfg.Actual != nil {
+		return nil, fmt.Errorf("%w: an actual game applies to mixed sessions", ErrConfig)
+	}
+	if cfg.DistPulseBudget != 0 {
+		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
+	}
+	n := cfg.Game.NumPlayers()
+	agents := cfg.Agents
+	if agents == nil {
+		agents = make([]*Agent, n)
+	}
+	if len(agents) != n {
+		return nil, fmt.Errorf("%w: %d agents for %d players", ErrConfig, len(agents), n)
+	}
+	filled := make([]*Agent, n)
+	for i, a := range agents {
+		if a == nil {
+			a = HonestPure(cfg.Game, i)
+		}
+		filled[i] = a
+	}
+	s, err := NewPureSession(cfg.Game, filled, cfg.Scheme, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &pureDriver{s: s, n: n, hub: hub}, nil
+}
+
+// Pure exposes the wrapped driver for measurements and legacy helpers.
+func (d *pureDriver) Pure() *PureSession { return d.s }
+
+// Play emits events while still holding the play mutex so concurrent
+// players cannot interleave streams out of round order (observers must not
+// call back into the session — see Observer).
+func (d *pureDriver) Play(ctx context.Context) (RoundResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	before := snapshotExcluded(d.n, d.s.Excluded)
+	res, err := d.s.PlayRound()
+	if err != nil {
+		return RoundResult{}, err
+	}
+	d.fouls += len(res.Verdict.Fouls)
+	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.s.Excluded)))
+	return res, nil
+}
+
+func (d *pureDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
+	return runSession(ctx, d, rounds)
+}
+
+func (d *pureDriver) Results() []RoundResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s.History()
+}
+
+func (d *pureDriver) Stats() SessionStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := SessionStats{
+		Kind:           KindPure,
+		Players:        d.n,
+		Rounds:         d.s.Round(),
+		CumulativeCost: make([]float64, d.n),
+		Excluded:       snapshotExcluded(d.n, d.s.Excluded),
+		Fouls:          d.fouls,
+	}
+	for i := 0; i < d.n; i++ {
+		st.CumulativeCost[i] = d.s.CumulativeCost(i)
+	}
+	return st
+}
+
+func (d *pureDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
+
+func (d *pureDriver) Close() error { return nil }
+
+// --- Mixed driver --------------------------------------------------------------
+
+type mixedDriver struct {
+	mu           sync.Mutex
+	s            *MixedSession
+	n            int
+	hub          *observerHub
+	results      []RoundResult
+	seenVerdicts int
+	fouls        int
+	closed       bool
+}
+
+func newMixedDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
+	if cfg.Agents != nil {
+		return nil, fmt.Errorf("%w: pure-strategy agents on a mixed session (use mixed agents)", ErrConfig)
+	}
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("%w: nil elected game", ErrConfig)
+	}
+	if cfg.Strategies == nil {
+		return nil, fmt.Errorf("%w: mixed sessions require strategies", ErrConfig)
+	}
+	if cfg.DistPulseBudget != 0 {
+		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
+	}
+	n := cfg.Game.NumPlayers()
+	agents := cfg.MixedAgents
+	if agents == nil {
+		agents = make([]*MixedAgent, n)
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		// Default discipline: audit per round when an executive scheme is
+		// installed, otherwise the unsupervised baseline.
+		if cfg.Scheme != nil {
+			mode = AuditPerRound
+		} else {
+			mode = AuditOff
+		}
+	}
+	s, err := NewMixedSession(MixedConfig{
+		Elected:      cfg.Game,
+		Actual:       cfg.Actual,
+		Strategies:   cfg.Strategies,
+		Agents:       agents,
+		Scheme:       cfg.Scheme,
+		Mode:         mode,
+		EpochLen:     cfg.EpochLen,
+		SampleProb:   cfg.SampleProb,
+		Window:       cfg.Window,
+		ChiThreshold: cfg.ChiThreshold,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &mixedDriver{s: s, n: n, hub: hub}, nil
+}
+
+// Mixed exposes the wrapped driver for measurements and legacy helpers.
+func (d *mixedDriver) Mixed() *MixedSession { return d.s }
+
+// Play emits events under the play mutex; see pureDriver.Play.
+func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	before := snapshotExcluded(d.n, d.s.Excluded)
+	prevCost := make([]float64, d.n)
+	for i := range prevCost {
+		prevCost[i] = d.s.CumulativeCost(i)
+	}
+	outcome, err := d.s.PlayRound()
+	if err != nil {
+		return RoundResult{}, err
+	}
+	costs := make([]float64, d.n)
+	for i := range costs {
+		costs[i] = d.s.CumulativeCost(i) - prevCost[i]
+	}
+	verdict := d.drainVerdicts()
+	res := RoundResult{
+		Round:     d.s.Round() - 1,
+		Outcome:   outcome,
+		Verdict:   verdict,
+		Convicted: verdict.Guilty(),
+		Excluded:  excludedIDs(before),
+		Costs:     costs,
+	}
+	d.results = append(d.results, res)
+	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.s.Excluded)))
+	return res, nil
+}
+
+// drainVerdicts merges verdicts issued since the last play into one. In
+// batched mode an epoch's verdict lands on the play that closed the epoch.
+func (d *mixedDriver) drainVerdicts() audit.Verdict {
+	all := d.s.Verdicts()
+	var merged audit.Verdict
+	for _, v := range all[d.seenVerdicts:] {
+		merged.Fouls = append(merged.Fouls, v.Fouls...)
+	}
+	d.seenVerdicts = len(all)
+	d.fouls += len(merged.Fouls)
+	return merged
+}
+
+func (d *mixedDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
+	return runSession(ctx, d, rounds)
+}
+
+func (d *mixedDriver) Results() []RoundResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]RoundResult(nil), d.results...)
+}
+
+func (d *mixedDriver) Stats() SessionStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := SessionStats{
+		Kind:           KindMixed,
+		Players:        d.n,
+		Rounds:         d.s.Round(),
+		CumulativeCost: make([]float64, d.n),
+		Excluded:       snapshotExcluded(d.n, d.s.Excluded),
+		Fouls:          d.fouls,
+		Protocol:       d.s.Stats(),
+	}
+	for i := 0; i < d.n; i++ {
+		st.CumulativeCost[i] = d.s.CumulativeCost(i)
+	}
+	return st
+}
+
+func (d *mixedDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
+
+// Close audits any trailing partial epoch (batched mode) and attaches the
+// verdict to the last recorded play. A failed close stays open so callers
+// can retry it.
+func (d *mixedDriver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	before := snapshotExcluded(d.n, d.s.Excluded)
+	if err := d.s.CloseEpoch(); err != nil {
+		return err
+	}
+	d.closed = true
+	verdict := d.drainVerdicts()
+	if len(verdict.Fouls) > 0 && len(d.results) > 0 {
+		last := &d.results[len(d.results)-1]
+		last.Verdict.Fouls = append(last.Verdict.Fouls, verdict.Fouls...)
+		last.Convicted = last.Verdict.Guilty()
+		evs := []Event{{Kind: EventVerdict, Round: last.Round, Fouls: verdict.Fouls}}
+		for _, agent := range newlyExcluded(before, d.s.Excluded) {
+			evs = append(evs, Event{
+				Kind:   EventConviction,
+				Round:  last.Round,
+				Agent:  agent,
+				Detail: "excluded by the executive service",
+			})
+		}
+		d.hub.emitAll(evs)
+	}
+	return nil
+}
+
+// --- RRA driver ----------------------------------------------------------------
+
+type rraDriver struct {
+	mu        sync.Mutex
+	h         *RRASupervised
+	n         int
+	hub       *observerHub
+	results   []RoundResult
+	seenFouls int
+}
+
+func newRRADriver(cfg SessionConfig, hub *observerHub) (Session, error) {
+	if cfg.Game != nil {
+		return nil, fmt.Errorf("%w: RRA sessions build their own game (drop the game argument)", ErrConfig)
+	}
+	if cfg.Strategies != nil || cfg.MixedAgents != nil {
+		return nil, fmt.Errorf("%w: RRA sessions use the committed equilibrium strategy", ErrConfig)
+	}
+	if cfg.Actual != nil {
+		return nil, fmt.Errorf("%w: an actual game applies to mixed sessions", ErrConfig)
+	}
+	if cfg.Agents != nil {
+		return nil, fmt.Errorf("%w: RRA behaviours are installed with RRAByz, not agents", ErrConfig)
+	}
+	if cfg.Mode != 0 {
+		return nil, fmt.Errorf("%w: audit disciplines apply to mixed sessions", ErrConfig)
+	}
+	if cfg.DistPulseBudget != 0 {
+		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
+	}
+	h, err := NewRRASupervised(cfg.RRAAgents, cfg.RRAResources, cfg.Seed, cfg.Scheme, cfg.Scheme != nil)
+	if err != nil {
+		return nil, err
+	}
+	for agent, choose := range cfg.RRAByz {
+		h.SetByzantine(agent, choose)
+	}
+	return &rraDriver{h: h, n: cfg.RRAAgents, hub: hub}, nil
+}
+
+// Harness exposes the wrapped driver for measurements and legacy helpers.
+func (d *rraDriver) Harness() *RRASupervised { return d.h }
+
+// Play emits events under the play mutex; see pureDriver.Play.
+func (d *rraDriver) Play(ctx context.Context) (RoundResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	before := snapshotExcluded(d.n, d.h.Excluded)
+	if err := d.h.PlayRound(); err != nil {
+		return RoundResult{}, err
+	}
+	all := d.h.Fouls()
+	fresh := append([]audit.Foul(nil), all[d.seenFouls:]...)
+	d.seenFouls = len(all)
+	verdict := audit.Verdict{Fouls: fresh}
+	res := RoundResult{
+		Round:     d.h.RRA().Rounds() - 1,
+		Outcome:   d.h.LastChoices(),
+		Verdict:   verdict,
+		Convicted: verdict.Guilty(),
+		Excluded:  excludedIDs(before),
+	}
+	d.results = append(d.results, res)
+	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.h.Excluded)))
+	return res, nil
+}
+
+func (d *rraDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
+	return runSession(ctx, d, rounds)
+}
+
+func (d *rraDriver) Results() []RoundResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]RoundResult(nil), d.results...)
+}
+
+func (d *rraDriver) Stats() SessionStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return SessionStats{
+		Kind:     KindRRA,
+		Players:  d.n,
+		Rounds:   d.h.RRA().Rounds(),
+		Excluded: snapshotExcluded(d.n, d.h.Excluded),
+		Fouls:    d.seenFouls,
+		MaxLoad:  d.h.RRA().MaxLoad(),
+	}
+}
+
+func (d *rraDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
+
+func (d *rraDriver) Close() error { return nil }
+
+// --- Distributed driver --------------------------------------------------------
+
+type distDriver struct {
+	mu        sync.Mutex
+	s         *DistSession
+	n, f      int
+	hub       *observerHub
+	budget    int
+	seen      int
+	lastPulse int
+	fouls     int
+	results   []RoundResult
+}
+
+func newDistDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("%w: nil game", ErrConfig)
+	}
+	if cfg.Strategies != nil || cfg.MixedAgents != nil {
+		return nil, fmt.Errorf("%w: the distributed driver plays pure strategies", ErrConfig)
+	}
+	if cfg.Mode != 0 {
+		return nil, fmt.Errorf("%w: audit disciplines apply to mixed sessions", ErrConfig)
+	}
+	if cfg.Actual != nil {
+		return nil, fmt.Errorf("%w: an actual game applies to mixed sessions", ErrConfig)
+	}
+	if cfg.RRAAgents > 0 || cfg.RRAResources > 0 || cfg.RRAByz != nil {
+		return nil, fmt.Errorf("%w: RRA options on a distributed session", ErrConfig)
+	}
+	n, f := cfg.DistProcs, cfg.DistFaults
+	if n <= 3*f {
+		return nil, fmt.Errorf("%w: need n > 3f (got n=%d f=%d)", ErrConfig, n, f)
+	}
+	behaviors := cfg.Agents
+	if behaviors == nil {
+		behaviors = make([]*Agent, n)
+	}
+	s, err := NewDistSessionWith(n, f, cfg.Game, behaviors, cfg.Seed, cfg.DistByz, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.DistPulseBudget
+	if budget <= 0 {
+		budget = 50 * PulsesPerPlay(f)
+	}
+	return &distDriver{s: s, n: n, f: f, hub: hub, budget: budget}, nil
+}
+
+// Dist exposes the wrapped network session for fault injection and
+// consistency checks.
+func (d *distDriver) Dist() *DistSession { return d.s }
+
+// Play emits events under the play mutex; see pureDriver.Play.
+func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	if len(d.s.Honest) == 0 {
+		return RoundResult{}, fmt.Errorf("%w: no honest processors to observe", ErrConfig)
+	}
+	ref := d.s.Procs[d.s.Honest[0]]
+	// A transient fault wipes processor histories; re-anchor the cursor.
+	if c := ref.ResultCount(); c < d.seen {
+		d.seen = c
+	}
+	before := snapshotExcluded(d.n, ref.Excluded)
+	for steps := 0; ref.ResultCount() <= d.seen; steps++ {
+		if err := ctx.Err(); err != nil {
+			return RoundResult{}, err
+		}
+		if steps >= d.budget {
+			return RoundResult{}, fmt.Errorf("%w (budget %d pulses)", ErrPulseBudget, d.budget)
+		}
+		d.s.Net.StepLockstep()
+	}
+	r := ref.ResultAt(d.seen)
+	d.seen++
+
+	var evs []Event
+	if d.lastPulse > 0 && r.Pulse-d.lastPulse > PulsesPerPlay(d.f) {
+		evs = append(evs, Event{
+			Kind:   EventClockRecovery,
+			Round:  len(d.results),
+			Pulse:  r.Pulse,
+			Detail: fmt.Sprintf("play completed after a %d-pulse gap (one period is %d)", r.Pulse-d.lastPulse, PulsesPerPlay(d.f)),
+		})
+	}
+	d.lastPulse = r.Pulse
+
+	res := RoundResult{
+		Round:     len(d.results),
+		Outcome:   r.Outcome,
+		Convicted: append([]int(nil), r.Guilty...),
+		Excluded:  excludedIDs(before),
+		Pulse:     r.Pulse,
+	}
+	d.fouls += len(res.Convicted)
+	d.results = append(d.results, res)
+	evs = append(evs, playEvents(res, newlyExcluded(before, ref.Excluded))...)
+	d.hub.emitAll(evs)
+	return res, nil
+}
+
+func (d *distDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
+	return runSession(ctx, d, rounds)
+}
+
+func (d *distDriver) Results() []RoundResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]RoundResult(nil), d.results...)
+}
+
+func (d *distDriver) Stats() SessionStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := SessionStats{
+		Kind:     KindDistributed,
+		Players:  d.n,
+		Rounds:   len(d.results),
+		Fouls:    d.fouls,
+		Pulses:   int64(d.s.Net.Stats.Pulses),
+		Messages: d.s.Net.Stats.MessagesSent,
+	}
+	if len(d.s.Honest) > 0 {
+		st.Excluded = snapshotExcluded(d.n, d.s.Procs[d.s.Honest[0]].Excluded)
+	}
+	return st
+}
+
+func (d *distDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
+
+func (d *distDriver) Close() error { return nil }

@@ -29,7 +29,11 @@ type PureSession struct {
 	cumCost []float64
 }
 
-// RoundResult records one audited play.
+// RoundResult records one audited play. It is the uniform result type of
+// the Session interface: every driver (pure, mixed, RRA, distributed)
+// reports completed plays in this shape; fields a driver cannot establish
+// are left zero (e.g. Costs on RRA plays, Verdict details on distributed
+// plays, Pulse on trusted drivers).
 type RoundResult struct {
 	Round int
 	// Outcome is the published PSP of the play (after executive
@@ -37,11 +41,16 @@ type RoundResult struct {
 	Outcome game.Profile
 	// Verdict is the judicial service's finding.
 	Verdict audit.Verdict
+	// Convicted lists the agents found guilty in this play's verdict.
+	Convicted []int
 	// Excluded lists agents barred from this play (punished earlier);
 	// their actions were chosen by the executive on their behalf.
 	Excluded []int
 	// Costs[i] is agent i's cost in this play.
 	Costs []float64
+	// Pulse is the network pulse at which the play completed (distributed
+	// driver only).
+	Pulse int
 }
 
 // NewPureSession builds a session over the elected game with one Agent per
@@ -163,11 +172,12 @@ func (s *PureSession) PlayRound() (RoundResult, error) {
 	}
 
 	res := RoundResult{
-		Round:    s.round,
-		Outcome:  outcome,
-		Verdict:  verdict,
-		Excluded: excluded,
-		Costs:    costs,
+		Round:     s.round,
+		Outcome:   outcome,
+		Verdict:   verdict,
+		Convicted: verdict.Guilty(),
+		Excluded:  excluded,
+		Costs:     costs,
 	}
 	s.history = append(s.history, res)
 	s.prev = outcome

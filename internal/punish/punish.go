@@ -36,6 +36,11 @@ type Scheme interface {
 	Standing(agent int) float64
 	// History returns all punishment events in application order.
 	History() []Event
+	// Fresh returns an empty replica with the same parameters — the
+	// distributed driver gives every processor's executive its own
+	// replica, and the §4 transient-fault recovery rebuilds ledgers
+	// from fresh state.
+	Fresh() Scheme
 }
 
 // --- Disconnect --------------------------------------------------------------
@@ -93,6 +98,9 @@ func (d *Disconnect) Standing(agent int) float64 {
 
 // History implements Scheme.
 func (d *Disconnect) History() []Event { return append([]Event(nil), d.events...) }
+
+// Fresh implements Scheme.
+func (d *Disconnect) Fresh() Scheme { return NewDisconnect(d.n, d.budget) }
 
 // --- Reputation ---------------------------------------------------------------
 
@@ -176,6 +184,9 @@ func (r *Reputation) Standing(agent int) float64 {
 // History implements Scheme.
 func (r *Reputation) History() []Event { return append([]Event(nil), r.events...) }
 
+// Fresh implements Scheme.
+func (r *Reputation) Fresh() Scheme { return NewReputation(r.n, r.decay, r.threshold, r.regen) }
+
 // --- Deposit -------------------------------------------------------------------
 
 // Deposit holds a real-money escrow per agent; offences are fined
@@ -184,6 +195,7 @@ func (r *Reputation) History() []Event { return append([]Event(nil), r.events...
 type Deposit struct {
 	n       int
 	balance []float64
+	escrow  float64
 	fine    float64
 	events  []Event
 }
@@ -200,7 +212,7 @@ func NewDeposit(n int, escrow, fine float64) *Deposit {
 	if fine <= 0 {
 		fine = 1
 	}
-	d := &Deposit{n: n, balance: make([]float64, n), fine: fine}
+	d := &Deposit{n: n, balance: make([]float64, n), escrow: escrow, fine: fine}
 	for i := range d.balance {
 		d.balance[i] = escrow
 	}
@@ -238,6 +250,9 @@ func (d *Deposit) Standing(agent int) float64 {
 
 // History implements Scheme.
 func (d *Deposit) History() []Event { return append([]Event(nil), d.events...) }
+
+// Fresh implements Scheme.
+func (d *Deposit) Fresh() Scheme { return NewDeposit(d.n, d.escrow, d.fine) }
 
 // ExcludedSet returns the sorted ids currently excluded under the scheme.
 func ExcludedSet(s Scheme, n int) []int {

@@ -1,0 +1,560 @@
+package gameauthority
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"gameauthority/internal/audit"
+)
+
+// NewServer exposes an Authority as an HTTP/JSON API:
+//
+//	POST   /sessions              create a session (CreateSessionRequest)
+//	GET    /sessions              list hosted sessions
+//	GET    /sessions/{id}         session stats
+//	POST   /sessions/{id}/play    run plays ({"rounds": k}, default 1)
+//	GET    /sessions/{id}/events  live event stream (server-sent events)
+//	DELETE /sessions/{id}         close and unregister the session
+//
+// Sessions are independent and may be created and played concurrently;
+// each session serializes its own plays.
+func NewServer(a *Authority) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleCreate(a, w, r)
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleList(a, w)
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withSession(a, w, r, handleStats)
+	})
+	mux.HandleFunc("POST /sessions/{id}/play", func(w http.ResponseWriter, r *http.Request) {
+		withSession(a, w, r, handlePlay)
+	})
+	mux.HandleFunc("GET /sessions/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		withSession(a, w, r, handleEvents)
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := a.Remove(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// CreateSessionRequest is the JSON body of POST /sessions. Game names a
+// built-in game ("matchingpennies", "matchingpennies-manipulated",
+// "prisonersdilemma", "coordination", "publicgoods", "minority"); RRA
+// sessions omit it. Kind is inferred when empty: "distributed" if
+// Distributed is set, "rra" if RRA is set, "mixed" if Audit is set,
+// otherwise "pure". Mixed sessions play the uniform strategy profile.
+type CreateSessionRequest struct {
+	ID      string  `json:"id,omitempty"`
+	Game    string  `json:"game,omitempty"`
+	Players int     `json:"players,omitempty"` // publicgoods, minority
+	Benefit float64 `json:"benefit,omitempty"` // publicgoods
+	Kind    string  `json:"kind,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+
+	Punishment *PunishmentSpec `json:"punishment,omitempty"`
+
+	Audit        string  `json:"audit,omitempty"` // off, per-round, batched, sampled, statistical
+	EpochLen     int     `json:"epoch_len,omitempty"`
+	SampleProb   float64 `json:"sample_prob,omitempty"`
+	Window       int     `json:"window,omitempty"`
+	ChiThreshold float64 `json:"chi_threshold,omitempty"`
+
+	RRA *struct {
+		Agents    int `json:"agents"`
+		Resources int `json:"resources"`
+	} `json:"rra,omitempty"`
+
+	Distributed *struct {
+		N int `json:"n"`
+		F int `json:"f"`
+	} `json:"distributed,omitempty"`
+	PulseBudget int `json:"pulse_budget,omitempty"`
+}
+
+// PunishmentSpec selects an executive punishment scheme over HTTP.
+type PunishmentSpec struct {
+	Scheme    string  `json:"scheme"` // disconnect, reputation, deposit
+	Budget    float64 `json:"budget,omitempty"`
+	Decay     float64 `json:"decay,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Regen     float64 `json:"regen,omitempty"`
+	Escrow    float64 `json:"escrow,omitempty"`
+	Fine      float64 `json:"fine,omitempty"`
+}
+
+type sessionInfo struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Players int    `json:"players"`
+	Rounds  int    `json:"rounds"`
+}
+
+type statsResponse struct {
+	sessionInfo
+	CumulativeCost []float64 `json:"cumulative_cost,omitempty"`
+	Excluded       []bool    `json:"excluded,omitempty"`
+	Fouls          int       `json:"fouls"`
+	Commitments    int64     `json:"commitments,omitempty"`
+	Reveals        int64     `json:"reveals,omitempty"`
+	Agreements     int64     `json:"agreements,omitempty"`
+	MaxLoad        int64     `json:"max_load,omitempty"`
+	Pulses         int64     `json:"pulses,omitempty"`
+	Messages       int64     `json:"messages,omitempty"`
+}
+
+type roundResponse struct {
+	Round     int        `json:"round"`
+	Outcome   []int      `json:"outcome"`
+	Fouls     []foulInfo `json:"fouls,omitempty"`
+	Convicted []int      `json:"convicted,omitempty"`
+	Excluded  []int      `json:"excluded,omitempty"`
+	Costs     []float64  `json:"costs,omitempty"`
+	Pulse     int        `json:"pulse,omitempty"`
+}
+
+type foulInfo struct {
+	Agent  int    `json:"agent"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+type eventInfo struct {
+	Kind    string     `json:"kind"`
+	Round   int        `json:"round"`
+	Dropped int64      `json:"dropped,omitempty"`
+	Outcome []int      `json:"outcome,omitempty"`
+	Costs   []float64  `json:"costs,omitempty"`
+	Fouls   []foulInfo `json:"fouls,omitempty"`
+	// Agent and Winner are pointers so that agent 0 / candidate 0 survive
+	// the wire format: the fields appear exactly on the event kinds that
+	// define them (conviction, election).
+	Agent  *int   `json:"agent,omitempty"`
+	Winner *int   `json:"winner,omitempty"`
+	Pulse  int    `json:"pulse,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func handleCreate(a *Authority, w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	g, opts, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := a.Create(req.ID, g, opts...)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrSessionExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(h))
+}
+
+// build translates the wire request into a game plus functional options —
+// the HTTP surface is a thin skin over the same New entry point.
+func (req *CreateSessionRequest) build() (Game, []Option, error) {
+	g, err := gameByName(req.Game, req.Players, req.Benefit)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []Option{WithSeed(req.Seed)}
+
+	kind := strings.ToLower(req.Kind)
+	if kind == "" {
+		switch {
+		case req.Distributed != nil:
+			kind = "distributed"
+		case req.RRA != nil:
+			kind = "rra"
+		case req.Audit != "":
+			kind = "mixed"
+		default:
+			kind = "pure"
+		}
+	}
+
+	players := 0
+	if g != nil {
+		players = g.NumPlayers()
+	}
+
+	// Reject fields that conflict with the resolved kind instead of
+	// silently dropping them — a client asking for auditing must not get
+	// an unaudited session back.
+	reject := func(field, appliesTo string) error {
+		return fmt.Errorf("%s only applies to %s sessions (got kind %q)", field, appliesTo, kind)
+	}
+	if kind != "mixed" && req.Audit != "" {
+		return nil, nil, reject("audit", "mixed")
+	}
+	if kind != "rra" && req.RRA != nil {
+		return nil, nil, reject("rra", "rra")
+	}
+	if kind != "distributed" && req.Distributed != nil {
+		return nil, nil, reject("distributed", "distributed")
+	}
+	if kind != "distributed" && req.PulseBudget != 0 {
+		return nil, nil, reject("pulse_budget", "distributed")
+	}
+
+	switch kind {
+	case "pure":
+	case "mixed":
+		if g == nil {
+			return nil, nil, fmt.Errorf("mixed sessions require a game")
+		}
+		opts = append(opts, WithStrategies(uniformStrategies(g)))
+		if req.Audit != "" {
+			mode, auditOpts, err := auditByName(req)
+			if err != nil {
+				return nil, nil, err
+			}
+			opts = append(opts, WithAudit(mode, auditOpts...))
+		}
+	case "rra":
+		if req.RRA == nil {
+			return nil, nil, fmt.Errorf("rra sessions require the rra object")
+		}
+		if g != nil {
+			return nil, nil, fmt.Errorf("rra sessions build their own game; omit game")
+		}
+		players = req.RRA.Agents
+		opts = append(opts, WithRRA(req.RRA.Agents, req.RRA.Resources))
+	case "distributed":
+		if req.Distributed == nil {
+			return nil, nil, fmt.Errorf("distributed sessions require the distributed object")
+		}
+		opts = append(opts, WithDistributed(req.Distributed.N, req.Distributed.F, nil))
+		if req.PulseBudget > 0 {
+			opts = append(opts, WithPulseBudget(req.PulseBudget))
+		}
+		players = req.Distributed.N
+	default:
+		return nil, nil, fmt.Errorf("unknown session kind %q", req.Kind)
+	}
+
+	scheme, err := schemeFromSpec(req.Punishment, players)
+	if err != nil {
+		return nil, nil, err
+	}
+	if scheme == nil && kind == "mixed" && req.Audit != "" && strings.ToLower(req.Audit) != "off" {
+		// Auditing without an executive is a configuration error in core;
+		// default to the paper's disconnection scheme.
+		scheme = NewDisconnectScheme(players, 0)
+	}
+	if scheme != nil {
+		opts = append(opts, WithPunishment(scheme))
+	}
+	return g, opts, nil
+}
+
+func gameByName(name string, players int, benefit float64) (Game, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil
+	case "matchingpennies":
+		return MatchingPennies(), nil
+	case "matchingpennies-manipulated":
+		return MatchingPenniesManipulated(), nil
+	case "prisonersdilemma":
+		return PrisonersDilemma(), nil
+	case "coordination":
+		return CoordinationGame(), nil
+	case "publicgoods":
+		if players <= 0 {
+			players = 4
+		}
+		if benefit <= 0 {
+			benefit = 2
+		}
+		return PublicGoods(players, benefit)
+	case "minority":
+		if players <= 0 {
+			players = 5
+		}
+		return MinorityGame(players)
+	default:
+		return nil, fmt.Errorf("unknown game %q", name)
+	}
+}
+
+func auditByName(req *CreateSessionRequest) (AuditMode, []AuditOption, error) {
+	var opts []AuditOption
+	switch strings.ToLower(req.Audit) {
+	case "off":
+		return AuditOff, nil, nil
+	case "per-round", "perround":
+		return AuditPerRound, nil, nil
+	case "batched":
+		epoch := req.EpochLen
+		if epoch <= 0 {
+			epoch = 16
+		}
+		return AuditBatched, append(opts, EpochLen(epoch)), nil
+	case "sampled":
+		p := req.SampleProb
+		if p <= 0 {
+			p = 0.2
+		}
+		return AuditSampled, append(opts, SampleProb(p)), nil
+	case "statistical":
+		window, chi := req.Window, req.ChiThreshold
+		if window <= 0 {
+			window = 50
+		}
+		if chi <= 0 {
+			chi = 6.63
+		}
+		return AuditStatistical, append(opts, Window(window), ChiThreshold(chi)), nil
+	default:
+		return 0, nil, fmt.Errorf("unknown audit discipline %q", req.Audit)
+	}
+}
+
+func schemeFromSpec(spec *PunishmentSpec, players int) (PunishmentScheme, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if players <= 0 {
+		return nil, fmt.Errorf("punishment scheme needs a player count")
+	}
+	switch strings.ToLower(spec.Scheme) {
+	case "disconnect":
+		return NewDisconnectScheme(players, spec.Budget), nil
+	case "reputation":
+		return NewReputationScheme(players, spec.Decay, spec.Threshold, spec.Regen), nil
+	case "deposit":
+		return NewDepositScheme(players, spec.Escrow, spec.Fine), nil
+	default:
+		return nil, fmt.Errorf("unknown punishment scheme %q", spec.Scheme)
+	}
+}
+
+func uniformStrategies(g Game) func(int, Profile) MixedProfile {
+	mp := make(MixedProfile, g.NumPlayers())
+	for i := range mp {
+		mp[i] = Uniform(g.NumActions(i))
+	}
+	return func(int, Profile) MixedProfile { return mp }
+}
+
+func withSession(a *Authority, w http.ResponseWriter, r *http.Request,
+	fn func(*HostedSession, http.ResponseWriter, *http.Request)) {
+	h, err := a.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	fn(h, w, r)
+}
+
+func handleList(a *Authority, w http.ResponseWriter) {
+	sessions := a.Sessions()
+	out := make([]sessionInfo, 0, len(sessions))
+	for _, h := range sessions {
+		out = append(out, infoFor(h))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleStats(h *HostedSession, w http.ResponseWriter, _ *http.Request) {
+	st := h.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		sessionInfo:    infoFor(h),
+		CumulativeCost: st.CumulativeCost,
+		Excluded:       st.Excluded,
+		Fouls:          st.Fouls,
+		Commitments:    st.Protocol.Commitments,
+		Reveals:        st.Protocol.Reveals,
+		Agreements:     st.Protocol.Agreements,
+		MaxLoad:        st.MaxLoad,
+		Pulses:         st.Pulses,
+		Messages:       st.Messages,
+	})
+}
+
+func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Rounds int `json:"rounds"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+	}
+	rounds := req.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	const maxRounds = 100000
+	if rounds > maxRounds {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d exceeds the per-request cap %d", rounds, maxRounds))
+		return
+	}
+	results := make([]roundResponse, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		res, err := h.Play(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the client is gone; nothing to report to
+			}
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrPulseBudget) {
+				// Documented-recoverable: the session is healthy but still
+				// re-converging; the client should simply retry.
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, map[string]any{
+				"error":   err.Error(),
+				"results": results,
+			})
+			return
+		}
+		results = append(results, roundFor(res))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func handleEvents(h *HostedSession, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": subscribed %s\n\n", h.ID())
+	flusher.Flush()
+
+	// Like Events, but counts overflow instead of dropping silently: a
+	// slow reader sees a "lag" event naming how many events it missed, so
+	// its view of the session is never wrong without it knowing.
+	events := make(chan Event, 256)
+	var mu sync.Mutex
+	var dropped int64
+	closed := false
+	unsubscribe := h.Subscribe(ObserverFunc(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case events <- e:
+		default:
+			dropped++
+		}
+	}))
+	defer func() {
+		unsubscribe()
+		mu.Lock()
+		closed = true
+		mu.Unlock()
+	}()
+
+	write := func(info eventInfo) bool {
+		payload, err := json.Marshal(info)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-events:
+			mu.Lock()
+			lag := dropped
+			dropped = 0
+			mu.Unlock()
+			if lag > 0 && !write(eventInfo{Kind: "lag", Dropped: lag}) {
+				return
+			}
+			if !write(eventFor(e)) {
+				return
+			}
+		}
+	}
+}
+
+func infoFor(h *HostedSession) sessionInfo {
+	st := h.Stats()
+	return sessionInfo{ID: h.ID(), Kind: st.Kind.String(), Players: st.Players, Rounds: st.Rounds}
+}
+
+func roundFor(res RoundResult) roundResponse {
+	return roundResponse{
+		Round:     res.Round,
+		Outcome:   res.Outcome,
+		Fouls:     foulsFor(res.Verdict.Fouls),
+		Convicted: res.Convicted,
+		Excluded:  res.Excluded,
+		Costs:     res.Costs,
+		Pulse:     res.Pulse,
+	}
+}
+
+func foulsFor(fouls []audit.Foul) []foulInfo {
+	out := make([]foulInfo, 0, len(fouls))
+	for _, f := range fouls {
+		out = append(out, foulInfo{Agent: f.Agent, Reason: f.Reason.String(), Detail: f.Detail})
+	}
+	return out
+}
+
+func eventFor(e Event) eventInfo {
+	info := eventInfo{
+		Kind:    e.Kind.String(),
+		Round:   e.Round,
+		Outcome: e.Outcome,
+		Costs:   e.Costs,
+		Fouls:   foulsFor(e.Fouls),
+		Pulse:   e.Pulse,
+		Detail:  e.Detail,
+	}
+	switch e.Kind {
+	case EventConviction:
+		agent := e.Agent
+		info.Agent = &agent
+	case EventElection:
+		winner := e.Winner
+		info.Winner = &winner
+	}
+	return info
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

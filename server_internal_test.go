@@ -1,0 +1,30 @@
+package gameauthority
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestEventWireZeroValues pins the SSE wire format: agent 0 convictions
+// and candidate-0 election wins must keep their fields, and play events
+// must not grow spurious agent/winner keys.
+func TestEventWireZeroValues(t *testing.T) {
+	marshal := func(e Event) string {
+		b, err := json.Marshal(eventFor(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got := marshal(Event{Kind: EventConviction, Agent: 0}); !strings.Contains(got, `"agent":0`) {
+		t.Fatalf("conviction of agent 0 lost its agent field: %s", got)
+	}
+	if got := marshal(Event{Kind: EventElection, Winner: 0}); !strings.Contains(got, `"winner":0`) {
+		t.Fatalf("election of candidate 0 lost its winner field: %s", got)
+	}
+	got := marshal(Event{Kind: EventPlay, Round: 3})
+	if strings.Contains(got, `"agent"`) || strings.Contains(got, `"winner"`) {
+		t.Fatalf("play event grew agent/winner keys: %s", got)
+	}
+}

@@ -1,0 +1,292 @@
+package gameauthority_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ga "gameauthority"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, decoded
+}
+
+// TestServerHostsConcurrentSessions drives the HTTP/JSON API end to end:
+// two independent sessions created over HTTP, played concurrently, with a
+// live event stream on one of them.
+func TestServerHostsConcurrentSessions(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "alpha", Game: "prisonersdilemma", Seed: 1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create alpha: %d %v", resp.StatusCode, body)
+	}
+	if body["kind"] != "pure" {
+		t.Fatalf("alpha kind = %v", body["kind"])
+	}
+	resp, body = postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "beta", Game: "matchingpennies", Audit: "per-round", Seed: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create beta: %d %v", resp.StatusCode, body)
+	}
+	if body["kind"] != "mixed" {
+		t.Fatalf("beta kind = %v", body["kind"])
+	}
+
+	// Subscribe to beta's event stream before playing.
+	events, err := http.Get(srv.URL + "/sessions/beta/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	if ct := events.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		scanner := bufio.NewScanner(events.Body)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+	// The handler announces the subscription before any event flows.
+	select {
+	case line := <-lines:
+		if !strings.HasPrefix(line, ": subscribed") {
+			t.Fatalf("first stream line = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream never opened")
+	}
+
+	// Play both sessions concurrently.
+	const rounds = 10
+	var wg sync.WaitGroup
+	for _, id := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, body := postJSON(t, fmt.Sprintf("%s/sessions/%s/play", srv.URL, id),
+				map[string]int{"rounds": rounds})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("play %s: %d %v", id, resp.StatusCode, body)
+				return
+			}
+			results, ok := body["results"].([]any)
+			if !ok || len(results) != rounds {
+				t.Errorf("play %s returned %d results", id, len(results))
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// The stream must deliver beta's play events.
+	deadline := time.After(5 * time.Second)
+	got := 0
+	for got < rounds {
+		select {
+		case line, open := <-lines:
+			if !open {
+				t.Fatalf("stream closed after %d events", got)
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var e struct {
+				Kind  string `json:"kind"`
+				Round int    `json:"round"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatalf("bad event payload %q: %v", line, err)
+			}
+			if e.Kind == "play" {
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("only %d play events arrived", got)
+		}
+	}
+
+	// Stats and listing reflect both sessions.
+	statsResp, err := http.Get(srv.URL + "/sessions/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Rounds  int `json:"rounds"`
+		Players int `json:"players"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Rounds != rounds || stats.Players != 2 {
+		t.Fatalf("alpha stats = %+v", stats)
+	}
+
+	listResp, err := http.Get(srv.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 2 || list[0].ID != "alpha" || list[1].ID != "beta" {
+		t.Fatalf("session list = %v", list)
+	}
+
+	// Delete alpha; it disappears from the registry.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/alpha", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete alpha: %d", delResp.StatusCode)
+	}
+	gone, err := http.Get(srv.URL + "/sessions/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session still served: %d", gone.StatusCode)
+	}
+}
+
+// TestServerCreateValidation exercises the HTTP error paths.
+func TestServerCreateValidation(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		req    ga.CreateSessionRequest
+		status int
+	}{
+		{"unknown game", ga.CreateSessionRequest{Game: "chess"}, http.StatusBadRequest},
+		{"unknown kind", ga.CreateSessionRequest{Game: "coordination", Kind: "quantum"}, http.StatusBadRequest},
+		{"unknown audit", ga.CreateSessionRequest{Game: "matchingpennies", Audit: "psychic"}, http.StatusBadRequest},
+		{"rra without spec", ga.CreateSessionRequest{Kind: "rra"}, http.StatusBadRequest},
+		{"distributed without spec", ga.CreateSessionRequest{Kind: "distributed"}, http.StatusBadRequest},
+		{"distributed n<=3f", ga.CreateSessionRequest{
+			Game: "publicgoods", Players: 4,
+			Distributed: &struct {
+				N int `json:"n"`
+				F int `json:"f"`
+			}{N: 4, F: 2},
+		}, http.StatusBadRequest},
+		{"unknown punishment", ga.CreateSessionRequest{
+			Game: "coordination", Punishment: &ga.PunishmentSpec{Scheme: "exile"},
+		}, http.StatusBadRequest},
+		{"unroutable id", ga.CreateSessionRequest{
+			ID: "a/b", Game: "coordination",
+		}, http.StatusBadRequest},
+		{"dot-dot id", ga.CreateSessionRequest{
+			ID: "..", Game: "coordination",
+		}, http.StatusBadRequest},
+		{"audit on an explicitly pure session", ga.CreateSessionRequest{
+			Kind: "pure", Game: "prisonersdilemma", Audit: "per-round",
+		}, http.StatusBadRequest},
+		{"rra object on a distributed session", ga.CreateSessionRequest{
+			Game: "publicgoods", Players: 4,
+			Distributed: &struct {
+				N int `json:"n"`
+				F int `json:"f"`
+			}{N: 4, F: 1},
+			RRA: &struct {
+				Agents    int `json:"agents"`
+				Resources int `json:"resources"`
+			}{Agents: 4, Resources: 2},
+		}, http.StatusBadRequest},
+		{"pulse budget on a pure session", ga.CreateSessionRequest{
+			Game: "coordination", PulseBudget: 50,
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, srv.URL+"/sessions", tc.req)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d (%v), want %d", resp.StatusCode, body, tc.status)
+			}
+		})
+	}
+
+	// Duplicate IDs conflict.
+	if resp, _ := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{ID: "dup", Game: "coordination"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{ID: "dup", Game: "coordination"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", resp.StatusCode)
+	}
+
+	// An RRA session created over HTTP plays rounds.
+	resp, _ := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "rra", Kind: "rra", Seed: 5,
+		Punishment: &ga.PunishmentSpec{Scheme: "disconnect"},
+		RRA: &struct {
+			Agents    int `json:"agents"`
+			Resources int `json:"resources"`
+		}{Agents: 6, Resources: 3},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create rra: %d", resp.StatusCode)
+	}
+	playResp, body := postJSON(t, srv.URL+"/sessions/rra/play", map[string]int{"rounds": 5})
+	if playResp.StatusCode != http.StatusOK {
+		t.Fatalf("play rra: %d %v", playResp.StatusCode, body)
+	}
+
+	// A still-converging distributed session reports 503 (retryable), not
+	// a server error.
+	resp, _ = postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "slow", Game: "publicgoods", Players: 4,
+		Distributed: &struct {
+			N int `json:"n"`
+			F int `json:"f"`
+		}{N: 4, F: 1},
+		PulseBudget: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create slow: %d", resp.StatusCode)
+	}
+	budgetResp, body := postJSON(t, srv.URL+"/sessions/slow/play", map[string]int{"rounds": 1})
+	if budgetResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pulse-budget play: %d %v, want 503", budgetResp.StatusCode, body)
+	}
+}
