@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt fmt-fix vet build test race bench
+.PHONY: ci fmt fmt-fix vet build test race bench bench-smoke
 
-ci: fmt vet build test race bench
+ci: fmt vet build test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -23,6 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration per benchmark: a bit-rot smoke, not a measurement.
-bench:
+# One iteration per benchmark: a bit-rot smoke, not a measurement. CI runs
+# this — it fails on build/bench errors, never on timing noise.
+bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The tracked baseline: per-driver play benchmarks with -benchmem, parsed
+# into BENCH_PR2.json (ns/play, B/play, allocs/play per driver). Commit the
+# artifact so future PRs have a trajectory to beat.
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkPlay' -benchmem -benchtime 2000x -count 1 . \
+		| $(GO) run ./cmd/benchfmt -out BENCH_PR2.json

@@ -1,0 +1,121 @@
+package gameauthority_test
+
+import (
+	"context"
+	"testing"
+
+	ga "gameauthority"
+)
+
+// Allocation budgets per driver, enforced by TestAllocsPerPlay. The pure
+// driver's budget is the headline: a fully audited play — choice,
+// commitment, reveal, SHA-256 verification, best-response audit,
+// publication, history recording — without a single heap allocation. The
+// other drivers carry fixed small budgets dominated by inherently dynamic
+// work (per-round samplers for mixed/RRA, Byzantine-agreement state and
+// wire encodings for distributed); the budgets exist so regressions show
+// up as test failures, not as gradual drift.
+const (
+	pureAllocBudget  = 0
+	mixedAllocBudget = 48
+	rraAllocBudget   = 96
+	distAllocBudget  = 6000
+)
+
+func TestAllocsPerPlayPure(t *testing.T) {
+	ctx := context.Background()
+	s, err := ga.New(ga.PrisonersDilemma(), ga.WithSeed(1),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+		ga.WithHistoryLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, 64); err != nil { // warm scratch + ring
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > pureAllocBudget {
+		t.Fatalf("pure play allocates %v times, budget %d", allocs, pureAllocBudget)
+	}
+}
+
+func TestAllocsPerPlayMixed(t *testing.T) {
+	ctx := context.Background()
+	strategies := ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+	s, err := ga.New(ga.MatchingPennies(),
+		ga.WithStrategies(func(int, ga.Profile) ga.MixedProfile { return strategies }),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+		ga.WithAudit(ga.AuditPerRound),
+		ga.WithSeed(1),
+		ga.WithHistoryLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, 64); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > mixedAllocBudget {
+		t.Fatalf("mixed play allocates %v times, budget %d", allocs, mixedAllocBudget)
+	}
+	t.Logf("mixed play: %v allocs (budget %d)", allocs, mixedAllocBudget)
+}
+
+func TestAllocsPerPlayRRA(t *testing.T) {
+	ctx := context.Background()
+	s, err := ga.New(nil, ga.WithRRA(8, 4),
+		ga.WithPunishment(ga.NewDisconnectScheme(8, 0)),
+		ga.WithSeed(1),
+		ga.WithHistoryLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, 64); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > rraAllocBudget {
+		t.Fatalf("RRA play allocates %v times, budget %d", allocs, rraAllocBudget)
+	}
+	t.Logf("RRA play: %v allocs (budget %d)", allocs, rraAllocBudget)
+}
+
+func TestAllocsPerPlayDistributed(t *testing.T) {
+	ctx := context.Background()
+	g4, err := ga.PublicGoods(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ga.New(g4, ga.WithDistributed(4, 1, nil),
+		ga.WithPulseWorkers(1), // lockstep: measure protocol allocations, not scheduler noise
+		ga.WithSeed(1),
+		ga.WithHistoryLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(ctx, 8); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > distAllocBudget {
+		t.Fatalf("distributed play allocates %v times, budget %d", allocs, distAllocBudget)
+	}
+	t.Logf("distributed play: %v allocs (budget %d)", allocs, distAllocBudget)
+}

@@ -86,6 +86,9 @@ func runEF1(quick bool) {
 		return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
 	}
 	run := func(opts ...ga.Option) (float64, float64, bool) {
+		// Only Stats are read: bound the history so 2000-round sweeps
+		// stop growing (and stop allocating on the play hot path).
+		opts = append(opts, ga.WithHistoryLimit(8))
 		s, err := ga.New(ga.MatchingPennies(), opts...)
 		fatal(err)
 		_, err = s.Run(context.Background(), rounds)
@@ -200,7 +203,8 @@ func runET5(quick bool) {
 				s, err := ga.New(nil,
 					ga.WithRRA(cfg.n, cfg.b),
 					ga.WithPunishment(ga.NewDisconnectScheme(cfg.n, 0)),
-					ga.WithSeed(uint64(seed)))
+					ga.WithSeed(uint64(seed)),
+					ga.WithHistoryLimit(8)) // k reaches 1000; only MaxLoad is read
 				fatal(err)
 				_, err = s.Run(context.Background(), k)
 				fatal(err)
@@ -283,7 +287,8 @@ func runEAUD(quick bool) {
 		s, err := ga.New(ga.MatchingPennies(),
 			ga.WithStrategies(strategies),
 			ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
-			audit, ga.WithSeed(1))
+			audit, ga.WithSeed(1),
+			ga.WithHistoryLimit(8)) // only protocol counters are read
 		fatal(err)
 		_, err = s.Run(context.Background(), rounds)
 		fatal(err)
@@ -315,7 +320,8 @@ func runEPUN(quick bool) {
 		s, err := ga.New(ga.MatchingPennies(),
 			ga.WithActual(ga.MatchingPenniesManipulated()),
 			ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip),
-			ga.WithPunishment(scheme), ga.WithAudit(ga.AuditPerRound), ga.WithSeed(9))
+			ga.WithPunishment(scheme), ga.WithAudit(ga.AuditPerRound), ga.WithSeed(9),
+			ga.WithHistoryLimit(8)) // only exclusion flags and costs are read
 		fatal(err)
 		excludedAt := -1
 		for r := 1; r <= 200; r++ {
@@ -419,7 +425,8 @@ func runEEXT(quick bool) {
 				ga.WithStrategies(strategies), ga.WithMixedAgents(nil, manip),
 				ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
 				ga.WithAudit(ga.AuditSampled, ga.SampleProb(p)),
-				ga.WithSeed(uint64(trial*131)))
+				ga.WithSeed(uint64(trial*131)),
+				ga.WithHistoryLimit(8)) // detection latency only needs Stats
 			fatal(err)
 			caught := float64(rounds + 1)
 			for r := 1; r <= rounds; r++ {
@@ -446,7 +453,8 @@ func runEEXT(quick bool) {
 		ga.WithStrategies(strategies), ga.WithMixedAgents(nil, biased),
 		ga.WithPunishment(ga.NewReputationScheme(2, 0.5, 0.4, 0)),
 		ga.WithAudit(ga.AuditStatistical, ga.Window(50), ga.ChiThreshold(6.63)),
-		ga.WithSeed(17))
+		ga.WithSeed(17),
+		ga.WithHistoryLimit(8)) // 600-round screen; only Stats are read
 	fatal(err)
 	caught := -1
 	for r := 1; r <= 600; r++ {

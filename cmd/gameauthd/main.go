@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	ga "gameauthority"
 	"gameauthority/internal/prng"
@@ -39,6 +41,8 @@ func main() {
 		corrupt = flag.Int("corrupt", -1, "inject a transient fault after this play (-1: never)")
 		seed    = flag.Uint64("seed", 7, "root seed")
 		serve   = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
+		memProf = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
 	)
 	flag.Parse()
 
@@ -69,10 +73,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 		os.Exit(2)
 	}
-	if err := trace(*n, *f, *plays, *cheat, *corrupt, *seed); err != nil {
+	stopCPU, err := startCPUProfile(*cpuProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+		os.Exit(2)
+	}
+	traceErr := trace(*n, *f, *plays, *cheat, *corrupt, *seed)
+	stopCPU()
+	memErr := writeMemProfile(*memProf)
+	// Report both failures; the trace failure decides the exit code (the
+	// documented non-zero pulse-budget contract) ahead of the profile one.
+	if memErr != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", memErr)
+	}
+	if traceErr != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", traceErr)
 		os.Exit(1)
 	}
+	if memErr != nil {
+		os.Exit(2)
+	}
+}
+
+// startCPUProfile begins CPU profiling into path ("" = disabled) and
+// returns the stop function.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps the post-run heap profile to path ("" = disabled).
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 // validateFlags rejects invalid trace-mode configurations loudly instead

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
@@ -36,5 +39,46 @@ func TestTraceCompletes(t *testing.T) {
 	}
 	if err := trace(4, 1, 2, 2, -1, 7); err != nil {
 		t.Fatalf("trace with cheater: %v", err)
+	}
+}
+
+// TestProfileHelpers exercises the -cpuprofile/-memprofile plumbing: both
+// must produce non-empty pprof files around a trace run, and bad paths
+// must error instead of silently dropping the profile.
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.prof"
+	mem := dir + "/mem.prof"
+	stop, err := startCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace(4, 1, 1, -1, -1, 7); err != nil {
+		t.Fatalf("trace under profile: %v", err)
+	}
+	stop()
+	if err := writeMemProfile(mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	if _, err := startCPUProfile(dir + "/no/such/dir/cpu.prof"); err == nil {
+		t.Fatal("bad cpuprofile path accepted")
+	}
+	if err := writeMemProfile(dir + "/no/such/dir/mem.prof"); err == nil {
+		t.Fatal("bad memprofile path accepted")
+	}
+	// Disabled profiles are no-ops.
+	stop, err = startCPUProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := writeMemProfile(""); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -77,9 +77,9 @@ func main() {
 	fmt.Printf("\nwith authority (%d plays):\n", rounds)
 	fmt.Printf("  A's average payoff: %+.3f   (restored to ≈ 0)\n", -st.CumulativeCost[0]/rounds)
 	fmt.Printf("  B's average payoff: %+.3f   (restored to ≈ 0)\n", -st.CumulativeCost[1]/rounds)
-	results := sup.Results()
-	if len(results) > 0 && len(results[0].Verdict.Fouls) > 0 {
-		f := results[0].Verdict.Fouls[0]
+	// ResultAt fetches one play without copying the whole history.
+	if first, ok := sup.ResultAt(0); ok && len(first.Verdict.Fouls) > 0 {
+		f := first.Verdict.Fouls[0]
 		fmt.Printf("  first verdict: agent %d convicted (%s) on play 0 — %s\n", f.Agent, f.Reason, f.Detail)
 	}
 	fmt.Printf("  manipulator excluded: %v\n", st.Excluded[1])

@@ -1,0 +1,198 @@
+package gameauthority_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	ga "gameauthority"
+)
+
+// boundedAndUnboundedTwins builds two identically-seeded supervised mixed
+// sessions with the Fig. 1 manipulator, one history-bounded, one not.
+func boundedAndUnboundedTwins(t *testing.T, limit int) (bounded, unbounded ga.Session) {
+	t.Helper()
+	mk := func(opts ...ga.Option) ga.Session {
+		manip := &ga.MixedAgent{Override: func(int, int) int { return ga.ManipulateAction }}
+		base := []ga.Option{
+			ga.WithActual(ga.MatchingPenniesManipulated()),
+			ga.WithStrategies(func(int, ga.Profile) ga.MixedProfile {
+				return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+			}),
+			ga.WithMixedAgents(nil, manip),
+			ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+			ga.WithAudit(ga.AuditPerRound),
+			ga.WithSeed(11),
+		}
+		s, err := ga.New(ga.MatchingPennies(), append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(ga.WithHistoryLimit(limit)), mk()
+}
+
+func TestHistoryLimitWraparoundThroughSessionAPI(t *testing.T) {
+	ctx := context.Background()
+	g := ga.PrisonersDilemma()
+	s, err := ga.New(g, ga.WithSeed(3), ga.WithHistoryLimit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Rounds; got != 10 {
+		t.Fatalf("Stats().Rounds = %d, want 10 (eviction must not lose the count)", got)
+	}
+	results := s.Results()
+	if len(results) != 4 {
+		t.Fatalf("bounded Results() returned %d plays, want 4", len(results))
+	}
+	for i, want := range []int{6, 7, 8, 9} {
+		if results[i].Round != want {
+			t.Fatalf("results[%d].Round = %d, want %d (oldest-first ring order)", i, results[i].Round, want)
+		}
+	}
+	if _, ok := s.ResultAt(5); ok {
+		t.Fatal("ResultAt(5) returned an evicted play")
+	}
+	if r, ok := s.ResultAt(9); !ok || r.Round != 9 {
+		t.Fatalf("ResultAt(9) = %+v, %v", r, ok)
+	}
+	if _, ok := s.ResultAt(10); ok {
+		t.Fatal("ResultAt(10) returned an unplayed round")
+	}
+}
+
+func TestHistoryLimitStatsMatchUnbounded(t *testing.T) {
+	ctx := context.Background()
+	bounded, unbounded := boundedAndUnboundedTwins(t, 3)
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		rb, err := bounded.Play(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := unbounded.Play(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rb.Outcome.Equal(ru.Outcome) {
+			t.Fatalf("round %d: bounded outcome %v != unbounded %v", i, rb.Outcome, ru.Outcome)
+		}
+	}
+	sb, su := bounded.Stats(), unbounded.Stats()
+	if sb.Rounds != su.Rounds || sb.Fouls != su.Fouls {
+		t.Fatalf("stats diverge after eviction: bounded %+v, unbounded %+v", sb, su)
+	}
+	for i := range sb.CumulativeCost {
+		if sb.CumulativeCost[i] != su.CumulativeCost[i] {
+			t.Fatalf("agent %d cumulative cost %v != %v", i, sb.CumulativeCost[i], su.CumulativeCost[i])
+		}
+	}
+	if len(bounded.Results()) != 3 {
+		t.Fatalf("bounded retained %d plays, want 3", len(bounded.Results()))
+	}
+}
+
+func TestHistoryLimitObserverDeliveryUnaffected(t *testing.T) {
+	ctx := context.Background()
+	bounded, unbounded := boundedAndUnboundedTwins(t, 2)
+	var events []ga.Event
+	cancel := bounded.Subscribe(ga.ObserverFunc(func(e ga.Event) {
+		if e.Kind == ga.EventPlay {
+			events = append(events, e)
+		}
+	}))
+	defer cancel()
+	const rounds = 9
+	if _, err := bounded.Run(ctx, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Run(ctx, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rounds {
+		t.Fatalf("observer saw %d play events, want %d (eviction must not drop deliveries)", len(events), rounds)
+	}
+	// Every event must carry the play it announced — including plays long
+	// evicted from the ring — so compare against the unbounded twin.
+	full := unbounded.Results()
+	for i, e := range events {
+		if e.Round != i {
+			t.Fatalf("event %d has Round %d", i, e.Round)
+		}
+		if !e.Outcome.Equal(full[i].Outcome) {
+			t.Fatalf("event %d outcome %v, want %v (event payloads must be cloned, not ring-backed)",
+				i, e.Outcome, full[i].Outcome)
+		}
+	}
+}
+
+func TestHistoryLimitResultCloneSurvivesEviction(t *testing.T) {
+	ctx := context.Background()
+	s, err := ga.New(ga.PrisonersDilemma(), ga.WithSeed(5), ga.WithHistoryLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Play(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := first.Clone()
+	wantOutcome := append(ga.Profile(nil), keep.Outcome...)
+	if _, err := s.Run(ctx, 6); err != nil { // evict round 0 several times over
+		t.Fatal(err)
+	}
+	if !keep.Outcome.Equal(wantOutcome) {
+		t.Fatalf("cloned result mutated by eviction: %v != %v", keep.Outcome, wantOutcome)
+	}
+}
+
+func TestHistoryLimitValidation(t *testing.T) {
+	_, err := ga.New(ga.PrisonersDilemma(), ga.WithHistoryLimit(-1))
+	if err == nil || !errors.Is(err, ga.ErrConfig) {
+		t.Fatalf("negative history limit: err = %v, want ErrConfig", err)
+	}
+}
+
+func TestHistoryLimitOnRRAAndDistributed(t *testing.T) {
+	ctx := context.Background()
+	rra, err := ga.New(nil, ga.WithRRA(4, 2), ga.WithSeed(7), ga.WithHistoryLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rra.Run(ctx, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rra.Results()); got != 3 {
+		t.Fatalf("RRA retained %d, want 3", got)
+	}
+	if rra.Stats().Rounds != 8 {
+		t.Fatalf("RRA Stats().Rounds = %d, want 8", rra.Stats().Rounds)
+	}
+
+	g4, err := ga.PublicGoods(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ga.New(g4, ga.WithDistributed(4, 1, nil), ga.WithSeed(7), ga.WithHistoryLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Close()
+	if _, err := dist.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dist.Results()); got != 2 {
+		t.Fatalf("distributed retained %d, want 2", got)
+	}
+	if r, ok := dist.ResultAt(4); !ok || r.Round != 4 {
+		t.Fatalf("distributed ResultAt(4) = %+v, %v", r, ok)
+	}
+	if _, ok := dist.ResultAt(1); ok {
+		t.Fatal("distributed ResultAt(1) returned an evicted play")
+	}
+}

@@ -100,6 +100,9 @@ type Verdict struct {
 // Guilty returns the distinct agent ids with at least one foul, in
 // ascending order.
 func (v Verdict) Guilty() []int {
+	if len(v.Fouls) == 0 {
+		return nil // fast path: honest plays must not allocate
+	}
 	seen := make(map[int]bool)
 	var out []int
 	for _, f := range v.Fouls {
@@ -122,16 +125,42 @@ var ErrBadEvidence = errors.New("audit: malformed evidence")
 
 // EncodeAction canonically serializes an action for commitment.
 func EncodeAction(action int) []byte {
-	return []byte(strconv.Itoa(action))
+	return strconv.AppendInt(nil, int64(action), 10)
 }
 
-// DecodeAction parses EncodeAction's output.
+// AppendAction appends EncodeAction's serialization to dst, reusing its
+// capacity — the allocation-free path for per-session scratch buffers.
+func AppendAction(dst []byte, action int) []byte {
+	return strconv.AppendInt(dst, int64(action), 10)
+}
+
+// DecodeAction parses EncodeAction's output. It parses the bytes directly
+// (no string conversion) so honest-path audits do not allocate.
 func DecodeAction(data []byte) (int, error) {
-	a, err := strconv.Atoi(string(data))
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadEvidence, err)
+	neg := false
+	i := 0
+	if len(data) > 0 && (data[0] == '-' || data[0] == '+') {
+		neg = data[0] == '-'
+		i = 1
 	}
-	return a, nil
+	if i == len(data) {
+		return 0, fmt.Errorf("%w: empty action encoding", ErrBadEvidence)
+	}
+	n := 0
+	for ; i < len(data); i++ {
+		c := data[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: bad action byte %q", ErrBadEvidence, c)
+		}
+		if n > (1<<31)/10 { // reject absurd encodings before they overflow
+			return 0, fmt.Errorf("%w: action encoding overflows", ErrBadEvidence)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
 }
 
 // PlayEvidence is the per-round evidence the executive service hands the
@@ -154,12 +183,26 @@ type PlayEvidence struct {
 // It returns the verdict and the decoded action profile (with -1 for agents
 // whose action could not be established).
 func PerRound(g game.Game, ev PlayEvidence) (Verdict, game.Profile, error) {
+	var verdict Verdict
+	actions := make(game.Profile, g.NumPlayers())
+	if err := PerRoundInto(g, ev, actions, &verdict); err != nil {
+		return verdict, nil, err
+	}
+	return verdict, actions, nil
+}
+
+// PerRoundInto is PerRound with caller-owned buffers for the play hot path:
+// the decoded profile is written into actions (length NumPlayers) and fouls
+// are appended to verdict.Fouls (reset it before the call). Honest plays
+// complete without allocating.
+func PerRoundInto(g game.Game, ev PlayEvidence, actions game.Profile, verdict *Verdict) error {
 	n := g.NumPlayers()
 	if len(ev.Commitments) != n || len(ev.Openings) != n || len(ev.Revealed) != n {
-		return Verdict{}, nil, fmt.Errorf("%w: evidence arity mismatch", ErrBadEvidence)
+		return fmt.Errorf("%w: evidence arity mismatch", ErrBadEvidence)
 	}
-	var verdict Verdict
-	actions := make(game.Profile, n)
+	if len(actions) != n {
+		return fmt.Errorf("%w: action buffer arity %d, want %d", ErrBadEvidence, len(actions), n)
+	}
 	for i := range actions {
 		actions[i] = -1
 	}
@@ -192,7 +235,7 @@ func PerRound(g game.Game, ev PlayEvidence) (Verdict, game.Profile, error) {
 	// (π′i, π−i) is the PSP of the previous play").
 	if ev.PrevOutcome != nil {
 		if err := game.ValidateProfile(g, ev.PrevOutcome); err != nil {
-			return verdict, actions, fmt.Errorf("%w: bad previous outcome: %v", ErrBadEvidence, err)
+			return fmt.Errorf("%w: bad previous outcome: %v", ErrBadEvidence, err)
 		}
 		for i := 0; i < n; i++ {
 			if actions[i] < 0 {
@@ -204,7 +247,7 @@ func PerRound(g game.Game, ev PlayEvidence) (Verdict, game.Profile, error) {
 			}
 		}
 	}
-	return verdict, actions, nil
+	return nil
 }
 
 // --- Mixed strategies (§5) -------------------------------------------------
@@ -228,14 +271,33 @@ type MixedEvidence struct {
 
 // EncodeSeed canonically serializes a PRG seed for commitment.
 func EncodeSeed(seed uint64) []byte {
-	return []byte(strconv.FormatUint(seed, 16))
+	return strconv.AppendUint(nil, seed, 16)
 }
 
-// DecodeSeed parses EncodeSeed's output.
+// AppendSeed appends EncodeSeed's serialization to dst, reusing its
+// capacity — the allocation-free path for per-session scratch buffers.
+func AppendSeed(dst []byte, seed uint64) []byte {
+	return strconv.AppendUint(dst, seed, 16)
+}
+
+// DecodeSeed parses EncodeSeed's output. Like DecodeAction it parses the
+// bytes directly so honest-path audits do not allocate.
 func DecodeSeed(data []byte) (uint64, error) {
-	s, err := strconv.ParseUint(string(data), 16, 64)
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadEvidence, err)
+	if len(data) == 0 || len(data) > 16 {
+		return 0, fmt.Errorf("%w: seed encoding length %d", ErrBadEvidence, len(data))
+	}
+	var s uint64
+	for _, c := range data {
+		var d uint64
+		switch {
+		case '0' <= c && c <= '9':
+			d = uint64(c - '0')
+		case 'a' <= c && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, fmt.Errorf("%w: bad seed byte %q", ErrBadEvidence, c)
+		}
+		s = s<<4 | d
 	}
 	return s, nil
 }

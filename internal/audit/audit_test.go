@@ -449,3 +449,83 @@ func TestQuickExpectedActionDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendCodecsRoundTrip(t *testing.T) {
+	buf := make([]byte, 0, 32)
+	for _, a := range []int{0, 1, 7, 99, -1, 123456} {
+		buf = AppendAction(buf[:0], a)
+		if string(buf) != string(EncodeAction(a)) {
+			t.Fatalf("AppendAction(%d) = %q, EncodeAction = %q", a, buf, EncodeAction(a))
+		}
+		got, err := DecodeAction(buf)
+		if err != nil || got != a {
+			t.Fatalf("DecodeAction(%q) = %d, %v", buf, got, err)
+		}
+	}
+	for _, s := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		buf = AppendSeed(buf[:0], s)
+		if string(buf) != string(EncodeSeed(s)) {
+			t.Fatalf("AppendSeed(%d) = %q, EncodeSeed = %q", s, buf, EncodeSeed(s))
+		}
+		got, err := DecodeSeed(buf)
+		if err != nil || got != s {
+			t.Fatalf("DecodeSeed(%q) = %d, %v", buf, got, err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{nil, []byte(""), []byte("x"), []byte("1x2"), []byte("-"), []byte("999999999999999999999999")} {
+		if _, err := DecodeAction(bad); err == nil {
+			t.Fatalf("DecodeAction(%q) accepted garbage", bad)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte(""), []byte("xyz"), []byte("12345678901234567")} {
+		if _, err := DecodeSeed(bad); err == nil {
+			t.Fatalf("DecodeSeed(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestPerRoundIntoMatchesPerRound(t *testing.T) {
+	g := game.PrisonersDilemma()
+	src := prng.New(3)
+	ev := PlayEvidence{
+		Round:       1,
+		PrevOutcome: game.Profile{1, 1},
+		Commitments: make([]commit.Digest, 2),
+		Openings:    make([]commit.Opening, 2),
+		Revealed:    []bool{true, false}, // agent 1 withholds
+	}
+	ev.Commitments[0], ev.Openings[0] = commit.Commit(src, EncodeAction(1))
+	wantVerdict, wantActions, err := PerRound(g, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := make(game.Profile, 2)
+	var verdict Verdict
+	verdict.Fouls = verdict.Fouls[:0]
+	if err := PerRoundInto(g, ev, actions, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !actions.Equal(wantActions) {
+		t.Fatalf("actions %v, want %v", actions, wantActions)
+	}
+	if len(verdict.Fouls) != len(wantVerdict.Fouls) {
+		t.Fatalf("fouls %v, want %v", verdict.Fouls, wantVerdict.Fouls)
+	}
+	if err := PerRoundInto(g, ev, make(game.Profile, 3), &verdict); err == nil {
+		t.Fatal("wrong-arity action buffer accepted")
+	}
+}
+
+func TestGuiltyEmptyDoesNotAllocate(t *testing.T) {
+	var v Verdict
+	if a := testing.AllocsPerRun(100, func() {
+		if v.Guilty() != nil {
+			t.Fatal("empty verdict produced guilty agents")
+		}
+	}); a != 0 {
+		t.Fatalf("Guilty() on empty verdict allocated %v times", a)
+	}
+}

@@ -26,7 +26,11 @@ const DigestSize = sha256.Size
 const NonceSize = 32
 
 // domainTag separates this scheme's hashes from any other SHA-256 use.
-var domainTag = []byte("gameauthority/commit/v1")
+const domainTag = "gameauthority/commit/v1"
+
+// smallValue is the largest value length hashed entirely on the stack; the
+// protocol's committed values (encoded actions and seeds) are far smaller.
+const smallValue = 64
 
 // Sentinel errors for verification failures. Callers (the judicial service)
 // match on these to classify foul play.
@@ -49,12 +53,22 @@ type Opening struct {
 // It returns the public digest and the private opening the committer must
 // keep until the reveal phase.
 func Commit(src *prng.Source, value []byte) (Digest, Opening) {
-	var nonce [NonceSize]byte
+	var op Opening
+	d := CommitInto(src, value, &op)
+	return d, op
+}
+
+// CommitInto is the allocation-free variant of Commit for per-session
+// scratch openings: the nonce is drawn from src, value is copied into
+// op.Value reusing its capacity, and the digest is computed with a
+// single-shot SHA-256 over a stack buffer. The returned digest commits to
+// op exactly as Commit would.
+func CommitInto(src *prng.Source, value []byte, op *Opening) Digest {
 	for i := 0; i < NonceSize; i += 8 {
-		binary.LittleEndian.PutUint64(nonce[i:], src.Uint64())
+		binary.LittleEndian.PutUint64(op.Nonce[i:], src.Uint64())
 	}
-	op := Opening{Value: append([]byte(nil), value...), Nonce: nonce}
-	return hash(op.Value, nonce), op
+	op.Value = append(op.Value[:0], value...)
+	return hash(op.Value, op.Nonce)
 }
 
 // Verify checks that opening opens digest. A nil error means the opening is
@@ -66,17 +80,25 @@ func Verify(digest Digest, opening Opening) error {
 	return nil
 }
 
+// hash computes SHA-256(domain ‖ len(value) ‖ value ‖ nonce) in one shot.
+// Values up to smallValue bytes (every value the protocol commits) are
+// assembled on the stack, so both committing and verifying are
+// allocation-free on the play hot path.
 func hash(value []byte, nonce [NonceSize]byte) Digest {
-	h := sha256.New()
-	h.Write(domainTag)
+	var stack [len(domainTag) + 8 + smallValue + NonceSize]byte
+	var buf []byte
+	if len(value) <= smallValue {
+		buf = stack[:0]
+	} else {
+		buf = make([]byte, 0, len(domainTag)+8+len(value)+NonceSize)
+	}
+	buf = append(buf, domainTag...)
 	var lenBuf [8]byte
 	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(value)))
-	h.Write(lenBuf[:])
-	h.Write(value)
-	h.Write(nonce[:])
-	var d Digest
-	copy(d[:], h.Sum(nil))
-	return d
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, value...)
+	buf = append(buf, nonce[:]...)
+	return sha256.Sum256(buf)
 }
 
 // Equal reports whether two openings commit to the same value (ignores

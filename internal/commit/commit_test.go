@@ -117,3 +117,66 @@ func BenchmarkVerify(b *testing.B) {
 		}
 	}
 }
+
+func TestCommitIntoMatchesCommit(t *testing.T) {
+	value := []byte("action:3")
+	d1, op1 := Commit(prng.New(42), value)
+	var op2 Opening
+	op2.Value = make([]byte, 0, 16) // pre-grown scratch, as the hot path uses
+	d2 := CommitInto(prng.New(42), value, &op2)
+	if d1 != d2 {
+		t.Fatal("CommitInto digest differs from Commit")
+	}
+	if !op1.Equal(op2) || op1.Nonce != op2.Nonce {
+		t.Fatal("CommitInto opening differs from Commit")
+	}
+	if err := Verify(d2, op2); err != nil {
+		t.Fatalf("CommitInto opening does not verify: %v", err)
+	}
+}
+
+func TestCommitIntoReusesScratch(t *testing.T) {
+	src := prng.New(1)
+	var op Opening
+	_ = CommitInto(src, []byte("first-value"), &op)
+	buf := &op.Value[0]
+	d := CommitInto(src, []byte("second"), &op)
+	if &op.Value[0] != buf {
+		t.Fatal("CommitInto reallocated the opening's value buffer")
+	}
+	if err := Verify(d, op); err != nil {
+		t.Fatalf("reused opening does not verify: %v", err)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	src := prng.New(1)
+	var op Opening
+	value := []byte("action:3")
+	var d Digest
+	if a := testing.AllocsPerRun(100, func() { d = CommitInto(src, value, &op) }); a != 0 {
+		t.Fatalf("CommitInto allocated %v times per run", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := Verify(d, op); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("Verify allocated %v times per run", a)
+	}
+}
+
+func TestLargeValueStillHashes(t *testing.T) {
+	big := make([]byte, smallValue*4)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	d, op := Commit(prng.New(9), big)
+	if err := Verify(d, op); err != nil {
+		t.Fatalf("large value: %v", err)
+	}
+	op.Value[0] ^= 1
+	if err := Verify(d, op); err == nil {
+		t.Fatal("tampered large value verified")
+	}
+}

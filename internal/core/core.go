@@ -45,7 +45,9 @@ var (
 type Agent struct {
 	// Choose returns the agent's action for the round given the agreed
 	// previous outcome (nil on the first play). Returning an action
-	// outside Πi models the Fig. 1 hidden-manipulation strategy.
+	// outside Πi models the Fig. 1 hidden-manipulation strategy. The prev
+	// slice is only valid for the duration of the call (the session reuses
+	// the buffer between agents); Clone it to retain it.
 	Choose func(round int, prev game.Profile) int
 
 	// TamperOpening, if non-nil, lets the agent replace its reveal after

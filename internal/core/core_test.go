@@ -102,3 +102,24 @@ func TestQuickProfileCodecTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAgentStreamStateMatchesDerive pins the allocation-free commitment
+// stream derivation to the original deriveAgentSource stream, seed for
+// seed — the property the seeded-equivalence guarantees rest on.
+func TestAgentStreamStateMatchesDerive(t *testing.T) {
+	for _, seed := range []uint64{0, 7, 1 << 40} {
+		for agent := 0; agent < 3; agent++ {
+			for round := 0; round < 5; round++ {
+				var src prng.Source
+				src.Seed(agentStreamState(seed, agent, round))
+				want := deriveAgentSource(seed, agent, round)
+				for k := 0; k < 4; k++ {
+					if got, exp := src.Uint64(), want.Uint64(); got != exp {
+						t.Fatalf("seed=%d agent=%d round=%d draw %d: %#x != %#x",
+							seed, agent, round, k, got, exp)
+					}
+				}
+			}
+		}
+	}
+}

@@ -47,7 +47,10 @@ const (
 )
 
 // distMsg is the combined wire payload: a clock vote plus an optional
-// phase-tagged inner interactive-consistency message.
+// phase-tagged inner interactive-consistency message. It travels by
+// pointer into a sender-owned slab (see DistProcessor.slabs): boxing a
+// pointer in the Message's any payload does not allocate, which is what
+// keeps the pulse loop's per-message cost flat.
 type distMsg struct {
 	Tick  int
 	Phase distPhase
@@ -59,6 +62,12 @@ type distMsg struct {
 	// adversary.
 	HasInner bool
 }
+
+// slabRounds is how many pulses a sent distMsg must stay untouched before
+// its slab slot can be reused: one pulse in transit, one pulse being read,
+// plus one pulse of slack for adversaries that replay a Byzantine
+// processor's outbox with a delay.
+const slabRounds = 3
 
 // DistProcessor is one agent's full middleware stack: clock + phase machine
 // + judicial/executive replicas + application-layer behaviour.
@@ -77,6 +86,15 @@ type DistProcessor struct {
 	icPhase   distPhase
 	icPulse   int
 	completed [numPhases]bool
+
+	// Reused per-pulse buffers (see Step): the outbox and inner-message
+	// scratch are recycled every pulse; the message slab and per-dest
+	// payload lists rotate over slabRounds pulses so in-flight pointers
+	// are never overwritten.
+	outBuf   []sim.Message
+	innerBuf []sim.Message
+	slabs    [slabRounds][]distMsg
+	destBuf  [slabRounds][][]any
 
 	// Per-play working state (agreed evidence).
 	prev      game.Profile
@@ -145,6 +163,10 @@ func (p *DistProcessor) ResultAt(i int) DistRound {
 	return DistRound{Pulse: r.Pulse, Outcome: r.Outcome.Clone(), Guilty: append([]int(nil), r.Guilty...)}
 }
 
+// resultRef returns the i-th completed play without copying; the session
+// driver clones what it retains.
+func (p *DistProcessor) resultRef(i int) *DistRound { return &p.results[i] }
+
 // Results returns the plays this processor has completed (oldest first).
 func (p *DistProcessor) Results() []DistRound {
 	out := make([]DistRound, len(p.results))
@@ -161,9 +183,9 @@ func (p *DistProcessor) Excluded(agent int) bool { return p.scheme.Excluded(agen
 // Step implements sim.Process.
 func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 	// 1. Split inbox into clock votes and phase traffic.
-	var inner []sim.Message
+	inner := p.innerBuf[:0]
 	for _, m := range inbox {
-		msg, ok := m.Payload.(distMsg)
+		msg, ok := m.Payload.(*distMsg)
 		if !ok {
 			continue
 		}
@@ -174,6 +196,7 @@ func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 			}
 		}
 	}
+	p.innerBuf = inner
 	v := p.clock.Tick()
 
 	// 2. Map the clock value onto (phase, relative pulse). Values 0 and
@@ -196,21 +219,40 @@ func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 	}
 
 	// 3. Broadcast combined payload. The IC outbox holds one message per
-	// (instance, destination) pair; group them all per destination.
-	msgs := make([]sim.Message, 0, p.n)
-	tick := p.clock.Value()
-	perDest := make(map[int][]any, p.n)
-	for _, m := range out {
-		perDest[m.To] = append(perDest[m.To], m.Payload)
+	// (instance, destination) pair; group them all per destination in the
+	// rotating per-dest lists, then box one slab-backed *distMsg per
+	// destination. Slabs rotate over slabRounds pulses so messages still
+	// in transit are never overwritten.
+	slabIdx := pulse % slabRounds
+	if p.destBuf[slabIdx] == nil {
+		p.destBuf[slabIdx] = make([][]any, p.n)
 	}
+	perDest := p.destBuf[slabIdx]
+	for to := range perDest {
+		perDest[to] = perDest[to][:0]
+	}
+	for _, m := range out {
+		if m.To >= 0 && m.To < p.n {
+			perDest[m.To] = append(perDest[m.To], m.Payload)
+		}
+	}
+	slab := p.slabs[slabIdx][:0]
+	if cap(slab) < p.n {
+		slab = make([]distMsg, 0, p.n)
+	}
+	msgs := p.outBuf[:0]
+	tick := p.clock.Value()
 	for to := 0; to < p.n; to++ {
 		dm := distMsg{Tick: tick, Phase: p.icPhase}
-		if payloads, ok := perDest[to]; ok {
+		if payloads := perDest[to]; len(payloads) > 0 {
 			dm.Inner = payloads
 			dm.HasInner = true
 		}
-		msgs = append(msgs, sim.Message{From: p.id, To: to, Payload: dm})
+		slab = append(slab, dm)
+		msgs = append(msgs, sim.Message{From: p.id, To: to, Payload: &slab[len(slab)-1]})
 	}
+	p.slabs[slabIdx] = slab
+	p.outBuf = msgs
 	return msgs
 }
 
@@ -468,6 +510,7 @@ func NewDistSessionWith(n, f int, g game.Game, behaviors []*Agent, seed uint64, 
 	if scheme == nil {
 		scheme = punish.NewDisconnect(n, 0)
 	}
+	g = game.Accelerate(g)
 	procs := make([]sim.Process, n)
 	raw := make([]*DistProcessor, n)
 	for i := 0; i < n; i++ {

@@ -128,16 +128,17 @@ func TestDistSessionEquivocatingNetworkAdversary(t *testing.T) {
 	g := &nPlayerPD{n: n}
 	evil := prng.New(5)
 	byz := map[int]sim.Adversary{3: sim.EquivocateAdversary(func(to int, payload any) any {
-		msg, ok := payload.(distMsg)
+		msg, ok := payload.(*distMsg)
 		if !ok {
 			return payload
 		}
-		msg.Tick = int(evil.Uint64() % 18)
+		forged := *msg // copy: the original is slab-backed sender state
+		forged.Tick = int(evil.Uint64() % 18)
 		if to%2 == 0 {
-			msg.HasInner = false
-			msg.Inner = nil
+			forged.HasInner = false
+			forged.Inner = nil
 		}
-		return msg
+		return &forged
 	})}
 	s, err := NewDistSession(n, f, g, make([]*Agent, n), 24, byz)
 	if err != nil {

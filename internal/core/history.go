@@ -1,0 +1,157 @@
+package core
+
+import (
+	"gameauthority/internal/audit"
+	"gameauthority/internal/game"
+)
+
+// historyRing stores a session's completed plays. Unbounded (limit 0) it
+// grows like the plain slice it replaces; bounded it becomes a ring that
+// evicts the oldest play and reuses the evicted slot's slice capacity, so
+// long sessions stop growing and recording a play stops allocating once
+// the ring is warm.
+//
+// Slots are reused in place: a RoundResult obtained through slot() or at()
+// aliases ring memory and is overwritten when its round is evicted.
+// External callers always receive views (empty slices normalized to nil)
+// or deep clones — see view, cloneResult, and snapshot.
+type historyRing struct {
+	limit int // 0 = unbounded
+	buf   []RoundResult
+	start int // index of the oldest retained play (bounded + full)
+	total int // plays ever recorded
+}
+
+// setLimit configures the bound; it must be called before the first record.
+func (r *historyRing) setLimit(limit int) { r.limit = limit }
+
+// retained returns how many plays the ring currently holds.
+func (r *historyRing) retained() int { return len(r.buf) }
+
+// recorded returns how many plays were ever recorded.
+func (r *historyRing) recorded() int { return r.total }
+
+// firstRetained returns the absolute round index of the oldest retained
+// play.
+func (r *historyRing) firstRetained() int { return r.total - len(r.buf) }
+
+// slot returns the slot the next play must be recorded into, evicting the
+// oldest retained play when the ring is bounded and full. The caller fills
+// the slot by appending into its existing slices ([:0]) so warm bounded
+// rings record without allocating.
+func (r *historyRing) slot() *RoundResult {
+	r.total++
+	if r.limit > 0 && len(r.buf) == r.limit {
+		s := &r.buf[r.start]
+		r.start = (r.start + 1) % r.limit
+		return s
+	}
+	r.buf = append(r.buf, RoundResult{})
+	return &r.buf[len(r.buf)-1]
+}
+
+// at returns the retained play with the absolute round index round, or
+// false when it was evicted or not yet played.
+func (r *historyRing) at(round int) (*RoundResult, bool) {
+	first := r.firstRetained()
+	if round < first || round >= r.total {
+		return nil, false
+	}
+	idx := round - first
+	if r.limit > 0 && len(r.buf) == r.limit {
+		idx = (r.start + idx) % r.limit
+	}
+	return &r.buf[idx], true
+}
+
+// snapshot deep-clones the retained plays, oldest first. The clones share
+// no memory with the ring, so callers may hold them across evictions.
+func (r *historyRing) snapshot() []RoundResult {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]RoundResult, len(r.buf))
+	first := r.firstRetained()
+	for i := range out {
+		s, _ := r.at(first + i)
+		out[i] = cloneResult(s)
+	}
+	return out
+}
+
+// view returns a by-value copy of the slot with empty slices normalized to
+// nil, matching the shapes the pre-ring implementation produced. The view
+// still aliases the slot's non-empty slices; it is valid until the slot's
+// round is evicted.
+func view(s *RoundResult) RoundResult {
+	res := *s
+	if len(res.Verdict.Fouls) == 0 {
+		res.Verdict.Fouls = nil
+	}
+	if len(res.Convicted) == 0 {
+		res.Convicted = nil
+	}
+	if len(res.Excluded) == 0 {
+		res.Excluded = nil
+	}
+	if len(res.Costs) == 0 {
+		res.Costs = nil
+	}
+	if len(res.Outcome) == 0 {
+		res.Outcome = nil
+	}
+	return res
+}
+
+// cloneResult deep-clones a slot into an independent RoundResult.
+func cloneResult(s *RoundResult) RoundResult {
+	res := *s
+	res.Outcome = cloneProfile(s.Outcome)
+	res.Verdict = audit.Verdict{Fouls: cloneFouls(s.Verdict.Fouls)}
+	res.Convicted = cloneInts(s.Convicted)
+	res.Excluded = cloneInts(s.Excluded)
+	res.Costs = cloneFloats(s.Costs)
+	return res
+}
+
+func cloneProfile(p game.Profile) game.Profile {
+	if len(p) == 0 {
+		return nil
+	}
+	return append(game.Profile(nil), p...)
+}
+
+func cloneInts(s []int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]int(nil), s...)
+}
+
+func cloneFloats(s []float64) []float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]float64(nil), s...)
+}
+
+func cloneFouls(s []audit.Foul) []audit.Foul {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]audit.Foul(nil), s...)
+}
+
+// record fills a ring slot from a finished result, reusing the slot's
+// slice capacities, and returns a view of the stored play.
+func (r *historyRing) record(res *RoundResult) RoundResult {
+	s := r.slot()
+	s.Round = res.Round
+	s.Pulse = res.Pulse
+	s.Outcome = append(s.Outcome[:0], res.Outcome...)
+	s.Verdict.Fouls = append(s.Verdict.Fouls[:0], res.Verdict.Fouls...)
+	s.Convicted = append(s.Convicted[:0], res.Convicted...)
+	s.Excluded = append(s.Excluded[:0], res.Excluded...)
+	s.Costs = append(s.Costs[:0], res.Costs...)
+	return view(s)
+}

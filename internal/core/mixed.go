@@ -105,6 +105,13 @@ func ICMessageEstimate(n, f int) int64 {
 	return int64(n) * int64(n) * int64(n) * int64(f+3)
 }
 
+// roundSeedState reproduces prng.Derive(seed, 0x5EED, agent, round).Uint64()
+// on a caller-owned Source, avoiding the per-round heap allocation.
+func roundSeedState(seed uint64, agent, round int, src *prng.Source) uint64 {
+	src.Seed(prng.Mix(prng.Mix(prng.Mix(seed, 0x5EED), uint64(agent)), uint64(round)))
+	return src.Uint64()
+}
+
 // MixedSession is the trusted driver for repeated mixed-strategy plays.
 type MixedSession struct {
 	cfg    MixedConfig
@@ -130,6 +137,17 @@ type MixedSession struct {
 	window [][]int
 
 	verdicts []audit.Verdict
+
+	// Per-round scratch for the per-round audit discipline, reused so the
+	// steady-state play keeps a fixed allocation budget.
+	scratch struct {
+		roundSeeds   []uint64
+		roundCommits []commit.Digest
+		roundOps     []commit.Opening
+		seedOps      []commit.Opening
+		revealed     []bool
+		enc          []byte
+	}
 }
 
 // NewMixedSession validates the configuration and builds the session.
@@ -164,7 +182,8 @@ func NewMixedSession(cfg MixedConfig) (*MixedSession, error) {
 	if cfg.Mode != AuditOff && cfg.Scheme == nil {
 		return nil, fmt.Errorf("%w: auditing requires a punishment scheme", ErrConfig)
 	}
-	actual := cfg.Actual
+	cfg.Elected = game.Accelerate(cfg.Elected)
+	actual := game.Accelerate(cfg.Actual)
 	if actual == nil {
 		actual = cfg.Elected
 	}
@@ -181,6 +200,13 @@ func NewMixedSession(cfg MixedConfig) (*MixedSession, error) {
 	if cfg.Mode == AuditStatistical {
 		s.window = make([][]int, n)
 	}
+	if cfg.Mode == AuditPerRound {
+		s.scratch.roundSeeds = make([]uint64, n)
+		s.scratch.roundCommits = make([]commit.Digest, n)
+		s.scratch.roundOps = make([]commit.Opening, n)
+		s.scratch.seedOps = make([]commit.Opening, n)
+		s.scratch.revealed = make([]bool, n)
+	}
 	return s, nil
 }
 
@@ -194,6 +220,14 @@ func (s *MixedSession) Stats() CostStats { return s.stats }
 func (s *MixedSession) Verdicts() []audit.Verdict {
 	return append([]audit.Verdict(nil), s.verdicts...)
 }
+
+// VerdictCount returns how many verdicts were issued so far; with
+// VerdictAt it lets incremental consumers avoid Verdicts' full copy on
+// every play.
+func (s *MixedSession) VerdictCount() int { return len(s.verdicts) }
+
+// VerdictAt returns the i-th issued verdict (shared, do not mutate).
+func (s *MixedSession) VerdictAt(i int) audit.Verdict { return s.verdicts[i] }
 
 // CumulativeCost returns agent i's total actual cost so far.
 func (s *MixedSession) CumulativeCost(i int) float64 { return s.cumCost[i] }
@@ -240,18 +274,20 @@ func (s *MixedSession) PlayRound() (game.Profile, error) {
 		s.openEpoch()
 	}
 
-	// Seed commitments for per-round mode.
+	// Seed commitments for per-round mode (session scratch, reused).
 	var roundSeeds []uint64
 	var roundCommits []commit.Digest
 	var roundOps []commit.Opening
 	if s.cfg.Mode == AuditPerRound {
-		roundSeeds = make([]uint64, s.n)
-		roundCommits = make([]commit.Digest, s.n)
-		roundOps = make([]commit.Opening, s.n)
+		roundSeeds = s.scratch.roundSeeds
+		roundCommits = s.scratch.roundCommits
+		roundOps = s.scratch.roundOps
+		var src prng.Source
 		for i := 0; i < s.n; i++ {
-			roundSeeds[i] = prng.Derive(s.cfg.Seed, 0x5EED, uint64(i), uint64(s.round)).Uint64()
-			src := deriveAgentSource(s.cfg.Seed, i, s.round)
-			roundCommits[i], roundOps[i] = commit.Commit(src, audit.EncodeSeed(roundSeeds[i]))
+			roundSeeds[i] = roundSeedState(s.cfg.Seed, i, s.round, &src)
+			src.Seed(agentStreamState(s.cfg.Seed, i, s.round))
+			s.scratch.enc = audit.AppendSeed(s.scratch.enc[:0], roundSeeds[i])
+			roundCommits[i] = commit.CommitInto(&src, s.scratch.enc, &roundOps[i])
 			s.stats.Commitments++
 		}
 		s.addAgreement() // agree on the commitment set
@@ -259,6 +295,7 @@ func (s *MixedSession) PlayRound() (game.Profile, error) {
 
 	// Action selection.
 	outcome := make(game.Profile, s.n)
+	var seedSrc prng.Source
 	for i := 0; i < s.n; i++ {
 		var seed uint64
 		switch s.cfg.Mode {
@@ -267,7 +304,7 @@ func (s *MixedSession) PlayRound() (game.Profile, error) {
 		case AuditBatched:
 			seed = s.epochSeeds[i]
 		default:
-			seed = prng.Derive(s.cfg.Seed, 0x5EED, uint64(i), uint64(s.round)).Uint64()
+			seed = roundSeedState(s.cfg.Seed, i, s.round, &seedSrc)
 		}
 		honest, err := audit.ExpectedAction(strategies[i], seed, i, s.round)
 		if err != nil {
@@ -278,7 +315,8 @@ func (s *MixedSession) PlayRound() (game.Profile, error) {
 		if s.Excluded(i) {
 			// Executive restriction: the authority samples on the
 			// excluded agent's behalf with its own stream.
-			execSeed := prng.Derive(s.cfg.Seed, 0xE8EC, uint64(i)).Uint64()
+			seedSrc.Seed(prng.Mix(prng.Mix(s.cfg.Seed, 0xE8EC), uint64(i)))
+			execSeed := seedSrc.Uint64()
 			action, err = audit.ExpectedAction(strategies[i], execSeed, i, s.round)
 			if err != nil {
 				return nil, fmt.Errorf("core: executive sample %d: %w", i, err)
@@ -303,12 +341,16 @@ func (s *MixedSession) PlayRound() (game.Profile, error) {
 	// Judicial phase.
 	switch s.cfg.Mode {
 	case AuditPerRound:
+		for i := range s.scratch.seedOps {
+			s.scratch.seedOps[i] = commit.Opening{}
+			s.scratch.revealed[i] = false
+		}
 		ev := audit.MixedEvidence{
 			Round:           s.round,
 			Strategies:      strategies,
 			SeedCommitments: roundCommits,
-			SeedOpenings:    make([]commit.Opening, s.n),
-			Revealed:        make([]bool, s.n),
+			SeedOpenings:    s.scratch.seedOps,
+			Revealed:        s.scratch.revealed,
 			Actions:         outcome,
 		}
 		for i := 0; i < s.n; i++ {

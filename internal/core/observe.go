@@ -112,6 +112,14 @@ func (h *observerHub) subscribe(o Observer) func() {
 	}
 }
 
+// active reports whether anyone is subscribed. Drivers use it to skip
+// event assembly (and its allocations) on unobserved sessions.
+func (h *observerHub) active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
 // emit delivers e to every current subscriber (outside the hub lock).
 func (h *observerHub) emit(e Event) {
 	h.mu.Lock()

@@ -28,6 +28,18 @@ type RRASupervised struct {
 	// lastChoices is the published profile of the most recent play (for
 	// the Session adapter's round results).
 	lastChoices game.Profile
+
+	// Per-round scratch, reused so steady-state plays keep a fixed
+	// allocation budget.
+	scratch struct {
+		seeds      []uint64
+		digests    []commit.Digest
+		openings   []commit.Opening
+		expected   []int
+		strategies []game.Mixed
+		revealed   []bool
+		enc        []byte
+	}
 }
 
 // NewRRASupervised builds the harness. scheme nil + supervise false is the
@@ -40,13 +52,20 @@ func NewRRASupervised(n, b int, seed uint64, scheme punish.Scheme, supervise boo
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	return &RRASupervised{
+	h := &RRASupervised{
 		rra:       rra,
 		scheme:    scheme,
 		seed:      seed,
 		byzChoose: make(map[int]func(int, []int64) int),
 		supervise: supervise,
-	}, nil
+	}
+	h.scratch.seeds = make([]uint64, n)
+	h.scratch.digests = make([]commit.Digest, n)
+	h.scratch.openings = make([]commit.Opening, n)
+	h.scratch.expected = make([]int, n)
+	h.scratch.strategies = make([]game.Mixed, n)
+	h.scratch.revealed = make([]bool, n)
+	return h, nil
 }
 
 // SetByzantine installs a malicious choice function for the agent.
@@ -71,9 +90,12 @@ func (h *RRASupervised) Excluded(i int) bool {
 	return h.scheme != nil && h.scheme.Excluded(i)
 }
 
-// roundSeed derives agent i's committed seed for the given round.
+// roundSeed derives agent i's committed seed for the given round without
+// heap-allocating the derivation stream.
 func (h *RRASupervised) roundSeed(agent, round int) uint64 {
-	return prng.Derive(h.seed, 0x22A0, uint64(agent), uint64(round)).Uint64()
+	var src prng.Source
+	src.Seed(prng.Mix(prng.Mix(prng.Mix(h.seed, 0x22A0), uint64(agent)), uint64(round)))
+	return src.Uint64()
 }
 
 // ExpectedChoice returns the committed-stream sample agent i must play in
@@ -94,15 +116,18 @@ func (h *RRASupervised) PlayRound() error {
 	roundView := h.rra.RoundView() // strategic form of this play (pre-step loads)
 	strategy := h.rra.EquilibriumStrategy()
 
-	// Per-round seeds and Blum commitments (§5.3 per-round discipline).
-	seeds := make([]uint64, n)
-	digests := make([]commit.Digest, n)
-	openings := make([]commit.Opening, n)
-	expected := make([]int, n)
+	// Per-round seeds and Blum commitments (§5.3 per-round discipline),
+	// built on the session scratch.
+	seeds := h.scratch.seeds
+	digests := h.scratch.digests
+	openings := h.scratch.openings
+	expected := h.scratch.expected
+	var src prng.Source
 	for i := 0; i < n; i++ {
 		seeds[i] = h.roundSeed(i, round)
-		src := deriveAgentSource(h.seed, i, round)
-		digests[i], openings[i] = commit.Commit(src, audit.EncodeSeed(seeds[i]))
+		src.Seed(agentStreamState(h.seed, i, round))
+		h.scratch.enc = audit.AppendSeed(h.scratch.enc[:0], seeds[i])
+		digests[i] = commit.CommitInto(&src, h.scratch.enc, &openings[i])
 		a, err := audit.ExpectedAction(strategy, seeds[i], i, round)
 		if err != nil {
 			return fmt.Errorf("core: rra sample agent %d: %w", i, err)
@@ -132,8 +157,8 @@ func (h *RRASupervised) PlayRound() error {
 	// Judicial: the real seed audit over the round's strategic form —
 	// every published action must open against its committed stream
 	// (§5.3). Excluded agents are the executive's wards and always pass.
-	strategies := make([]game.Mixed, n)
-	revealed := make([]bool, n)
+	strategies := h.scratch.strategies
+	revealed := h.scratch.revealed
 	for i := 0; i < n; i++ {
 		strategies[i] = strategy
 		revealed[i] = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"gameauthority/internal/audit"
@@ -56,8 +57,16 @@ type Session interface {
 	Play(ctx context.Context) (RoundResult, error)
 	// Run executes the given number of plays and returns the last result.
 	Run(ctx context.Context, rounds int) (RoundResult, error)
-	// Results returns all completed plays, oldest first.
+	// Results returns deep copies of the retained plays, oldest first.
+	// Sessions bounded with a history limit retain only the most recent
+	// plays; Stats().Rounds still counts every play.
 	Results() []RoundResult
+	// ResultAt returns the play with absolute round index round without
+	// copying the whole history, or false when the round was evicted from
+	// a bounded history or not yet played. The result may alias
+	// session-owned buffers (see RoundResult); Clone it to retain it
+	// across further plays on a bounded session.
+	ResultAt(round int) (RoundResult, bool)
 	// Stats returns a snapshot of the session's counters.
 	Stats() SessionStats
 	// Subscribe registers an observer for session events (plays, verdicts,
@@ -115,6 +124,10 @@ type SessionConfig struct {
 	// Scheme is the executive's punishment policy. For the distributed
 	// driver it is a prototype: each processor replica gets a Fresh copy.
 	Scheme punish.Scheme
+	// HistoryLimit bounds the retained play history to the most recent
+	// HistoryLimit plays (0 = unbounded). Bounded sessions stop growing
+	// and record plays into reused ring slots — see Session.Results.
+	HistoryLimit int
 
 	// Agents are pure-strategy behaviours (pure and distributed drivers);
 	// nil entries (or a nil slice) mean honest best-response agents.
@@ -148,6 +161,11 @@ type SessionConfig struct {
 	// for a play to complete (0 = a generous default). Exhaustion returns
 	// ErrPulseBudget, which is recoverable: the next Play keeps stepping.
 	DistPulseBudget int
+	// DistWorkers selects the pulse engine: 0 = auto (parallel on
+	// min(GOMAXPROCS, n) workers when more than one core is available),
+	// 1 = the lockstep reference engine, w > 1 = a worker pool of that
+	// width. Both engines produce identical executions.
+	DistWorkers int
 }
 
 // inferKind resolves the driver from the configuration.
@@ -169,6 +187,9 @@ func (cfg *SessionConfig) inferKind() SessionKind {
 func NewSession(cfg SessionConfig) (Session, error) {
 	hub := newObserverHub()
 
+	if cfg.HistoryLimit < 0 {
+		return nil, fmt.Errorf("%w: negative history limit %d", ErrConfig, cfg.HistoryLimit)
+	}
 	if cfg.Election != nil {
 		if cfg.Game != nil {
 			return nil, fmt.Errorf("%w: both a game and an election were supplied", ErrConfig)
@@ -185,6 +206,12 @@ func NewSession(cfg SessionConfig) (Session, error) {
 			Detail: cfg.Election.Candidates[out.Winner].Description,
 		})
 	}
+
+	// Accelerate the elected game into cost lookup tables (when its
+	// profile space is small enough) before any driver or honest agent
+	// captures it, so every audit and best-response query is a lookup.
+	cfg.Game = game.Accelerate(cfg.Game)
+	cfg.Actual = game.Accelerate(cfg.Actual)
 
 	kind := cfg.inferKind()
 	switch kind {
@@ -217,10 +244,15 @@ func runSession(ctx context.Context, s Session, rounds int) (RoundResult, error)
 // snapshotExcluded captures the executive's current exclusion flags.
 func snapshotExcluded(n int, excluded func(int) bool) []bool {
 	out := make([]bool, n)
+	snapshotExcludedInto(out, excluded)
+	return out
+}
+
+// snapshotExcludedInto is snapshotExcluded over a reused scratch slice.
+func snapshotExcludedInto(out []bool, excluded func(int) bool) {
 	for i := range out {
 		out[i] = excluded(i)
 	}
-	return out
 }
 
 // newlyExcluded diffs exclusion flags before and after a play.
@@ -244,17 +276,19 @@ func excludedIDs(flags []bool) []int {
 	return out
 }
 
-// playEvents assembles the observer events for one completed play.
+// playEvents assembles the observer events for one completed play. Event
+// payloads are deep-cloned: observers may hold them past the play's
+// eviction from a bounded history ring.
 func playEvents(res RoundResult, convictions []int) []Event {
 	evs := []Event{{
 		Kind:    EventPlay,
 		Round:   res.Round,
-		Outcome: res.Outcome,
-		Costs:   res.Costs,
+		Outcome: cloneProfile(res.Outcome),
+		Costs:   cloneFloats(res.Costs),
 		Pulse:   res.Pulse,
 	}}
 	if len(res.Verdict.Fouls) > 0 {
-		evs = append(evs, Event{Kind: EventVerdict, Round: res.Round, Fouls: res.Verdict.Fouls})
+		evs = append(evs, Event{Kind: EventVerdict, Round: res.Round, Fouls: cloneFouls(res.Verdict.Fouls)})
 	}
 	for _, agent := range convictions {
 		evs = append(evs, Event{
@@ -270,11 +304,12 @@ func playEvents(res RoundResult, convictions []int) []Event {
 // --- Pure driver ---------------------------------------------------------------
 
 type pureDriver struct {
-	mu    sync.Mutex
-	s     *PureSession
-	n     int
-	hub   *observerHub
-	fouls int
+	mu     sync.Mutex
+	s      *PureSession
+	n      int
+	hub    *observerHub
+	fouls  int
+	before []bool // exclusion-snapshot scratch, reused per play
 }
 
 func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
@@ -289,6 +324,9 @@ func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	}
 	if cfg.DistPulseBudget != 0 {
 		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
+	}
+	if cfg.DistWorkers != 0 {
+		return nil, fmt.Errorf("%w: pulse workers apply to distributed sessions", ErrConfig)
 	}
 	n := cfg.Game.NumPlayers()
 	agents := cfg.Agents
@@ -309,7 +347,10 @@ func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pureDriver{s: s, n: n, hub: hub}, nil
+	if err := s.SetHistoryLimit(cfg.HistoryLimit); err != nil {
+		return nil, err
+	}
+	return &pureDriver{s: s, n: n, hub: hub, before: make([]bool, n)}, nil
 }
 
 // Pure exposes the wrapped driver for measurements and legacy helpers.
@@ -324,13 +365,15 @@ func (d *pureDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
-	before := snapshotExcluded(d.n, d.s.Excluded)
+	snapshotExcludedInto(d.before, d.s.Excluded)
 	res, err := d.s.PlayRound()
 	if err != nil {
 		return RoundResult{}, err
 	}
 	d.fouls += len(res.Verdict.Fouls)
-	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.s.Excluded)))
+	if d.hub.active() {
+		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.s.Excluded)))
+	}
 	return res, nil
 }
 
@@ -342,6 +385,12 @@ func (d *pureDriver) Results() []RoundResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.s.History()
+}
+
+func (d *pureDriver) ResultAt(round int) (RoundResult, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s.ResultAt(round)
 }
 
 func (d *pureDriver) Stats() SessionStats {
@@ -372,10 +421,17 @@ type mixedDriver struct {
 	s            *MixedSession
 	n            int
 	hub          *observerHub
-	results      []RoundResult
+	history      historyRing
 	seenVerdicts int
 	fouls        int
 	closed       bool
+
+	// Per-play scratch, reused across plays.
+	before   []bool
+	prevCost []float64
+	costs    []float64
+	merged   audit.Verdict
+	result   RoundResult
 }
 
 func newMixedDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
@@ -390,6 +446,9 @@ func newMixedDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	}
 	if cfg.DistPulseBudget != 0 {
 		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
+	}
+	if cfg.DistWorkers != 0 {
+		return nil, fmt.Errorf("%w: pulse workers apply to distributed sessions", ErrConfig)
 	}
 	n := cfg.Game.NumPlayers()
 	agents := cfg.MixedAgents
@@ -422,7 +481,14 @@ func newMixedDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &mixedDriver{s: s, n: n, hub: hub}, nil
+	d := &mixedDriver{
+		s: s, n: n, hub: hub,
+		before:   make([]bool, n),
+		prevCost: make([]float64, n),
+		costs:    make([]float64, n),
+	}
+	d.history.setLimit(cfg.HistoryLimit)
+	return d, nil
 }
 
 // Mixed exposes the wrapped driver for measurements and legacy helpers.
@@ -435,44 +501,45 @@ func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
-	before := snapshotExcluded(d.n, d.s.Excluded)
-	prevCost := make([]float64, d.n)
-	for i := range prevCost {
-		prevCost[i] = d.s.CumulativeCost(i)
+	snapshotExcludedInto(d.before, d.s.Excluded)
+	for i := range d.prevCost {
+		d.prevCost[i] = d.s.CumulativeCost(i)
 	}
 	outcome, err := d.s.PlayRound()
 	if err != nil {
 		return RoundResult{}, err
 	}
-	costs := make([]float64, d.n)
-	for i := range costs {
-		costs[i] = d.s.CumulativeCost(i) - prevCost[i]
+	for i := range d.costs {
+		d.costs[i] = d.s.CumulativeCost(i) - d.prevCost[i]
 	}
 	verdict := d.drainVerdicts()
-	res := RoundResult{
+	d.result = RoundResult{
 		Round:     d.s.Round() - 1,
 		Outcome:   outcome,
 		Verdict:   verdict,
 		Convicted: verdict.Guilty(),
-		Excluded:  excludedIDs(before),
-		Costs:     costs,
+		Excluded:  excludedIDs(d.before),
+		Costs:     d.costs,
 	}
-	d.results = append(d.results, res)
-	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.s.Excluded)))
+	res := d.history.record(&d.result)
+	if d.hub.active() {
+		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.s.Excluded)))
+	}
 	return res, nil
 }
 
-// drainVerdicts merges verdicts issued since the last play into one. In
-// batched mode an epoch's verdict lands on the play that closed the epoch.
+// drainVerdicts merges verdicts issued since the last play into one
+// (reusing the driver's scratch). In batched mode an epoch's verdict lands
+// on the play that closed the epoch.
 func (d *mixedDriver) drainVerdicts() audit.Verdict {
-	all := d.s.Verdicts()
-	var merged audit.Verdict
-	for _, v := range all[d.seenVerdicts:] {
-		merged.Fouls = append(merged.Fouls, v.Fouls...)
+	count := d.s.VerdictCount()
+	d.merged.Fouls = d.merged.Fouls[:0]
+	for i := d.seenVerdicts; i < count; i++ {
+		d.merged.Fouls = append(d.merged.Fouls, d.s.VerdictAt(i).Fouls...)
 	}
-	d.seenVerdicts = len(all)
-	d.fouls += len(merged.Fouls)
-	return merged
+	d.seenVerdicts = count
+	d.fouls += len(d.merged.Fouls)
+	return d.merged
 }
 
 func (d *mixedDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
@@ -482,7 +549,17 @@ func (d *mixedDriver) Run(ctx context.Context, rounds int) (RoundResult, error) 
 func (d *mixedDriver) Results() []RoundResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]RoundResult(nil), d.results...)
+	return d.history.snapshot()
+}
+
+func (d *mixedDriver) ResultAt(round int) (RoundResult, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	slot, ok := d.history.at(round)
+	if !ok {
+		return RoundResult{}, false
+	}
+	return view(slot), true
 }
 
 func (d *mixedDriver) Stats() SessionStats {
@@ -520,11 +597,10 @@ func (d *mixedDriver) Close() error {
 	}
 	d.closed = true
 	verdict := d.drainVerdicts()
-	if len(verdict.Fouls) > 0 && len(d.results) > 0 {
-		last := &d.results[len(d.results)-1]
+	if last, ok := d.history.at(d.history.recorded() - 1); len(verdict.Fouls) > 0 && ok {
 		last.Verdict.Fouls = append(last.Verdict.Fouls, verdict.Fouls...)
-		last.Convicted = last.Verdict.Guilty()
-		evs := []Event{{Kind: EventVerdict, Round: last.Round, Fouls: verdict.Fouls}}
+		last.Convicted = append(last.Convicted[:0], last.Verdict.Guilty()...)
+		evs := []Event{{Kind: EventVerdict, Round: last.Round, Fouls: cloneFouls(verdict.Fouls)}}
 		for _, agent := range newlyExcluded(before, d.s.Excluded) {
 			evs = append(evs, Event{
 				Kind:   EventConviction,
@@ -545,8 +621,13 @@ type rraDriver struct {
 	h         *RRASupervised
 	n         int
 	hub       *observerHub
-	results   []RoundResult
+	history   historyRing
 	seenFouls int
+
+	// Per-play scratch, reused across plays.
+	before  []bool
+	verdict audit.Verdict
+	result  RoundResult
 }
 
 func newRRADriver(cfg SessionConfig, hub *observerHub) (Session, error) {
@@ -568,6 +649,9 @@ func newRRADriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	if cfg.DistPulseBudget != 0 {
 		return nil, fmt.Errorf("%w: pulse budgets apply to distributed sessions", ErrConfig)
 	}
+	if cfg.DistWorkers != 0 {
+		return nil, fmt.Errorf("%w: pulse workers apply to distributed sessions", ErrConfig)
+	}
 	h, err := NewRRASupervised(cfg.RRAAgents, cfg.RRAResources, cfg.Seed, cfg.Scheme, cfg.Scheme != nil)
 	if err != nil {
 		return nil, err
@@ -575,7 +659,9 @@ func newRRADriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	for agent, choose := range cfg.RRAByz {
 		h.SetByzantine(agent, choose)
 	}
-	return &rraDriver{h: h, n: cfg.RRAAgents, hub: hub}, nil
+	d := &rraDriver{h: h, n: cfg.RRAAgents, hub: hub, before: make([]bool, cfg.RRAAgents)}
+	d.history.setLimit(cfg.HistoryLimit)
+	return d, nil
 }
 
 // Harness exposes the wrapped driver for measurements and legacy helpers.
@@ -588,23 +674,23 @@ func (d *rraDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
-	before := snapshotExcluded(d.n, d.h.Excluded)
+	snapshotExcludedInto(d.before, d.h.Excluded)
 	if err := d.h.PlayRound(); err != nil {
 		return RoundResult{}, err
 	}
-	all := d.h.Fouls()
-	fresh := append([]audit.Foul(nil), all[d.seenFouls:]...)
-	d.seenFouls = len(all)
-	verdict := audit.Verdict{Fouls: fresh}
-	res := RoundResult{
+	d.verdict.Fouls = append(d.verdict.Fouls[:0], d.h.fouls[d.seenFouls:]...)
+	d.seenFouls = len(d.h.fouls)
+	d.result = RoundResult{
 		Round:     d.h.RRA().Rounds() - 1,
-		Outcome:   d.h.LastChoices(),
-		Verdict:   verdict,
-		Convicted: verdict.Guilty(),
-		Excluded:  excludedIDs(before),
+		Outcome:   d.h.lastChoices,
+		Verdict:   d.verdict,
+		Convicted: d.verdict.Guilty(),
+		Excluded:  excludedIDs(d.before),
 	}
-	d.results = append(d.results, res)
-	d.hub.emitAll(playEvents(res, newlyExcluded(before, d.h.Excluded)))
+	res := d.history.record(&d.result)
+	if d.hub.active() {
+		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.h.Excluded)))
+	}
 	return res, nil
 }
 
@@ -615,7 +701,17 @@ func (d *rraDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
 func (d *rraDriver) Results() []RoundResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]RoundResult(nil), d.results...)
+	return d.history.snapshot()
+}
+
+func (d *rraDriver) ResultAt(round int) (RoundResult, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	slot, ok := d.history.at(round)
+	if !ok {
+		return RoundResult{}, false
+	}
+	return view(slot), true
 }
 
 func (d *rraDriver) Stats() SessionStats {
@@ -646,7 +742,11 @@ type distDriver struct {
 	seen      int
 	lastPulse int
 	fouls     int
-	results   []RoundResult
+	history   historyRing
+
+	// Per-play scratch, reused across plays.
+	before []bool
+	result RoundResult
 }
 
 func newDistDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
@@ -681,7 +781,17 @@ func newDistDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	if budget <= 0 {
 		budget = 50 * PulsesPerPlay(f)
 	}
-	return &distDriver{s: s, n: n, f: f, hub: hub, budget: budget}, nil
+	if cfg.DistWorkers < 0 {
+		return nil, fmt.Errorf("%w: negative pulse workers %d", ErrConfig, cfg.DistWorkers)
+	}
+	workers := cfg.DistWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0) // auto: use the cores we have
+	}
+	s.Net.SetWorkers(workers)
+	d := &distDriver{s: s, n: n, f: f, hub: hub, budget: budget, before: make([]bool, n)}
+	d.history.setLimit(cfg.HistoryLimit)
+	return d, nil
 }
 
 // Dist exposes the wrapped network session for fault injection and
@@ -703,7 +813,7 @@ func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 	if c := ref.ResultCount(); c < d.seen {
 		d.seen = c
 	}
-	before := snapshotExcluded(d.n, ref.Excluded)
+	snapshotExcludedInto(d.before, ref.Excluded)
 	for steps := 0; ref.ResultCount() <= d.seen; steps++ {
 		if err := ctx.Err(); err != nil {
 			return RoundResult{}, err
@@ -711,33 +821,37 @@ func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 		if steps >= d.budget {
 			return RoundResult{}, fmt.Errorf("%w (budget %d pulses)", ErrPulseBudget, d.budget)
 		}
-		d.s.Net.StepLockstep()
+		d.s.Net.Step()
 	}
-	r := ref.ResultAt(d.seen)
+	r := ref.resultRef(d.seen)
 	d.seen++
 
+	round := d.history.recorded()
 	var evs []Event
-	if d.lastPulse > 0 && r.Pulse-d.lastPulse > PulsesPerPlay(d.f) {
+	clockRecovered := d.lastPulse > 0 && r.Pulse-d.lastPulse > PulsesPerPlay(d.f)
+	if clockRecovered && d.hub.active() {
 		evs = append(evs, Event{
 			Kind:   EventClockRecovery,
-			Round:  len(d.results),
+			Round:  round,
 			Pulse:  r.Pulse,
 			Detail: fmt.Sprintf("play completed after a %d-pulse gap (one period is %d)", r.Pulse-d.lastPulse, PulsesPerPlay(d.f)),
 		})
 	}
 	d.lastPulse = r.Pulse
 
-	res := RoundResult{
-		Round:     len(d.results),
+	d.result = RoundResult{
+		Round:     round,
 		Outcome:   r.Outcome,
-		Convicted: append([]int(nil), r.Guilty...),
-		Excluded:  excludedIDs(before),
+		Convicted: r.Guilty,
+		Excluded:  excludedIDs(d.before),
 		Pulse:     r.Pulse,
 	}
-	d.fouls += len(res.Convicted)
-	d.results = append(d.results, res)
-	evs = append(evs, playEvents(res, newlyExcluded(before, ref.Excluded))...)
-	d.hub.emitAll(evs)
+	d.fouls += len(r.Guilty)
+	res := d.history.record(&d.result)
+	if d.hub.active() {
+		evs = append(evs, playEvents(res, newlyExcluded(d.before, ref.Excluded))...)
+		d.hub.emitAll(evs)
+	}
 	return res, nil
 }
 
@@ -748,7 +862,17 @@ func (d *distDriver) Run(ctx context.Context, rounds int) (RoundResult, error) {
 func (d *distDriver) Results() []RoundResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]RoundResult(nil), d.results...)
+	return d.history.snapshot()
+}
+
+func (d *distDriver) ResultAt(round int) (RoundResult, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	slot, ok := d.history.at(round)
+	if !ok {
+		return RoundResult{}, false
+	}
+	return view(slot), true
 }
 
 func (d *distDriver) Stats() SessionStats {
@@ -757,7 +881,7 @@ func (d *distDriver) Stats() SessionStats {
 	st := SessionStats{
 		Kind:     KindDistributed,
 		Players:  d.n,
-		Rounds:   len(d.results),
+		Rounds:   d.history.recorded(),
 		Fouls:    d.fouls,
 		Pulses:   int64(d.s.Net.Stats.Pulses),
 		Messages: d.s.Net.Stats.MessagesSent,
@@ -770,4 +894,11 @@ func (d *distDriver) Stats() SessionStats {
 
 func (d *distDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
 
-func (d *distDriver) Close() error { return nil }
+// Close releases the pulse engine's worker pool (if any). The session
+// remains usable: a fresh pool is created on demand.
+func (d *distDriver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.s.Net.Close()
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"gameauthority/internal/audit"
 	"gameauthority/internal/commit"
 	"gameauthority/internal/game"
+	"gameauthority/internal/prng"
 	"gameauthority/internal/punish"
 )
 
@@ -15,6 +16,10 @@ import (
 // punishment scheme. The agreement steps are executed centrally — the
 // distributed driver proves they can be Byzantine-agreed; this driver
 // reuses the identical audit/punish logic at game-sweep speed.
+//
+// The play loop runs on per-session scratch buffers: an honest play of a
+// compiled game allocates nothing once a bounded history ring is warm
+// (the alloc_test regression pins this at 0 allocs/play).
 type PureSession struct {
 	g      game.Game
 	agents []*Agent
@@ -22,11 +27,29 @@ type PureSession struct {
 	seed   uint64
 
 	round   int
-	prev    game.Profile
-	history []RoundResult
+	prev    game.Profile // owned; re-filled in place every play
+	history historyRing
 
 	// cumulative per-agent cost over plays where the agent was active.
 	cumCost []float64
+
+	// Per-play scratch, reused across rounds. Slices are sized to the
+	// player count at construction; enc and the opening value buffers
+	// amortize to steady state after the first play.
+	scratch struct {
+		commitments []commit.Digest
+		openings    []commit.Opening
+		revealed    []bool
+		chosen      game.Profile
+		outcome     game.Profile
+		actions     game.Profile
+		costs       []float64
+		excluded    []int
+		prevView    game.Profile
+		enc         []byte
+		verdict     audit.Verdict
+		result      RoundResult
+	}
 }
 
 // RoundResult records one audited play. It is the uniform result type of
@@ -34,6 +57,12 @@ type PureSession struct {
 // reports completed plays in this shape; fields a driver cannot establish
 // are left zero (e.g. Costs on RRA plays, Verdict details on distributed
 // plays, Pulse on trusted drivers).
+//
+// Results returned from sessions with a bounded history (WithHistoryLimit)
+// alias session-owned buffers: they stay valid until the play is evicted
+// from the ring. Use Clone (or Results, which deep-copies) to retain one
+// indefinitely. Unbounded sessions never evict, so their results never go
+// stale.
 type RoundResult struct {
 	Round int
 	// Outcome is the published PSP of the play (after executive
@@ -53,13 +82,21 @@ type RoundResult struct {
 	Pulse int
 }
 
+// Clone returns a deep copy of the result sharing no memory with the
+// session that produced it.
+func (r RoundResult) Clone() RoundResult {
+	return cloneResult(&r)
+}
+
 // NewPureSession builds a session over the elected game with one Agent per
 // player. scheme may be nil for punish-less operation (the "no authority"
-// baseline in experiments).
+// baseline in experiments). The game is accelerated into cost lookup
+// tables when its profile space is small enough (game.Accelerate).
 func NewPureSession(g game.Game, agents []*Agent, scheme punish.Scheme, seed uint64) (*PureSession, error) {
 	if g == nil {
 		return nil, fmt.Errorf("%w: nil game", ErrConfig)
 	}
+	g = game.Accelerate(g)
 	if len(agents) != g.NumPlayers() {
 		return nil, fmt.Errorf("%w: %d agents for %d players", ErrConfig, len(agents), g.NumPlayers())
 	}
@@ -68,21 +105,57 @@ func NewPureSession(g game.Game, agents []*Agent, scheme punish.Scheme, seed uin
 			return nil, fmt.Errorf("%w: agent %d has no Choose", ErrConfig, i)
 		}
 	}
-	return &PureSession{
+	n := g.NumPlayers()
+	s := &PureSession{
 		g:       g,
 		agents:  agents,
 		scheme:  scheme,
 		seed:    seed,
-		cumCost: make([]float64, len(agents)),
-	}, nil
+		cumCost: make([]float64, n),
+	}
+	s.scratch.commitments = make([]commit.Digest, n)
+	s.scratch.openings = make([]commit.Opening, n)
+	s.scratch.revealed = make([]bool, n)
+	s.scratch.chosen = make(game.Profile, n)
+	s.scratch.outcome = make(game.Profile, n)
+	s.scratch.actions = make(game.Profile, n)
+	s.scratch.costs = make([]float64, n)
+	s.scratch.prevView = make(game.Profile, n)
+	return s, nil
+}
+
+// SetHistoryLimit bounds the retained history to the most recent limit
+// plays (0 = unbounded, the default). It must be called before the first
+// play.
+func (s *PureSession) SetHistoryLimit(limit int) error {
+	if s.round > 0 {
+		return fmt.Errorf("%w: history limit must be set before the first play", ErrConfig)
+	}
+	if limit < 0 {
+		return fmt.Errorf("%w: negative history limit %d", ErrConfig, limit)
+	}
+	s.history.setLimit(limit)
+	return nil
 }
 
 // Round returns the number of completed plays.
 func (s *PureSession) Round() int { return s.round }
 
-// History returns all round results (oldest first).
+// History returns deep copies of the retained round results (oldest
+// first); bounded sessions retain the most recent SetHistoryLimit plays.
 func (s *PureSession) History() []RoundResult {
-	return append([]RoundResult(nil), s.history...)
+	return s.history.snapshot()
+}
+
+// ResultAt returns the play with absolute round index round, or false when
+// it was evicted from a bounded history (or not yet played). The result
+// aliases session-owned buffers — see RoundResult.
+func (s *PureSession) ResultAt(round int) (RoundResult, bool) {
+	slot, ok := s.history.at(round)
+	if !ok {
+		return RoundResult{}, false
+	}
+	return view(slot), true
 }
 
 // CumulativeCost returns agent i's total cost so far.
@@ -97,37 +170,46 @@ func (s *PureSession) Excluded(i int) bool {
 	return s.scheme != nil && s.scheme.Excluded(i)
 }
 
+// agentStreamState folds (seed, agent, round) into the commitment stream
+// state without allocating; it equals deriveAgentSource's stream by
+// construction (prng.Mix == prng.Derive fold).
+func agentStreamState(seed uint64, agent, round int) uint64 {
+	return prng.Mix(prng.Mix(prng.Mix(seed, 0xA6E27), uint64(agent)), uint64(round))
+}
+
 // PlayRound executes one full play of the protocol: choice → commitment →
-// reveal → audit → punish → publish.
+// reveal → audit → punish → publish. All working state lives in the
+// session scratch; see PureSession.
 func (s *PureSession) PlayRound() (RoundResult, error) {
 	n := s.g.NumPlayers()
 	ev := audit.PlayEvidence{
 		Round:       s.round,
 		PrevOutcome: s.prev,
-		Commitments: make([]commit.Digest, n),
-		Openings:    make([]commit.Opening, n),
-		Revealed:    make([]bool, n),
+		Commitments: s.scratch.commitments,
+		Openings:    s.scratch.openings,
+		Revealed:    s.scratch.revealed,
 	}
-	var excluded []int
+	excluded := s.scratch.excluded[:0]
 
 	// Choice + commitment phase. Excluded agents do not choose: the
 	// executive restricts them to the authority-computed best response
 	// (§3.4 "restricts the action of dishonest agents").
-	chosen := make(game.Profile, n)
+	chosen := s.scratch.chosen
+	var src prng.Source
 	for i, a := range s.agents {
+		src.Seed(agentStreamState(s.seed, i, s.round))
 		if s.Excluded(i) {
 			excluded = append(excluded, i)
 			chosen[i] = s.executiveAction(i)
 			// The executive commits on the restricted agent's behalf.
-			src := deriveAgentSource(s.seed, i, s.round)
-			ev.Commitments[i], ev.Openings[i] = commit.Commit(src, audit.EncodeAction(chosen[i]))
+			s.scratch.enc = audit.AppendAction(s.scratch.enc[:0], chosen[i])
+			ev.Commitments[i] = commit.CommitInto(&src, s.scratch.enc, &ev.Openings[i])
 			ev.Revealed[i] = true
 			continue
 		}
-		chosen[i] = a.Choose(s.round, clonePrev(s.prev))
-		src := deriveAgentSource(s.seed, i, s.round)
-		d, op := commit.Commit(src, audit.EncodeAction(chosen[i]))
-		ev.Commitments[i] = d
+		chosen[i] = a.Choose(s.round, s.prevFor())
+		s.scratch.enc = audit.AppendAction(s.scratch.enc[:0], chosen[i])
+		ev.Commitments[i] = commit.CommitInto(&src, s.scratch.enc, &ev.Openings[i])
 		// Reveal phase (after all commitments are fixed): cheating hooks
 		// apply here.
 		if a.Withhold != nil && a.Withhold(s.round) {
@@ -135,17 +217,18 @@ func (s *PureSession) PlayRound() (RoundResult, error) {
 			continue
 		}
 		if a.TamperOpening != nil {
-			op = a.TamperOpening(s.round, op.Clone())
+			ev.Openings[i] = a.TamperOpening(s.round, ev.Openings[i].Clone())
 		}
-		ev.Openings[i] = op
 		ev.Revealed[i] = true
 	}
+	s.scratch.excluded = excluded
 
 	// Judicial phase.
-	verdict, actions, err := audit.PerRound(s.g, ev)
-	if err != nil {
+	s.scratch.verdict.Fouls = s.scratch.verdict.Fouls[:0]
+	if err := audit.PerRoundInto(s.g, ev, s.scratch.actions, &s.scratch.verdict); err != nil {
 		return RoundResult{}, fmt.Errorf("core: audit: %w", err)
 	}
+	verdict := s.scratch.verdict
 
 	// Executive phase: punish the guilty, substitute actions that could
 	// not be established, and publish the outcome.
@@ -156,22 +239,22 @@ func (s *PureSession) PlayRound() (RoundResult, error) {
 			}
 		}
 	}
-	outcome := make(game.Profile, n)
+	outcome := s.scratch.outcome
 	for i := 0; i < n; i++ {
-		if actions[i] >= 0 {
-			outcome[i] = actions[i]
+		if s.scratch.actions[i] >= 0 {
+			outcome[i] = s.scratch.actions[i]
 		} else {
 			outcome[i] = s.executiveAction(i)
 		}
 	}
 
-	costs := make([]float64, n)
+	costs := s.scratch.costs
 	for i := 0; i < n; i++ {
 		costs[i] = s.g.Cost(i, outcome)
 		s.cumCost[i] += costs[i]
 	}
 
-	res := RoundResult{
+	s.scratch.result = RoundResult{
 		Round:     s.round,
 		Outcome:   outcome,
 		Verdict:   verdict,
@@ -179,10 +262,20 @@ func (s *PureSession) PlayRound() (RoundResult, error) {
 		Excluded:  excluded,
 		Costs:     costs,
 	}
-	s.history = append(s.history, res)
-	s.prev = outcome
+	res := s.history.record(&s.scratch.result)
+	s.prev = append(s.prev[:0], outcome...)
 	s.round++
 	return res, nil
+}
+
+// prevFor returns the previous outcome to hand an agent's Choose hook: a
+// scratch copy so one agent's mutation cannot leak into another agent's
+// view. The slice is only valid during the call.
+func (s *PureSession) prevFor() game.Profile {
+	if s.prev == nil {
+		return nil
+	}
+	return append(s.scratch.prevView[:0], s.prev...)
 }
 
 // Play runs the given number of rounds, returning the last result.

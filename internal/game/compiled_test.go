@@ -1,0 +1,129 @@
+package game
+
+import (
+	"errors"
+	"testing"
+)
+
+// rawView strips a game's Responder/Named extensions so the naive
+// scan-based implementations can serve as the reference.
+type rawView struct{ g Game }
+
+func (r rawView) NumPlayers() int                { return r.g.NumPlayers() }
+func (r rawView) NumActions(p int) int           { return r.g.NumActions(p) }
+func (r rawView) Cost(p int, pr Profile) float64 { return r.g.Cost(p, pr) }
+
+func compiledTestGames(t *testing.T) map[string]Game {
+	t.Helper()
+	pg, err := PublicGoods(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := MinorityGame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Game{
+		"matching-pennies":  MatchingPennies(),
+		"mp-manipulated":    MatchingPenniesManipulated(),
+		"prisoners-dilemma": PrisonersDilemma(),
+		"coordination":      CoordinationGame(),
+		"public-goods-4":    pg,
+		"minority-3":        mg,
+		"rra-round":         &RoundGame{NAgents: 3, Loads: []int64{2, 0, 5, 1}},
+	}
+}
+
+// TestCompiledMatchesNaive cross-validates the lookup tables against the
+// naive scan implementations over the entire profile space.
+func TestCompiledMatchesNaive(t *testing.T) {
+	for name, g := range compiledTestGames(t) {
+		c, err := Compile(g, 0)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		raw := rawView{g}
+		ForEachProfile(g, func(p Profile) bool {
+			for i := 0; i < g.NumPlayers(); i++ {
+				if got, want := c.Cost(i, p), g.Cost(i, p); got != want {
+					t.Fatalf("%s: cost(%d, %v) = %v, want %v", name, i, p, got, want)
+				}
+				if got, want := c.BestResponse(i, p), BestResponse(raw, i, p); got != want {
+					t.Fatalf("%s: br(%d, %v) = %d, want %d", name, i, p, got, want)
+				}
+				for a := 0; a < g.NumActions(i); a++ {
+					if got, want := c.IsBestResponse(i, a, p), IsBestResponse(raw, i, a, p); got != want {
+						t.Fatalf("%s: isbr(%d, %d, %v) = %v, want %v", name, i, a, p, got, want)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestCompileRefusesHugeGames(t *testing.T) {
+	// 18 players × 2 actions = 2^18 profiles × 18 players of table cells —
+	// beyond the default CompileLimit.
+	shape := make([]int, 18)
+	for i := range shape {
+		shape[i] = 2
+	}
+	big, err := NewTableGame("big", shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(big, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("compile huge game: err = %v, want ErrTooLarge", err)
+	}
+	// A tight explicit limit refuses even a small game.
+	if _, err := Compile(PrisonersDilemma(), 4); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("compile with tiny limit: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAccelerate(t *testing.T) {
+	g := PrisonersDilemma()
+	acc := Accelerate(g)
+	if _, ok := acc.(*Compiled); !ok {
+		t.Fatalf("Accelerate(%T) = %T, want *Compiled", g, acc)
+	}
+	// Idempotent: accelerating an accelerated game is a no-op.
+	if again := Accelerate(acc); again != acc {
+		t.Fatal("Accelerate re-wrapped a Responder")
+	}
+	if Accelerate(nil) != nil {
+		t.Fatal("Accelerate(nil) != nil")
+	}
+	// Named passthrough.
+	if nm, ok := acc.(Named); !ok || nm.Name() != "prisoners-dilemma" {
+		t.Fatalf("compiled game lost its name")
+	}
+	// A too-large game comes back unchanged.
+	shape := make([]int, 18)
+	for i := range shape {
+		shape[i] = 2
+	}
+	big, err := NewTableGame("big", shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Accelerate(big); got != Game(big) {
+		t.Fatalf("Accelerate(huge) = %T, want the original", got)
+	}
+}
+
+// TestCompiledDispatchAllocationFree asserts the package-level helpers are
+// allocation-free once a game is compiled — the property the pure-driver
+// 0 allocs/play budget rests on.
+func TestCompiledDispatchAllocationFree(t *testing.T) {
+	acc := Accelerate(PrisonersDilemma())
+	p := Profile{1, 0}
+	if a := testing.AllocsPerRun(100, func() {
+		_ = BestResponse(acc, 0, p)
+		_ = IsBestResponse(acc, 1, p[1], p)
+		_ = acc.Cost(0, p)
+	}); a != 0 {
+		t.Fatalf("compiled dispatch allocated %v times per run", a)
+	}
+}

@@ -147,6 +147,9 @@ func ForEachProfile(g Game, fn func(Profile) bool) {
 // lowest action index so audits are deterministic. The paper assumes best
 // responses are efficiently computable (§2); for table games this is a scan.
 func BestResponse(g Game, player int, profile Profile) int {
+	if r, ok := g.(Responder); ok {
+		return r.BestResponse(player, profile)
+	}
 	work := profile.Clone()
 	best, bestCost := 0, math.Inf(1)
 	for a := 0; a < g.NumActions(player); a++ {
@@ -184,6 +187,9 @@ func BestResponseSet(g Game, player int, profile Profile) []int {
 // response cost against profile — the §3.2 foul-play test for pure
 // strategies.
 func IsBestResponse(g Game, player, action int, profile Profile) bool {
+	if r, ok := g.(Responder); ok {
+		return r.IsBestResponse(player, action, profile)
+	}
 	work := profile.Clone()
 	work[player] = action
 	cost := g.Cost(player, work)

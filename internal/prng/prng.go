@@ -50,6 +50,19 @@ func Derive(seed uint64, labels ...uint64) *Source {
 	return &Source{state: s.state}
 }
 
+// Mix folds one derivation label into a seed state, exactly as Derive does.
+// It lets hot paths derive child streams without the heap allocation of
+// Derive's returned Source: fold the labels with Mix and Seed a
+// stack-allocated Source with the result.
+//
+//	var src Source
+//	src.Seed(Mix(Mix(root, agentID), round))
+//
+// Mix(Mix(seed, a), b) equals Derive(seed, a, b).State() by construction.
+func Mix(state, label uint64) uint64 {
+	return mix64(state ^ mix64(label))
+}
+
 // mix64 is the SplitMix64 output mixing function.
 func mix64(z uint64) uint64 {
 	z ^= z >> 30

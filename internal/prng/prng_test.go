@@ -241,3 +241,34 @@ func BenchmarkCategoricalSample(b *testing.B) {
 		_ = c.Sample(s)
 	}
 }
+
+func TestMixMatchesDerive(t *testing.T) {
+	cases := [][]uint64{
+		{0},
+		{7, 0xA6E27},
+		{7, 0xA6E27, 3},
+		{7, 0xA6E27, 3, 41},
+		{1 << 63, 0, 0, 0},
+	}
+	for _, c := range cases {
+		seed, labels := c[0], c[1:]
+		state := seed
+		for _, l := range labels {
+			state = Mix(state, l)
+		}
+		if want := Derive(seed, labels...).State(); state != want {
+			t.Fatalf("Mix chain over %v = %#x, Derive = %#x", c, state, want)
+		}
+	}
+}
+
+func TestMixAllocationFree(t *testing.T) {
+	var src Source
+	allocs := testing.AllocsPerRun(100, func() {
+		src.Seed(Mix(Mix(7, 11), 13))
+		_ = src.Uint64()
+	})
+	if allocs != 0 {
+		t.Fatalf("Mix + stack Source allocated %v times per run", allocs)
+	}
+}

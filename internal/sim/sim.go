@@ -9,9 +9,17 @@
 //
 //   - Lockstep: a deterministic single-goroutine loop (the reference model;
 //     all experiments use it).
-//   - Concurrent: one goroutine per processor with a pulse barrier,
-//     demonstrating the same protocols running on real concurrency. A
-//     property test asserts both engines produce identical executions.
+//   - Concurrent: a persistent worker pool steps the processors of each
+//     pulse in parallel behind a pulse barrier, using the cores the host
+//     has. A property test asserts both engines produce identical
+//     executions, pulse for pulse and message for message.
+//
+// Both engines recycle the per-destination inbox buffers between pulses,
+// so a steady-state pulse allocates only what the processes themselves
+// allocate. Two contracts make that sound: a Process must not retain its
+// inbox slice (nor an Adversary its honestOutbox) beyond the call that
+// received it, and outbox slices are owned by the producing process again
+// as soon as the pulse completes.
 //
 // Byzantine processors are modelled by wrapping an honest process with an
 // adversary that may replace its outbox arbitrarily (including equivocating
@@ -23,8 +31,10 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Common errors.
@@ -43,6 +53,11 @@ type Message struct {
 // Process is a synchronous protocol participant. Step is called once per
 // pulse with all messages addressed to it from the previous pulse, and
 // returns the messages to deliver on the next pulse.
+//
+// Step must not retain the inbox slice beyond the call (its backing array
+// is recycled for a later pulse); payload values may be retained freely.
+// The returned outbox is owned by the network until the pulse completes,
+// after which the process may reuse its backing array.
 type Process interface {
 	// ID returns the processor's identifier (its index in the network).
 	ID() int
@@ -81,6 +96,14 @@ type Network struct {
 	byz       map[int]Adversary
 	pulse     int
 	inTransit [][]Message // messages to deliver at the next pulse, per destination
+	spare     [][]Message // recycled inbox buffers from the previous pulse
+	outboxes  [][]Message // per-pulse outbox headers, reused
+
+	// Concurrent-engine state: workers is the configured pool width
+	// (0 = auto, ≤1 = lockstep semantics on the caller's goroutine);
+	// pool is created lazily and released by Close.
+	workers int
+	pool    *workerPool
 
 	// Stats counts traffic for the E-AUD overhead experiments.
 	Stats Stats
@@ -119,6 +142,7 @@ func NewNetwork(procs []Process, topo *Graph) (*Network, error) {
 		topo:      topo,
 		byz:       make(map[int]Adversary),
 		inTransit: make([][]Message, n),
+		outboxes:  make([][]Message, n),
 	}, nil
 }
 
@@ -181,19 +205,47 @@ func (nw *Network) Corrupt(entropy func() uint64) {
 // every process receives its pending inbox, produces an outbox (possibly
 // rewritten by its adversary), and messages are filtered by the topology.
 func (nw *Network) StepLockstep() {
-	n := nw.N()
-	inboxes := nw.inTransit
-	nw.inTransit = make([][]Message, n)
-
-	outboxes := make([][]Message, n)
+	inboxes := nw.beginPulse()
 	for i, p := range nw.procs {
-		out := p.Step(nw.pulse, inboxes[i])
-		if adv, bad := nw.byz[i]; bad {
-			out = adv.Intercept(nw.pulse, i, out)
-		}
-		outboxes[i] = out
+		nw.outboxes[i] = nw.stepOne(i, p, inboxes[i])
 	}
-	nw.route(outboxes)
+	nw.finishPulse(inboxes)
+}
+
+// beginPulse swaps the pending in-transit buffers out as this pulse's
+// inboxes and installs recycled (or fresh) empty buffers for the next
+// pulse's traffic.
+func (nw *Network) beginPulse() [][]Message {
+	inboxes := nw.inTransit
+	next := nw.spare
+	if next == nil {
+		next = make([][]Message, nw.N())
+	}
+	for i := range next {
+		next[i] = next[i][:0]
+	}
+	nw.inTransit = next
+	nw.spare = nil
+	return inboxes
+}
+
+// stepOne runs one processor's step, applying its adversary if Byzantine.
+func (nw *Network) stepOne(i int, p Process, inbox []Message) []Message {
+	out := p.Step(nw.pulse, inbox)
+	if adv, bad := nw.byz[i]; bad {
+		out = adv.Intercept(nw.pulse, i, out)
+	}
+	return out
+}
+
+// finishPulse routes the pulse's outboxes, recycles the consumed inbox
+// buffers, and advances the pulse counter.
+func (nw *Network) finishPulse(inboxes [][]Message) {
+	nw.route(nw.outboxes)
+	for i := range nw.outboxes {
+		nw.outboxes[i] = nil // outbox ownership returns to the process
+	}
+	nw.spare = inboxes
 	nw.pulse++
 	nw.Stats.Pulses++
 }
@@ -215,43 +267,153 @@ func (nw *Network) route(outboxes [][]Message) {
 	}
 }
 
-// Run advances the system by pulses pulses using the lockstep engine.
+// Run advances the system by pulses pulses using the configured engine
+// (lockstep unless SetWorkers enabled the pool).
 func (nw *Network) Run(pulses int) {
 	for i := 0; i < pulses; i++ {
+		nw.Step()
+	}
+}
+
+// Step advances the system by one pulse on the configured engine. Both
+// engines produce identical executions; SetWorkers only chooses how the
+// processors of a pulse are scheduled onto OS threads.
+func (nw *Network) Step() {
+	if nw.effectiveWorkers() > 1 {
+		nw.StepConcurrent()
+	} else {
 		nw.StepLockstep()
 	}
 }
 
-// RunConcurrent advances the system by pulses pulses using one goroutine
-// per processor with a barrier at every pulse. Semantics are identical to
-// Run; the goroutines exist to demonstrate/stress the same protocols under
-// real scheduling. All goroutines are joined before return.
+// SetWorkers configures the concurrent pulse engine: w > 1 steps each
+// pulse's processors on a persistent pool of min(w, n) workers; w == 1
+// pins the lockstep engine; w == 0 (the default) picks lockstep for Step
+// but lets StepConcurrent/RunConcurrent auto-size the pool to
+// min(GOMAXPROCS, n). Call before running; reconfiguring releases any
+// existing pool.
+func (nw *Network) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	if w == nw.workers {
+		return
+	}
+	nw.workers = w
+	nw.Close()
+}
+
+// effectiveWorkers resolves the pool width Step would use.
+func (nw *Network) effectiveWorkers() int {
+	w := nw.workers
+	if w == 0 {
+		return 1 // auto engages only via StepConcurrent/RunConcurrent
+	}
+	if w > nw.N() {
+		w = nw.N()
+	}
+	return w
+}
+
+// autoWorkers resolves the pool width for explicit concurrent runs.
+func (nw *Network) autoWorkers() int {
+	w := nw.workers
+	if w <= 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nw.N() {
+		w = nw.N()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// StepConcurrent advances the system by one pulse with the worker pool,
+// creating it on first use. Execution is identical to StepLockstep: the
+// pool only parallelizes the independent per-processor Step calls; routing
+// stays sequential and deterministic.
+func (nw *Network) StepConcurrent() {
+	w := nw.autoWorkers()
+	if nw.pool == nil || nw.pool.workers != w {
+		nw.Close()
+		nw.pool = newWorkerPool(w)
+	}
+	inboxes := nw.beginPulse()
+	nw.pool.run(nw.N(), func(i int) {
+		nw.outboxes[i] = nw.stepOne(i, nw.procs[i], inboxes[i])
+	})
+	nw.finishPulse(inboxes)
+}
+
+// RunConcurrent advances the system by pulses pulses on the worker pool.
+// Semantics are identical to Run. The pool persists for later steps;
+// Close releases it.
 func (nw *Network) RunConcurrent(pulses int) {
-	n := nw.N()
 	for i := 0; i < pulses; i++ {
-		inboxes := nw.inTransit
-		nw.inTransit = make([][]Message, n)
-		outboxes := make([][]Message, n)
-
-		var wg sync.WaitGroup
-		for id, p := range nw.procs {
-			wg.Add(1)
-			go func(id int, p Process) {
-				defer wg.Done()
-				out := p.Step(nw.pulse, inboxes[id])
-				if adv, bad := nw.byz[id]; bad {
-					out = adv.Intercept(nw.pulse, id, out)
-				}
-				outboxes[id] = out
-			}(id, p)
-		}
-		wg.Wait()
-
-		nw.route(outboxes)
-		nw.pulse++
-		nw.Stats.Pulses++
+		nw.StepConcurrent()
 	}
 }
+
+// Close releases the worker pool's goroutines. It is idempotent and the
+// network remains usable afterwards (a fresh pool is created on demand).
+func (nw *Network) Close() {
+	if nw.pool != nil {
+		nw.pool.close()
+		nw.pool = nil
+	}
+}
+
+// workerPool is a fixed set of goroutines that execute one pulse's
+// per-processor steps. Work is distributed by an atomic cursor so uneven
+// step costs (e.g. one processor running a heavy audit) balance across
+// workers.
+type workerPool struct {
+	workers int
+	jobs    chan poolJob
+}
+
+type poolJob struct {
+	n    int
+	next *atomic.Int64
+	run  func(i int)
+	wg   *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, jobs: make(chan poolJob, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for job := range p.jobs {
+				for {
+					i := int(job.next.Add(1) - 1)
+					if i >= job.n {
+						break
+					}
+					job.run(i)
+				}
+				job.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(0..n-1) across the pool and blocks until all complete —
+// the pulse barrier.
+func (p *workerPool) run(n int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	job := poolJob{n: n, next: &next, run: fn, wg: &wg}
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- job
+	}
+	wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.jobs) }
 
 // Broadcast builds one message per neighbour of from in the topology,
 // carrying payload. Helper used by most protocols (includes self-loop

@@ -57,6 +57,10 @@ const (
 // recoverable: the next Play keeps stepping the network.
 var ErrPulseBudget = core.ErrPulseBudget
 
+// ErrConfig reports an invalid session configuration (conflicting or
+// malformed options passed to New).
+var ErrConfig = core.ErrConfig
+
 // Option configures a Session built by New.
 type Option func(*core.SessionConfig)
 
@@ -95,6 +99,18 @@ func New(g Game, opts ...Option) (Session, error) {
 // clocks. Sessions are deterministic in (configuration, seed).
 func WithSeed(seed uint64) Option {
 	return func(c *core.SessionConfig) { c.Seed = seed }
+}
+
+// WithHistoryLimit bounds the session's retained play history to the most
+// recent limit plays (0, the default, retains everything). Bounded
+// sessions record plays into a reused ring buffer, so long-running
+// sessions stop growing and the play hot path stops allocating; evicted
+// plays disappear from Results and ResultAt while Stats keeps counting
+// every play. Results returned by Play/ResultAt on a bounded session alias
+// session-owned buffers and stay valid until their round is evicted; Clone
+// them (or use Results, which deep-copies) to keep them longer.
+func WithHistoryLimit(limit int) Option {
+	return func(c *core.SessionConfig) { c.HistoryLimit = limit }
 }
 
 // WithAgents installs pure-strategy behaviours (pure and distributed
@@ -226,6 +242,16 @@ func WithDistributed(n, f int, byz map[int]Adversary) Option {
 // lets callers observe §4 recovery in progress.
 func WithPulseBudget(pulses int) Option {
 	return func(c *core.SessionConfig) { c.DistPulseBudget = pulses }
+}
+
+// WithPulseWorkers selects the distributed session's pulse engine: 0 (the
+// default) parallelizes each pulse across min(GOMAXPROCS, n) workers when
+// more than one core is available; 1 pins the lockstep reference engine;
+// w > 1 forces a worker pool of that width. Both engines produce
+// identical executions — a property test proves it — so this is purely a
+// scheduling choice.
+func WithPulseWorkers(workers int) Option {
+	return func(c *core.SessionConfig) { c.DistWorkers = workers }
 }
 
 // --- Accessors and helpers ------------------------------------------------------

@@ -81,6 +81,12 @@ type CreateSessionRequest struct {
 		F int `json:"f"`
 	} `json:"distributed,omitempty"`
 	PulseBudget int `json:"pulse_budget,omitempty"`
+	// PulseWorkers selects the distributed pulse engine (0 auto, 1
+	// lockstep, >1 worker-pool width).
+	PulseWorkers int `json:"pulse_workers,omitempty"`
+	// HistoryLimit bounds the retained play history (0 = unbounded); any
+	// session kind accepts it.
+	HistoryLimit int `json:"history_limit,omitempty"`
 }
 
 // PunishmentSpec selects an executive punishment scheme over HTTP.
@@ -215,6 +221,12 @@ func (req *CreateSessionRequest) build() (Game, []Option, error) {
 	if kind != "distributed" && req.PulseBudget != 0 {
 		return nil, nil, reject("pulse_budget", "distributed")
 	}
+	if kind != "distributed" && req.PulseWorkers != 0 {
+		return nil, nil, reject("pulse_workers", "distributed")
+	}
+	if req.HistoryLimit != 0 {
+		opts = append(opts, WithHistoryLimit(req.HistoryLimit))
+	}
 
 	switch kind {
 	case "pure":
@@ -246,6 +258,11 @@ func (req *CreateSessionRequest) build() (Game, []Option, error) {
 		opts = append(opts, WithDistributed(req.Distributed.N, req.Distributed.F, nil))
 		if req.PulseBudget > 0 {
 			opts = append(opts, WithPulseBudget(req.PulseBudget))
+		}
+		if req.PulseWorkers != 0 {
+			// Pass negatives through too: core rejects them with ErrConfig
+			// so the client gets a 400 instead of a silently-coerced engine.
+			opts = append(opts, WithPulseWorkers(req.PulseWorkers))
 		}
 		players = req.Distributed.N
 	default:
@@ -509,6 +526,9 @@ func infoFor(h *HostedSession) sessionInfo {
 }
 
 func roundFor(res RoundResult) roundResponse {
+	// Clone before accumulating: on a history-bounded session the result's
+	// slices alias ring slots that later plays in the same batch reuse.
+	res = res.Clone()
 	return roundResponse{
 		Round:     res.Round,
 		Outcome:   res.Outcome,

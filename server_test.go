@@ -290,3 +290,139 @@ func TestServerCreateValidation(t *testing.T) {
 		t.Fatalf("pulse-budget play: %d %v, want 503", budgetResp.StatusCode, body)
 	}
 }
+
+// TestServerSSEUnaffectedByHistoryEviction creates a history-bounded
+// session over HTTP and verifies the SSE stream still delivers every
+// play — including plays already evicted from the ring by the time the
+// batch finishes — with intact payloads.
+func TestServerSSEUnaffectedByHistoryEviction(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "ring", Game: "prisonersdilemma", Seed: 4, HistoryLimit: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+
+	events, err := http.Get(srv.URL + "/sessions/ring/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	lines := make(chan string, 64)
+	go func() {
+		scanner := bufio.NewScanner(events.Body)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line := <-lines:
+		if !strings.HasPrefix(line, ": subscribed") {
+			t.Fatalf("first stream line = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream never opened")
+	}
+
+	const rounds = 9 // far past the 2-slot ring
+	resp, body = postJSON(t, srv.URL+"/sessions/ring/play", map[string]int{"rounds": rounds})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("play: %d %v", resp.StatusCode, body)
+	}
+
+	seen := make(map[int]bool)
+	deadline := time.After(5 * time.Second)
+	for len(seen) < rounds {
+		select {
+		case line, open := <-lines:
+			if !open {
+				t.Fatalf("stream closed after %d events", len(seen))
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var e struct {
+				Kind    string `json:"kind"`
+				Round   int    `json:"round"`
+				Outcome []int  `json:"outcome"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatalf("bad event payload %q: %v", line, err)
+			}
+			if e.Kind != "play" {
+				continue
+			}
+			if seen[e.Round] {
+				t.Fatalf("round %d delivered twice", e.Round)
+			}
+			if len(e.Outcome) != 2 {
+				t.Fatalf("round %d event lost its outcome: %+v", e.Round, e)
+			}
+			seen[e.Round] = true
+		case <-deadline:
+			t.Fatalf("only %d/%d play events arrived (eviction must not drop SSE deliveries)", len(seen), rounds)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		if !seen[r] {
+			t.Fatalf("round %d never delivered", r)
+		}
+	}
+}
+
+// TestServerPlayResultsSurviveEvictionInBatch pins the fix for batched
+// /play responses on history-bounded sessions: every round in the
+// response must carry its own play's data even after its ring slot was
+// reused by a later round in the same request.
+func TestServerPlayResultsSurviveEvictionInBatch(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+
+	mk := func(id string, historyLimit int) []any {
+		req := ga.CreateSessionRequest{ID: id, Game: "prisonersdilemma", Seed: 6, HistoryLimit: historyLimit}
+		resp, body := postJSON(t, srv.URL+"/sessions", req)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d %v", id, resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, srv.URL+"/sessions/"+id+"/play", map[string]int{"rounds": 6})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("play %s: %d %v", id, resp.StatusCode, body)
+		}
+		results, ok := body["results"].([]any)
+		if !ok || len(results) != 6 {
+			t.Fatalf("play %s returned %d results", id, len(results))
+		}
+		return results
+	}
+	bounded := mk("bounded", 2)
+	unbounded := mk("unbounded", 0)
+	for i := range bounded {
+		b, u := bounded[i].(map[string]any), unbounded[i].(map[string]any)
+		if fmt.Sprint(b["outcome"]) != fmt.Sprint(u["outcome"]) || fmt.Sprint(b["costs"]) != fmt.Sprint(u["costs"]) {
+			t.Fatalf("round %d diverges under eviction: bounded %v/%v, unbounded %v/%v",
+				i, b["outcome"], b["costs"], u["outcome"], u["costs"])
+		}
+	}
+}
+
+// TestServerRejectsNegativePulseWorkers pins the 400 on malformed
+// pulse_workers instead of a silent coercion to the auto engine.
+func TestServerRejectsNegativePulseWorkers(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+	resp, body := postJSON(t, srv.URL+"/sessions", ga.CreateSessionRequest{
+		ID: "neg", Game: "publicgoods", Players: 4,
+		Distributed: &struct {
+			N int `json:"n"`
+			F int `json:"f"`
+		}{N: 4, F: 1},
+		PulseWorkers: -4,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative pulse_workers: %d %v, want 400", resp.StatusCode, body)
+	}
+}
