@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt fmt-fix vet build test race bench bench-smoke
+.PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
+	loadgen loadgen-smoke docs-check
 
-ci: fmt vet build test race bench-smoke
+ci: fmt vet build test race bench-smoke loadgen-smoke docs-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,3 +35,26 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkPlay' -benchmem -benchtime 2000x -count 1 . \
 		| $(GO) run ./cmd/benchfmt -out BENCH_PR2.json
+
+# The many-session load harness: 1000 concurrent sessions across the full
+# scenario mix and all four drivers, both in-process and (selfserve) over
+# HTTP; the in-process run is the tracked BENCH_PR3.json artifact. See
+# DESIGN.md §7 for how to read it.
+loadgen:
+	$(GO) run ./cmd/loadgen -sessions 1000 -plays 20 \
+		| $(GO) run ./cmd/benchfmt -command "make loadgen" -out BENCH_PR3.json
+
+# CI-sized loadgen: exercises every scenario, every driver, and both
+# transports; fails on harness errors, never on timing.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -sessions 64 -plays 4 > /dev/null
+	$(GO) run ./cmd/loadgen -selfserve -sessions 16 -plays 2 > /dev/null
+
+# Every internal package must carry a package comment (the godoc story of
+# DESIGN.md §1); CI fails when one goes missing.
+docs-check:
+	@missing=0; for d in internal/*/; do \
+		grep -q '^// Package ' $$d*.go || { echo "docs-check: $$d lacks a package comment"; missing=1; }; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi; \
+	echo "docs-check: every internal package carries a package comment"

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Authority-host errors.
@@ -41,15 +42,29 @@ func validSessionID(id string) bool {
 	return true
 }
 
+// authorityShards is the registry's shard count (a power of two, so the
+// hash maps to a shard with a mask). 64 shards keep create/get/remove
+// contention negligible at thousands of concurrent sessions while the
+// idle footprint stays a few kilobytes.
+const authorityShards = 64
+
 // Authority hosts many independent authority sessions keyed by ID behind
-// a sync-safe registry — the middleware as a long-lived multi-tenant
-// service rather than a one-shot driver. All methods are safe for
-// concurrent use, and hosted sessions may be played concurrently (each
-// session serializes its own plays).
+// a sharded, sync-safe registry — the middleware as a long-lived
+// multi-tenant service rather than a one-shot driver. IDs hash onto
+// authorityShards independently locked shards, so session create/get/play
+// never serialize behind one registry lock under load (the many-session
+// regime cmd/loadgen drives). All methods are safe for concurrent use,
+// and hosted sessions may be played concurrently (each session serializes
+// its own plays).
 type Authority struct {
+	shards [authorityShards]authorityShard
+	nextID atomic.Uint64
+}
+
+// authorityShard is one lock's worth of the registry.
+type authorityShard struct {
 	mu       sync.RWMutex
 	sessions map[string]*HostedSession
-	nextID   uint64
 }
 
 // HostedSession is a Session registered with an Authority under an ID.
@@ -63,7 +78,26 @@ func (h *HostedSession) ID() string { return h.id }
 
 // NewAuthority creates an empty host.
 func NewAuthority() *Authority {
-	return &Authority{sessions: make(map[string]*HostedSession)}
+	a := &Authority{}
+	for i := range a.shards {
+		a.shards[i].sessions = make(map[string]*HostedSession)
+	}
+	return a
+}
+
+// shardFor maps a session ID onto its shard (FNV-1a over the ID bytes;
+// IDs are short, so inlining the hash beats hash/fnv's allocation).
+func (a *Authority) shardFor(id string) *authorityShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &a.shards[h&(authorityShards-1)]
 }
 
 // Create builds a session with New and hosts it under id. An empty id is
@@ -72,14 +106,16 @@ func NewAuthority() *Authority {
 func (a *Authority) Create(id string, g Game, opts ...Option) (*HostedSession, error) {
 	// Check the ID before paying for session construction (a distributed
 	// session builds a whole processor mesh). Host re-checks under the
-	// write lock, so a lost race still fails cleanly with ErrSessionExists.
+	// shard's write lock, so a lost race still fails cleanly with
+	// ErrSessionExists.
 	if id != "" {
 		if !validSessionID(id) {
 			return nil, fmt.Errorf("%w: %q (want 1-64 characters from [A-Za-z0-9._-])", ErrSessionID, id)
 		}
-		a.mu.RLock()
-		_, taken := a.sessions[id]
-		a.mu.RUnlock()
+		sh := a.shardFor(id)
+		sh.mu.RLock()
+		_, taken := sh.sessions[id]
+		sh.mu.RUnlock()
 		if taken {
 			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 		}
@@ -88,38 +124,60 @@ func (a *Authority) Create(id string, g Game, opts ...Option) (*HostedSession, e
 	if err != nil {
 		return nil, err
 	}
-	return a.Host(id, s)
+	h, err := a.Host(id, s)
+	if err != nil {
+		// A concurrent Create won the ID between the pre-check and the
+		// shard lock; release the freshly built session (a distributed one
+		// owns a worker pool) instead of leaking it.
+		_ = s.Close()
+		return nil, err
+	}
+	return h, nil
 }
 
 // Host registers an existing session under id (empty = auto-assigned).
 // IDs are restricted to 1–64 characters from [A-Za-z0-9._-] so every
 // session stays addressable over HTTP.
 func (a *Authority) Host(id string, s Session) (*HostedSession, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if id == "" {
+		// The counter is monotone, so each candidate is fresh; a collision
+		// only happens when a caller hand-registered "s-<k>" ahead of the
+		// counter, in which case the loop simply skips past it.
 		for {
-			a.nextID++
-			id = fmt.Sprintf("s-%d", a.nextID)
-			if _, taken := a.sessions[id]; !taken {
-				break
+			id = fmt.Sprintf("s-%d", a.nextID.Add(1))
+			h, err := a.hostAt(a.shardFor(id), id, s)
+			if err == nil {
+				return h, nil
+			}
+			if !errors.Is(err, ErrSessionExists) {
+				return nil, err
 			}
 		}
-	} else if !validSessionID(id) {
+	}
+	if !validSessionID(id) {
 		return nil, fmt.Errorf("%w: %q (want 1-64 characters from [A-Za-z0-9._-])", ErrSessionID, id)
-	} else if _, taken := a.sessions[id]; taken {
+	}
+	return a.hostAt(a.shardFor(id), id, s)
+}
+
+// hostAt installs the session into one shard under the shard lock.
+func (a *Authority) hostAt(sh *authorityShard, id string, s Session) (*HostedSession, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.sessions[id]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
 	h := &HostedSession{Session: s, id: id}
-	a.sessions[id] = h
+	sh.sessions[id] = h
 	return h, nil
 }
 
 // Get returns the hosted session with the given ID.
 func (a *Authority) Get(id string) (*HostedSession, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	h, ok := a.sessions[id]
+	sh := a.shardFor(id)
+	sh.mu.RLock()
+	h, ok := sh.sessions[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
@@ -128,10 +186,11 @@ func (a *Authority) Get(id string) (*HostedSession, error) {
 
 // Remove closes and unregisters the session with the given ID.
 func (a *Authority) Remove(id string) error {
-	a.mu.Lock()
-	h, ok := a.sessions[id]
-	delete(a.sessions, id)
-	a.mu.Unlock()
+	sh := a.shardFor(id)
+	sh.mu.Lock()
+	h, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
@@ -140,33 +199,47 @@ func (a *Authority) Remove(id string) error {
 
 // Len returns the number of hosted sessions.
 func (a *Authority) Len() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.sessions)
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Sessions returns the hosted sessions sorted by ID.
+// Sessions returns the hosted sessions sorted by ID. The listing is a
+// consistent snapshot per shard, not across shards — sessions created or
+// removed concurrently may or may not appear, exactly as with the
+// single-lock registry observed at a slightly different instant.
 func (a *Authority) Sessions() []*HostedSession {
-	a.mu.RLock()
-	out := make([]*HostedSession, 0, len(a.sessions))
-	for _, h := range a.sessions {
-		out = append(out, h)
+	var out []*HostedSession
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.sessions {
+			out = append(out, h)
+		}
+		sh.mu.RUnlock()
 	}
-	a.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
 // Close removes every hosted session, returning the first close error.
 func (a *Authority) Close() error {
-	a.mu.Lock()
-	sessions := a.sessions
-	a.sessions = make(map[string]*HostedSession)
-	a.mu.Unlock()
 	var first error
-	for _, h := range sessions {
-		if err := h.Close(); err != nil && first == nil {
-			first = err
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		sessions := sh.sessions
+		sh.sessions = make(map[string]*HostedSession)
+		sh.mu.Unlock()
+		for _, h := range sessions {
+			if err := h.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

@@ -49,11 +49,12 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("out", "BENCH_PR2.json", "path of the JSON baseline to write")
+	command := flag.String("command", "make bench", "canonical invocation recorded in the artifact")
 	flag.Parse()
 
 	base := Baseline{
 		Schema:     "gameauthority-bench/v1",
-		Command:    "make bench",
+		Command:    *command,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]Result{},
 	}

@@ -1,0 +1,447 @@
+// Command loadgen is the many-session load harness: it spins up thousands
+// of concurrent authority sessions across a weighted mix of scenario-
+// catalog families and all four drivers (pure, mixed, RRA, distributed),
+// plays every session concurrently, and reports throughput (plays/s) and
+// play-latency percentiles (p50/p99).
+//
+// Two transports exercise the same Authority host:
+//
+//   - in-process (default): sessions are created with Authority.Create and
+//     played directly — this measures the sharded registry and the play
+//     hot paths with no wire in between;
+//   - HTTP: -http http://host:port drives a running `gameauthd -serve`
+//     over the JSON API (-selfserve starts a loopback server in-process,
+//     so the HTTP path is measurable hermetically).
+//
+// Output is go-bench formatted on stdout so it pipes straight into
+// cmd/benchfmt for the tracked artifact:
+//
+//	go run ./cmd/loadgen | go run ./cmd/benchfmt -command "make loadgen" -out BENCH_PR3.json
+//
+// `make loadgen` is the canonical invocation (1000 sessions); `make
+// loadgen-smoke` is the CI-sized variant. See DESIGN.md §7 for how to
+// read the numbers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	ga "gameauthority"
+	"gameauthority/internal/metrics"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.IntVar(&cfg.sessions, "sessions", 1000, "number of concurrent sessions to host")
+	flag.IntVar(&cfg.plays, "plays", 20, "plays per session (heavy drivers play a documented fraction)")
+	flag.StringVar(&cfg.mix, "mix", "", "override scenario weights, e.g. congestion=4,rra=1 (default: built-in mix over every family)")
+	flag.StringVar(&cfg.httpBase, "http", "", "drive a running gameauthd -serve at this base URL instead of in-process")
+	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start a loopback HTTP server in-process and drive it (hermetic HTTP mode)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "root seed; session i uses seed+i")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	sessions  int
+	plays     int
+	mix       string
+	httpBase  string
+	selfserve bool
+	seed      uint64
+	out       io.Writer // bench lines (stdout in main)
+	info      io.Writer // human summary (stderr in main)
+}
+
+func defaultConfig() config {
+	return config{out: os.Stdout, info: os.Stderr}
+}
+
+// scenario is one entry of the load mix: how to build the session both
+// in-process and over the wire, its default weight, and how to scale the
+// per-session play count for heavy drivers.
+type scenario struct {
+	name   string
+	driver string // pure | mixed | rra | distributed
+	weight int
+	// playsDiv divides the -plays budget (the distributed driver costs
+	// ~300× a pure play; equal budgets would make it the whole run).
+	playsDiv int
+	build    func(seed uint64) (ga.Game, []ga.Option, error)
+	request  func(id string, seed uint64) ga.CreateSessionRequest
+}
+
+// loadMix returns the built-in weighted scenario mix: every catalog
+// family on the pure driver plus one scenario per remaining driver, so a
+// default run exercises the full driver matrix.
+func loadMix() []scenario {
+	mix := []scenario{
+		catalogScenario("congestion", 4, 4),
+		catalogScenario("braess", 4, 3),
+		catalogScenario("coordination-n", 3, 3),
+		catalogScenario("publicgoods-punish", 4, 3),
+		catalogScenario("minority", 5, 3),
+		catalogScenario("firstprice", 3, 2),
+		catalogScenario("secondprice", 3, 2),
+		catalogScenario("pd", 2, 3),
+		{
+			name:   "mixed-pennies",
+			driver: "mixed",
+			weight: 4,
+			build: func(seed uint64) (ga.Game, []ga.Option, error) {
+				g := ga.MatchingPennies()
+				return g, []ga.Option{
+					ga.WithStrategies(uniformStrategies(g)),
+					ga.WithAudit(ga.AuditPerRound),
+					ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+				}, nil
+			},
+			request: func(id string, seed uint64) ga.CreateSessionRequest {
+				return ga.CreateSessionRequest{ID: id, Seed: seed, Game: "matchingpennies",
+					Kind: "mixed", Audit: "per-round"}
+			},
+		},
+		{
+			name:   "rra",
+			driver: "rra",
+			weight: 3,
+			build: func(seed uint64) (ga.Game, []ga.Option, error) {
+				return nil, []ga.Option{
+					ga.WithRRA(8, 4),
+					ga.WithPunishment(ga.NewDisconnectScheme(8, 0)),
+				}, nil
+			},
+			request: func(id string, seed uint64) ga.CreateSessionRequest {
+				req := ga.CreateSessionRequest{ID: id, Seed: seed,
+					Punishment: &ga.PunishmentSpec{Scheme: "disconnect"}}
+				req.RRA = &struct {
+					Agents    int `json:"agents"`
+					Resources int `json:"resources"`
+				}{Agents: 8, Resources: 4}
+				return req
+			},
+		},
+		{
+			name:     "dist-publicgoods",
+			driver:   "distributed",
+			weight:   1,
+			playsDiv: 4,
+			build: func(seed uint64) (ga.Game, []ga.Option, error) {
+				g, err := ga.PublicGoods(4, 2)
+				if err != nil {
+					return nil, nil, err
+				}
+				return g, []ga.Option{
+					ga.WithDistributed(4, 1, nil),
+					ga.WithPulseBudget(1000 * ga.PulsesPerPlay(1)),
+				}, nil
+			},
+			request: func(id string, seed uint64) ga.CreateSessionRequest {
+				req := ga.CreateSessionRequest{ID: id, Seed: seed, Game: "publicgoods",
+					Players: 4, PulseBudget: 1000 * ga.PulsesPerPlay(1)}
+				req.Distributed = &struct {
+					N int `json:"n"`
+					F int `json:"f"`
+				}{N: 4, F: 1}
+				return req
+			},
+		},
+	}
+	return mix
+}
+
+// catalogScenario lifts a scenario-catalog family onto the pure driver.
+func catalogScenario(name string, players, weight int) scenario {
+	return scenario{
+		name:   name,
+		driver: "pure",
+		weight: weight,
+		build: func(seed uint64) (ga.Game, []ga.Option, error) {
+			e, ok := ga.ScenarioByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown catalog scenario %q", name)
+			}
+			g, err := e.Build(e.Players(players))
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, nil, nil
+		},
+		request: func(id string, seed uint64) ga.CreateSessionRequest {
+			return ga.CreateSessionRequest{ID: id, Seed: seed, Game: name, Players: players}
+		},
+	}
+}
+
+// applyMix overrides scenario weights from a "name=weight,..." spec.
+// Weight 0 drops a scenario from the mix.
+func applyMix(mix []scenario, spec string) ([]scenario, error) {
+	if spec == "" {
+		return mix, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q must be a non-negative integer", val)
+		}
+		found := false
+		for _, sc := range mix {
+			if sc.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("mix names unknown scenario %q", name)
+		}
+		weights[name] = w
+	}
+	out := mix[:0]
+	for _, sc := range mix {
+		if w, ok := weights[sc.name]; ok {
+			sc.weight = w
+		}
+		if sc.weight > 0 {
+			out = append(out, sc)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q leaves no scenarios", spec)
+	}
+	return out, nil
+}
+
+// sessionCounts apportions the session budget over the mix proportionally
+// to weight; every scenario with positive weight gets at least one
+// session, and rounding remainders go to the heaviest scenarios so the
+// total is exact.
+func sessionCounts(mix []scenario, sessions int) []int {
+	total := 0
+	for _, sc := range mix {
+		total += sc.weight
+	}
+	counts := make([]int, len(mix))
+	assigned := 0
+	for i, sc := range mix {
+		counts[i] = sessions * sc.weight / total
+		if counts[i] == 0 {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+	}
+	// Distribute (or claw back) the rounding difference by weight order.
+	order := make([]int, len(mix))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return mix[order[a]].weight > mix[order[b]].weight })
+	for i := 0; assigned != sessions; i = (i + 1) % len(order) {
+		j := order[i]
+		if assigned < sessions {
+			counts[j]++
+			assigned++
+		} else if counts[j] > 1 {
+			counts[j]--
+			assigned--
+		}
+	}
+	return counts
+}
+
+// player is one hosted session under load, on either transport.
+type player interface {
+	play(ctx context.Context) error
+	close() error
+}
+
+// transport creates players for scenarios.
+type transport interface {
+	create(id string, sc scenario, seed uint64) (player, error)
+	shutdown() error
+}
+
+func run(cfg config) error {
+	if cfg.sessions < 1 || cfg.plays < 1 {
+		return fmt.Errorf("-sessions and -plays must be positive")
+	}
+	if cfg.httpBase != "" && cfg.selfserve {
+		return fmt.Errorf("-http and -selfserve are mutually exclusive")
+	}
+	mix, err := applyMix(loadMix(), cfg.mix)
+	if err != nil {
+		return err
+	}
+	if cfg.sessions < len(mix) {
+		// Every scenario in the mix gets at least one session; fewer
+		// sessions than scenarios cannot be apportioned.
+		return fmt.Errorf("-sessions %d is below the mix's %d scenarios; raise -sessions or narrow -mix",
+			cfg.sessions, len(mix))
+	}
+
+	var tr transport
+	mode := "in-process"
+	switch {
+	case cfg.httpBase != "":
+		tr = newHTTPTransport(cfg.httpBase)
+		mode = "http " + cfg.httpBase
+	case cfg.selfserve:
+		srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+		ht := newHTTPTransport(srv.URL)
+		ht.onShutdown = srv.Close
+		tr = ht
+		mode = "http (selfserve)"
+	default:
+		tr = &inprocTransport{authority: ga.NewAuthority()}
+	}
+	defer tr.shutdown()
+
+	counts := sessionCounts(mix, cfg.sessions)
+
+	// Phase 1 — create every session concurrently. All of them stay hosted
+	// (and playable) together: this is the "N concurrent sessions" claim.
+	type slot struct {
+		scenario int
+		player   player
+		plays    int
+		lat      []float64 // per-play latency, ns
+	}
+	slots := make([]*slot, 0, cfg.sessions)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			plays := cfg.plays
+			if d := mix[i].playsDiv; d > 1 {
+				if plays = cfg.plays / d; plays == 0 {
+					plays = 1
+				}
+			}
+			slots = append(slots, &slot{scenario: i, plays: plays})
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(slots))
+	createStart := time.Now()
+	for k, s := range slots {
+		wg.Add(1)
+		go func(k int, s *slot) {
+			defer wg.Done()
+			sc := mix[s.scenario]
+			id := fmt.Sprintf("lg-%s-%d", sc.name, k)
+			p, err := tr.create(id, sc, cfg.seed+uint64(k))
+			if err != nil {
+				errCh <- fmt.Errorf("create %s: %w", id, err)
+				return
+			}
+			s.player = p
+		}(k, s)
+	}
+	wg.Wait()
+	createDur := time.Since(createStart)
+	if err := firstError(errCh); err != nil {
+		return err
+	}
+
+	// Phase 2 — play every session concurrently, one goroutine per
+	// session, timing each play.
+	ctx := context.Background()
+	playStart := time.Now()
+	for _, s := range slots {
+		wg.Add(1)
+		go func(s *slot) {
+			defer wg.Done()
+			s.lat = make([]float64, 0, s.plays)
+			for r := 0; r < s.plays; r++ {
+				t0 := time.Now()
+				if err := s.player.play(ctx); err != nil {
+					errCh <- fmt.Errorf("play %s: %w", mix[s.scenario].name, err)
+					return
+				}
+				s.lat = append(s.lat, float64(time.Since(t0).Nanoseconds()))
+			}
+		}(s)
+	}
+	wg.Wait()
+	playDur := time.Since(playStart)
+	if err := firstError(errCh); err != nil {
+		return err
+	}
+
+	// Phase 3 — teardown and report.
+	for _, s := range slots {
+		if err := s.player.close(); err != nil {
+			return fmt.Errorf("close: %w", err)
+		}
+	}
+
+	perScenario := make([][]float64, len(mix))
+	sessionsPer := make([]int, len(mix))
+	var all []float64
+	for _, s := range slots {
+		perScenario[s.scenario] = append(perScenario[s.scenario], s.lat...)
+		sessionsPer[s.scenario]++
+		all = append(all, s.lat...)
+	}
+
+	fmt.Fprintf(cfg.info, "loadgen: %s, %d concurrent sessions over %d scenarios, %d plays total\n",
+		mode, len(slots), len(mix), len(all))
+	fmt.Fprintf(cfg.info, "loadgen: created in %v, played in %v (%.0f plays/s)\n",
+		createDur.Round(time.Millisecond), playDur.Round(time.Millisecond),
+		float64(len(all))/playDur.Seconds())
+
+	fmt.Fprintf(cfg.out, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+	for i, sc := range mix {
+		writeBenchLine(cfg.out, "Loadgen/scenario="+sc.name+"/driver="+sc.driver,
+			perScenario[i], sessionsPer[i], playDur)
+	}
+	writeBenchLine(cfg.out, "Loadgen/total", all, len(slots), playDur)
+	return nil
+}
+
+// writeBenchLine emits one go-bench formatted line: iterations = plays,
+// ns/op = mean latency, plus plays/s throughput over the concurrent play
+// window, latency percentiles, and the session count as custom metrics —
+// exactly what cmd/benchfmt parses into the BENCH_*.json artifact.
+func writeBenchLine(w io.Writer, name string, lat []float64, sessions int, window time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	s := metrics.Summarize(lat)
+	fmt.Fprintf(w, "Benchmark%s-%d\t%d\t%.0f ns/op\t%.1f plays/s\t%.0f p50-ns/op\t%.0f p99-ns/op\t%d sessions\n",
+		name, runtime.GOMAXPROCS(0), s.N, s.Mean,
+		float64(s.N)/window.Seconds(), s.P50, s.P99, sessions)
+}
+
+func firstError(errCh chan error) error {
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+func uniformStrategies(g ga.Game) func(int, ga.Profile) ga.MixedProfile {
+	mp := make(ga.MixedProfile, g.NumPlayers())
+	for i := range mp {
+		mp[i] = ga.Uniform(g.NumActions(i))
+	}
+	return func(int, ga.Profile) ga.MixedProfile { return mp }
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadMixCoversAllDriversAndFamilies(t *testing.T) {
+	mix := loadMix()
+	drivers := map[string]bool{}
+	families := 0
+	for _, sc := range mix {
+		drivers[sc.driver] = true
+		if sc.driver == "pure" {
+			families++
+		}
+		if sc.weight <= 0 {
+			t.Fatalf("%s: non-positive default weight", sc.name)
+		}
+	}
+	for _, d := range []string{"pure", "mixed", "rra", "distributed"} {
+		if !drivers[d] {
+			t.Fatalf("default mix misses driver %q", d)
+		}
+	}
+	if families < 5 {
+		t.Fatalf("default mix has %d catalog families, want ≥ 5", families)
+	}
+}
+
+func TestApplyMix(t *testing.T) {
+	mix, err := applyMix(loadMix(), "congestion=9,rra=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCongestion := false
+	for _, sc := range mix {
+		if sc.name == "rra" {
+			t.Fatal("weight 0 must drop the scenario")
+		}
+		if sc.name == "congestion" {
+			foundCongestion = true
+			if sc.weight != 9 {
+				t.Fatalf("congestion weight = %d, want 9", sc.weight)
+			}
+		}
+	}
+	if !foundCongestion {
+		t.Fatal("congestion missing after override")
+	}
+
+	for _, bad := range []string{"nope=1", "congestion", "congestion=-1", "congestion=x"} {
+		if _, err := applyMix(loadMix(), bad); err == nil {
+			t.Fatalf("applyMix(%q) should fail", bad)
+		}
+	}
+	// Zeroing one scenario is fine; zeroing every scenario is an error.
+	var allZero []string
+	for _, sc := range loadMix() {
+		allZero = append(allZero, sc.name+"=0")
+	}
+	if _, err := applyMix(loadMix(), strings.Join(allZero, ",")); err == nil {
+		t.Fatal("an all-zero mix should fail")
+	}
+}
+
+func TestSessionCountsExactAndPositive(t *testing.T) {
+	mix := loadMix()
+	for _, sessions := range []int{len(mix), 50, 1000, 1001} {
+		counts := sessionCounts(mix, sessions)
+		total := 0
+		for i, c := range counts {
+			if c < 1 {
+				t.Fatalf("sessions=%d: scenario %s got %d sessions", sessions, mix[i].name, c)
+			}
+			total += c
+		}
+		if total != sessions {
+			t.Fatalf("sessions=%d: counts sum to %d", sessions, total)
+		}
+	}
+	// Skewed weights force the claw-back path.
+	skew := []scenario{
+		{name: "a", weight: 100},
+		{name: "b", weight: 1},
+		{name: "c", weight: 1},
+	}
+	counts := sessionCounts(skew, 3)
+	if counts[0]+counts[1]+counts[2] != 3 {
+		t.Fatalf("skewed counts %v do not sum to 3", counts)
+	}
+}
+
+// benchLine is cmd/benchfmt's parser pattern; loadgen's output must stay
+// machine-readable by it.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(.*)$`)
+
+func TestWriteBenchLineParseableByBenchfmt(t *testing.T) {
+	var buf bytes.Buffer
+	writeBenchLine(&buf, "Loadgen/scenario=x/driver=pure", []float64{100, 200, 300}, 2, time.Second)
+	line := strings.TrimSuffix(buf.String(), "\n")
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("bench line %q does not match benchfmt's pattern", line)
+	}
+	if m[3] != "3" {
+		t.Fatalf("iterations = %s, want 3 plays", m[3])
+	}
+	for _, unit := range []string{"ns/op", "plays/s", "p50-ns/op", "p99-ns/op", "sessions"} {
+		if !strings.Contains(m[4], unit) {
+			t.Fatalf("bench line %q misses unit %s", line, unit)
+		}
+	}
+	// Empty samples must emit nothing rather than a 0-iteration line.
+	buf.Reset()
+	writeBenchLine(&buf, "Loadgen/empty", nil, 0, time.Second)
+	if buf.Len() != 0 {
+		t.Fatalf("empty sample produced %q", buf.String())
+	}
+}
+
+// TestRunInProcessMini drives the full harness end to end at CI size:
+// every scenario family, every driver, real sessions, real plays.
+func TestRunInProcessMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 16, plays: 2, seed: 11, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkLoadgen/total") {
+		t.Fatalf("no total line in output:\n%s", got)
+	}
+	for _, sc := range loadMix() {
+		if !strings.Contains(got, "scenario="+sc.name+"/") {
+			t.Fatalf("scenario %s missing from output:\n%s", sc.name, got)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "Benchmark") && benchLine.FindStringSubmatch(line) == nil {
+			t.Fatalf("unparseable bench line %q", line)
+		}
+	}
+}
+
+// TestRunSelfserveMini exercises the HTTP transport hermetically.
+func TestRunSelfserveMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 11, plays: 1, seed: 3, selfserve: true, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkLoadgen/total") {
+		t.Fatalf("no total line in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	for _, cfg := range []config{
+		{sessions: 0, plays: 1},
+		{sessions: 1, plays: 0},
+		{sessions: 4, plays: 1}, // below the mix size
+		{sessions: 100, plays: 1, httpBase: "http://x", selfserve: true}, // exclusive transports
+		{sessions: 100, plays: 1, mix: "nope=1"},
+	} {
+		cfg.out, cfg.info = io.Discard, io.Discard
+		if err := run(cfg); err == nil {
+			t.Fatalf("run(%+v) should fail", cfg)
+		}
+	}
+}

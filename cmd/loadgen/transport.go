@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	ga "gameauthority"
+)
+
+// historyLimit bounds every load session's retained history: the harness
+// only measures latency, so rings keep 1000+ long-running sessions at a
+// flat memory footprint.
+const historyLimit = 8
+
+// --- In-process transport -----------------------------------------------------
+
+// inprocTransport hosts sessions directly on a sharded Authority — the
+// registry and the play hot paths with no wire in between.
+type inprocTransport struct {
+	authority *ga.Authority
+}
+
+func (t *inprocTransport) create(id string, sc scenario, seed uint64) (player, error) {
+	g, opts, err := sc.build(seed)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, ga.WithSeed(seed), ga.WithHistoryLimit(historyLimit))
+	h, err := t.authority.Create(id, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &inprocPlayer{h: h, authority: t.authority}, nil
+}
+
+func (t *inprocTransport) shutdown() error { return t.authority.Close() }
+
+type inprocPlayer struct {
+	h         *ga.HostedSession
+	authority *ga.Authority
+}
+
+func (p *inprocPlayer) play(ctx context.Context) error {
+	_, err := p.h.Play(ctx)
+	return err
+}
+
+func (p *inprocPlayer) close() error { return p.authority.Remove(p.h.ID()) }
+
+// --- HTTP transport -----------------------------------------------------------
+
+// httpTransport drives a gameauthd -serve instance over the JSON API, one
+// POST per play, so latencies include the full wire round trip.
+type httpTransport struct {
+	base       string
+	client     *http.Client
+	onShutdown func()
+}
+
+func newHTTPTransport(base string) *httpTransport {
+	// The default transport keeps 2 idle conns per host — a thousand
+	// concurrent players would churn through ephemeral ports. Keep one
+	// warm connection per in-flight session instead.
+	inner := &http.Transport{
+		MaxIdleConns:        2048,
+		MaxIdleConnsPerHost: 2048,
+	}
+	return &httpTransport{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Transport: inner, Timeout: 2 * time.Minute},
+	}
+}
+
+func (t *httpTransport) create(id string, sc scenario, seed uint64) (player, error) {
+	req := sc.request(id, seed)
+	req.HistoryLimit = historyLimit
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.do(http.MethodPost, "/sessions", body, http.StatusCreated); err != nil {
+		return nil, err
+	}
+	return &httpPlayer{t: t, id: id}, nil
+}
+
+func (t *httpTransport) shutdown() error {
+	t.client.CloseIdleConnections()
+	if t.onShutdown != nil {
+		t.onShutdown()
+	}
+	return nil
+}
+
+// do runs one request and checks the status, returning the server's
+// error payload on mismatch.
+func (t *httpTransport) do(method, path string, body []byte, want int) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, t.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("%s %s: status %d (want %d): %s",
+			method, path, resp.StatusCode, want, strings.TrimSpace(string(payload)))
+	}
+	// Drain so the connection returns to the idle pool.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+type httpPlayer struct {
+	t  *httpTransport
+	id string
+}
+
+var playBody = []byte(`{"rounds":1}`)
+
+func (p *httpPlayer) play(context.Context) error {
+	return p.t.do(http.MethodPost, "/sessions/"+p.id+"/play", playBody, http.StatusOK)
+}
+
+func (p *httpPlayer) close() error {
+	return p.t.do(http.MethodDelete, "/sessions/"+p.id, nil, http.StatusNoContent)
+}

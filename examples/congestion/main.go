@@ -1,0 +1,85 @@
+// A scenario-catalog game end to end: a 4-player singleton congestion
+// game (two fast facilities, one slow) analyzed with the game-analysis
+// layer (equilibria, PoA/PoS) and then played under the authority — an
+// honest majority converging to a load-balanced equilibrium while the
+// judicial service convicts a facility-camper whose choices stop being
+// best responses.
+//
+// Run with: go run ./examples/congestion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	ga "gameauthority"
+)
+
+func main() {
+	const n = 4
+	rates := []float64{1, 1, 2} // facilities 0 and 1 are fast, 2 is slow
+	g, err := ga.CongestionGame(n, rates)
+	if err != nil {
+		log.Fatalf("catalog: %v", err)
+	}
+
+	// 1. Analysis: the PNEs are exactly the rate-weighted load-balanced
+	// assignments (see the catalog's documented equilibrium structure).
+	pnes, err := ga.PureNashEquilibria(g, 0)
+	if err != nil {
+		log.Fatalf("equilibria: %v", err)
+	}
+	poa, _ := ga.PriceOfAnarchy(g, 0)
+	pos, _ := ga.PriceOfStability(g, 0)
+	fmt.Printf("congestion game: %d players, rates %v\n", n, rates)
+	fmt.Printf("  %d pure Nash equilibria (e.g. %v), PoA=%.3f PoS=%.3f\n",
+		len(pnes), pnes[0], poa, pos)
+
+	// 2. Supervised play: agent 3 camps the slow facility no matter its
+	// load. Against a balanced rest-profile that is not a best response,
+	// so the judicial service convicts and the executive substitutes.
+	camper := &ga.Agent{Choose: func(round int, prev ga.Profile) int { return 2 }}
+	session, err := ga.New(g,
+		ga.WithAgents(nil, nil, nil, camper),
+		ga.WithPunishment(ga.NewDisconnectScheme(n, 1)),
+		ga.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	defer session.Close()
+
+	unsubscribe := session.Subscribe(ga.ObserverFunc(func(e ga.Event) {
+		switch e.Kind {
+		case ga.EventPlay:
+			fmt.Printf("round %d: facilities %v\n", e.Round, e.Outcome)
+		case ga.EventVerdict:
+			for _, foul := range e.Fouls {
+				fmt.Printf("  [foul: agent %d, %s]\n", foul.Agent, foul.Reason)
+			}
+		case ga.EventConviction:
+			fmt.Printf("  [agent %d convicted — executive plays on its behalf]\n", e.Agent)
+		}
+	}))
+	defer unsubscribe()
+
+	if _, err := session.Run(context.Background(), 6); err != nil {
+		log.Fatalf("play: %v", err)
+	}
+
+	// 3. The authority guarantees audited honesty, not convergence: the
+	// symmetric honest agents above herd between the fast facilities
+	// (simultaneous best responses cycle). Round-robin best-response
+	// dynamics — one player updating at a time — do converge for
+	// congestion games, and land in one of the analyzed equilibria.
+	stats := session.Stats()
+	fmt.Printf("fouls: %d, agent 3 excluded: %v\n", stats.Fouls, stats.Excluded[3])
+	last, ok := session.ResultAt(stats.Rounds - 1)
+	if !ok {
+		log.Fatal("result: last round missing from history")
+	}
+	settled, isPNE := ga.BestResponseDynamics(g, last.Outcome, 100)
+	fmt.Printf("round-robin dynamics from %v settle at %v (PNE: %v, cost %.0f)\n",
+		last.Outcome, settled, isPNE, ga.SocialCost(g, settled, nil))
+}

@@ -1,0 +1,59 @@
+package gameauthority_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds and briefly runs every examples/* main,
+// so the documented snippets cannot rot: an example that stops compiling,
+// exits non-zero, or hangs fails the suite. Every example is written to
+// terminate on its own in well under a minute.
+func TestExamplesBuildAndRun(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH; cannot run examples")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("examples directory: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+
+	bin := t.TempDir()
+	for _, name := range dirs {
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command(goTool, "build", "-o", exe, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			run := exec.CommandContext(ctx, exe)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example did not terminate within the deadline\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -125,6 +125,60 @@ func PublicGoods(n int, benefit float64) (*TableGame, error) {
 	return game.PublicGoods(n, benefit)
 }
 
+// --- Scenario catalog ---------------------------------------------------------
+
+// CongestionGame returns a symmetric singleton congestion game: n players
+// pick among len(rates) facilities with linear load-dependent latency.
+// PNEs are the rate-weighted load-balanced assignments.
+func CongestionGame(n int, rates []float64) (*TableGame, error) {
+	return game.CongestionGame(n, rates)
+}
+
+// BraessRouting returns the n-player discrete Braess routing game
+// (Up/Down/Zig over the shortcut network); all-Zig is a PNE and PoA = 4/3
+// at even n — the canonical price-of-anarchy scenario.
+func BraessRouting(n int) (*TableGame, error) { return game.BraessRouting(n) }
+
+// PublicGoodsPunish returns the public-goods game with a fine charged to
+// free riders; fine > 1 − benefit/n makes all-contribute the unique PNE.
+func PublicGoodsPunish(n int, benefit, fine float64) (*TableGame, error) {
+	return game.PublicGoodsPunish(n, benefit, fine)
+}
+
+// FirstPriceAuction returns the first-price sealed-bid auction among
+// len(values) bidders on a discrete bid grid, in strategic form.
+func FirstPriceAuction(values []float64, bids int) (*TableGame, error) {
+	return game.FirstPriceAuction(values, bids)
+}
+
+// SecondPriceAuction returns the Vickrey auction on the same grid;
+// truthful bidding is weakly dominant, so the truthful profile is a PNE.
+func SecondPriceAuction(values []float64, bids int) (*TableGame, error) {
+	return game.SecondPriceAuction(values, bids)
+}
+
+// PrisonersDilemmaParams returns a parameterized prisoner's dilemma in
+// cost form with the dilemma ordering t < r < p < s; the unique PNE is
+// mutual defection.
+func PrisonersDilemmaParams(t, r, p, s float64) (*Bimatrix, error) {
+	return game.PrisonersDilemmaParams(t, r, p, s)
+}
+
+// CoordinationN returns an n-player, k-action consensus game whose PNEs
+// are exactly the k consensus profiles (PoA = k, PoS = 1).
+func CoordinationN(n, k int) (*TableGame, error) { return game.CoordinationN(n, k) }
+
+// CatalogEntry describes one scenario family of the catalog: registry
+// name, sizing rule, builder, and known equilibrium structure.
+type CatalogEntry = game.CatalogEntry
+
+// Catalog returns the scenario catalog with default parameterizations —
+// the families cmd/loadgen mixes and the HTTP API resolves by name.
+func Catalog() []CatalogEntry { return game.Catalog() }
+
+// ScenarioByName resolves a catalog entry by its registry name.
+func ScenarioByName(name string) (CatalogEntry, bool) { return game.ByName(name) }
+
 // Inoculation is the virus inoculation game of Moscibroda et al. [21], the
 // vehicle for the paper's price-of-malice results.
 type Inoculation = game.Inoculation
@@ -146,6 +200,17 @@ func BestResponse(g Game, player int, profile Profile) int {
 // service's §3.2 foul-play test for pure strategies.
 func IsBestResponse(g Game, player, action int, profile Profile) bool {
 	return game.IsBestResponse(g, player, action, profile)
+}
+
+// IsPureNash reports whether profile is a pure Nash equilibrium of g.
+func IsPureNash(g Game, p Profile) bool { return game.IsPureNash(g, p) }
+
+// BestResponseDynamics runs round-robin best-response updates from start
+// for at most maxSteps player-updates, returning the final profile and
+// whether it is a PNE. Congestion-style games converge; matching pennies
+// cycles.
+func BestResponseDynamics(g Game, start Profile, maxSteps int) (Profile, bool) {
+	return game.BestResponseDynamics(g, start, maxSteps)
 }
 
 // PureNashEquilibria enumerates the game's pure Nash equilibria.

@@ -1,16 +1,3 @@
-// Package audit implements the judicial service's evidence checking (paper
-// §3.2, §5): verifying that revealed actions match commitments, that actions
-// are legitimate (within Πi), that pure actions are best responses to the
-// previous outcome, and — for mixed strategies — that "random" choices
-// really follow the committed pseudo-random stream (§5.3's Blum-style
-// solution). Two auditing disciplines are provided:
-//
-//   - PerRound: every play carries its own commitment and is audited
-//     immediately (the paper's base design, §3.3).
-//   - Batched: agents commit once per epoch to a PRG seed; all actions in
-//     the epoch are derived from it and audited together when the seed is
-//     revealed (the §5.3 efficiency extension). The E-AUD experiment
-//     compares their overheads.
 package audit
 
 import (

@@ -1,13 +1,3 @@
-// Package auth provides message authentication for the Byzantine protocols.
-//
-// The paper's footnote 2 assumes authenticated channels ("authentication
-// utilizes a Byzantine agreement that needs only a majority"). Real systems
-// would use transferable digital signatures; this simulation substitutes
-// pairwise HMAC-SHA256 tags dealt by a trusted setup (see DESIGN.md §4).
-// For transferable authentication — needed by Dolev–Strong style relaying —
-// a signer produces a *vector* of tags, one per potential verifier, so any
-// processor can check the component addressed to it while Byzantine
-// processors cannot forge tags for keys they do not hold.
 package auth
 
 import (

@@ -1,14 +1,3 @@
-// Package bap implements the Byzantine agreement protocols ("BAP") the game
-// authority is built on (paper §3.3): the exponential-information-gathering
-// (EIG) protocol of Lamport, Shostak and Pease [19] for n > 3f without
-// authentication, a Dolev–Strong style authenticated broadcast (the paper's
-// footnote 2 variant that "needs only a majority" given authentication), and
-// interactive consistency (vector agreement) built from parallel instances.
-//
-// EIG message size is exponential in f; the paper cites Garay–Moses [16] as
-// the polynomial alternative. At the simulated scales (n ≤ 13, f ≤ 4) EIG is
-// simpler and behaviourally identical, which is what matters for the
-// middleware (see DESIGN.md §4, substitutions).
 package bap
 
 import (

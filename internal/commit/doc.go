@@ -1,0 +1,11 @@
+// Package commit implements the cryptographic commitment scheme the game
+// authority uses to make action choices private and simultaneous (paper
+// §3.3, following Blum's coin-flipping-by-telephone construction [4]).
+//
+// A commitment is SHA-256(domain ‖ len(value) ‖ value ‖ nonce) with a
+// 256-bit random nonce. Against the simulated adversary this is hiding
+// (the nonce blinds the value) and binding (finding a second preimage is
+// infeasible), which is all the play protocol relies on: an agent must not
+// learn other agents' choices before committing, and must not be able to
+// change its own choice after the commitments are agreed upon.
+package commit

@@ -1,15 +1,3 @@
-// Package game implements the strategic-form game model of the paper's §2:
-// games Γ = ⟨N, (Πi)i∈N, (ui)i∈N⟩ with pure strategy profiles (PSPs), social
-// cost, pure Nash equilibria, mixed strategies, and best responses — plus the
-// concrete games the paper studies: matching pennies with a hidden
-// manipulation strategy (Fig. 1), the repeated resource allocation game of
-// §6, and the virus inoculation game of Moscibroda et al. [21] used for the
-// price-of-malice experiments.
-//
-// Convention: following §2, ui is a *cost* function and agents minimize.
-// A pure Nash equilibrium is a profile π with ui(π) ≤ ui(π′i, π−i) for every
-// player i and deviation π′i. Games that are naturally stated in payoffs
-// (e.g. Fig. 1) are converted with FromPayoffs, which negates.
 package game
 
 import (

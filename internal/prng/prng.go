@@ -1,14 +1,3 @@
-// Package prng provides a small, fully deterministic pseudo-random number
-// generator used for private action selection and for replayable audits.
-//
-// The game authority's judicial service must be able to re-derive an agent's
-// entire random action sequence from a revealed seed (paper §5.3). That rules
-// out math/rand (whose algorithm may change between Go releases) and any
-// sampling path that goes through platform-dependent floating point. This
-// package therefore implements SplitMix64 — a tiny, well-studied 64-bit
-// generator with a stable specification — and performs categorical sampling
-// through fixed-point integer thresholds so that the same seed always yields
-// the byte-identical choice sequence on every platform.
 package prng
 
 import (

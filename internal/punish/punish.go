@@ -1,8 +1,3 @@
-// Package punish implements the executive service's punishment schemes
-// (paper §3.4): disconnection (cf. the BAR-games discussion [6]), reputation
-// decay, and monetary deposits. All schemes share one interface so the
-// E-PUN experiment can compare how quickly each neutralizes a manipulator
-// and how much damage accrues meanwhile.
 package punish
 
 import (

@@ -1,0 +1,16 @@
+// Package ssba implements the paper's Theorem 1: a self-stabilizing
+// Byzantine agreement protocol ("SSBA") obtained by composing the
+// self-stabilizing Byzantine clock synchronization of internal/clocksync
+// with the Byzantine agreement protocol of internal/bap. Whenever the clock
+// value reaches 1, a fresh BAP instance is invoked; the clock modulus M is
+// taken large enough that exactly one agreement fits in each wrap (§4:
+// "we take the clock size logM to be large enough to allow exactly one
+// Byzantine agreement").
+//
+// Lemma 2 (convergence): from an arbitrary configuration the clocks
+// synchronize within finitely many pulses; the first synchronized wrap
+// reaching value 1 starts a clean BAP run, so a safe configuration is
+// reached. Lemma 3 (closure): from a safe configuration, every M-pulse
+// period performs exactly one Byzantine agreement satisfying termination,
+// validity and agreement. The E-T1/E-L2/E-L3 experiments measure both.
+package ssba

@@ -1,0 +1,9 @@
+// Package voting implements the legislative service's decision mechanism
+// (paper §3.1): the agents "set up the rules of the game in a democratic
+// manner, e.g., robust voting [14]". It provides standard tally rules
+// (plurality, Borda, approval, Condorcet/Copeland) with deterministic
+// tie-breaking, plus a commit-reveal election that prevents a manipulator
+// from conditioning its ballot on the other ballots — the property the
+// hybrid protocols of Elkind–Lipmaa [14] provide cryptographically (see
+// DESIGN.md §4 for the substitution note).
+package voting

@@ -51,8 +51,12 @@ func NewServer(a *Authority) http.Handler {
 
 // CreateSessionRequest is the JSON body of POST /sessions. Game names a
 // built-in game ("matchingpennies", "matchingpennies-manipulated",
-// "prisonersdilemma", "coordination", "publicgoods", "minority"); RRA
-// sessions omit it. Kind is inferred when empty: "distributed" if
+// "prisonersdilemma", "coordination", "publicgoods") or any scenario-
+// catalog family ("braess", "congestion", "coordination-n", "firstprice",
+// "minority", "pd", "publicgoods-punish", "secondprice"), sized by
+// Players (default 4, canonicalized per family — e.g. minority rounds up
+// to odd); RRA sessions omit it. Kind is inferred when empty:
+// "distributed" if
 // Distributed is set, "rra" if RRA is set, "mixed" if Audit is set,
 // otherwise "pure". Mixed sessions play the uniform strategy profile.
 type CreateSessionRequest struct {
@@ -304,12 +308,18 @@ func gameByName(name string, players int, benefit float64) (Game, error) {
 			benefit = 2
 		}
 		return PublicGoods(players, benefit)
-	case "minority":
-		if players <= 0 {
-			players = 5
-		}
-		return MinorityGame(players)
+	// "minority" intentionally has no legacy case: the catalog fallback
+	// builds it with the same odd-n canonicalization the in-process path
+	// uses (default players 4 → 5, matching the old HTTP default).
 	default:
+		// Fall through to the scenario catalog: any registry name builds at
+		// the requested (canonicalized) size.
+		if e, ok := ScenarioByName(strings.ToLower(name)); ok {
+			if players <= 0 {
+				players = 4
+			}
+			return e.Build(e.Players(players))
+		}
 		return nil, fmt.Errorf("unknown game %q", name)
 	}
 }

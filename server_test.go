@@ -426,3 +426,44 @@ func TestServerRejectsNegativePulseWorkers(t *testing.T) {
 		t.Fatalf("negative pulse_workers: %d %v, want 400", resp.StatusCode, body)
 	}
 }
+
+// TestServerResolvesCatalogGames pins the POST /sessions fallback onto
+// the scenario catalog: every registry name creates a playable session at
+// the requested (canonicalized) size, and unknown names still 400.
+func TestServerResolvesCatalogGames(t *testing.T) {
+	srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
+	defer srv.Close()
+
+	for _, e := range ga.Catalog() {
+		resp, created := postJSON(t, srv.URL+"/sessions", map[string]any{
+			"id": "cat-" + e.Name, "game": e.Name, "players": 5, "seed": 3,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s: create status %d (%v)", e.Name, resp.StatusCode, created)
+		}
+		if got, want := created["players"].(float64), float64(e.Players(5)); got != want {
+			t.Fatalf("%s: players = %v, want canonicalized %v", e.Name, got, want)
+		}
+		resp, played := postJSON(t, srv.URL+"/sessions/cat-"+e.Name+"/play", map[string]any{"rounds": 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: play status %d (%v)", e.Name, resp.StatusCode, played)
+		}
+		if results := played["results"].([]any); len(results) != 2 {
+			t.Fatalf("%s: played %d rounds, want 2", e.Name, len(results))
+		}
+	}
+
+	// The canonicalizer, not an error, handles sizes a family cannot play
+	// at: an even minority request rounds up exactly as in-process.
+	resp, created := postJSON(t, srv.URL+"/sessions", map[string]any{
+		"id": "odd", "game": "minority", "players": 4,
+	})
+	if resp.StatusCode != http.StatusCreated || created["players"].(float64) != 5 {
+		t.Fatalf("minority players=4: status %d players %v, want 201 with 5", resp.StatusCode, created["players"])
+	}
+
+	resp, _ = postJSON(t, srv.URL+"/sessions", map[string]any{"game": "not-a-game"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown game: status %d, want 400", resp.StatusCode)
+	}
+}
