@@ -1,9 +1,11 @@
 GO ?= go
 
 .PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
-	loadgen loadgen-smoke docs-check
+	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
+	deviation-matrix deviation-matrix-short cover-gate
 
-ci: fmt vet build test race bench-smoke loadgen-smoke docs-check
+ci: fmt vet build test race bench-smoke loadgen-smoke docs-check \
+	fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,11 +46,49 @@ loadgen:
 	$(GO) run ./cmd/loadgen -sessions 1000 -plays 20 \
 		| $(GO) run ./cmd/benchfmt -command "make loadgen" -out BENCH_PR3.json
 
+# The chaos run: the same 1000 sessions with 20% deviant sessions
+# (strategies rotating through the deviation catalog) and wire-level
+# adversaries on distributed sessions; the artifact tracks throughput
+# under attack plus detection/conviction rates. See DESIGN.md §8.
+loadgen-chaos:
+	$(GO) run ./cmd/loadgen -sessions 1000 -plays 20 -deviants 0.2 -chaos \
+		| $(GO) run ./cmd/benchfmt -command "make loadgen-chaos" -out BENCH_PR4.json
+
 # CI-sized loadgen: exercises every scenario, every driver, and both
 # transports; fails on harness errors, never on timing.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -sessions 64 -plays 4 > /dev/null
 	$(GO) run ./cmd/loadgen -selfserve -sessions 16 -plays 2 > /dev/null
+	$(GO) run ./cmd/loadgen -sessions 64 -plays 4 -deviants 0.25 -chaos > /dev/null
+
+# The deviation-profit verification matrix (DESIGN.md §8): every catalog
+# game × driver × punishment scheme × selfish strategy, with the profit
+# auditor asserting that punished deviation never nets positive utility.
+# The short variant runs the same cells at reduced rounds/seeds on every
+# push.
+deviation-matrix:
+	$(GO) test -run TestDeviationMatrix -v .
+
+deviation-matrix-short:
+	$(GO) test -run TestDeviationMatrix -short .
+
+# Fuzz smoke: replay the checked-in seed corpora, then give each HTTP
+# fuzz target a short live burst. Fails on panics/regressions, never on
+# not finding anything new.
+fuzz-smoke:
+	$(GO) test -run '^Fuzz' .
+	$(GO) test -fuzz '^FuzzServerSessions$$' -fuzztime 5s -run '^Fuzz' .
+	$(GO) test -fuzz '^FuzzServerPlay$$' -fuzztime 5s -run '^Fuzz' .
+
+# Coverage gate: the audited packages must keep ≥ 70% of statements
+# covered by the whole suite (merged -coverpkg profile; see
+# cmd/covergate).
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate
+cover-gate:
+	$(GO) test -short -coverprofile=cover.out -coverpkg=$(COVER_PKGS) ./... > /dev/null
+	$(GO) run ./cmd/covergate -profile cover.out -min 70 \
+		gameauthority/internal/core gameauthority/internal/punish \
+		gameauthority/internal/audit gameauthority/internal/deviate
 
 # Every internal package must carry a package comment (the godoc story of
 # DESIGN.md §1); CI fails when one goes missing.

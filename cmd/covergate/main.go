@@ -1,0 +1,121 @@
+// Command covergate enforces per-package coverage floors over a merged
+// Go cover profile. The CI coverage gate runs the whole test suite with
+// -coverpkg over the audited packages and fails the build when any of
+// them dips under the floor:
+//
+//	go test -short -coverprofile=cover.out \
+//	    -coverpkg=./internal/core,./internal/punish,./internal/audit,./internal/deviate ./...
+//	go run ./cmd/covergate -profile cover.out -min 70 \
+//	    gameauthority/internal/core gameauthority/internal/punish \
+//	    gameauthority/internal/audit gameauthority/internal/deviate
+//
+// A merged profile repeats blocks once per test binary, so covergate
+// dedups blocks and counts a statement covered when any run hit it —
+// exactly how `go tool cover -func` reads the same data.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "merged cover profile")
+	min := flag.Float64("min", 70, "minimum percent of statements covered per package")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: no packages to gate")
+		os.Exit(2)
+	}
+	if err := run(*profile, *min, pkgs); err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type block struct {
+	stmts   int
+	covered bool
+}
+
+func run(profile string, min float64, pkgs []string) error {
+	f, err := os.Open(profile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// blocks[key] dedups "file:range" entries across test binaries.
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// Format: path/file.go:sl.sc,el.ec numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || !strings.ContainsRune(fields[0], ':') {
+			return fmt.Errorf("malformed profile line %q", line)
+		}
+		key := fields[0]
+		b := blocks[key]
+		if b == nil {
+			b = &block{stmts: stmts}
+			blocks[key] = b
+		}
+		if count > 0 {
+			b.covered = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		var total, covered int
+		prefix := pkg + "/"
+		for key, b := range blocks {
+			file := key[:strings.IndexByte(key, ':')]
+			if !strings.HasPrefix(file, prefix) {
+				continue
+			}
+			// Only the package's own files, not subpackages.
+			if strings.ContainsRune(strings.TrimPrefix(file, prefix), '/') {
+				continue
+			}
+			total += b.stmts
+			if b.covered {
+				covered += b.stmts
+			}
+		}
+		if total == 0 {
+			fmt.Printf("covergate: %-40s no statements in profile\n", pkg)
+			failed = true
+			continue
+		}
+		pct := 100 * float64(covered) / float64(total)
+		status := "ok  "
+		if pct < min {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("covergate: %s %-40s %5.1f%% (floor %.0f%%)\n", status, pkg, pct, min)
+	}
+	if failed {
+		return fmt.Errorf("coverage below the %.0f%% floor", min)
+	}
+	return nil
+}

@@ -49,6 +49,10 @@ func main() {
 	flag.StringVar(&cfg.httpBase, "http", "", "drive a running gameauthd -serve at this base URL instead of in-process")
 	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start a loopback HTTP server in-process and drive it (hermetic HTTP mode)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "root seed; session i uses seed+i")
+	flag.Float64Var(&cfg.deviants, "deviants", 0,
+		"fraction of sessions carrying one selfish deviant player (0..1); strategies rotate through the deviation catalog")
+	flag.BoolVar(&cfg.chaos, "chaos", false,
+		"install network-level adversaries on distributed sessions (in-process only; composes with -deviants)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -63,6 +67,8 @@ type config struct {
 	httpBase  string
 	selfserve bool
 	seed      uint64
+	deviants  float64
+	chaos     bool
 	out       io.Writer // bench lines (stdout in main)
 	info      io.Writer // human summary (stderr in main)
 }
@@ -78,6 +84,14 @@ type scenario struct {
 	name   string
 	driver string // pure | mixed | rra | distributed
 	weight int
+	// players is the session's actual participant count (after catalog
+	// canonicalization) — deviant sessions size their punishment scheme
+	// from it.
+	players int
+	// punished reports whether build installs (or the driver defaults
+	// to) an executive scheme; deviant sessions on unpunished scenarios
+	// get the paper's disconnection scheme so convictions can happen.
+	punished bool
 	// playsDiv divides the -plays budget (the distributed driver costs
 	// ~300× a pure play; equal budgets would make it the whole run).
 	playsDiv int
@@ -99,9 +113,11 @@ func loadMix() []scenario {
 		catalogScenario("secondprice", 3, 2),
 		catalogScenario("pd", 2, 3),
 		{
-			name:   "mixed-pennies",
-			driver: "mixed",
-			weight: 4,
+			name:     "mixed-pennies",
+			driver:   "mixed",
+			weight:   4,
+			players:  2,
+			punished: true,
 			build: func(seed uint64) (ga.Game, []ga.Option, error) {
 				g := ga.MatchingPennies()
 				return g, []ga.Option{
@@ -116,9 +132,11 @@ func loadMix() []scenario {
 			},
 		},
 		{
-			name:   "rra",
-			driver: "rra",
-			weight: 3,
+			name:     "rra",
+			driver:   "rra",
+			weight:   3,
+			players:  8,
+			punished: true,
 			build: func(seed uint64) (ga.Game, []ga.Option, error) {
 				return nil, []ga.Option{
 					ga.WithRRA(8, 4),
@@ -136,9 +154,13 @@ func loadMix() []scenario {
 			},
 		},
 		{
-			name:     "dist-publicgoods",
-			driver:   "distributed",
-			weight:   1,
+			name:   "dist-publicgoods",
+			driver: "distributed",
+			weight: 1,
+			// The distributed driver defaults its executive replicas to
+			// one-strike disconnection when no scheme is configured.
+			players:  4,
+			punished: true,
 			playsDiv: 4,
 			build: func(seed uint64) (ga.Game, []ga.Option, error) {
 				g, err := ga.PublicGoods(4, 2)
@@ -166,10 +188,15 @@ func loadMix() []scenario {
 
 // catalogScenario lifts a scenario-catalog family onto the pure driver.
 func catalogScenario(name string, players, weight int) scenario {
+	actual := players
+	if e, ok := ga.ScenarioByName(name); ok {
+		actual = e.Players(players)
+	}
 	return scenario{
-		name:   name,
-		driver: "pure",
-		weight: weight,
+		name:    name,
+		driver:  "pure",
+		weight:  weight,
+		players: actual,
 		build: func(seed uint64) (ga.Game, []ga.Option, error) {
 			e, ok := ga.ScenarioByName(name)
 			if !ok {
@@ -267,15 +294,31 @@ func sessionCounts(mix []scenario, sessions int) []int {
 	return counts
 }
 
+// deviance configures one session's chaos ingredients: a deviation
+// strategy (empty = honest) and whether to add a network adversary
+// (distributed driver, in-process only).
+type deviance struct {
+	strategy string
+	chaos    bool
+}
+
+// outcome is a deviant session's post-run audit summary.
+type outcome struct {
+	fouls       int
+	convictions int
+	excluded    bool // the deviant player (0) ended the run excluded
+}
+
 // player is one hosted session under load, on either transport.
 type player interface {
 	play(ctx context.Context) error
+	stats() (outcome, error)
 	close() error
 }
 
 // transport creates players for scenarios.
 type transport interface {
-	create(id string, sc scenario, seed uint64) (player, error)
+	create(id string, sc scenario, seed uint64, dev deviance) (player, error)
 	shutdown() error
 }
 
@@ -285,6 +328,12 @@ func run(cfg config) error {
 	}
 	if cfg.httpBase != "" && cfg.selfserve {
 		return fmt.Errorf("-http and -selfserve are mutually exclusive")
+	}
+	if cfg.deviants < 0 || cfg.deviants > 1 {
+		return fmt.Errorf("-deviants %v must be in [0,1]", cfg.deviants)
+	}
+	if cfg.chaos && (cfg.httpBase != "" || cfg.selfserve) {
+		return fmt.Errorf("-chaos installs in-process network adversaries; it cannot ride the HTTP transport")
 	}
 	mix, err := applyMix(loadMix(), cfg.mix)
 	if err != nil {
@@ -318,13 +367,24 @@ func run(cfg config) error {
 
 	// Phase 1 — create every session concurrently. All of them stay hosted
 	// (and playable) together: this is the "N concurrent sessions" claim.
+	// Deviant slots are spread evenly over the run (Bresenham on the slot
+	// index) and rotate through the deviation catalog.
 	type slot struct {
 		scenario int
 		player   player
 		plays    int
+		dev      deviance
 		lat      []float64 // per-play latency, ns
 	}
+	strategies := deviantNames()
+	isDeviant := func(k int) bool {
+		if cfg.deviants <= 0 {
+			return false
+		}
+		return int(float64(k+1)*cfg.deviants) > int(float64(k)*cfg.deviants)
+	}
 	slots := make([]*slot, 0, cfg.sessions)
+	deviantOrdinal := 0
 	for i, c := range counts {
 		for j := 0; j < c; j++ {
 			plays := cfg.plays
@@ -333,7 +393,16 @@ func run(cfg config) error {
 					plays = 1
 				}
 			}
-			slots = append(slots, &slot{scenario: i, plays: plays})
+			s := &slot{scenario: i, plays: plays}
+			if isDeviant(len(slots)) {
+				// Rotate by deviant ordinal, not slot index: a slot
+				// stride that divides the catalog size would otherwise
+				// pin every deviant to one strategy.
+				s.dev.strategy = strategies[deviantOrdinal%len(strategies)]
+				deviantOrdinal++
+			}
+			s.dev.chaos = cfg.chaos
+			slots = append(slots, s)
 		}
 	}
 	var wg sync.WaitGroup
@@ -345,7 +414,7 @@ func run(cfg config) error {
 			defer wg.Done()
 			sc := mix[s.scenario]
 			id := fmt.Sprintf("lg-%s-%d", sc.name, k)
-			p, err := tr.create(id, sc, cfg.seed+uint64(k))
+			p, err := tr.create(id, sc, cfg.seed+uint64(k), s.dev)
 			if err != nil {
 				errCh <- fmt.Errorf("create %s: %w", id, err)
 				return
@@ -384,7 +453,25 @@ func run(cfg config) error {
 		return err
 	}
 
-	// Phase 3 — teardown and report.
+	// Phase 3 — audit the deviant sessions, then teardown and report.
+	deviantSessions, detected, convicted := 0, 0, 0
+	var deviantLat []float64
+	for _, s := range slots {
+		if s.dev.strategy != "" {
+			out, err := s.player.stats()
+			if err != nil {
+				return fmt.Errorf("stats %s: %w", mix[s.scenario].name, err)
+			}
+			deviantSessions++
+			if out.fouls > 0 {
+				detected++
+			}
+			if out.convictions > 0 || out.excluded {
+				convicted++
+			}
+			deviantLat = append(deviantLat, s.lat...)
+		}
+	}
 	for _, s := range slots {
 		if err := s.player.close(); err != nil {
 			return fmt.Errorf("close: %w", err)
@@ -412,7 +499,27 @@ func run(cfg config) error {
 			perScenario[i], sessionsPer[i], playDur)
 	}
 	writeBenchLine(cfg.out, "Loadgen/total", all, len(slots), playDur)
+	if deviantSessions > 0 {
+		detectionRate := float64(detected) / float64(deviantSessions)
+		convictionRate := float64(convicted) / float64(deviantSessions)
+		fmt.Fprintf(cfg.info, "loadgen: %d deviant sessions (%.0f%% of run): detection %.1f%%, conviction %.1f%%\n",
+			deviantSessions, 100*cfg.deviants, 100*detectionRate, 100*convictionRate)
+		s := metrics.Summarize(deviantLat)
+		fmt.Fprintf(cfg.out, "BenchmarkLoadgen/deviants-%d\t%d\t%.0f ns/op\t%.3f detection-rate\t%.3f conviction-rate\t%d deviant-sessions\n",
+			runtime.GOMAXPROCS(0), s.N, s.Mean, detectionRate, convictionRate, deviantSessions)
+	}
 	return nil
+}
+
+// deviantNames returns the deviation-catalog strategy names the chaos
+// mix rotates through.
+func deviantNames() []string {
+	reg := ga.DeviantStrategies()
+	out := make([]string, len(reg))
+	for i, d := range reg {
+		out[i] = d.Name()
+	}
+	return out
 }
 
 // writeBenchLine emits one go-bench formatted line: iterations = plays,

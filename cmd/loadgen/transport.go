@@ -26,12 +26,30 @@ type inprocTransport struct {
 	authority *ga.Authority
 }
 
-func (t *inprocTransport) create(id string, sc scenario, seed uint64) (player, error) {
+func (t *inprocTransport) create(id string, sc scenario, seed uint64, dev deviance) (player, error) {
 	g, opts, err := sc.build(seed)
 	if err != nil {
 		return nil, err
 	}
 	opts = append(opts, ga.WithSeed(seed), ga.WithHistoryLimit(historyLimit))
+	if dev.strategy != "" {
+		strategy, ok := ga.DeviantByName(dev.strategy)
+		if !ok {
+			return nil, fmt.Errorf("unknown deviant strategy %q", dev.strategy)
+		}
+		opts = append(opts, ga.WithDeviant(0, strategy))
+		if !sc.punished {
+			// Unpunished scenarios get the paper's disconnection scheme
+			// so the executive can convict what the judicial detects.
+			opts = append(opts, ga.WithPunishment(ga.NewDisconnectScheme(sc.players, 0)))
+		}
+	}
+	if dev.chaos && sc.driver == "distributed" {
+		// Wire-level chaos on top: processor 1 (never the deviant's slot
+		// 0) drops a third of its traffic — inside the f-tolerance, so
+		// plays still complete while the network misbehaves.
+		opts = append(opts, ga.WithNetworkAdversary(1, ga.DropAdversary(seed, 0.3)))
+	}
 	h, err := t.authority.Create(id, g, opts...)
 	if err != nil {
 		return nil, err
@@ -49,6 +67,15 @@ type inprocPlayer struct {
 func (p *inprocPlayer) play(ctx context.Context) error {
 	_, err := p.h.Play(ctx)
 	return err
+}
+
+func (p *inprocPlayer) stats() (outcome, error) {
+	st := p.h.Stats()
+	out := outcome{fouls: st.Fouls, convictions: st.Convictions}
+	if len(st.Excluded) > 0 {
+		out.excluded = st.Excluded[0]
+	}
+	return out, nil
 }
 
 func (p *inprocPlayer) close() error { return p.authority.Remove(p.h.ID()) }
@@ -77,9 +104,15 @@ func newHTTPTransport(base string) *httpTransport {
 	}
 }
 
-func (t *httpTransport) create(id string, sc scenario, seed uint64) (player, error) {
+func (t *httpTransport) create(id string, sc scenario, seed uint64, dev deviance) (player, error) {
 	req := sc.request(id, seed)
 	req.HistoryLimit = historyLimit
+	if dev.strategy != "" {
+		req.Deviant = &ga.DeviantSpec{Player: 0, Strategy: dev.strategy}
+		if !sc.punished && req.Punishment == nil {
+			req.Punishment = &ga.PunishmentSpec{Scheme: "disconnect"}
+		}
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -136,6 +169,32 @@ var playBody = []byte(`{"rounds":1}`)
 
 func (p *httpPlayer) play(context.Context) error {
 	return p.t.do(http.MethodPost, "/sessions/"+p.id+"/play", playBody, http.StatusOK)
+}
+
+func (p *httpPlayer) stats() (outcome, error) {
+	resp, err := p.t.client.Get(p.t.base + "/sessions/" + p.id)
+	if err != nil {
+		return outcome{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return outcome{}, fmt.Errorf("GET /sessions/%s: status %d: %s",
+			p.id, resp.StatusCode, strings.TrimSpace(string(payload)))
+	}
+	var st struct {
+		Fouls       int    `json:"fouls"`
+		Convictions int    `json:"convictions"`
+		Excluded    []bool `json:"excluded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return outcome{}, err
+	}
+	out := outcome{fouls: st.Fouls, convictions: st.Convictions}
+	if len(st.Excluded) > 0 {
+		out.excluded = st.Excluded[0]
+	}
+	return out, nil
 }
 
 func (p *httpPlayer) close() error {

@@ -1,0 +1,218 @@
+package gameauthority_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	ga "gameauthority"
+	"gameauthority/internal/core"
+	"gameauthority/internal/deviate"
+)
+
+// TestDeviationMatrix is the repo's standing robustness regression: it
+// sweeps every scenario-catalog game × driver × punishment scheme ×
+// deviation strategy, runs the profit auditor on paired seeded twins,
+// and asserts the paper's property — under a game authority, unilateral
+// selfish deviation does not profit once punishment engages.
+//
+// "Profit" is net utility: the deviant's game-cost delta versus its
+// honest twin (measured from the second play — the §3.2 best-response
+// duty binds from play 2, so the opener is duty-free by construction)
+// minus the punishment cost of its sanctions, monetized at
+// finePerSeverity × the game's per-round cost scale. That calibration is
+// the paper's §3.4 assumption made explicit: an executive whose
+// sanctions (deposit fines, real money) outweigh any single play's
+// stake. The sweep itself demonstrated why the monetization is
+// necessary: restriction-style punishment alone (substituting honest
+// play after conviction) cannot claw back a gain the deviant already
+// banked by steering the play into a better equilibrium basin — see
+// DESIGN.md §8.
+//
+// Per seeded twin pair:
+//
+//   - a pair where the deviant was never charged is *legitimate play*
+//     (e.g. camping a weakly-dominant action — always a best response,
+//     so never a foul): the authority promises nothing about relative
+//     payoffs inside the legitimate strategy space, and no profit claim
+//     is made;
+//   - every charged pair enters the net-profit mean, which must be ≤ 0
+//     within tolerance (profitTolerance × baseline scale per round,
+//     plus a small epsilon for games whose baseline cost is ~0 —
+//     post-conviction trajectories are independent samples, so exact
+//     equality only holds for the commitment-level cheats, pinned in
+//     internal/deviate's own tests).
+//
+// Per (game, driver, scheme) group, at least one strategy must be both
+// detected and convicted — the judicial/executive pipeline works in
+// every cell of the matrix.
+//
+// The catalog games run on the pure, mixed and distributed drivers; the
+// RRA driver elects its own §6 game and enters the matrix as its own
+// scenario family. In -short mode the sweep shrinks (fewer rounds and
+// seeds) but still covers every cell.
+func TestDeviationMatrix(t *testing.T) {
+	ctx := context.Background()
+
+	rounds, distRounds := 24, 6
+	seeds, distSeeds := []uint64{1, 2, 3}, []uint64{1}
+	if testing.Short() {
+		rounds, distRounds = 12, 3
+		seeds = []uint64{1, 2}
+	}
+
+	// Stated tolerances (see the doc comment): net profit per measured
+	// round must stay ≤ epsilon + profitTolerance × baseline scale;
+	// sanctions cost finePerSeverity × baseline scale per severity unit.
+	const (
+		profitTolerance = 0.35
+		epsilon         = 0.05
+		finePerSeverity = 4.0
+	)
+
+	schemes := []struct {
+		name string
+		make func(n int) ga.PunishmentScheme
+	}{
+		// One proven protocol foul (severity ≥ 0.5) disconnects.
+		{"disconnect", func(n int) ga.PunishmentScheme { return ga.NewDisconnectScheme(n, 0.5) }},
+		// Aggressive reputation: a severity-1 foul drops the score to
+		// 0.1 < 0.5 (instant exclusion); two half-severity fouls do it.
+		{"reputation", func(n int) ga.PunishmentScheme { return ga.NewReputationScheme(n, 0.1, 0.5, 0.01) }},
+	}
+
+	type cell struct {
+		game    string
+		driver  string
+		players int
+		build   func(scheme func(n int) ga.PunishmentScheme) deviate.BuildFunc
+	}
+	var cells []cell
+
+	for _, entry := range ga.Catalog() {
+		entry := entry
+		n := entry.Players(4)
+		cells = append(cells,
+			cell{entry.Name, "pure", n, func(scheme func(int) ga.PunishmentScheme) deviate.BuildFunc {
+				return func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+					g, err := entry.Build(n)
+					if err != nil {
+						return nil, err
+					}
+					opts := []ga.Option{ga.WithSeed(seed), ga.WithPunishment(scheme(n))}
+					if d != nil {
+						opts = append(opts, ga.WithDeviant(player, d))
+					}
+					return ga.New(g, opts...)
+				}
+			}},
+			cell{entry.Name, "mixed", n, func(scheme func(int) ga.PunishmentScheme) deviate.BuildFunc {
+				return func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+					g, err := entry.Build(n)
+					if err != nil {
+						return nil, err
+					}
+					opts := []ga.Option{
+						ga.WithSeed(seed),
+						ga.WithStrategies(uniformProfile(g)),
+						ga.WithAudit(ga.AuditPerRound),
+						ga.WithPunishment(scheme(n)),
+					}
+					if d != nil {
+						opts = append(opts, ga.WithDeviant(player, d))
+					}
+					return ga.New(g, opts...)
+				}
+			}},
+			cell{entry.Name, "distributed", n, func(scheme func(int) ga.PunishmentScheme) deviate.BuildFunc {
+				return func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+					g, err := entry.Build(n)
+					if err != nil {
+						return nil, err
+					}
+					f := (n - 1) / 3
+					opts := []ga.Option{
+						ga.WithSeed(seed),
+						ga.WithDistributed(n, f, nil),
+						ga.WithPunishment(scheme(n)),
+					}
+					if d != nil {
+						opts = append(opts, ga.WithDeviant(player, d))
+					}
+					return ga.New(g, opts...)
+				}
+			}},
+		)
+	}
+	// The RRA driver's own scenario family (6 agents, 3 resources).
+	cells = append(cells, cell{"rra", "rra", 6, func(scheme func(int) ga.PunishmentScheme) deviate.BuildFunc {
+		return func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+			opts := []ga.Option{ga.WithSeed(seed), ga.WithRRA(6, 3), ga.WithPunishment(scheme(6))}
+			if d != nil {
+				opts = append(opts, ga.WithDeviant(player, d))
+			}
+			return ga.New(nil, opts...)
+		}
+	}})
+
+	strategies := ga.DeviantStrategies()
+	for _, c := range cells {
+		for _, sch := range schemes {
+			groupDetected := false
+			for _, strategy := range strategies {
+				name := fmt.Sprintf("%s/%s/%s/%s", c.game, c.driver, sch.name, strategy.Name())
+				t.Run(name, func(t *testing.T) {
+					cellRounds, cellSeeds := rounds, seeds
+					if c.driver == "distributed" {
+						cellRounds, cellSeeds = distRounds, distSeeds
+					}
+					rep, err := deviate.ProfitAudit(ctx, deviate.AuditConfig{
+						Strategy: strategy,
+						Player:   0,
+						Rounds:   cellRounds,
+						Seeds:    cellSeeds,
+						Build:    c.build(sch.make),
+					})
+					if err != nil {
+						t.Fatalf("audit: %v", err)
+					}
+					fine := finePerSeverity * rep.BaselineScale
+					var netSum float64
+					charged := 0
+					for _, out := range rep.Outcomes {
+						if out.Fouls == 0 && !out.Convicted {
+							// Legitimate play this seed: no foul, no
+							// profit claim (see doc comment).
+							continue
+						}
+						charged++
+						netSum += out.Profit - fine*out.PunishmentSeverity
+					}
+					if charged > 0 {
+						netPerRound := netSum / float64(charged) / float64(rep.Measured)
+						tol := epsilon + profitTolerance*rep.BaselineScale
+						if netPerRound > tol {
+							t.Errorf("punished deviation nets +%.4f per round (tolerance %.4f, baseline scale %.4f, detection %.0f%%, conviction %.0f%%, mean sanctions %.2f)",
+								netPerRound, tol, rep.BaselineScale,
+								100*rep.DetectionRate, 100*rep.ConvictionRate, rep.MeanPunishment)
+						}
+					}
+					if rep.DetectionRate > 0 && rep.ConvictionRate > 0 {
+						groupDetected = true
+					}
+				})
+			}
+			if !groupDetected {
+				t.Errorf("%s/%s/%s: no strategy was both detected and convicted", c.game, c.driver, sch.name)
+			}
+		}
+	}
+}
+
+func uniformProfile(g ga.Game) func(int, ga.Profile) ga.MixedProfile {
+	mp := make(ga.MixedProfile, g.NumPlayers())
+	for i := range mp {
+		mp[i] = ga.Uniform(g.NumActions(i))
+	}
+	return func(int, ga.Profile) ga.MixedProfile { return mp }
+}

@@ -42,6 +42,7 @@ package gameauthority
 import (
 	"gameauthority/internal/audit"
 	"gameauthority/internal/core"
+	"gameauthority/internal/deviate"
 	"gameauthority/internal/game"
 	"gameauthority/internal/metrics"
 	"gameauthority/internal/punish"
@@ -370,6 +371,44 @@ func HogChooser() func(agent int, loads []int64) int { return game.HogChooser() 
 // FixedChooser returns the malicious RRA behaviour that camps one resource.
 func FixedChooser(a int) func(agent int, loads []int64) int { return game.FixedChooser(a) }
 
+// --- Deviation catalog (profit verification) -----------------------------------------
+
+// DeviantStrategy is a player-level selfish strategy pluggable into any
+// driver via WithDeviant; see internal/deviate for the catalog and the
+// profit auditor that measures whether a deviation ever beats honesty.
+type DeviantStrategy = core.Deviant
+
+// AlwaysDefect camps the highest-index action every round, ignoring the
+// best-response duty.
+func AlwaysDefect() DeviantStrategy { return deviate.AlwaysDefect() }
+
+// BestResponseLiar best-responds to a one-step-lookahead prediction of
+// the other players instead of to the previous outcome (the §3.2 duty) —
+// a deviation that can genuinely profit without an authority.
+func BestResponseLiar() DeviantStrategy { return deviate.BestResponseLiar() }
+
+// CommitmentCheat reveals a different value than it committed to — the
+// equivocation the Blum commitments exist to catch.
+func CommitmentCheat() DeviantStrategy { return deviate.CommitmentCheat() }
+
+// DistributionSkewer plays honestly except with the given probability,
+// when it swaps in its myopic favourite — the probe for the sampled and
+// statistical audit disciplines. Out-of-range probabilities default to
+// 0.5.
+func DistributionSkewer(prob float64) DeviantStrategy { return deviate.DistributionSkewer(prob) }
+
+// Freerider never reveals, free-riding on everyone else's auditability.
+func Freerider() DeviantStrategy { return deviate.Freerider() }
+
+// DeviantStrategies returns the full deviation catalog with default
+// parameterizations (the strategies cmd/loadgen's chaos mode mixes in).
+func DeviantStrategies() []DeviantStrategy { return deviate.Registry() }
+
+// DeviantByName resolves a catalog strategy by its registry name
+// ("always-defect", "best-response-liar", "commitment-cheat",
+// "distribution-skewer", "freerider").
+func DeviantByName(name string) (DeviantStrategy, bool) { return deviate.ByName(name) }
+
 // --- Distributed authority ----------------------------------------------------------
 
 // DistributedSession is the full middleware over a synchronous Byzantine
@@ -378,6 +417,17 @@ type DistributedSession = core.DistSession
 
 // Adversary rewrites a Byzantine processor's outgoing traffic.
 type Adversary = sim.Adversary
+
+// SilentAdversary drops all outgoing traffic (a crashed processor).
+func SilentAdversary() Adversary { return sim.SilentAdversary() }
+
+// DropAdversary drops each outgoing message independently with
+// probability p on a seeded stream.
+func DropAdversary(seed uint64, p float64) Adversary { return sim.DropAdversary(seed, p) }
+
+// ReplayAdversary sends the previous pulse's outbox instead of the
+// current one.
+func ReplayAdversary() Adversary { return sim.ReplayAdversary() }
 
 // NewDistributedSession wires n processors (behaviours[i] nil = honest)
 // over a full mesh; byz installs network-level adversaries.

@@ -107,6 +107,30 @@ func (v Verdict) Guilty() []int {
 	return out
 }
 
+// FoulsFor returns the fouls charged to the given agent, in issue order.
+func (v Verdict) FoulsFor(agent int) []Foul {
+	var out []Foul
+	for _, f := range v.Fouls {
+		if f.Agent == agent {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TotalSeverity sums the punishment weight (Reason.Severity) of the
+// agent's fouls in this verdict — the sanction the executive service
+// applies when it adopts the verdict verbatim.
+func (v Verdict) TotalSeverity(agent int) float64 {
+	var total float64
+	for _, f := range v.Fouls {
+		if f.Agent == agent {
+			total += f.Reason.Severity()
+		}
+	}
+	return total
+}
+
 // ErrBadEvidence reports malformed evidence passed to an auditor.
 var ErrBadEvidence = errors.New("audit: malformed evidence")
 

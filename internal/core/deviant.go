@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gameauthority/internal/game"
+)
+
+// Deviant is a player-level selfish strategy: a named behaviour one
+// participant adopts to try to profit from unilateral deviation while the
+// authority supervises the session. A Deviant is driver-agnostic — it
+// compiles itself into the hook set each driver understands:
+//
+//   - PureAgent is used by the pure and distributed drivers (§3.3 plays);
+//   - MixedAgentFor is used by the mixed driver (§5 committed-randomness
+//     plays);
+//   - RRAChooser is used by the §6 repeated-resource-allocation driver.
+//
+// Concrete strategies live in internal/deviate; the façade wires them into
+// a session with ga.WithDeviant(player, strategy). Deviants compose with
+// the existing network-level sim adversaries on the distributed driver:
+// one processor can both deviate at the application layer and garble its
+// traffic at the wire layer.
+type Deviant interface {
+	// Name identifies the strategy in reports and over HTTP.
+	Name() string
+	// PureAgent returns the strategy's pure-strategy behaviour for the
+	// given player of g (pure and distributed drivers). seed derives any
+	// strategy-private randomness.
+	PureAgent(g game.Game, player int, seed uint64) *Agent
+	// MixedAgentFor returns the strategy's mixed-strategy behaviour for
+	// the given player of g (mixed driver).
+	MixedAgentFor(g game.Game, player int, seed uint64) *MixedAgent
+	// RRAChooser returns the strategy's per-round resource choice for the
+	// RRA driver. The harness hands it the round index, the pre-step
+	// cumulative loads, and the honest committed-stream sample it is
+	// expected to play; returning anything else is an off-stream action
+	// the seed audit can expose.
+	RRAChooser(player int, seed uint64) func(round int, loads []int64, honest int) int
+}
+
+// applyDeviants validates the deviant map against the player count and
+// returns the players in ascending order (for deterministic installation
+// order and error reporting).
+func deviantPlayers(deviants map[int]Deviant, n int) ([]int, error) {
+	if len(deviants) == 0 {
+		return nil, nil
+	}
+	players := make([]int, 0, len(deviants))
+	for player, d := range deviants {
+		if player < 0 || player >= n {
+			return nil, fmt.Errorf("%w: deviant player %d out of range [0,%d)", ErrConfig, player, n)
+		}
+		if d == nil {
+			return nil, fmt.Errorf("%w: nil deviant strategy for player %d", ErrConfig, player)
+		}
+		players = append(players, player)
+	}
+	sort.Ints(players)
+	return players, nil
+}
+
+// installPureDeviants compiles the configured deviants into pure-strategy
+// agents (pure and distributed drivers). The agents slice is the session's
+// own copy; explicit agents and deviants on the same player conflict.
+func installPureDeviants(agents []*Agent, deviants map[int]Deviant, g game.Game, seed uint64) error {
+	players, err := deviantPlayers(deviants, len(agents))
+	if err != nil {
+		return err
+	}
+	for _, player := range players {
+		if agents[player] != nil {
+			return fmt.Errorf("%w: player %d has both an explicit agent and a deviant strategy", ErrConfig, player)
+		}
+		agents[player] = deviants[player].PureAgent(g, player, seed)
+	}
+	return nil
+}
+
+// installMixedDeviants compiles the configured deviants into mixed-strategy
+// agents.
+func installMixedDeviants(agents []*MixedAgent, deviants map[int]Deviant, g game.Game, seed uint64) error {
+	players, err := deviantPlayers(deviants, len(agents))
+	if err != nil {
+		return err
+	}
+	for _, player := range players {
+		if agents[player] != nil {
+			return fmt.Errorf("%w: player %d has both an explicit mixed agent and a deviant strategy", ErrConfig, player)
+		}
+		agents[player] = deviants[player].MixedAgentFor(g, player, seed)
+	}
+	return nil
+}

@@ -22,7 +22,11 @@ type RRASupervised struct {
 	seed   uint64
 	// byzChoose[i], if set, overrides agent i's choice (e.g. the hog).
 	byzChoose map[int]func(agent int, loads []int64) int
-	supervise bool
+	// deviantChoose[i], if set, overrides agent i's choice with a
+	// player-level selfish strategy that also sees the round index and the
+	// honest committed-stream sample (see Deviant.RRAChooser).
+	deviantChoose map[int]func(round int, loads []int64, honest int) int
+	supervise     bool
 
 	fouls []audit.Foul
 	// lastChoices is the published profile of the most recent play (for
@@ -53,11 +57,12 @@ func NewRRASupervised(n, b int, seed uint64, scheme punish.Scheme, supervise boo
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	h := &RRASupervised{
-		rra:       rra,
-		scheme:    scheme,
-		seed:      seed,
-		byzChoose: make(map[int]func(int, []int64) int),
-		supervise: supervise,
+		rra:           rra,
+		scheme:        scheme,
+		seed:          seed,
+		byzChoose:     make(map[int]func(int, []int64) int),
+		deviantChoose: make(map[int]func(int, []int64, int) int),
+		supervise:     supervise,
 	}
 	h.scratch.seeds = make([]uint64, n)
 	h.scratch.digests = make([]commit.Digest, n)
@@ -71,6 +76,15 @@ func NewRRASupervised(n, b int, seed uint64, scheme punish.Scheme, supervise boo
 // SetByzantine installs a malicious choice function for the agent.
 func (h *RRASupervised) SetByzantine(agent int, choose func(agent int, loads []int64) int) {
 	h.byzChoose[agent] = choose
+}
+
+// SetDeviant installs a player-level selfish strategy for the agent: the
+// chooser sees the round, the pre-step loads, and the honest
+// committed-stream sample the judicial service will audit against.
+// A deviant takes precedence over a SetByzantine chooser for the same
+// agent.
+func (h *RRASupervised) SetDeviant(agent int, choose func(round int, loads []int64, honest int) int) {
+	h.deviantChoose[agent] = choose
 }
 
 // RRA exposes the underlying game state for measurements.
@@ -140,6 +154,9 @@ func (h *RRASupervised) PlayRound() error {
 			// Executive restriction: authority plays the honest
 			// sample on the excluded agent's behalf.
 			return expected[agent]
+		}
+		if choose, dev := h.deviantChoose[agent]; dev {
+			return choose(round, loads, expected[agent])
 		}
 		if choose, bad := h.byzChoose[agent]; bad {
 			return choose(agent, loads)

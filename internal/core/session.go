@@ -75,7 +75,10 @@ type Session interface {
 	// late subscribers.
 	Subscribe(Observer) (cancel func())
 	// Close finalizes the session: a batched-audit mixed session audits
-	// its trailing partial epoch. Close is idempotent.
+	// its trailing partial epoch, and a distributed session releases its
+	// pulse-engine worker pool. Close is idempotent; after a successful
+	// Close, Play fails with ErrClosed while Results, ResultAt and Stats
+	// keep answering.
 	Close() error
 }
 
@@ -85,14 +88,21 @@ type SessionStats struct {
 	Players int
 	// Rounds is the number of completed plays.
 	Rounds int
-	// CumulativeCost[i] is agent i's total cost over all plays (nil for
-	// drivers that do not track per-agent costs: RRA, distributed).
+	// CumulativeCost[i] is agent i's total cost over all plays. Every
+	// driver tracks it: the trusted drivers on the (actual) game's cost
+	// function, the RRA driver as the post-step load of each chosen
+	// resource (the §6 strategic-form cost), and the distributed driver on
+	// the elected game over the agreed outcomes.
 	CumulativeCost []float64
 	// Excluded[i] reports whether agent i is currently excluded by the
 	// executive service.
 	Excluded []bool
 	// Fouls is the total number of fouls the judicial service detected.
 	Fouls int
+	// Convictions counts executive conviction events: agents newly
+	// excluded by a play (an agent excluded, re-admitted and excluded
+	// again counts twice).
+	Convictions int
 	// Protocol counts audit-protocol overhead (mixed driver).
 	Protocol CostStats
 	// MaxLoad is the maximum resource load so far (RRA driver, §6).
@@ -128,6 +138,12 @@ type SessionConfig struct {
 	// HistoryLimit plays (0 = unbounded). Bounded sessions stop growing
 	// and record plays into reused ring slots — see Session.Results.
 	HistoryLimit int
+
+	// Deviants installs player-level selfish strategies: Deviants[i]
+	// replaces player i's honest behaviour with the strategy's compiled
+	// hooks for the resolved driver (see Deviant). A player cannot carry
+	// both an explicit agent and a deviant.
+	Deviants map[int]Deviant
 
 	// Agents are pure-strategy behaviours (pure and distributed drivers);
 	// nil entries (or a nil slice) mean honest best-response agents.
@@ -304,12 +320,14 @@ func playEvents(res RoundResult, convictions []int) []Event {
 // --- Pure driver ---------------------------------------------------------------
 
 type pureDriver struct {
-	mu     sync.Mutex
-	s      *PureSession
-	n      int
-	hub    *observerHub
-	fouls  int
-	before []bool // exclusion-snapshot scratch, reused per play
+	mu          sync.Mutex
+	s           *PureSession
+	n           int
+	hub         *observerHub
+	fouls       int
+	convictions int
+	closed      bool
+	before      []bool // exclusion-snapshot scratch, reused per play
 }
 
 func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
@@ -337,11 +355,14 @@ func newPureDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 		return nil, fmt.Errorf("%w: %d agents for %d players", ErrConfig, len(agents), n)
 	}
 	filled := make([]*Agent, n)
-	for i, a := range agents {
-		if a == nil {
-			a = HonestPure(cfg.Game, i)
+	copy(filled, agents)
+	if err := installPureDeviants(filled, cfg.Deviants, cfg.Game, cfg.Seed); err != nil {
+		return nil, err
+	}
+	for i := range filled {
+		if filled[i] == nil {
+			filled[i] = HonestPure(cfg.Game, i)
 		}
-		filled[i] = a
 	}
 	s, err := NewPureSession(cfg.Game, filled, cfg.Scheme, cfg.Seed)
 	if err != nil {
@@ -365,14 +386,19 @@ func (d *pureDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
+	if d.closed {
+		return RoundResult{}, fmt.Errorf("%w: play on a closed session", ErrClosed)
+	}
 	snapshotExcludedInto(d.before, d.s.Excluded)
 	res, err := d.s.PlayRound()
 	if err != nil {
 		return RoundResult{}, err
 	}
 	d.fouls += len(res.Verdict.Fouls)
+	newly := newlyExcluded(d.before, d.s.Excluded)
+	d.convictions += len(newly)
 	if d.hub.active() {
-		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.s.Excluded)))
+		d.hub.emitAll(playEvents(res, newly))
 	}
 	return res, nil
 }
@@ -403,6 +429,7 @@ func (d *pureDriver) Stats() SessionStats {
 		CumulativeCost: make([]float64, d.n),
 		Excluded:       snapshotExcluded(d.n, d.s.Excluded),
 		Fouls:          d.fouls,
+		Convictions:    d.convictions,
 	}
 	for i := 0; i < d.n; i++ {
 		st.CumulativeCost[i] = d.s.CumulativeCost(i)
@@ -412,7 +439,14 @@ func (d *pureDriver) Stats() SessionStats {
 
 func (d *pureDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
 
-func (d *pureDriver) Close() error { return nil }
+// Close finalizes the session: further plays fail with ErrClosed while
+// Results, ResultAt and Stats keep answering. Close is idempotent.
+func (d *pureDriver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
 
 // --- Mixed driver --------------------------------------------------------------
 
@@ -424,6 +458,7 @@ type mixedDriver struct {
 	history      historyRing
 	seenVerdicts int
 	fouls        int
+	convictions  int
 	closed       bool
 
 	// Per-play scratch, reused across plays.
@@ -451,9 +486,15 @@ func newMixedDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 		return nil, fmt.Errorf("%w: pulse workers apply to distributed sessions", ErrConfig)
 	}
 	n := cfg.Game.NumPlayers()
-	agents := cfg.MixedAgents
-	if agents == nil {
-		agents = make([]*MixedAgent, n)
+	agents := make([]*MixedAgent, n)
+	if cfg.MixedAgents != nil {
+		if len(cfg.MixedAgents) != n {
+			return nil, fmt.Errorf("%w: %d mixed agents for %d players", ErrConfig, len(cfg.MixedAgents), n)
+		}
+		copy(agents, cfg.MixedAgents)
+	}
+	if err := installMixedDeviants(agents, cfg.Deviants, cfg.Game, cfg.Seed); err != nil {
+		return nil, err
 	}
 	mode := cfg.Mode
 	if mode == 0 {
@@ -501,6 +542,9 @@ func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
+	if d.closed {
+		return RoundResult{}, fmt.Errorf("%w: play on a closed session", ErrClosed)
+	}
 	snapshotExcludedInto(d.before, d.s.Excluded)
 	for i := range d.prevCost {
 		d.prevCost[i] = d.s.CumulativeCost(i)
@@ -522,8 +566,10 @@ func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
 		Costs:     d.costs,
 	}
 	res := d.history.record(&d.result)
+	newly := newlyExcluded(d.before, d.s.Excluded)
+	d.convictions += len(newly)
 	if d.hub.active() {
-		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.s.Excluded)))
+		d.hub.emitAll(playEvents(res, newly))
 	}
 	return res, nil
 }
@@ -572,6 +618,7 @@ func (d *mixedDriver) Stats() SessionStats {
 		CumulativeCost: make([]float64, d.n),
 		Excluded:       snapshotExcluded(d.n, d.s.Excluded),
 		Fouls:          d.fouls,
+		Convictions:    d.convictions,
 		Protocol:       d.s.Stats(),
 	}
 	for i := 0; i < d.n; i++ {
@@ -597,11 +644,13 @@ func (d *mixedDriver) Close() error {
 	}
 	d.closed = true
 	verdict := d.drainVerdicts()
+	newly := newlyExcluded(before, d.s.Excluded)
+	d.convictions += len(newly)
 	if last, ok := d.history.at(d.history.recorded() - 1); len(verdict.Fouls) > 0 && ok {
 		last.Verdict.Fouls = append(last.Verdict.Fouls, verdict.Fouls...)
 		last.Convicted = append(last.Convicted[:0], last.Verdict.Guilty()...)
 		evs := []Event{{Kind: EventVerdict, Round: last.Round, Fouls: cloneFouls(verdict.Fouls)}}
-		for _, agent := range newlyExcluded(before, d.s.Excluded) {
+		for _, agent := range newly {
 			evs = append(evs, Event{
 				Kind:   EventConviction,
 				Round:  last.Round,
@@ -617,16 +666,20 @@ func (d *mixedDriver) Close() error {
 // --- RRA driver ----------------------------------------------------------------
 
 type rraDriver struct {
-	mu        sync.Mutex
-	h         *RRASupervised
-	n         int
-	hub       *observerHub
-	history   historyRing
-	seenFouls int
+	mu          sync.Mutex
+	h           *RRASupervised
+	n           int
+	hub         *observerHub
+	history     historyRing
+	seenFouls   int
+	convictions int
+	closed      bool
+	cumCost     []float64
 
 	// Per-play scratch, reused across plays.
 	before  []bool
 	verdict audit.Verdict
+	costs   []float64
 	result  RoundResult
 }
 
@@ -659,7 +712,22 @@ func newRRADriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 	for agent, choose := range cfg.RRAByz {
 		h.SetByzantine(agent, choose)
 	}
-	d := &rraDriver{h: h, n: cfg.RRAAgents, hub: hub, before: make([]bool, cfg.RRAAgents)}
+	deviants, err := deviantPlayers(cfg.Deviants, cfg.RRAAgents)
+	if err != nil {
+		return nil, err
+	}
+	for _, player := range deviants {
+		if _, taken := cfg.RRAByz[player]; taken {
+			return nil, fmt.Errorf("%w: RRA agent %d has both a Byzantine chooser and a deviant strategy", ErrConfig, player)
+		}
+		h.SetDeviant(player, cfg.Deviants[player].RRAChooser(player, cfg.Seed))
+	}
+	d := &rraDriver{
+		h: h, n: cfg.RRAAgents, hub: hub,
+		before:  make([]bool, cfg.RRAAgents),
+		costs:   make([]float64, cfg.RRAAgents),
+		cumCost: make([]float64, cfg.RRAAgents),
+	}
 	d.history.setLimit(cfg.HistoryLimit)
 	return d, nil
 }
@@ -674,22 +742,35 @@ func (d *rraDriver) Play(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
+	if d.closed {
+		return RoundResult{}, fmt.Errorf("%w: play on a closed session", ErrClosed)
+	}
 	snapshotExcludedInto(d.before, d.h.Excluded)
 	if err := d.h.PlayRound(); err != nil {
 		return RoundResult{}, err
 	}
 	d.verdict.Fouls = append(d.verdict.Fouls[:0], d.h.fouls[d.seenFouls:]...)
 	d.seenFouls = len(d.h.fouls)
+	// Per-agent cost of the play: the post-step cumulative load of the
+	// chosen resource — exactly the §6 strategic-form cost (pre-step load
+	// plus this round's contention).
+	for i, choice := range d.h.lastChoices {
+		d.costs[i] = float64(d.h.RRA().Load(choice))
+		d.cumCost[i] += d.costs[i]
+	}
 	d.result = RoundResult{
 		Round:     d.h.RRA().Rounds() - 1,
 		Outcome:   d.h.lastChoices,
 		Verdict:   d.verdict,
 		Convicted: d.verdict.Guilty(),
 		Excluded:  excludedIDs(d.before),
+		Costs:     d.costs,
 	}
 	res := d.history.record(&d.result)
+	newly := newlyExcluded(d.before, d.h.Excluded)
+	d.convictions += len(newly)
 	if d.hub.active() {
-		d.hub.emitAll(playEvents(res, newlyExcluded(d.before, d.h.Excluded)))
+		d.hub.emitAll(playEvents(res, newly))
 	}
 	return res, nil
 }
@@ -718,34 +799,47 @@ func (d *rraDriver) Stats() SessionStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return SessionStats{
-		Kind:     KindRRA,
-		Players:  d.n,
-		Rounds:   d.h.RRA().Rounds(),
-		Excluded: snapshotExcluded(d.n, d.h.Excluded),
-		Fouls:    d.seenFouls,
-		MaxLoad:  d.h.RRA().MaxLoad(),
+		Kind:           KindRRA,
+		Players:        d.n,
+		Rounds:         d.h.RRA().Rounds(),
+		CumulativeCost: append([]float64(nil), d.cumCost...),
+		Excluded:       snapshotExcluded(d.n, d.h.Excluded),
+		Fouls:          d.seenFouls,
+		Convictions:    d.convictions,
+		MaxLoad:        d.h.RRA().MaxLoad(),
 	}
 }
 
 func (d *rraDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
 
-func (d *rraDriver) Close() error { return nil }
+// Close finalizes the session; see pureDriver.Close.
+func (d *rraDriver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
 
 // --- Distributed driver --------------------------------------------------------
 
 type distDriver struct {
-	mu        sync.Mutex
-	s         *DistSession
-	n, f      int
-	hub       *observerHub
-	budget    int
-	seen      int
-	lastPulse int
-	fouls     int
-	history   historyRing
+	mu          sync.Mutex
+	s           *DistSession
+	g           game.Game
+	n, f        int
+	hub         *observerHub
+	budget      int
+	seen        int
+	lastPulse   int
+	fouls       int
+	convictions int
+	closed      bool
+	cumCost     []float64
+	history     historyRing
 
 	// Per-play scratch, reused across plays.
 	before []bool
+	costs  []float64
 	result RoundResult
 }
 
@@ -766,12 +860,21 @@ func newDistDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 		return nil, fmt.Errorf("%w: RRA options on a distributed session", ErrConfig)
 	}
 	n, f := cfg.DistProcs, cfg.DistFaults
+	if n == 0 && cfg.DistByz != nil {
+		// A network adversary alone selected this driver; name the real
+		// mistake instead of failing the n > 3f arithmetic below.
+		return nil, fmt.Errorf("%w: network adversaries require a distributed session (combine WithNetworkAdversary with WithDistributed)", ErrConfig)
+	}
 	if n <= 3*f {
 		return nil, fmt.Errorf("%w: need n > 3f (got n=%d f=%d)", ErrConfig, n, f)
 	}
-	behaviors := cfg.Agents
-	if behaviors == nil {
-		behaviors = make([]*Agent, n)
+	if cfg.Agents != nil && len(cfg.Agents) != n {
+		return nil, fmt.Errorf("%w: %d agents for %d processors", ErrConfig, len(cfg.Agents), n)
+	}
+	behaviors := make([]*Agent, n)
+	copy(behaviors, cfg.Agents)
+	if err := installPureDeviants(behaviors, cfg.Deviants, cfg.Game, cfg.Seed); err != nil {
+		return nil, err
 	}
 	s, err := NewDistSessionWith(n, f, cfg.Game, behaviors, cfg.Seed, cfg.DistByz, cfg.Scheme)
 	if err != nil {
@@ -789,7 +892,12 @@ func newDistDriver(cfg SessionConfig, hub *observerHub) (Session, error) {
 		workers = runtime.GOMAXPROCS(0) // auto: use the cores we have
 	}
 	s.Net.SetWorkers(workers)
-	d := &distDriver{s: s, n: n, f: f, hub: hub, budget: budget, before: make([]bool, n)}
+	d := &distDriver{
+		s: s, g: cfg.Game, n: n, f: f, hub: hub, budget: budget,
+		before:  make([]bool, n),
+		costs:   make([]float64, n),
+		cumCost: make([]float64, n),
+	}
 	d.history.setLimit(cfg.HistoryLimit)
 	return d, nil
 }
@@ -804,6 +912,9 @@ func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 	defer d.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
+	}
+	if d.closed {
+		return RoundResult{}, fmt.Errorf("%w: play on a closed session", ErrClosed)
 	}
 	if len(d.s.Honest) == 0 {
 		return RoundResult{}, fmt.Errorf("%w: no honest processors to observe", ErrConfig)
@@ -839,17 +950,26 @@ func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 	}
 	d.lastPulse = r.Pulse
 
+	// Per-agent cost of the agreed outcome on the elected game — the
+	// value the profit auditor compares across honest/deviant twins.
+	for i := 0; i < d.n; i++ {
+		d.costs[i] = d.g.Cost(i, r.Outcome)
+		d.cumCost[i] += d.costs[i]
+	}
 	d.result = RoundResult{
 		Round:     round,
 		Outcome:   r.Outcome,
 		Convicted: r.Guilty,
 		Excluded:  excludedIDs(d.before),
+		Costs:     d.costs,
 		Pulse:     r.Pulse,
 	}
 	d.fouls += len(r.Guilty)
 	res := d.history.record(&d.result)
+	newly := newlyExcluded(d.before, ref.Excluded)
+	d.convictions += len(newly)
 	if d.hub.active() {
-		evs = append(evs, playEvents(res, newlyExcluded(d.before, ref.Excluded))...)
+		evs = append(evs, playEvents(res, newly)...)
 		d.hub.emitAll(evs)
 	}
 	return res, nil
@@ -879,12 +999,14 @@ func (d *distDriver) Stats() SessionStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := SessionStats{
-		Kind:     KindDistributed,
-		Players:  d.n,
-		Rounds:   d.history.recorded(),
-		Fouls:    d.fouls,
-		Pulses:   int64(d.s.Net.Stats.Pulses),
-		Messages: d.s.Net.Stats.MessagesSent,
+		Kind:           KindDistributed,
+		Players:        d.n,
+		Rounds:         d.history.recorded(),
+		CumulativeCost: append([]float64(nil), d.cumCost...),
+		Fouls:          d.fouls,
+		Convictions:    d.convictions,
+		Pulses:         int64(d.s.Net.Stats.Pulses),
+		Messages:       d.s.Net.Stats.MessagesSent,
 	}
 	if len(d.s.Honest) > 0 {
 		st.Excluded = snapshotExcluded(d.n, d.s.Procs[d.s.Honest[0]].Excluded)
@@ -894,11 +1016,13 @@ func (d *distDriver) Stats() SessionStats {
 
 func (d *distDriver) Subscribe(o Observer) func() { return d.hub.subscribe(o) }
 
-// Close releases the pulse engine's worker pool (if any). The session
-// remains usable: a fresh pool is created on demand.
+// Close finalizes the session and releases the pulse engine's worker pool.
+// Further plays fail with ErrClosed; Results, ResultAt and Stats keep
+// answering. Close is idempotent.
 func (d *distDriver) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.closed = true
 	d.s.Net.Close()
 	return nil
 }

@@ -1,0 +1,235 @@
+package deviate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gameauthority/internal/core"
+)
+
+// ErrAudit reports a malformed profit-audit configuration.
+var ErrAudit = errors.New("deviate: invalid audit configuration")
+
+// BuildFunc constructs one session of the pair a profit audit compares:
+// with deviant == nil it must return the honest twin; otherwise the same
+// configuration with the strategy attached to the given player. The
+// session must retain its full history (no history limit) — the auditor
+// reads per-round costs and verdicts from Results.
+type BuildFunc func(seed uint64, deviant core.Deviant, player int) (core.Session, error)
+
+// AuditConfig configures one profit audit: a strategy, the player it
+// deviates as, how long to play, and the seeds to average over.
+type AuditConfig struct {
+	// Strategy is the deviation under audit.
+	Strategy core.Deviant
+	// Player is the deviating player.
+	Player int
+	// Rounds is how many plays each twin runs.
+	Rounds int
+	// SkipRounds excludes the first plays from the profit sum. The
+	// default (1) skips the opening play: the §3.2 best-response duty
+	// only binds from the second play on, so a first-play deviation
+	// precedes any possible punishment — the paper's property is about
+	// deviation profit once punishment can engage. Set -1 to measure
+	// from round 0.
+	SkipRounds int
+	// Seeds are the session seeds to average over; at least one.
+	Seeds []uint64
+	// Build constructs the paired sessions (see BuildFunc).
+	Build BuildFunc
+}
+
+// SeedOutcome is the audit of one seeded twin pair.
+type SeedOutcome struct {
+	Seed uint64
+	// Profit is the deviant's utility delta versus its honest twin over
+	// the measured rounds: (honest twin cost) − (deviant twin cost) for
+	// the audited player. Positive profit means the deviation paid.
+	Profit float64
+	// BaselineCost is the audited player's summed cost in the honest
+	// twin over the measured rounds (the scale Profit is relative to).
+	BaselineCost float64
+	// DetectionRound is the first round whose verdict charges the
+	// deviant (or convicts it, on drivers that only publish guilt), −1
+	// when the deviation was never detected.
+	DetectionRound int
+	// Convicted reports whether the executive ever excluded the deviant.
+	Convicted bool
+	// ExcludedRounds counts the plays the deviant sat out under
+	// executive restriction.
+	ExcludedRounds int
+	// Fouls counts the fouls charged to the deviant.
+	Fouls int
+	// PunishmentSeverity sums the severity of the deviant's sanctions —
+	// the punishment cost of the deviation.
+	PunishmentSeverity float64
+}
+
+// Report aggregates a profit audit over its seeds — the empirical
+// "honesty is a best response" measurement.
+type Report struct {
+	Strategy string
+	Player   int
+	Rounds   int
+	Measured int // rounds per seed entering the profit sum
+	Outcomes []SeedOutcome
+
+	// MeanProfit is the mean utility delta over seeds; the paper's
+	// property is MeanProfit ≤ 0 within tolerance.
+	MeanProfit float64
+	// MeanProfitPerRound is MeanProfit / Measured.
+	MeanProfitPerRound float64
+	// BaselineScale is the mean |per-round cost| of the player across
+	// honest twins — the yardstick tolerances are stated against.
+	BaselineScale float64
+	// DetectionRate and ConvictionRate are the fraction of seeds where
+	// the deviation was detected resp. convicted.
+	DetectionRate  float64
+	ConvictionRate float64
+	// MeanDetectionLatency is the mean DetectionRound over detected
+	// seeds (−1 when no seed detected).
+	MeanDetectionLatency float64
+	// MeanPunishment is the mean PunishmentSeverity over seeds.
+	MeanPunishment float64
+}
+
+// ProfitAudit runs the paired honest/deviant sessions for every seed and
+// aggregates the outcome. Each pair shares a seed, so the twins replay
+// identically up to the deviation and every cost delta is attributable
+// to it.
+func ProfitAudit(ctx context.Context, cfg AuditConfig) (Report, error) {
+	if cfg.Strategy == nil || cfg.Build == nil {
+		return Report{}, fmt.Errorf("%w: nil strategy or build", ErrAudit)
+	}
+	if cfg.Rounds < 1 || len(cfg.Seeds) == 0 {
+		return Report{}, fmt.Errorf("%w: need rounds ≥ 1 and at least one seed", ErrAudit)
+	}
+	skip := cfg.SkipRounds
+	switch {
+	case skip < 0:
+		skip = 0
+	case skip == 0:
+		skip = 1
+	}
+	if skip >= cfg.Rounds {
+		return Report{}, fmt.Errorf("%w: skip %d leaves no measured rounds of %d", ErrAudit, skip, cfg.Rounds)
+	}
+
+	rep := Report{
+		Strategy: cfg.Strategy.Name(),
+		Player:   cfg.Player,
+		Rounds:   cfg.Rounds,
+		Measured: cfg.Rounds - skip,
+	}
+	var detected int
+	var latencySum float64
+	for _, seed := range cfg.Seeds {
+		out, err := auditSeed(ctx, cfg, seed, skip)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+		rep.MeanProfit += out.Profit
+		rep.BaselineScale += abs(out.BaselineCost)
+		rep.MeanPunishment += out.PunishmentSeverity
+		if out.DetectionRound >= 0 {
+			detected++
+			latencySum += float64(out.DetectionRound)
+		}
+		if out.Convicted {
+			rep.ConvictionRate++
+		}
+	}
+	seeds := float64(len(cfg.Seeds))
+	rep.MeanProfit /= seeds
+	rep.MeanProfitPerRound = rep.MeanProfit / float64(rep.Measured)
+	rep.BaselineScale /= seeds * float64(rep.Measured)
+	rep.MeanPunishment /= seeds
+	rep.DetectionRate = float64(detected) / seeds
+	rep.ConvictionRate /= seeds
+	if detected > 0 {
+		rep.MeanDetectionLatency = latencySum / float64(detected)
+	} else {
+		rep.MeanDetectionLatency = -1
+	}
+	return rep, nil
+}
+
+// auditSeed runs one honest/deviant twin pair.
+func auditSeed(ctx context.Context, cfg AuditConfig, seed uint64, skip int) (SeedOutcome, error) {
+	honest, err := runTwin(ctx, cfg, seed, nil)
+	if err != nil {
+		return SeedOutcome{}, fmt.Errorf("deviate: honest twin seed %d: %w", seed, err)
+	}
+	deviant, err := runTwin(ctx, cfg, seed, cfg.Strategy)
+	if err != nil {
+		return SeedOutcome{}, fmt.Errorf("deviate: deviant twin seed %d: %w", seed, err)
+	}
+	if len(honest) != cfg.Rounds || len(deviant) != cfg.Rounds {
+		return SeedOutcome{}, fmt.Errorf("%w: twins retained %d/%d of %d rounds (was a history limit set?)",
+			ErrAudit, len(honest), len(deviant), cfg.Rounds)
+	}
+
+	out := SeedOutcome{Seed: seed, DetectionRound: -1}
+	for r := 0; r < cfg.Rounds; r++ {
+		hres, dres := &honest[r], &deviant[r]
+		if r >= skip {
+			if len(hres.Costs) > cfg.Player && len(dres.Costs) > cfg.Player {
+				out.BaselineCost += hres.Costs[cfg.Player]
+				out.Profit += hres.Costs[cfg.Player] - dres.Costs[cfg.Player]
+			}
+		}
+		fouls := dres.Verdict.FoulsFor(cfg.Player)
+		out.Fouls += len(fouls)
+		out.PunishmentSeverity += dres.Verdict.TotalSeverity(cfg.Player)
+		charged := len(fouls) > 0
+		for _, id := range dres.Convicted {
+			if id == cfg.Player {
+				out.Convicted = true
+				if !charged {
+					// Drivers that only publish guilt (distributed)
+					// sanction at full severity per conviction.
+					out.PunishmentSeverity++
+					charged = true
+				}
+			}
+		}
+		if charged && out.DetectionRound < 0 {
+			out.DetectionRound = dres.Round
+		}
+		for _, id := range dres.Excluded {
+			if id == cfg.Player {
+				out.ExcludedRounds++
+			}
+		}
+	}
+	return out, nil
+}
+
+// runTwin builds, plays and closes one session, returning its history.
+// The session is closed *before* the history is read: a batched-audit
+// mixed session adjudicates its trailing partial epoch on Close and
+// attaches the verdict to the last retained play, and results still
+// answer on a closed session.
+func runTwin(ctx context.Context, cfg AuditConfig, seed uint64, d core.Deviant) ([]core.RoundResult, error) {
+	s, err := cfg.Build(seed, d, cfg.Player)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Run(ctx, cfg.Rounds); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return s.Results(), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

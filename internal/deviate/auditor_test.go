@@ -1,0 +1,216 @@
+package deviate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gameauthority/internal/core"
+	"gameauthority/internal/game"
+	"gameauthority/internal/punish"
+)
+
+// pureBuild builds the paired pure-driver sessions over the given game.
+func pureBuild(g game.Game) BuildFunc {
+	return func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+		cfg := core.SessionConfig{
+			Game:   g,
+			Seed:   seed,
+			Scheme: punish.NewDisconnect(g.NumPlayers(), 0.5),
+		}
+		if d != nil {
+			cfg.Deviants = map[int]core.Deviant{player: d}
+		}
+		return core.NewSession(cfg)
+	}
+}
+
+// TestProfitAuditCommitmentCheat pins the sharpest case: a commitment
+// cheat is detected in the very first play, the executive substitutes the
+// honest action, and the twins' outcome trajectories coincide — profit
+// exactly zero, conviction certain.
+func TestProfitAuditCommitmentCheat(t *testing.T) {
+	g, err := game.CoordinationN(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProfitAudit(context.Background(), AuditConfig{
+		Strategy: CommitmentCheat(),
+		Player:   1,
+		Rounds:   8,
+		Seeds:    []uint64{1, 2, 3},
+		Build:    pureBuild(g),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanProfit != 0 {
+		t.Fatalf("commitment cheat profited %v; substitution must neutralize it", rep.MeanProfit)
+	}
+	if rep.DetectionRate != 1 || rep.ConvictionRate != 1 {
+		t.Fatalf("detection %v conviction %v, want 1/1", rep.DetectionRate, rep.ConvictionRate)
+	}
+	if rep.MeanDetectionLatency != 0 {
+		t.Fatalf("detection latency %v, want 0 (first play)", rep.MeanDetectionLatency)
+	}
+	if rep.MeanPunishment <= 0 {
+		t.Fatalf("no punishment cost recorded")
+	}
+	if rep.Measured != 7 {
+		t.Fatalf("measured %d rounds, want 7 (skip the duty-free opener)", rep.Measured)
+	}
+	for _, out := range rep.Outcomes {
+		if out.ExcludedRounds == 0 {
+			t.Fatalf("seed %d: deviant never excluded", out.Seed)
+		}
+		if out.Fouls == 0 {
+			t.Fatalf("seed %d: no fouls", out.Seed)
+		}
+	}
+}
+
+// TestProfitAuditAlwaysDefectUnprofitable: in the consensus game camping
+// the dearest action is strictly costly and quickly punished.
+func TestProfitAuditAlwaysDefectUnprofitable(t *testing.T) {
+	g, err := game.CoordinationN(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProfitAudit(context.Background(), AuditConfig{
+		Strategy: AlwaysDefect(),
+		Player:   0,
+		Rounds:   10,
+		Seeds:    []uint64{4, 5},
+		Build:    pureBuild(g),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanProfit > 0 {
+		t.Fatalf("always-defect profited %v in the consensus game", rep.MeanProfit)
+	}
+	if rep.DetectionRate != 1 {
+		t.Fatalf("always-defect went undetected: %+v", rep)
+	}
+	if rep.BaselineScale <= 0 {
+		t.Fatalf("baseline scale %v, want > 0", rep.BaselineScale)
+	}
+}
+
+// TestProfitAuditSkipSemantics: SkipRounds -1 measures from round 0 and
+// can therefore see the duty-free first-play gain a lookahead liar grabs
+// in the prisoner's dilemma.
+func TestProfitAuditSkipSemantics(t *testing.T) {
+	pd, err := game.PrisonersDilemmaParams(0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := AuditConfig{
+		Strategy: BestResponseLiar(),
+		Player:   0,
+		Rounds:   6,
+		Seeds:    []uint64{9},
+		Build:    pureBuild(pd),
+	}
+	withOpener := base
+	withOpener.SkipRounds = -1
+	full, err := ProfitAudit(context.Background(), withOpener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := ProfitAudit(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0: honest plays Cooperate, the liar defects against the
+	// predicted cooperation and pockets the temptation payoff — visible
+	// only when the opener is measured.
+	if full.MeanProfit <= tail.MeanProfit {
+		t.Fatalf("opener gain invisible: full %v vs tail %v", full.MeanProfit, tail.MeanProfit)
+	}
+	if tail.MeanProfit > 0 {
+		t.Fatalf("liar profited %v after the opener in PD", tail.MeanProfit)
+	}
+	if full.Measured != 6 || tail.Measured != 5 {
+		t.Fatalf("measured %d/%d, want 6/5", full.Measured, tail.Measured)
+	}
+}
+
+// TestProfitAuditBatchedEpochClose: with batched auditing, a partial
+// trailing epoch is only adjudicated when the session closes — the
+// auditor must still see those fouls (it reads history after Close).
+func TestProfitAuditBatchedEpochClose(t *testing.T) {
+	g := game.MatchingPennies()
+	build := func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+		cfg := core.SessionConfig{
+			Game: g,
+			Seed: seed,
+			Strategies: func(int, game.Profile) game.MixedProfile {
+				return game.MixedProfile{game.Uniform(2), game.Uniform(2)}
+			},
+			Mode:     core.AuditBatched,
+			EpochLen: 16, // longer than the run: everything is a trailing partial epoch
+			Scheme:   punish.NewDisconnect(2, 0),
+		}
+		if d != nil {
+			cfg.Deviants = map[int]core.Deviant{player: d}
+		}
+		return core.NewSession(cfg)
+	}
+	rep, err := ProfitAudit(context.Background(), AuditConfig{
+		Strategy: Freerider(),
+		Player:   0,
+		Rounds:   5,
+		Seeds:    []uint64{21, 22},
+		Build:    build,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectionRate != 1 {
+		t.Fatalf("close-adjudicated epoch fouls invisible to the auditor: %+v", rep)
+	}
+	if rep.MeanPunishment <= 0 {
+		t.Fatalf("no punishment recorded for the withheld epoch seed")
+	}
+}
+
+// TestProfitAuditConfigErrors covers the validation paths.
+func TestProfitAuditConfigErrors(t *testing.T) {
+	g, _ := game.CoordinationN(3, 3)
+	ok := AuditConfig{Strategy: Freerider(), Player: 0, Rounds: 4, Seeds: []uint64{1}, Build: pureBuild(g)}
+	cases := []func(*AuditConfig){
+		func(c *AuditConfig) { c.Strategy = nil },
+		func(c *AuditConfig) { c.Build = nil },
+		func(c *AuditConfig) { c.Rounds = 0 },
+		func(c *AuditConfig) { c.Seeds = nil },
+		func(c *AuditConfig) { c.SkipRounds = 4 },
+	}
+	for i, mutate := range cases {
+		cfg := ok
+		mutate(&cfg)
+		if _, err := ProfitAudit(context.Background(), cfg); !errors.Is(err, ErrAudit) {
+			t.Fatalf("case %d: got %v, want ErrAudit", i, err)
+		}
+	}
+	// Build errors propagate.
+	cfg := ok
+	cfg.Build = func(uint64, core.Deviant, int) (core.Session, error) {
+		return nil, errors.New("boom")
+	}
+	if _, err := ProfitAudit(context.Background(), cfg); err == nil {
+		t.Fatalf("build error swallowed")
+	}
+	// A history-limited twin is rejected rather than silently mismeasured.
+	cfg = ok
+	cfg.Build = func(seed uint64, d core.Deviant, player int) (core.Session, error) {
+		c := core.SessionConfig{Game: g, Seed: seed, Scheme: punish.NewDisconnect(3, 0.5), HistoryLimit: 2}
+		if d != nil {
+			c.Deviants = map[int]core.Deviant{player: d}
+		}
+		return core.NewSession(c)
+	}
+	if _, err := ProfitAudit(context.Background(), cfg); !errors.Is(err, ErrAudit) {
+		t.Fatalf("history-limited twin accepted: %v", err)
+	}
+}

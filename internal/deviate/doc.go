@@ -1,0 +1,23 @@
+// Package deviate is the deviation-profit verification subsystem: a
+// catalog of player-level selfish strategies (core.Deviant
+// implementations) that can be attached to any authority session, and a
+// profit auditor that measures — empirically, on paired seeded sessions —
+// whether a unilateral deviation ever beats honesty under the installed
+// punishment scheme.
+//
+// The paper's central claim is that the game authority makes selfish
+// deviation unprofitable: the judicial service detects off-protocol play
+// (illegitimate actions, commitment cheats, off-stream samples, withheld
+// reveals) and the executive service punishes it until the deviant is
+// restricted to honest play. The strategies here are the test probes for
+// that claim — AlwaysDefect, BestResponseLiar, CommitmentCheat,
+// DistributionSkewer and Freerider each exercise a different foul class —
+// and ProfitAudit is the measurement: it runs an honest twin and a
+// deviant twin of the same seeded session and reports the deviant's
+// realized utility delta, detection latency, conviction, and punishment
+// cost. The repo's standing robustness regression (deviation_matrix_test
+// at the module root) sweeps the strategies across the whole scenario
+// catalog × driver × punishment-scheme matrix and asserts the paper's
+// property: once punishment engages, deviation profit stays ≤ 0 within
+// tolerance, and every game has detectable, convictable deviations.
+package deviate

@@ -46,6 +46,10 @@ func (r *RRA) Loads() []int64 {
 	return append([]int64(nil), r.loads...)
 }
 
+// Load returns the current cumulative load of one resource without
+// copying the whole vector — the play hot path's per-choice cost read.
+func (r *RRA) Load(a int) int64 { return r.loads[a] }
+
 // MaxLoad returns M(k) = max_a ℓ_a(k).
 func (r *RRA) MaxLoad() int64 {
 	var m int64

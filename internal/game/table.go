@@ -29,13 +29,17 @@ func NewTableGame(name string, shape []int) (*TableGame, error) {
 	if len(shape) == 0 {
 		return nil, fmt.Errorf("%w: no players", ErrProfileShape)
 	}
+	// Bound the *total* allocation (one dense table per player), not just
+	// the per-player profile count: n tables of 2^28 entries would still
+	// exhaust memory on a request-sized budget.
+	const maxEntries = 1 << 24
 	size := 1
 	for i, k := range shape {
 		if k < 1 {
 			return nil, fmt.Errorf("%w: player %d has %d actions", ErrActionRange, i, k)
 		}
-		if size > (1<<28)/k {
-			return nil, fmt.Errorf("%w: table would need > 2^28 entries", ErrTooLarge)
+		if size > maxEntries/(k*len(shape)) {
+			return nil, fmt.Errorf("%w: table would need > 2^24 total entries", ErrTooLarge)
 		}
 		size *= k
 	}

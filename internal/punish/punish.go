@@ -249,6 +249,19 @@ func (d *Deposit) History() []Event { return append([]Event(nil), d.events...) }
 // Fresh implements Scheme.
 func (d *Deposit) Fresh() Scheme { return NewDeposit(d.n, d.escrow, d.fine) }
 
+// Tally sums the severity the scheme has applied to each of the n agents
+// over its history — the per-agent punishment cost a profit audit charges
+// against a deviation.
+func Tally(s Scheme, n int) []float64 {
+	out := make([]float64, n)
+	for _, e := range s.History() {
+		if e.Agent >= 0 && e.Agent < n {
+			out[e.Agent] += e.Severity
+		}
+	}
+	return out
+}
+
 // ExcludedSet returns the sorted ids currently excluded under the scheme.
 func ExcludedSet(s Scheme, n int) []int {
 	var out []int

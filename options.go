@@ -61,6 +61,11 @@ var ErrPulseBudget = core.ErrPulseBudget
 // malformed options passed to New).
 var ErrConfig = core.ErrConfig
 
+// ErrClosed is returned by Play on a session that was Closed. Close is
+// idempotent and terminal: Results, ResultAt and Stats keep answering on
+// a closed session, but no further plays run.
+var ErrClosed = core.ErrClosed
+
 // Option configures a Session built by New.
 type Option func(*core.SessionConfig)
 
@@ -124,6 +129,24 @@ func WithAgents(agents ...*Agent) Option {
 // executive replica gets its own fresh copy.
 func WithPunishment(scheme PunishmentScheme) Option {
 	return func(c *core.SessionConfig) { c.Scheme = scheme }
+}
+
+// WithDeviant attaches a player-level selfish strategy to the given
+// player: the strategy compiles itself into whichever driver the session
+// resolves to (pure, mixed, RRA, or distributed), replacing the player's
+// honest behaviour. Use it with the deviation catalog (AlwaysDefect,
+// BestResponseLiar, CommitmentCheat, DistributionSkewer, Freerider) to
+// probe whether deviation ever beats honesty under the installed
+// punishment scheme; it composes with network-level adversaries on the
+// distributed driver. A player cannot carry both an explicit agent and a
+// deviant.
+func WithDeviant(player int, strategy DeviantStrategy) Option {
+	return func(c *core.SessionConfig) {
+		if c.Deviants == nil {
+			c.Deviants = make(map[int]core.Deviant)
+		}
+		c.Deviants[player] = strategy
+	}
 }
 
 // WithElection runs the legislative service first: the voters elect the
@@ -232,7 +255,32 @@ func WithDistributed(n, f int, byz map[int]Adversary) Option {
 	return func(c *core.SessionConfig) {
 		c.DistProcs = n
 		c.DistFaults = f
-		c.DistByz = byz
+		// Copy rather than alias the caller's map: WithNetworkAdversary
+		// merges into the session's map, and writing through to a map
+		// the caller may reuse for other sessions would leak adversaries
+		// across them.
+		if len(byz) > 0 && c.DistByz == nil {
+			c.DistByz = make(map[int]Adversary, len(byz))
+		}
+		for proc, adv := range byz {
+			c.DistByz[proc] = adv
+		}
+	}
+}
+
+// WithNetworkAdversary installs a network-level adversary on one
+// processor of a distributed session, merging into the same adversary
+// map WithDistributed's byz argument populates. Options apply in order,
+// so when both configure the same processor the later option wins. It
+// composes with WithDeviant: one session can carry an application-layer
+// selfish deviant on one processor and wire-level Byzantine behaviour on
+// another — the loadgen chaos mix.
+func WithNetworkAdversary(proc int, adv Adversary) Option {
+	return func(c *core.SessionConfig) {
+		if c.DistByz == nil {
+			c.DistByz = make(map[int]Adversary)
+		}
+		c.DistByz[proc] = adv
 	}
 }
 

@@ -15,10 +15,11 @@ import (
 //
 //	POST   /sessions              create a session (CreateSessionRequest)
 //	GET    /sessions              list hosted sessions
-//	GET    /sessions/{id}         session stats
+//	GET    /sessions/{id}         session stats (incl. conviction counts)
 //	POST   /sessions/{id}/play    run plays ({"rounds": k}, default 1)
 //	GET    /sessions/{id}/events  live event stream (server-sent events)
 //	DELETE /sessions/{id}         close and unregister the session
+//	GET    /deviants              list the deviation-strategy catalog
 //
 // Sessions are independent and may be created and played concurrently;
 // each session serializes its own plays.
@@ -26,6 +27,9 @@ func NewServer(a *Authority) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(a, w, r)
+	})
+	mux.HandleFunc("GET /deviants", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, deviantInfos())
 	})
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleList(a, w)
@@ -84,13 +88,40 @@ type CreateSessionRequest struct {
 		N int `json:"n"`
 		F int `json:"f"`
 	} `json:"distributed,omitempty"`
-	PulseBudget int `json:"pulse_budget,omitempty"`
+	// Deviant attaches a player-level selfish strategy from the deviation
+	// catalog (GET /deviants) to one player — the HTTP face of
+	// WithDeviant. Any session kind accepts it.
+	Deviant     *DeviantSpec `json:"deviant,omitempty"`
+	PulseBudget int          `json:"pulse_budget,omitempty"`
 	// PulseWorkers selects the distributed pulse engine (0 auto, 1
 	// lockstep, >1 worker-pool width).
 	PulseWorkers int `json:"pulse_workers,omitempty"`
 	// HistoryLimit bounds the retained play history (0 = unbounded); any
 	// session kind accepts it.
 	HistoryLimit int `json:"history_limit,omitempty"`
+}
+
+// DeviantSpec selects a deviation strategy over HTTP: Strategy names a
+// catalog entry ("always-defect", "best-response-liar",
+// "commitment-cheat", "distribution-skewer", "freerider"); Prob
+// parameterizes the skewer (0 = its default).
+type DeviantSpec struct {
+	Player   int     `json:"player"`
+	Strategy string  `json:"strategy"`
+	Prob     float64 `json:"prob,omitempty"`
+}
+
+// deviantInfo is one GET /deviants catalog entry.
+type deviantInfo struct {
+	Name string `json:"name"`
+}
+
+func deviantInfos() []deviantInfo {
+	var out []deviantInfo
+	for _, d := range DeviantStrategies() {
+		out = append(out, deviantInfo{Name: d.Name()})
+	}
+	return out
 }
 
 // PunishmentSpec selects an executive punishment scheme over HTTP.
@@ -116,6 +147,7 @@ type statsResponse struct {
 	CumulativeCost []float64 `json:"cumulative_cost,omitempty"`
 	Excluded       []bool    `json:"excluded,omitempty"`
 	Fouls          int       `json:"fouls"`
+	Convictions    int       `json:"convictions"`
 	Commitments    int64     `json:"commitments,omitempty"`
 	Reveals        int64     `json:"reveals,omitempty"`
 	Agreements     int64     `json:"agreements,omitempty"`
@@ -179,9 +211,27 @@ func handleCreate(a *Authority, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, infoFor(h))
 }
 
+// Request size caps: the HTTP surface is open to arbitrary clients, so
+// session sizing is bounded before any construction cost is paid. The
+// in-process API has no such caps (internal/game still guards dense
+// table allocations).
+const (
+	// maxRequestPlayers bounds the game size of table-backed scenarios
+	// (dense cost tables grow exponentially in the player count).
+	maxRequestPlayers = 20
+	// maxRequestProcs bounds the distributed mesh (n² links, n³ messages
+	// per agreement pulse).
+	maxRequestProcs = 64
+	// maxRequestRRA bounds the RRA harness's agents and resources.
+	maxRequestRRA = 1 << 16
+)
+
 // build translates the wire request into a game plus functional options —
 // the HTTP surface is a thin skin over the same New entry point.
 func (req *CreateSessionRequest) build() (Game, []Option, error) {
+	if req.Players > maxRequestPlayers {
+		return nil, nil, fmt.Errorf("players %d exceeds the request cap %d", req.Players, maxRequestPlayers)
+	}
 	g, err := gameByName(req.Game, req.Players, req.Benefit)
 	if err != nil {
 		return nil, nil, err
@@ -253,11 +303,19 @@ func (req *CreateSessionRequest) build() (Game, []Option, error) {
 		if g != nil {
 			return nil, nil, fmt.Errorf("rra sessions build their own game; omit game")
 		}
+		if req.RRA.Agents > maxRequestRRA || req.RRA.Resources > maxRequestRRA {
+			return nil, nil, fmt.Errorf("rra size %d×%d exceeds the request cap %d",
+				req.RRA.Agents, req.RRA.Resources, maxRequestRRA)
+		}
 		players = req.RRA.Agents
 		opts = append(opts, WithRRA(req.RRA.Agents, req.RRA.Resources))
 	case "distributed":
 		if req.Distributed == nil {
 			return nil, nil, fmt.Errorf("distributed sessions require the distributed object")
+		}
+		if req.Distributed.N > maxRequestProcs {
+			return nil, nil, fmt.Errorf("distributed n %d exceeds the request cap %d",
+				req.Distributed.N, maxRequestProcs)
 		}
 		opts = append(opts, WithDistributed(req.Distributed.N, req.Distributed.F, nil))
 		if req.PulseBudget > 0 {
@@ -285,7 +343,36 @@ func (req *CreateSessionRequest) build() (Game, []Option, error) {
 	if scheme != nil {
 		opts = append(opts, WithPunishment(scheme))
 	}
+	if req.Deviant != nil {
+		strategy, err := deviantFromSpec(req.Deviant)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, WithDeviant(req.Deviant.Player, strategy))
+	}
 	return g, opts, nil
+}
+
+// deviantFromSpec resolves a wire deviant spec against the catalog.
+// Invalid parameters are rejected, never silently clamped: a client
+// probing a specific skew rate must not get a session that behaves
+// differently than requested.
+func deviantFromSpec(spec *DeviantSpec) (DeviantStrategy, error) {
+	name := strings.ToLower(spec.Strategy)
+	if spec.Prob != 0 {
+		if name != "distribution-skewer" {
+			return nil, fmt.Errorf("prob only applies to the distribution-skewer strategy (got %q)", spec.Strategy)
+		}
+		if spec.Prob < 0 || spec.Prob > 1 {
+			return nil, fmt.Errorf("deviant prob %v must be in (0,1]", spec.Prob)
+		}
+		return DistributionSkewer(spec.Prob), nil
+	}
+	d, ok := DeviantByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown deviant strategy %q (see GET /deviants)", spec.Strategy)
+	}
+	return d, nil
 }
 
 func gameByName(name string, players int, benefit float64) (Game, error) {
@@ -410,6 +497,7 @@ func handleStats(h *HostedSession, w http.ResponseWriter, _ *http.Request) {
 		CumulativeCost: st.CumulativeCost,
 		Excluded:       st.Excluded,
 		Fouls:          st.Fouls,
+		Convictions:    st.Convictions,
 		Commitments:    st.Protocol.Commitments,
 		Reveals:        st.Protocol.Reveals,
 		Agreements:     st.Protocol.Agreements,

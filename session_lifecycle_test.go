@@ -1,0 +1,160 @@
+package gameauthority_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	ga "gameauthority"
+)
+
+// lifecycleSessions builds one session per driver for the close-semantics
+// tests.
+func lifecycleSessions(t *testing.T) map[string]ga.Session {
+	t.Helper()
+	out := make(map[string]ga.Session)
+
+	pure, err := ga.New(ga.PrisonersDilemma(), ga.WithSeed(1),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["pure"] = pure
+
+	g := ga.MatchingPennies()
+	mixed, err := ga.New(g, ga.WithSeed(1),
+		ga.WithStrategies(func(int, ga.Profile) ga.MixedProfile {
+			return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+		}),
+		ga.WithAudit(ga.AuditBatched, ga.EpochLen(4)),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["mixed"] = mixed
+
+	rra, err := ga.New(nil, ga.WithSeed(1), ga.WithRRA(4, 2),
+		ga.WithPunishment(ga.NewDisconnectScheme(4, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rra"] = rra
+
+	dist, err := ga.New(ga.PrisonersDilemma(), ga.WithSeed(1),
+		ga.WithDistributed(2, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["distributed"] = dist
+
+	return out
+}
+
+// TestSessionCloseLifecycle asserts, for every driver: Close is
+// idempotent, Play and Run after Close fail cleanly with ErrClosed (no
+// panic, no deadlock), and Results/ResultAt/Stats still answer on the
+// closed session.
+func TestSessionCloseLifecycle(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range lifecycleSessions(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Run(ctx, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("first close: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second close not idempotent: %v", err)
+			}
+			if _, err := s.Play(ctx); !errors.Is(err, ga.ErrClosed) {
+				t.Fatalf("post-close Play: err = %v, want ErrClosed", err)
+			}
+			if _, err := s.Run(ctx, 2); !errors.Is(err, ga.ErrClosed) {
+				t.Fatalf("post-close Run: err = %v, want ErrClosed", err)
+			}
+			if got := len(s.Results()); got != 3 {
+				t.Fatalf("post-close Results: %d plays, want 3", got)
+			}
+			if _, ok := s.ResultAt(2); !ok {
+				t.Fatalf("post-close ResultAt(2) lost the play")
+			}
+			st := s.Stats()
+			if st.Rounds != 3 {
+				t.Fatalf("post-close Stats.Rounds = %d, want 3", st.Rounds)
+			}
+			// A third close on the already-terminal session stays nil.
+			if err := s.Close(); err != nil {
+				t.Fatalf("third close: %v", err)
+			}
+		})
+	}
+}
+
+// TestSessionCloseConcurrent hammers Play/Close/Stats concurrently: every
+// play must either succeed or fail with ErrClosed — never panic or wedge.
+func TestSessionCloseConcurrent(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range lifecycleSessions(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						if _, err := s.Play(ctx); err != nil && !errors.Is(err, ga.ErrClosed) {
+							t.Errorf("play: %v", err)
+							return
+						}
+						_ = s.Stats()
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			wg.Wait()
+			if _, err := s.Play(ctx); !errors.Is(err, ga.ErrClosed) {
+				t.Fatalf("after concurrent close, Play = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestMixedCloseAuditsTrailingEpoch pins the batched-audit close-out: the
+// trailing partial epoch is audited exactly once, and the post-close
+// session still reports it.
+func TestMixedCloseAuditsTrailingEpoch(t *testing.T) {
+	ctx := context.Background()
+	g := ga.MatchingPennies()
+	cheat := &ga.MixedAgent{Withhold: func(int) bool { return true }}
+	s, err := ga.New(g, ga.WithSeed(3),
+		ga.WithStrategies(func(int, ga.Profile) ga.MixedProfile {
+			return ga.MixedProfile{ga.Uniform(2), ga.Uniform(2)}
+		}),
+		ga.WithMixedAgents(cheat, nil),
+		ga.WithAudit(ga.AuditBatched, ga.EpochLen(8)),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, 3); err != nil { // partial epoch: 3 of 8
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Fouls == 0 || !st.Excluded[0] {
+		t.Fatalf("trailing epoch not audited on close: fouls=%d excluded=%v", st.Fouls, st.Excluded)
+	}
+	if _, err := s.Play(ctx); !errors.Is(err, ga.ErrClosed) {
+		t.Fatalf("post-close Play = %v, want ErrClosed", err)
+	}
+}
