@@ -2,10 +2,11 @@ GO ?= go
 
 .PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
-	deviation-matrix deviation-matrix-short cover-gate
+	deviation-matrix deviation-matrix-short cover-gate \
+	crash-bench crash-smoke
 
-ci: fmt vet build test race bench-smoke loadgen-smoke docs-check \
-	fuzz-smoke deviation-matrix-short cover-gate
+ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
+	docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -61,6 +62,20 @@ loadgen-smoke:
 	$(GO) run ./cmd/loadgen -selfserve -sessions 16 -plays 2 > /dev/null
 	$(GO) run ./cmd/loadgen -sessions 64 -plays 4 -deviants 0.25 -chaos > /dev/null
 
+# The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
+# SIGKILL-drops the authority mid-run and recovers every session from the
+# write-ahead log, twice. The artifact tracks durable throughput plus the
+# recovered-session count and replay lag per cycle.
+crash-bench:
+	$(GO) run ./cmd/loadgen -sessions 300 -plays 12 -crash 2 \
+		| $(GO) run ./cmd/benchfmt -command "make crash-bench" -out BENCH_PR5.json
+
+# CI-sized crash smoke: every scenario family and driver crosses one
+# crash/recover cycle; fails on any lost or diverging session, never on
+# timing.
+crash-smoke:
+	$(GO) run ./cmd/loadgen -sessions 48 -plays 4 -crash 1 > /dev/null
+
 # The deviation-profit verification matrix (DESIGN.md §8): every catalog
 # game × driver × punishment scheme × selfish strategy, with the profit
 # auditor asserting that punished deviation never nets positive utility.
@@ -83,12 +98,13 @@ fuzz-smoke:
 # Coverage gate: the audited packages must keep ≥ 70% of statements
 # covered by the whole suite (merged -coverpkg profile; see
 # cmd/covergate).
-COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store
 cover-gate:
 	$(GO) test -short -coverprofile=cover.out -coverpkg=$(COVER_PKGS) ./... > /dev/null
 	$(GO) run ./cmd/covergate -profile cover.out -min 70 \
 		gameauthority/internal/core gameauthority/internal/punish \
-		gameauthority/internal/audit gameauthority/internal/deviate
+		gameauthority/internal/audit gameauthority/internal/deviate \
+		gameauthority/internal/store
 
 # Every internal package must carry a package comment (the godoc story of
 # DESIGN.md §1); CI fails when one goes missing.

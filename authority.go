@@ -6,6 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"gameauthority/internal/metrics"
+	"gameauthority/internal/store"
 )
 
 // Authority-host errors.
@@ -59,6 +62,34 @@ const authorityShards = 64
 type Authority struct {
 	shards [authorityShards]authorityShard
 	nextID atomic.Uint64
+
+	// store is the optional durable backend (WithStore); swapped
+	// atomically so DetachStore can simulate crashes without racing the
+	// play path.
+	store atomic.Pointer[storeBox]
+	// snapshotEvery is the compaction cadence: a durable session's WAL is
+	// folded into a snapshot every snapshotEvery journaled plays
+	// (WithSnapshotEvery; ≤ 0 disables periodic compaction).
+	snapshotEvery int
+	// counters are the host's operational counters (GET /metrics).
+	counters metrics.Counters
+	// restoring singleflights restore-on-miss replays per session id.
+	restoreMu sync.Mutex
+	restoring map[string]*restoreCall
+	// storeClosed latches after the first Close so a second Close stays
+	// idempotent (the store is synced and closed exactly once).
+	storeClosed atomic.Bool
+}
+
+// storeBox wraps the store interface for atomic.Pointer.
+type storeBox struct{ st store.Store }
+
+// getStore returns the attached store, or nil.
+func (a *Authority) getStore() store.Store {
+	if b := a.store.Load(); b != nil {
+		return b.st
+	}
+	return nil
 }
 
 // authorityShard is one lock's worth of the registry.
@@ -68,19 +99,44 @@ type authorityShard struct {
 }
 
 // HostedSession is a Session registered with an Authority under an ID.
+// Sessions created from a serializable spec on a store-backed authority
+// are durable: their plays are journaled to the write-ahead log and they
+// survive a crash of the host (see Authority.Recover).
 type HostedSession struct {
 	Session
 	id string
+	a  *Authority
+
+	// jmu orders journaling against close: plays journal under the read
+	// lock, Close journals its close record under the write lock, so a
+	// play that completed before Close always reaches the WAL before the
+	// close record (whose digest covers it) is written.
+	jmu sync.RWMutex
+
+	// durable marks sessions journaled in the authority's store.
+	durable atomic.Bool
+	// dropped marks sessions being removed: Close skips the close-record
+	// journal because Remove deletes the whole ledger.
+	dropped atomic.Bool
+	// closeLogged latches the close record so idempotent Close journals
+	// it exactly once.
+	closeLogged atomic.Bool
+	// walPlays counts plays journaled since the last compacted snapshot.
+	walPlays atomic.Int64
 }
 
 // ID returns the session's registry key.
 func (h *HostedSession) ID() string { return h.id }
 
-// NewAuthority creates an empty host.
-func NewAuthority() *Authority {
-	a := &Authority{}
+// NewAuthority creates an empty host. Options attach a durable store
+// (WithStore) and tune the snapshot cadence (WithSnapshotEvery).
+func NewAuthority(opts ...AuthorityOption) *Authority {
+	a := &Authority{snapshotEvery: defaultSnapshotEvery}
 	for i := range a.shards {
 		a.shards[i].sessions = make(map[string]*HostedSession)
+	}
+	for _, opt := range opts {
+		opt(a)
 	}
 	return a
 }
@@ -167,8 +223,10 @@ func (a *Authority) hostAt(sh *authorityShard, id string, s Session) (*HostedSes
 	if _, taken := sh.sessions[id]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
-	h := &HostedSession{Session: s, id: id}
+	h := &HostedSession{Session: s, id: id, a: a}
 	sh.sessions[id] = h
+	a.counters.Sessions.Add(1)
+	a.counters.SessionsCreated.Add(1)
 	return h, nil
 }
 
@@ -184,17 +242,55 @@ func (a *Authority) Get(id string) (*HostedSession, error) {
 	return h, nil
 }
 
-// Remove closes and unregisters the session with the given ID.
+// Remove closes and unregisters the session with the given ID, deleting
+// its durable ledger (a removed session is gone, not recoverable). The
+// ledger is deleted *before* the registry entry so a concurrent
+// restore-on-miss cannot revive the session from a ledger that is about
+// to vanish (restoreOne re-checks the ledger after hosting, closing the
+// other half of that race). A session the registry lost to a crash but
+// the store still journals is likewise deleted without being revived.
 func (a *Authority) Remove(id string) error {
 	sh := a.shardFor(id)
-	sh.mu.Lock()
+	sh.mu.RLock()
 	h, ok := sh.sessions[id]
-	delete(sh.sessions, id)
-	sh.mu.Unlock()
+	sh.mu.RUnlock()
+	st := a.getStore()
 	if !ok {
+		if st != nil {
+			if _, journaled, lerr := st.LoadSession(id); lerr != nil {
+				return fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, lerr))
+			} else if journaled {
+				if derr := st.Delete(id); derr != nil {
+					return fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+				}
+				return nil
+			}
+		}
 		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
 	}
-	return h.Close()
+	h.dropped.Store(true) // stop journaling before the ledger goes away
+	var first error
+	if st != nil && h.durable.Load() {
+		if derr := st.Delete(id); derr != nil {
+			first = fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+		}
+	}
+	sh.mu.Lock()
+	cur, present := sh.sessions[id]
+	owned := present && cur == h
+	if owned {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if owned {
+		// The goroutine that unhosted the entry owns the close and the
+		// gauge; a concurrent Remove that lost the race changes nothing.
+		a.counters.Sessions.Add(-1)
+		if cerr := h.Close(); cerr != nil && first == nil {
+			first = cerr
+		}
+	}
+	return first
 }
 
 // Len returns the number of hosted sessions.
@@ -227,7 +323,14 @@ func (a *Authority) Sessions() []*HostedSession {
 	return out
 }
 
-// Close removes every hosted session, returning the first close error.
+// Close shuts the host down: every hosted session is closed in-memory,
+// then the durable store is synced and closed, so everything journaled
+// is on disk before Close returns. Shutdown does NOT journal session
+// close records — a session closed by a host restart is not a session
+// that ended, and recovery must restore it open and playable (only an
+// explicit HostedSession.Close marks a session durably closed). A second
+// Close stays idempotent: it finds no sessions and does not touch the
+// already-closed store.
 func (a *Authority) Close() error {
 	var first error
 	for i := range a.shards {
@@ -237,9 +340,21 @@ func (a *Authority) Close() error {
 		sh.sessions = make(map[string]*HostedSession)
 		sh.mu.Unlock()
 		for _, h := range sessions {
+			a.counters.Sessions.Add(-1)
+			// Latch the close journal shut: this is host shutdown, not a
+			// session close.
+			h.closeLogged.Store(true)
 			if err := h.Close(); err != nil && first == nil {
 				first = err
 			}
+		}
+	}
+	if st := a.getStore(); st != nil && !a.storeClosed.Swap(true) {
+		if err := st.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := st.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	return first

@@ -7,7 +7,11 @@
 //
 // Serve mode (-serve) hosts many independent authority sessions behind the
 // HTTP/JSON API (POST /sessions, POST /sessions/{id}/play,
-// GET /sessions/{id}/events, ...).
+// GET /sessions/{id}/events, ...). With -data-dir the host is durable:
+// sessions journal every play to a per-session write-ahead log under the
+// directory, startup recovers whatever a previous (even killed) instance
+// hosted, and SIGINT/SIGTERM snapshot every session and sync the store
+// before exiting.
 //
 // Usage examples:
 //
@@ -15,6 +19,7 @@
 //	go run ./cmd/gameauthd -n 4 -f 1 -cheat 2       # processor 2 plays outside Π
 //	go run ./cmd/gameauthd -corrupt 3 -plays 12     # transient fault after play 3
 //	go run ./cmd/gameauthd -serve :8080             # multi-session HTTP host
+//	go run ./cmd/gameauthd -serve :8080 -data-dir /var/lib/gameauthd  # durable host
 package main
 
 import (
@@ -24,8 +29,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	ga "gameauthority"
 	"gameauthority/internal/prng"
@@ -41,6 +49,7 @@ func main() {
 		corrupt = flag.Int("corrupt", -1, "inject a transient fault after this play (-1: never)")
 		seed    = flag.Uint64("seed", 7, "root seed")
 		serve   = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
+		dataDir = flag.String("data-dir", "", "durable store directory (serve mode): journal sessions, recover on startup, snapshot on shutdown")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
 		memProf = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
 	)
@@ -52,7 +61,7 @@ func main() {
 		// ignoring them.
 		var stray []string
 		flag.Visit(func(fl *flag.Flag) {
-			if fl.Name != "serve" {
+			if fl.Name != "serve" && fl.Name != "data-dir" {
 				stray = append(stray, "-"+fl.Name)
 			}
 		})
@@ -60,15 +69,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v only apply to trace mode; sessions are configured via POST /sessions\n", stray)
 			os.Exit(2)
 		}
-		authority := ga.NewAuthority()
-		fmt.Printf("gameauthd: serving the authority API on %s\n", *serve)
-		if err := http.ListenAndServe(*serve, ga.NewServer(authority)); err != nil {
+		if err := serveAPI(*serve, *dataDir); err != nil {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	if *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "gameauthd: -data-dir only applies to serve mode (-serve)")
+		os.Exit(2)
+	}
 	if err := validateFlags(*n, *f, *plays, *cheat); err != nil {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 		os.Exit(2)
@@ -93,6 +104,63 @@ func main() {
 	if memErr != nil {
 		os.Exit(2)
 	}
+}
+
+// serveAPI hosts the multi-session HTTP API, optionally durable. With a
+// data directory the startup sequence is recover-then-listen (journaled
+// sessions answer requests from the first accepted connection), and the
+// shutdown sequence is drain → snapshot-all → fsync-and-close: everything
+// journaled is compacted and on disk before the process exits. A kill
+// that skips shutdown loses nothing either — that is what the
+// write-ahead log is for.
+func serveAPI(addr, dataDir string) error {
+	var opts []ga.AuthorityOption
+	if dataDir != "" {
+		st, err := ga.NewFileStore(dataDir)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, ga.WithStore(st))
+	}
+	authority := ga.NewAuthority(opts...)
+	if dataDir != "" {
+		report, err := authority.Recover(context.Background())
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", dataDir, err)
+		}
+		fmt.Printf("gameauthd: recovered %d sessions (%d plays replayed in %v) from %s\n",
+			report.Sessions, report.Rounds, report.Elapsed.Round(time.Millisecond), dataDir)
+		for _, failure := range report.Failed {
+			fmt.Fprintf(os.Stderr, "gameauthd: recovery skipped %s\n", failure)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: ga.NewServer(authority)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("gameauthd: serving the authority API on %s\n", addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("gameauthd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: drain: %v\n", err)
+	}
+	if dataDir != "" {
+		if n, err := authority.SnapshotAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "gameauthd: snapshot: %v\n", err)
+		} else {
+			fmt.Printf("gameauthd: %d snapshots persisted\n", n)
+		}
+	}
+	return authority.Close()
 }
 
 // startCPUProfile begins CPU profiling into path ("" = disabled) and

@@ -53,6 +53,10 @@ func main() {
 		"fraction of sessions carrying one selfish deviant player (0..1); strategies rotate through the deviation catalog")
 	flag.BoolVar(&cfg.chaos, "chaos", false,
 		"install network-level adversaries on distributed sessions (in-process only; composes with -deviants)")
+	flag.IntVar(&cfg.crash, "crash", 0,
+		"crash/recover cycles: SIGKILL-style drop the authority mid-run and recover it from the write-ahead log this many times (in-process only)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"durable store directory for -crash (default: a throwaway temp dir)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -69,6 +73,8 @@ type config struct {
 	seed      uint64
 	deviants  float64
 	chaos     bool
+	crash     int
+	dataDir   string
 	out       io.Writer // bench lines (stdout in main)
 	info      io.Writer // human summary (stderr in main)
 }
@@ -335,6 +341,15 @@ func run(cfg config) error {
 	if cfg.chaos && (cfg.httpBase != "" || cfg.selfserve) {
 		return fmt.Errorf("-chaos installs in-process network adversaries; it cannot ride the HTTP transport")
 	}
+	if cfg.crash < 0 {
+		return fmt.Errorf("-crash %d must be non-negative", cfg.crash)
+	}
+	if (cfg.crash > 0 || cfg.dataDir != "") && (cfg.httpBase != "" || cfg.selfserve) {
+		return fmt.Errorf("-crash/-data-dir drive the in-process authority; they cannot ride the HTTP transport")
+	}
+	if cfg.crash > 0 && cfg.chaos {
+		return fmt.Errorf("-crash cannot compose with -chaos: network adversaries are in-process closures a recovered session cannot rebuild from its journaled spec")
+	}
 	mix, err := applyMix(loadMix(), cfg.mix)
 	if err != nil {
 		return err
@@ -358,6 +373,22 @@ func run(cfg config) error {
 		ht.onShutdown = srv.Close
 		tr = ht
 		mode = "http (selfserve)"
+	case cfg.crash > 0 || cfg.dataDir != "":
+		dir := cfg.dataDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "loadgen-wal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		st, err := ga.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		tr = &inprocTransport{authority: ga.NewAuthority(ga.WithStore(st)), durable: true}
+		mode = "in-process durable (" + dir + ")"
 	default:
 		tr = &inprocTransport{authority: ga.NewAuthority()}
 	}
@@ -429,28 +460,71 @@ func run(cfg config) error {
 	}
 
 	// Phase 2 — play every session concurrently, one goroutine per
-	// session, timing each play.
+	// session, timing each play. With -crash N the play budget splits into
+	// N+1 segments: after each non-final segment the authority is
+	// SIGKILL-dropped and a fresh one recovers every session from the
+	// write-ahead log before play resumes. playDur sums only the play
+	// segments, so throughput stays comparable to non-crash runs; the
+	// recovery cost is reported separately as replay lag.
 	ctx := context.Background()
-	playStart := time.Now()
-	for _, s := range slots {
-		wg.Add(1)
-		go func(s *slot) {
-			defer wg.Done()
-			s.lat = make([]float64, 0, s.plays)
-			for r := 0; r < s.plays; r++ {
-				t0 := time.Now()
-				if err := s.player.play(ctx); err != nil {
-					errCh <- fmt.Errorf("play %s: %w", mix[s.scenario].name, err)
-					return
-				}
-				s.lat = append(s.lat, float64(time.Since(t0).Nanoseconds()))
-			}
-		}(s)
+	segments := cfg.crash + 1
+	var playDur time.Duration
+	var recov struct {
+		cycles   int
+		sessions int
+		rounds   int
+		dur      time.Duration
+		lat      []float64 // recovery wall time per cycle, ns
 	}
-	wg.Wait()
-	playDur := time.Since(playStart)
-	if err := firstError(errCh); err != nil {
-		return err
+	for _, s := range slots {
+		s.lat = make([]float64, 0, s.plays)
+	}
+	for seg := 0; seg < segments; seg++ {
+		segStart := time.Now()
+		for _, s := range slots {
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				from, to := segmentBounds(s.plays, segments, seg)
+				for r := from; r < to; r++ {
+					t0 := time.Now()
+					if err := s.player.play(ctx); err != nil {
+						errCh <- fmt.Errorf("play %s: %w", mix[s.scenario].name, err)
+						return
+					}
+					s.lat = append(s.lat, float64(time.Since(t0).Nanoseconds()))
+				}
+			}(s)
+		}
+		wg.Wait()
+		playDur += time.Since(segStart)
+		if err := firstError(errCh); err != nil {
+			return err
+		}
+		if seg == segments-1 {
+			break
+		}
+		it, ok := tr.(*inprocTransport)
+		if !ok {
+			return fmt.Errorf("crash mode supports only the in-process transport")
+		}
+		report, err := it.crashRecover(ctx)
+		if err != nil {
+			return fmt.Errorf("crash cycle %d: %w", seg+1, err)
+		}
+		if report.Sessions != len(slots) {
+			return fmt.Errorf("crash cycle %d: recovered %d of %d sessions", seg+1, report.Sessions, len(slots))
+		}
+		for _, s := range slots {
+			if err := it.rebind(s.player); err != nil {
+				return fmt.Errorf("crash cycle %d: %w", seg+1, err)
+			}
+		}
+		recov.cycles++
+		recov.sessions += report.Sessions
+		recov.rounds += report.Rounds
+		recov.dur += report.Elapsed
+		recov.lat = append(recov.lat, float64(report.Elapsed.Nanoseconds()))
 	}
 
 	// Phase 3 — audit the deviant sessions, then teardown and report.
@@ -508,7 +582,34 @@ func run(cfg config) error {
 		fmt.Fprintf(cfg.out, "BenchmarkLoadgen/deviants-%d\t%d\t%.0f ns/op\t%.3f detection-rate\t%.3f conviction-rate\t%d deviant-sessions\n",
 			runtime.GOMAXPROCS(0), s.N, s.Mean, detectionRate, convictionRate, deviantSessions)
 	}
+	if recov.cycles > 0 {
+		perCycle := recov.dur / time.Duration(recov.cycles)
+		fmt.Fprintf(cfg.info, "loadgen: %d crash/recover cycles: %d sessions recovered, %d rounds replayed, replay lag %v/cycle\n",
+			recov.cycles, recov.sessions, recov.rounds, perCycle.Round(time.Millisecond))
+		s := metrics.Summarize(recov.lat)
+		replayRate := float64(recov.rounds) / recov.dur.Seconds()
+		fmt.Fprintf(cfg.out, "BenchmarkLoadgen/crash-%d\t%d\t%.0f ns/op\t%.1f recovered-sessions\t%.1f replayed-rounds\t%.1f replayed-rounds/s\n",
+			runtime.GOMAXPROCS(0), recov.cycles, s.Mean,
+			float64(recov.sessions)/float64(recov.cycles), float64(recov.rounds)/float64(recov.cycles), replayRate)
+	}
 	return nil
+}
+
+// segmentBounds splits a session's play budget over crash segments as
+// evenly as possible (earlier segments take the remainder).
+func segmentBounds(plays, segments, seg int) (from, to int) {
+	base, rem := plays/segments, plays%segments
+	from = seg * base
+	if seg < rem {
+		from += seg
+	} else {
+		from += rem
+	}
+	to = from + base
+	if seg < rem {
+		to++
+	}
+	return from, to
 }
 
 // deviantNames returns the deviation-catalog strategy names the chaos

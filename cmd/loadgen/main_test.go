@@ -166,10 +166,62 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 		{sessions: 4, plays: 1}, // below the mix size
 		{sessions: 100, plays: 1, httpBase: "http://x", selfserve: true}, // exclusive transports
 		{sessions: 100, plays: 1, mix: "nope=1"},
+		{sessions: 100, plays: 1, crash: -1},
+		{sessions: 100, plays: 1, crash: 1, selfserve: true}, // crash is in-process only
+		{sessions: 100, plays: 1, dataDir: "x", selfserve: true},
+		{sessions: 100, plays: 1, crash: 1, chaos: true}, // closures cannot be journaled
 	} {
 		cfg.out, cfg.info = io.Discard, io.Discard
 		if err := run(cfg); err == nil {
 			t.Fatalf("run(%+v) should fail", cfg)
+		}
+	}
+}
+
+// TestRunCrashMini drives the durable harness through two SIGKILL-style
+// crash/recover cycles at CI size: every scenario family and driver must
+// be recovered from the write-ahead log with nothing lost, and the crash
+// bench line must stay benchfmt-parseable.
+func TestRunCrashMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 16, plays: 4, seed: 7, crash: 2, deviants: 0.25, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkLoadgen/crash") {
+		t.Fatalf("no crash line in output:\n%s", got)
+	}
+	for _, unit := range []string{"recovered-sessions", "replayed-rounds", "replayed-rounds/s"} {
+		if !strings.Contains(got, unit) {
+			t.Fatalf("crash line misses %s:\n%s", unit, got)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "Benchmark") && benchLine.FindStringSubmatch(line) == nil {
+			t.Fatalf("unparseable bench line %q", line)
+		}
+	}
+}
+
+// TestSegmentBounds pins the crash-segment split: exact cover, no
+// overlap, remainders to early segments.
+func TestSegmentBounds(t *testing.T) {
+	for _, tc := range []struct{ plays, segments int }{
+		{20, 1}, {20, 3}, {7, 3}, {2, 3}, {0, 2}, {1, 4},
+	} {
+		covered := 0
+		prevTo := 0
+		for seg := 0; seg < tc.segments; seg++ {
+			from, to := segmentBounds(tc.plays, tc.segments, seg)
+			if from != prevTo || to < from {
+				t.Fatalf("plays=%d segments=%d seg=%d: bounds [%d,%d) after %d", tc.plays, tc.segments, seg, from, to, prevTo)
+			}
+			covered += to - from
+			prevTo = to
+		}
+		if covered != tc.plays {
+			t.Fatalf("plays=%d segments=%d: covered %d", tc.plays, tc.segments, covered)
 		}
 	}
 }

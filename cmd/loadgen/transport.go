@@ -21,12 +21,19 @@ const historyLimit = 8
 // --- In-process transport -----------------------------------------------------
 
 // inprocTransport hosts sessions directly on a sharded Authority — the
-// registry and the play hot paths with no wire in between.
+// registry and the play hot paths with no wire in between. With durable
+// set (crash mode), sessions are created from their serializable wire
+// specs so the authority journals them to the write-ahead log and a
+// recovered authority can rebuild them.
 type inprocTransport struct {
 	authority *ga.Authority
+	durable   bool
 }
 
 func (t *inprocTransport) create(id string, sc scenario, seed uint64, dev deviance) (player, error) {
+	if t.durable {
+		return t.createDurable(id, sc, seed, dev)
+	}
 	g, opts, err := sc.build(seed)
 	if err != nil {
 		return nil, err
@@ -55,6 +62,63 @@ func (t *inprocTransport) create(id string, sc scenario, seed uint64, dev devian
 		return nil, err
 	}
 	return &inprocPlayer{h: h, authority: t.authority}, nil
+}
+
+// createDurable builds the session from the same wire spec the HTTP
+// transport posts, so the spec is journaled and the session survives a
+// crash of the authority.
+func (t *inprocTransport) createDurable(id string, sc scenario, seed uint64, dev deviance) (player, error) {
+	req := sc.request(id, seed)
+	req.HistoryLimit = historyLimit
+	if dev.strategy != "" {
+		req.Deviant = &ga.DeviantSpec{Player: 0, Strategy: dev.strategy}
+		if !sc.punished && req.Punishment == nil {
+			req.Punishment = &ga.PunishmentSpec{Scheme: "disconnect"}
+		}
+	}
+	h, err := t.authority.CreateFromSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	return &inprocPlayer{h: h, authority: t.authority}, nil
+}
+
+// crashRecover SIGKILL-drops the current authority and recovers a fresh
+// one from the detached store: the old instance is abandoned un-synced
+// (exactly what a kill leaves behind), recovery replays every journaled
+// session, and only then is the corpse closed to free its worker pools —
+// the close journals nothing because the store is already detached.
+func (t *inprocTransport) crashRecover(ctx context.Context) (ga.RecoveryReport, error) {
+	old := t.authority
+	st := old.DetachStore()
+	if st == nil {
+		return ga.RecoveryReport{}, fmt.Errorf("crash mode needs a store-backed authority")
+	}
+	next := ga.NewAuthority(ga.WithStore(st))
+	report, err := next.Recover(ctx)
+	if err != nil {
+		return report, err
+	}
+	if len(report.Failed) > 0 {
+		return report, fmt.Errorf("recovery failed for %d sessions (first: %s)", len(report.Failed), report.Failed[0])
+	}
+	_ = old.Close()
+	t.authority = next
+	return report, nil
+}
+
+// rebind points a player at its recovered session on the new authority.
+func (t *inprocTransport) rebind(p player) error {
+	ip, ok := p.(*inprocPlayer)
+	if !ok {
+		return fmt.Errorf("crash mode supports only the in-process transport")
+	}
+	h, err := t.authority.Get(ip.h.ID())
+	if err != nil {
+		return fmt.Errorf("session lost across the crash: %w", err)
+	}
+	ip.h, ip.authority = h, t.authority
+	return nil
 }
 
 func (t *inprocTransport) shutdown() error { return t.authority.Close() }

@@ -1,0 +1,207 @@
+package gameauthority_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	ga "gameauthority"
+	"gameauthority/internal/core"
+)
+
+// crashSpecs builds the ≥ 200-session fleet for the crash-recovery
+// acceptance test: every driver represented, punishment and deviants in
+// the mix, rounds varying per session so WAL tails of every length are
+// replayed.
+func crashSpecs() ([]ga.CreateSessionRequest, []int) {
+	var specs []ga.CreateSessionRequest
+	var rounds []int
+	families := []string{"pd", "congestion", "braess", "coordination-n", "minority", "publicgoods-punish", "firstprice", "secondprice"}
+	deviants := []string{"", "commitment-cheat", "", "freerider", ""}
+	// 168 pure sessions over every catalog family.
+	for i := 0; i < 168; i++ {
+		req := ga.CreateSessionRequest{
+			ID:      fmt.Sprintf("pure-%03d", i),
+			Game:    families[i%len(families)],
+			Players: 3 + i%3,
+			Seed:    uint64(1000 + i),
+			Punishment: &ga.PunishmentSpec{
+				Scheme: []string{"disconnect", "reputation"}[i%2],
+			},
+		}
+		if d := deviants[i%len(deviants)]; d != "" {
+			req.Deviant = &ga.DeviantSpec{Player: 0, Strategy: d}
+		}
+		if i%4 == 0 {
+			req.HistoryLimit = 3 // exercise bounded rings across the crash
+		}
+		specs = append(specs, req)
+		rounds = append(rounds, 2+i%6)
+	}
+	// 16 mixed sessions with per-round auditing.
+	for i := 0; i < 16; i++ {
+		specs = append(specs, ga.CreateSessionRequest{
+			ID:   fmt.Sprintf("mixed-%02d", i),
+			Game: "matchingpennies",
+			Kind: "mixed", Audit: "per-round",
+			Seed: uint64(2000 + i),
+		})
+		rounds = append(rounds, 3+i%4)
+	}
+	// 12 RRA sessions.
+	for i := 0; i < 12; i++ {
+		req := ga.CreateSessionRequest{
+			ID:         fmt.Sprintf("rra-%02d", i),
+			Seed:       uint64(3000 + i),
+			Punishment: &ga.PunishmentSpec{Scheme: "disconnect"},
+		}
+		req.RRA = &struct {
+			Agents    int `json:"agents"`
+			Resources int `json:"resources"`
+		}{Agents: 4 + i%4, Resources: 2}
+		specs = append(specs, req)
+		rounds = append(rounds, 2+i%5)
+	}
+	// 8 distributed sessions (the heavy driver: few plays each).
+	for i := 0; i < 8; i++ {
+		req := ga.CreateSessionRequest{
+			ID:          fmt.Sprintf("dist-%02d", i),
+			Game:        "publicgoods",
+			Players:     4,
+			Seed:        uint64(4000 + i),
+			PulseBudget: 1000 * ga.PulsesPerPlay(1),
+		}
+		req.Distributed = &struct {
+			N int `json:"n"`
+			F int `json:"f"`
+		}{N: 4, F: 1}
+		specs = append(specs, req)
+		rounds = append(rounds, 1+i%2)
+	}
+	return specs, rounds
+}
+
+// TestCrashRecovery200Sessions is the acceptance criterion: kill an
+// authority with ≥ 200 live sessions across all four drivers, Recover()
+// restores every one from the file store, and subsequent plays match an
+// uninterrupted seeded twin hash-for-hash.
+func TestCrashRecovery200Sessions(t *testing.T) {
+	ctx := context.Background()
+	specs, rounds := crashSpecs()
+	if len(specs) < 200 {
+		t.Fatalf("fleet has %d sessions, want ≥ 200", len(specs))
+	}
+
+	st, err := ga.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ga.NewAuthority(ga.WithStore(st), ga.WithSnapshotEvery(4))
+
+	// Create and play the fleet concurrently — the crash lands mid-flight
+	// on a loaded host, exactly the scenario the WAL exists for.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(spec ga.CreateSessionRequest, plays int) {
+			defer wg.Done()
+			h, err := victim.CreateFromSpec(spec)
+			if err != nil {
+				errCh <- fmt.Errorf("create %s: %w", spec.ID, err)
+				return
+			}
+			if _, err := h.Run(ctx, plays); err != nil {
+				errCh <- fmt.Errorf("play %s: %w", spec.ID, err)
+			}
+		}(spec, rounds[i])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if victim.Len() != len(specs) {
+		t.Fatalf("victim hosts %d sessions, want %d", victim.Len(), len(specs))
+	}
+
+	// SIGKILL: detach the store un-synced and abandon the authority. The
+	// corpse is closed only after recovery (resource hygiene; the detach
+	// guarantees it cannot touch the ledger).
+	detached := victim.DetachStore()
+	defer victim.Close()
+
+	recovered := ga.NewAuthority(ga.WithStore(detached))
+	report, err := recovered.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) > 0 {
+		t.Fatalf("recovery failed for %d sessions, first: %s", len(report.Failed), report.Failed[0])
+	}
+	if report.Sessions != len(specs) {
+		t.Fatalf("recovered %d sessions, want %d", report.Sessions, len(specs))
+	}
+	t.Logf("recovered %d sessions, %d plays replayed in %v", report.Sessions, report.Rounds, report.Elapsed)
+
+	// Every recovered session's future must match its uninterrupted twin
+	// hash-for-hash.
+	const k = 3
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(spec ga.CreateSessionRequest, plays int) {
+			defer wg.Done()
+			h, err := recovered.Get(spec.ID)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got := h.Stats().Rounds; got != plays {
+				errCh <- fmt.Errorf("%s: recovered at round %d, want %d", spec.ID, got, plays)
+				return
+			}
+			spec.ID = "" // twins host under fresh auto ids on a throwaway volatile host
+			twinHost := ga.NewAuthority()
+			defer twinHost.Close()
+			twin, err := twinHost.CreateFromSpec(spec)
+			if err != nil {
+				errCh <- fmt.Errorf("twin %s: %w", spec.ID, err)
+				return
+			}
+			if _, err := twin.Run(ctx, plays); err != nil {
+				errCh <- err
+				return
+			}
+			for r := 0; r < k; r++ {
+				want, err := twin.Play(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got, err := h.Play(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if wh, gh := core.HashResult(want), core.HashResult(got); wh != gh {
+					errCh <- fmt.Errorf("%s: post-recovery play %d hash %s, twin %s", h.ID(), r, gh, wh)
+					return
+				}
+			}
+			if w, g := twin.Snapshot().Digest, h.Snapshot().Digest; w != g {
+				errCh <- fmt.Errorf("%s: final digest diverged from twin", h.ID())
+			}
+		}(spec, rounds[i])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

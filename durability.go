@@ -1,0 +1,569 @@
+package gameauthority
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gameauthority/internal/core"
+	"gameauthority/internal/store"
+)
+
+// Store is the authority's pluggable persistence backend: a per-session
+// write-ahead log of plays/verdicts/convictions plus periodically
+// compacted snapshots. See NewMemStore and NewFileStore.
+type Store = store.Store
+
+// SessionSnapshot is a session's durable state summary: the replay
+// watermark, counters, and the canonical state digest that proves a
+// restored session is byte-identical. See Session.Snapshot.
+type SessionSnapshot = core.SessionSnapshot
+
+// RestoreTarget tells RestoreSession how far to replay and what to
+// verify (journaled play hashes and the final state digest).
+type RestoreTarget = core.RestoreTarget
+
+// ErrNoStore is returned by durability operations on an authority built
+// without WithStore.
+var ErrNoStore = errors.New("gameauthority: authority has no store")
+
+// ErrStoreClosed is returned by store operations after the store (or the
+// authority owning it) was closed.
+var ErrStoreClosed = store.ErrClosed
+
+// ErrDurability marks server-side persistence failures (journal or
+// snapshot writes): the request was valid but the durable store could
+// not record it. The HTTP layer maps it to 503.
+var ErrDurability = errors.New("gameauthority: durable store operation failed")
+
+// ErrRestore reports that recovery replayed a session whose state did not
+// match the journal — the spec, seed, or engine semantics changed since
+// the state was written.
+var ErrRestore = core.ErrRestore
+
+// defaultSnapshotEvery is the default compaction cadence: a durable
+// session's WAL is folded into a snapshot every this many journaled
+// plays, bounding log length (and recovery verification work) on
+// long-lived sessions.
+const defaultSnapshotEvery = 256
+
+// NewMemStore creates the in-memory store backend: full WAL/snapshot
+// semantics with no I/O. It outlives any Authority that writes it, so
+// crash-simulation harnesses can abandon a host and recover a fresh one
+// from the same store; it does not survive the process.
+func NewMemStore() Store { return store.NewMem() }
+
+// NewFileStore opens (creating if needed) the file store backend rooted
+// at dir: one spec/WAL/snapshot file triple per session under
+// dir/sessions, CRC-guarded WAL lines, atomically-replaced snapshots.
+// See DESIGN.md §9 for the on-disk format.
+func NewFileStore(dir string) (Store, error) { return store.NewFile(dir) }
+
+// AuthorityOption configures NewAuthority.
+type AuthorityOption func(*Authority)
+
+// WithStore attaches a durable store to the authority: sessions created
+// from a serializable spec (CreateFromSpec — the POST /sessions path) are
+// journaled play-by-play and survive a host crash via Recover. Sessions
+// built from in-process closures (Create, Host) stay volatile — a closure
+// cannot be journaled.
+func WithStore(st Store) AuthorityOption {
+	return func(a *Authority) { a.store.Store(&storeBox{st: st}) }
+}
+
+// WithSnapshotEvery sets the compaction cadence: every n journaled plays
+// a durable session's WAL is folded into a compacted snapshot. n ≤ 0
+// disables periodic compaction (snapshots still happen on close and on
+// explicit SnapshotSession calls). The default is 256.
+func WithSnapshotEvery(n int) AuthorityOption {
+	return func(a *Authority) { a.snapshotEvery = n }
+}
+
+// --- Durable session lifecycle --------------------------------------------------
+
+// CreateFromSpec builds and hosts a session from its serializable wire
+// spec — the same translation POST /sessions performs. On a store-backed
+// authority the spec is journaled first and the session becomes durable:
+// every play appends a WAL record and the session survives a host crash.
+func (a *Authority) CreateFromSpec(req CreateSessionRequest) (*HostedSession, error) {
+	g, opts, err := req.build()
+	if err != nil {
+		return nil, err
+	}
+	autoNamed := req.ID == ""
+	for {
+		h, err := a.Create(req.ID, g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		st := a.getStore()
+		if st == nil {
+			return h, nil
+		}
+		req.ID = h.ID() // record the assigned id for auto-named sessions
+		spec, err := json.Marshal(req)
+		if err == nil {
+			err = st.CreateSession(h.ID(), spec)
+		}
+		if err == nil {
+			h.durable.Store(true)
+			return h, nil
+		}
+		// Never host a session the ledger cannot recover: a durable create
+		// that cannot journal is a failed create.
+		_ = a.Remove(h.ID())
+		if errors.Is(err, store.ErrSessionExists) {
+			// The id is journaled by a previous host whose registry entry
+			// was lost to a crash. Its ledger must NOT be scrubbed. An
+			// auto-named create simply skips past the predecessor's ids
+			// (the counter is monotone, so this terminates); an explicit
+			// id is a conflict — recover it instead of re-creating.
+			if autoNamed {
+				req.ID = ""
+				continue
+			}
+			return nil, fmt.Errorf("%w: %q (journaled by a previous host; recover it instead of re-creating)",
+				ErrSessionExists, h.ID())
+		}
+		// Remove skips the store for non-durable sessions, so scrub any
+		// partial journal (an orphaned spec would poison the id and
+		// resurrect a phantom session at the next recovery) explicitly.
+		_ = st.Delete(h.ID())
+		return nil, fmt.Errorf("journal create: %w", errors.Join(ErrDurability, err))
+	}
+}
+
+// Play executes one play on the hosted session, then journals it to the
+// durable store (durable sessions) and bumps the host counters. The play
+// record carries the canonical transcript hash recovery re-verifies.
+// Journaling happens under the session's journal read-lock, so a play
+// can never race Close into appending after the close record.
+func (h *HostedSession) Play(ctx context.Context) (RoundResult, error) {
+	h.jmu.RLock()
+	defer h.jmu.RUnlock()
+	res, err := h.Session.Play(ctx)
+	if err != nil || h.a == nil {
+		return res, err
+	}
+	c := &h.a.counters
+	c.Plays.Add(1)
+	if n := len(res.Verdict.Fouls); n > 0 {
+		c.Fouls.Add(int64(n))
+	}
+	if n := len(res.Convicted); n > 0 {
+		c.Convictions.Add(int64(n))
+	}
+	if jerr := h.a.journalPlay(h, res); jerr != nil {
+		// The play happened; reporting the journal failure tells the
+		// caller durability is degraded without losing the result.
+		return res, jerr
+	}
+	return res, nil
+}
+
+// Run executes rounds plays through Play, so every play of a durable
+// session is journaled (the embedded Session.Run would bypass the WAL).
+func (h *HostedSession) Run(ctx context.Context, rounds int) (RoundResult, error) {
+	var last RoundResult
+	for i := 0; i < rounds; i++ {
+		res, err := h.Play(ctx)
+		if err != nil {
+			return last, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// Close finalizes the hosted session and, for durable sessions, journals
+// a close record carrying the post-close state digest plus a final
+// compacted snapshot. Idempotent like the underlying Session.Close. The
+// journal write-lock excludes in-flight plays, so the close record's
+// digest never covers a play whose own record has not landed yet.
+func (h *HostedSession) Close() error {
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
+	if err := h.Session.Close(); err != nil {
+		return err
+	}
+	if h.a == nil || !h.durable.Load() || h.dropped.Load() || h.closeLogged.Swap(true) {
+		return nil
+	}
+	st := h.a.getStore()
+	if st == nil {
+		return nil
+	}
+	snap := h.Session.Snapshot()
+	if err := st.Append(h.id, store.Record{Type: store.RecordClose, Digest: snap.Digest}); err != nil {
+		// Un-latch so a retried Close re-attempts the close record instead
+		// of falsely reporting success with an open-looking journal.
+		h.closeLogged.Store(false)
+		return fmt.Errorf("journal close: %w", errors.Join(ErrDurability, err))
+	}
+	h.a.counters.WALRecords.Add(1)
+	// Best-effort final compaction; the close record above already makes
+	// recovery exact.
+	_, _, _ = h.a.snapshotHosted(h, snap)
+	return nil
+}
+
+// journalPlay appends the play's WAL record and triggers cadence-based
+// compaction.
+func (a *Authority) journalPlay(h *HostedSession, res RoundResult) error {
+	st := a.getStore()
+	if st == nil || !h.durable.Load() {
+		return nil
+	}
+	rec := store.Record{
+		Type:  store.RecordPlay,
+		Round: res.Round,
+		Hash:  core.HashResult(res),
+		Fouls: len(res.Verdict.Fouls),
+	}
+	if len(res.Convicted) > 0 {
+		rec.Convicted = res.Convicted // Append serializes synchronously; no clone needed
+	}
+	if err := st.Append(h.id, rec); err != nil {
+		return fmt.Errorf("journal play: %w", errors.Join(ErrDurability, err))
+	}
+	a.counters.WALRecords.Add(1)
+	if every := a.snapshotEvery; every > 0 {
+		// Claim the counter before compacting so concurrent plays past the
+		// threshold do not queue redundant full-WAL rewrites behind one
+		// another; on failure the claim is returned, so the WAL stays
+		// intact and a later play retries the compaction.
+		if n := h.walPlays.Add(1); n >= int64(every) && h.walPlays.CompareAndSwap(n, 0) {
+			if _, ok, err := a.snapshotHosted(h, h.Session.Snapshot()); err != nil || !ok {
+				h.walPlays.Add(n)
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotHosted persists one session's snapshot, compacting its WAL and
+// resetting the compaction cadence. persisted is false (with a nil
+// error) for volatile sessions.
+func (a *Authority) snapshotHosted(h *HostedSession, snap SessionSnapshot) (SessionSnapshot, bool, error) {
+	st := a.getStore()
+	if st == nil || !h.durable.Load() || h.dropped.Load() {
+		return snap, false, nil
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return snap, false, fmt.Errorf("gameauthority: snapshot: %w", err)
+	}
+	if err := st.PutSnapshot(h.id, snap.Rounds, payload); err != nil {
+		return snap, false, fmt.Errorf("snapshot: %w", errors.Join(ErrDurability, err))
+	}
+	h.walPlays.Store(0)
+	a.counters.Snapshots.Add(1)
+	return snap, true, nil
+}
+
+// SnapshotSession captures the session's state summary and, when the
+// session is durable, persists it as the compacted snapshot (the POST
+// /sessions/{id}/snapshot operation). persisted reports whether the store
+// was updated.
+func (a *Authority) SnapshotSession(id string) (snap SessionSnapshot, persisted bool, err error) {
+	h, err := a.Get(id)
+	if err != nil {
+		return SessionSnapshot{}, false, err
+	}
+	return a.snapshotHosted(h, h.Session.Snapshot())
+}
+
+// SnapshotAll snapshots every hosted durable session (graceful-shutdown
+// compaction), returning how many snapshots were persisted and the first
+// error encountered.
+func (a *Authority) SnapshotAll() (int, error) {
+	var first error
+	persisted := 0
+	for _, h := range a.Sessions() {
+		if _, ok, err := a.snapshotHosted(h, h.Session.Snapshot()); err != nil {
+			if first == nil {
+				first = err
+			}
+		} else if ok {
+			persisted++
+		}
+	}
+	return persisted, first
+}
+
+// DetachStore removes and returns the authority's store without syncing
+// or closing it — the SIGKILL simulation crash harnesses use to abandon a
+// host: the detached instance stops journaling immediately, and whatever
+// reached the store stays exactly as a real crash would leave it.
+func (a *Authority) DetachStore() Store {
+	if b := a.store.Swap(nil); b != nil {
+		return b.st
+	}
+	return nil
+}
+
+// --- Recovery -------------------------------------------------------------------
+
+// RecoveryReport summarizes one Recover pass.
+type RecoveryReport struct {
+	// Sessions is the number of sessions restored and re-hosted.
+	Sessions int
+	// Rounds is the total number of plays replayed across them.
+	Rounds int
+	// Elapsed is the wall-clock recovery time (the replay lag).
+	Elapsed time.Duration
+	// Failed lists "id: reason" for sessions that could not be restored
+	// (corrupt spec, verification mismatch); they stay in the store for
+	// inspection.
+	Failed []string
+}
+
+// Recover restores every persisted session from the durable store:
+// concurrent workers rebuild each session from its journaled spec,
+// deterministically replay it to its WAL watermark (verifying play hashes
+// and state digests), and re-host it under its original id. Sessions that
+// fail verification are reported in the RecoveryReport and left in the
+// store. Safe to call on a freshly built authority at startup.
+func (a *Authority) Recover(ctx context.Context) (RecoveryReport, error) {
+	start := time.Now()
+	st := a.getStore()
+	if st == nil {
+		return RecoveryReport{}, ErrNoStore
+	}
+	ids, err := st.IDs()
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers > 16 {
+		workers = 16
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		report RecoveryReport
+	)
+	sem := make(chan struct{}, workers)
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id string) {
+			defer func() { <-sem; wg.Done() }()
+			// Each worker loads its own session's state, so journal I/O
+			// overlaps replay and memory holds only in-flight sessions.
+			state, ok, err := st.LoadSession(id)
+			var rounds int
+			var restored bool
+			if err == nil && ok {
+				rounds, restored, err = a.restoreOne(ctx, state)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				report.Failed = append(report.Failed, fmt.Sprintf("%s: %v", id, err))
+				return
+			}
+			if restored {
+				report.Sessions++
+				report.Rounds += rounds
+			}
+		}(id)
+	}
+	wg.Wait()
+	sort.Strings(report.Failed)
+	report.Elapsed = time.Since(start)
+	return report, ctx.Err()
+}
+
+// restoreCall tracks one in-flight restore-on-miss so concurrent
+// requests for the same lost id share a single replay (singleflight).
+type restoreCall struct {
+	done chan struct{}
+	err  error
+}
+
+// GetOrRecover returns the hosted session with the given id, lazily
+// restoring it from the durable store on a registry miss (the HTTP
+// restore-on-miss path: a request for a session the crashed predecessor
+// hosted revives it on demand). Concurrent misses on the same id share
+// one replay: followers wait for the leader instead of each paying the
+// full deterministic replay only to lose the Host race.
+func (a *Authority) GetOrRecover(ctx context.Context, id string) (*HostedSession, error) {
+	h, err := a.Get(id)
+	if err == nil {
+		return h, nil
+	}
+	st := a.getStore()
+	if st == nil {
+		return nil, err
+	}
+
+	a.restoreMu.Lock()
+	if a.restoring == nil {
+		a.restoring = make(map[string]*restoreCall)
+	}
+	if c, inflight := a.restoring[id]; inflight {
+		a.restoreMu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		return a.Get(id)
+	}
+	c := &restoreCall{done: make(chan struct{})}
+	a.restoring[id] = c
+	a.restoreMu.Unlock()
+	defer func() {
+		a.restoreMu.Lock()
+		delete(a.restoring, id)
+		a.restoreMu.Unlock()
+		close(c.done)
+	}()
+
+	state, ok, lerr := st.LoadSession(id)
+	if lerr != nil {
+		// A degraded store must not masquerade as "session never existed":
+		// the ledger may be intact. Surface the server-side condition.
+		c.err = fmt.Errorf("load %q: %w", id, errors.Join(ErrDurability, lerr))
+		return nil, c.err
+	}
+	if !ok {
+		c.err = err // the original ErrSessionNotFound
+		return nil, err
+	}
+	if _, _, rerr := a.restoreOne(ctx, state); rerr != nil {
+		// The ledger exists but could not be revived (diverged digest,
+		// unbuildable spec). That is a damaged-store condition, not "never
+		// existed" — report it as such, with the cause inspectable.
+		c.err = fmt.Errorf("restore %q: %w", id, errors.Join(ErrDurability, rerr))
+		return nil, c.err
+	}
+	return a.Get(id)
+}
+
+// restoreOne rebuilds, replays, verifies, and re-hosts one journaled
+// session. restored is false (with a nil error) when the id was already
+// hosted — nothing was recovered, and nothing is counted.
+func (a *Authority) restoreOne(ctx context.Context, state store.SessionState) (rounds int, restored bool, err error) {
+	if _, err := a.Get(state.ID); err == nil {
+		// Already hosted (a second Recover pass, or a GetOrRecover that
+		// beat us): skip before paying for the replay.
+		return 0, false, nil
+	}
+	var req CreateSessionRequest
+	if err := json.Unmarshal(state.Spec, &req); err != nil {
+		return 0, false, fmt.Errorf("corrupt spec: %w", err)
+	}
+	g, opts, err := req.build()
+	if err != nil {
+		return 0, false, fmt.Errorf("spec no longer builds: %w", err)
+	}
+	target, err := restoreTargetFor(state)
+	if err != nil {
+		return 0, false, err
+	}
+	s, err := RestoreSession(ctx, g, target, opts...)
+	if err != nil {
+		return 0, false, err
+	}
+	h, err := a.Host(state.ID, s)
+	if errors.Is(err, ErrSessionExists) {
+		// A concurrent recovery of the same id won; use its session.
+		_ = s.Close()
+		return 0, false, nil
+	}
+	if err != nil {
+		_ = s.Close()
+		return 0, false, err
+	}
+	if st := a.getStore(); st != nil {
+		if _, journaled, lerr := st.LoadSession(state.ID); lerr == nil && !journaled {
+			// A Remove deleted the ledger while we were replaying: honor
+			// the delete instead of hosting a zombie with no journal.
+			h.dropped.Store(true)
+			_ = a.Remove(state.ID)
+			return 0, false, nil
+		}
+	}
+	h.durable.Store(true)
+	if target.Closed {
+		h.closeLogged.Store(true)
+	}
+	// Seed the cadence counter with the un-compacted tail so long tails
+	// compact soon after recovery.
+	h.walPlays.Store(int64(len(target.Hashes)))
+	a.counters.Recoveries.Add(1)
+	a.counters.ReplayedRounds.Add(int64(target.Rounds))
+	return target.Rounds, true, nil
+}
+
+// restoreTargetFor derives the replay target from a journaled state: the
+// snapshot gives the base watermark and digest, the WAL tail extends the
+// watermark and supplies per-play hashes, and a close record (or a
+// close-time snapshot) closes the restored session with its post-close
+// digest.
+func restoreTargetFor(state store.SessionState) (RestoreTarget, error) {
+	target := RestoreTarget{Rounds: state.SnapshotRounds, Closed: state.Closed}
+	snapDigest := ""
+	if len(state.Snapshot) > 0 {
+		var snap SessionSnapshot
+		if err := json.Unmarshal(state.Snapshot, &snap); err != nil {
+			return target, fmt.Errorf("corrupt snapshot: %w", err)
+		}
+		if snap.Rounds > target.Rounds {
+			target.Rounds = snap.Rounds
+		}
+		snapDigest = snap.Digest
+		if snap.Closed {
+			target.Closed = true
+		}
+	}
+	lastPlay := -1
+	for _, rec := range state.Tail {
+		if rec.Type != store.RecordPlay {
+			continue
+		}
+		if target.Hashes == nil {
+			target.Hashes = make(map[int]string, len(state.Tail))
+		}
+		target.Hashes[rec.Round] = rec.Hash
+		if rec.Round > lastPlay {
+			lastPlay = rec.Round
+		}
+	}
+	if lastPlay+1 > target.Rounds {
+		target.Rounds = lastPlay + 1
+	}
+	switch {
+	case state.Closed && state.CloseDigest != "":
+		target.Digest = state.CloseDigest
+	case lastPlay < state.SnapshotRounds && snapDigest != "":
+		// No plays beyond the snapshot: its digest is the final state.
+		target.Digest = snapDigest
+	}
+	return target, nil
+}
+
+// RestoreSession rebuilds a session from the same game+options New takes
+// and deterministically replays it to the target (see core.Restore). The
+// restored session's retained state is byte-identical to the journaled
+// one; any verification mismatch fails with ErrRestore.
+func RestoreSession(ctx context.Context, g Game, target RestoreTarget, opts ...Option) (Session, error) {
+	cfg := core.SessionConfig{Game: g}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.Restore(ctx, cfg, target)
+}

@@ -74,6 +74,11 @@ type Session interface {
 	// cancels the subscription. Sticky events (elections) are replayed to
 	// late subscribers.
 	Subscribe(Observer) (cancel func())
+	// Snapshot captures the session's durable state summary — the replay
+	// watermark, counters, and a canonical state digest. Restore rebuilds
+	// a byte-identical session from the configuration plus a snapshot.
+	// Snapshot works on open and closed sessions alike.
+	Snapshot() SessionSnapshot
 	// Close finalizes the session: a batched-audit mixed session audits
 	// its trailing partial epoch, and a distributed session releases its
 	// pulse-engine worker pool. Close is idempotent; after a successful

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrRestore is returned by Restore when the replayed session does not
+// match the recorded state — a play hash or the final state digest
+// diverged, meaning the configuration, seed, or engine semantics changed
+// since the state was journaled.
+var ErrRestore = errors.New("core: restore verification failed")
+
+// SessionSnapshot is a driver's durable state summary at a round boundary.
+// It deliberately contains no engine internals: every driver is
+// deterministic in (configuration, seed) — the per-round PRNG streams are
+// derived from the round counter, so the round count *is* the stream
+// position — and Restore rebuilds the full state (bounded history ring,
+// punishment-scheme ledgers, deviant wiring, cumulative costs, network
+// state) by replaying Rounds plays. The snapshot's role is verification
+// and observability: Digest proves the replayed state is byte-identical,
+// and the counters let a store listing describe a session without
+// reviving it.
+type SessionSnapshot struct {
+	Kind    SessionKind `json:"kind"`
+	Players int         `json:"players"`
+	// Rounds is the number of completed plays — the replay watermark.
+	Rounds      int `json:"rounds"`
+	Fouls       int `json:"fouls"`
+	Convictions int `json:"convictions"`
+	// CumulativeCost and Excluded mirror SessionStats at the snapshot.
+	CumulativeCost []float64 `json:"cumulative_cost,omitempty"`
+	Excluded       []bool    `json:"excluded,omitempty"`
+	// Closed reports whether the session was closed when snapshotted (a
+	// batched-audit mixed session audits its trailing epoch on close, so
+	// closed state differs from open state at the same round).
+	Closed bool `json:"closed"`
+	// Digest is the canonical state digest: SHA-256 over the counters
+	// above plus every retained play's transcript line. Two sessions with
+	// equal digests hold byte-identical retained state.
+	Digest string `json:"digest"`
+}
+
+// appendResultLine renders one play canonically (the same shape for every
+// driver), so transcript hashes and state digests are stable across runs
+// and processes. Floats use shortest round-trip form.
+func appendResultLine(b []byte, res *RoundResult) []byte {
+	b = fmt.Appendf(b, "round=%d outcome=%v convicted=%v excluded=%v pulse=%d costs=[",
+		res.Round, res.Outcome, res.Convicted, res.Excluded, res.Pulse)
+	for i, c := range res.Costs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendFloat(b, c, 'g', -1, 64)
+	}
+	b = append(b, "] fouls=["...)
+	for i, f := range res.Verdict.Fouls {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = fmt.Appendf(b, "%d:%s", f.Agent, f.Reason)
+	}
+	b = append(b, ']', '\n')
+	return b
+}
+
+// HashResult returns the canonical transcript hash of one play — the value
+// the write-ahead log journals per play and recovery re-checks per
+// replayed play.
+func HashResult(res RoundResult) string {
+	sum := sha256.Sum256(appendResultLine(nil, &res))
+	return hex.EncodeToString(sum[:])
+}
+
+// buildSnapshot assembles the snapshot and its state digest from a
+// driver's counters and history ring. The caller holds the driver mutex.
+func buildSnapshot(kind SessionKind, players, rounds, fouls, convictions int,
+	cum []float64, excluded []bool, closed bool, hist *historyRing) SessionSnapshot {
+	snap := SessionSnapshot{
+		Kind:           kind,
+		Players:        players,
+		Rounds:         rounds,
+		Fouls:          fouls,
+		Convictions:    convictions,
+		CumulativeCost: append([]float64(nil), cum...),
+		Excluded:       append([]bool(nil), excluded...),
+		Closed:         closed,
+	}
+	h := sha256.New()
+	b := fmt.Appendf(nil, "kind=%s players=%d rounds=%d fouls=%d convictions=%d closed=%t\ncum=[",
+		kind, players, rounds, fouls, convictions, closed)
+	for i, c := range snap.CumulativeCost {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendFloat(b, c, 'g', -1, 64)
+	}
+	b = append(b, "] excluded="...)
+	b = fmt.Appendf(b, "%v\n", snap.Excluded)
+	h.Write(b)
+	if hist != nil {
+		first := hist.firstRetained()
+		var line []byte
+		for i := 0; i < hist.retained(); i++ {
+			slot, _ := hist.at(first + i)
+			line = appendResultLine(line[:0], slot)
+			h.Write(line)
+		}
+	}
+	snap.Digest = hex.EncodeToString(h.Sum(nil))
+	return snap
+}
+
+// Snapshot implements Session for the pure driver.
+func (d *pureDriver) Snapshot() SessionSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return buildSnapshot(KindPure, d.n, d.s.Round(), d.fouls, d.convictions,
+		d.s.cumCost, snapshotExcluded(d.n, d.s.Excluded), d.closed, &d.s.history)
+}
+
+// Snapshot implements Session for the mixed driver.
+func (d *mixedDriver) Snapshot() SessionSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cum := make([]float64, d.n)
+	for i := range cum {
+		cum[i] = d.s.CumulativeCost(i)
+	}
+	return buildSnapshot(KindMixed, d.n, d.s.Round(), d.fouls, d.convictions,
+		cum, snapshotExcluded(d.n, d.s.Excluded), d.closed, &d.history)
+}
+
+// Snapshot implements Session for the RRA driver.
+func (d *rraDriver) Snapshot() SessionSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return buildSnapshot(KindRRA, d.n, d.h.RRA().Rounds(), d.seenFouls, d.convictions,
+		d.cumCost, snapshotExcluded(d.n, d.h.Excluded), d.closed, &d.history)
+}
+
+// Snapshot implements Session for the distributed driver.
+func (d *distDriver) Snapshot() SessionSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var excluded []bool
+	if len(d.s.Honest) > 0 {
+		excluded = snapshotExcluded(d.n, d.s.Procs[d.s.Honest[0]].Excluded)
+	}
+	return buildSnapshot(KindDistributed, d.n, d.history.recorded(), d.fouls, d.convictions,
+		d.cumCost, excluded, d.closed, &d.history)
+}
+
+// RestoreTarget tells Restore how far to replay and what to verify.
+type RestoreTarget struct {
+	// Rounds is the number of plays to replay (the journaled round count).
+	Rounds int
+	// Closed closes the restored session after replay, reproducing
+	// close-time state transitions (trailing-epoch audits).
+	Closed bool
+	// Digest, when non-empty, is the expected state digest after replay
+	// (and close, when Closed): the snapshot or close-record digest.
+	Digest string
+	// Hashes maps absolute round indices to expected transcript hashes
+	// (the WAL tail); every replayed play with an entry is verified.
+	Hashes map[int]string
+}
+
+// restoreBudgetRetries bounds how many recoverable pulse-budget errors a
+// single replayed play may absorb before restoration gives up on a wedged
+// distributed configuration.
+const restoreBudgetRetries = 1000
+
+// Restore rebuilds a session from its configuration and deterministically
+// replays it to the target round count, verifying journaled play hashes
+// along the way and the final state digest at the end. On success the
+// returned session's retained state is byte-identical to the one that was
+// journaled — the cross-driver determinism property the goldens pin is
+// exactly what makes this sound. Any verification mismatch closes the
+// half-restored session and fails with ErrRestore.
+func Restore(ctx context.Context, cfg SessionConfig, target RestoreTarget) (Session, error) {
+	if target.Rounds < 0 {
+		return nil, fmt.Errorf("%w: negative replay target %d", ErrConfig, target.Rounds)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (Session, error) {
+		_ = s.Close()
+		return nil, err
+	}
+	retries := 0
+	for played := 0; played < target.Rounds; {
+		res, err := s.Play(ctx)
+		if errors.Is(err, ErrPulseBudget) {
+			// Documented-recoverable: the next Play keeps stepping the
+			// network, and the pulse partition does not affect the state a
+			// completed play leaves behind.
+			if retries++; retries > restoreBudgetRetries {
+				return fail(fmt.Errorf("%w: pulse budget exhausted %d times replaying round %d",
+					ErrRestore, retries, played))
+			}
+			continue
+		}
+		if err != nil {
+			return fail(fmt.Errorf("core: restore replay round %d: %w", played, err))
+		}
+		retries = 0 // the budget is per play; a long replay may absorb many
+		if want, ok := target.Hashes[res.Round]; ok {
+			if got := HashResult(res); got != want {
+				return fail(fmt.Errorf("%w: round %d replayed with hash %s, journal has %s",
+					ErrRestore, res.Round, got, want))
+			}
+		}
+		played++
+	}
+	if target.Closed {
+		if err := s.Close(); err != nil {
+			return fail(fmt.Errorf("core: restore close: %w", err))
+		}
+	}
+	if target.Digest != "" {
+		if got := s.Snapshot().Digest; got != target.Digest {
+			return fail(fmt.Errorf("%w: state digest %s after %d rounds, journal has %s",
+				ErrRestore, got, target.Rounds, target.Digest))
+		}
+	}
+	return s, nil
+}

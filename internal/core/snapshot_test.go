@@ -1,0 +1,367 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gameauthority/internal/game"
+	"gameauthority/internal/punish"
+)
+
+// snapshotConfigs builds one SessionConfig per driver (fresh on every
+// call, so schemes and deviants never leak between twin sessions).
+func snapshotConfigs(t *testing.T) map[string]func() SessionConfig {
+	t.Helper()
+	pg, err := game.PublicGoods(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := func(g game.Game) func(int, game.Profile) game.MixedProfile {
+		mp := make(game.MixedProfile, g.NumPlayers())
+		for i := range mp {
+			mp[i] = game.Uniform(g.NumActions(i))
+		}
+		return func(int, game.Profile) game.MixedProfile { return mp }
+	}
+	return map[string]func() SessionConfig{
+		"pure": func() SessionConfig {
+			return SessionConfig{
+				Game:   game.PrisonersDilemma(),
+				Seed:   11,
+				Scheme: punish.NewDisconnect(2, 0),
+			}
+		},
+		"pure-bounded": func() SessionConfig {
+			return SessionConfig{
+				Game:         game.PrisonersDilemma(),
+				Seed:         11,
+				Scheme:       punish.NewDisconnect(2, 0),
+				HistoryLimit: 3,
+			}
+		},
+		"mixed": func() SessionConfig {
+			g := game.MatchingPennies()
+			return SessionConfig{
+				Game:       g,
+				Seed:       7,
+				Strategies: uniform(g),
+				Scheme:     punish.NewDisconnect(2, 0),
+			}
+		},
+		"rra": func() SessionConfig {
+			return SessionConfig{
+				Seed:         5,
+				RRAAgents:    6,
+				RRAResources: 3,
+				Scheme:       punish.NewDisconnect(6, 0),
+			}
+		},
+		"distributed": func() SessionConfig {
+			return SessionConfig{
+				Game:        pg,
+				Seed:        3,
+				DistProcs:   4,
+				DistFaults:  1,
+				DistWorkers: 1,
+			}
+		},
+	}
+}
+
+// TestSnapshotRestoreByteIdentical: for every driver, Snapshot → Restore →
+// Play^k must equal uninterrupted Play^(j+k), transcript line for
+// transcript line and digest for digest.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	const j, k = 4, 3
+	for name, build := range snapshotConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			orig, err := NewSession(build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer orig.Close()
+			hashes := make(map[int]string)
+			for i := 0; i < j; i++ {
+				res, err := orig.Play(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hashes[res.Round] = HashResult(res)
+			}
+			snap := orig.Snapshot()
+			if snap.Rounds != j {
+				t.Fatalf("snapshot rounds %d, want %d", snap.Rounds, j)
+			}
+
+			restored, err := Restore(ctx, build(), RestoreTarget{
+				Rounds: snap.Rounds,
+				Digest: snap.Digest,
+				Hashes: hashes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Close()
+			if got := restored.Snapshot(); got.Digest != snap.Digest {
+				t.Fatalf("restored digest %s, want %s", got.Digest, snap.Digest)
+			}
+
+			// The futures must coincide play-for-play.
+			for i := 0; i < k; i++ {
+				want, err := orig.Play(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := restored.Play(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl := string(appendResultLine(nil, &want))
+				gl := string(appendResultLine(nil, &got))
+				if wl != gl {
+					t.Fatalf("future play %d diverged:\n original: %s restored: %s", i, wl, gl)
+				}
+			}
+			if w, g := orig.Snapshot().Digest, restored.Snapshot().Digest; w != g {
+				t.Fatalf("final digests diverged: %s vs %s", w, g)
+			}
+		})
+	}
+}
+
+// TestSnapshotZeroRounds: a never-played session snapshots and restores.
+func TestSnapshotZeroRounds(t *testing.T) {
+	ctx := context.Background()
+	for name, build := range snapshotConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSession(build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			snap := s.Snapshot()
+			if snap.Rounds != 0 {
+				t.Fatalf("rounds %d, want 0", snap.Rounds)
+			}
+			restored, err := Restore(ctx, build(), RestoreTarget{Digest: snap.Digest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored.Close()
+		})
+	}
+}
+
+// TestRestoreClosed: restoring a closed session reproduces close-time
+// state (the batched-audit trailing epoch) and leaves the session closed.
+func TestRestoreClosed(t *testing.T) {
+	ctx := context.Background()
+	g := game.MatchingPennies()
+	build := func() SessionConfig {
+		mp := game.MixedProfile{game.Uniform(2), game.Uniform(2)}
+		return SessionConfig{
+			Game:        g,
+			Seed:        9,
+			Strategies:  func(int, game.Profile) game.MixedProfile { return mp },
+			MixedAgents: []*MixedAgent{{Withhold: func(int) bool { return true }}, nil},
+			Scheme:      punish.NewDisconnect(2, 0),
+			Mode:        AuditBatched,
+			EpochLen:    8,
+		}
+	}
+	orig, err := NewSession(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // partial epoch: 3 of 8
+		if _, err := orig.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := orig.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := orig.Snapshot()
+	if !snap.Closed || snap.Fouls == 0 {
+		t.Fatalf("close-time snapshot missing trailing-epoch audit: %+v", snap)
+	}
+	restored, err := Restore(ctx, build(), RestoreTarget{
+		Rounds: snap.Rounds,
+		Closed: true,
+		Digest: snap.Digest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Play(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("restored-closed session still plays: %v", err)
+	}
+	if got := restored.Snapshot(); !got.Closed || got.Fouls != snap.Fouls {
+		t.Fatalf("restored close state %+v, want %+v", got, snap)
+	}
+}
+
+// TestRestoreDetectsDivergence: a wrong seed must fail both the play-hash
+// check and the digest check with ErrRestore.
+func TestRestoreDetectsDivergence(t *testing.T) {
+	ctx := context.Background()
+	build := snapshotConfigs(t)["rra"]
+	orig, err := NewSession(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	hashes := make(map[int]string)
+	for i := 0; i < 4; i++ {
+		res, err := orig.Play(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[res.Round] = HashResult(res)
+	}
+	snap := orig.Snapshot()
+
+	wrong := build()
+	wrong.Seed++
+	if _, err := Restore(ctx, wrong, RestoreTarget{Rounds: snap.Rounds, Hashes: hashes}); !errors.Is(err, ErrRestore) {
+		t.Fatalf("hash check: err = %v, want ErrRestore", err)
+	}
+	if _, err := Restore(ctx, wrong, RestoreTarget{Rounds: snap.Rounds, Digest: snap.Digest}); !errors.Is(err, ErrRestore) {
+		t.Fatalf("digest check: err = %v, want ErrRestore", err)
+	}
+}
+
+// TestSnapshotMidPunishment: snapshot taken while an agent is excluded
+// restores the punishment-scheme state (no crash amnesty).
+func TestSnapshotMidPunishment(t *testing.T) {
+	ctx := context.Background()
+	build := func() SessionConfig {
+		return SessionConfig{
+			Game: game.PrisonersDilemma(),
+			Seed: 2,
+			Agents: []*Agent{
+				{Choose: func(int, game.Profile) int { return 0 }, Withhold: func(round int) bool { return round == 1 }},
+				nil,
+			},
+			Scheme: punish.NewDisconnect(2, 0),
+		}
+	}
+	orig, err := NewSession(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := orig.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := orig.Snapshot()
+	if snap.Convictions == 0 || !snap.Excluded[0] {
+		t.Fatalf("withholding agent not excluded at snapshot: %+v", snap)
+	}
+	restored, err := Restore(ctx, build(), RestoreTarget{Rounds: snap.Rounds, Digest: snap.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	st := restored.Stats()
+	if !st.Excluded[0] || st.Convictions != snap.Convictions {
+		t.Fatalf("crash amnesty: restored exclusion state %+v, snapshot %+v", st, snap)
+	}
+}
+
+// TestHashResultStable pins that the canonical line renders nil and empty
+// slices identically (ring slots reuse capacity; fresh results are nil).
+func TestHashResultStable(t *testing.T) {
+	a := RoundResult{Round: 1, Outcome: game.Profile{1, 0}, Costs: []float64{1, 2}}
+	b := RoundResult{Round: 1, Outcome: game.Profile{1, 0}, Costs: []float64{1, 2},
+		Convicted: []int{}, Excluded: []int{}}
+	if HashResult(a) != HashResult(b) {
+		t.Fatalf("nil/empty slice shapes hash differently:\n%s\n%s",
+			appendResultLine(nil, &a), appendResultLine(nil, &b))
+	}
+	c := a
+	c.Costs = []float64{1, 3}
+	if HashResult(a) == HashResult(c) {
+		t.Fatal("cost change did not change the hash")
+	}
+}
+
+// TestRestoreRejectsNegativeTarget pins input validation.
+func TestRestoreRejectsNegativeTarget(t *testing.T) {
+	_, err := Restore(context.Background(), SessionConfig{Game: game.PrisonersDilemma()},
+		RestoreTarget{Rounds: -1})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("err = %v, want ErrConfig", err)
+	}
+}
+
+// TestSnapshotDigestCoversHistory: two sessions with equal counters but
+// different retained plays must digest differently.
+func TestSnapshotDigestCoversHistory(t *testing.T) {
+	ctx := context.Background()
+	mk := func(seed uint64) Session {
+		s, err := NewSession(SessionConfig{Game: game.MatchingPennies(), Seed: seed,
+			Strategies: func(int, game.Profile) game.MixedProfile {
+				return game.MixedProfile{game.Uniform(2), game.Uniform(2)}
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(1), mk(2)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := a.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Rounds != sb.Rounds {
+		t.Fatalf("rounds %d vs %d", sa.Rounds, sb.Rounds)
+	}
+	if sa.Digest == sb.Digest {
+		// Sanity: outcome sequences of different seeds should differ.
+		t.Fatalf("different seeds digested identically: %s", sa.Digest)
+	}
+}
+
+// TestSnapshotBoundedRingEviction: the digest covers only retained plays,
+// so a bounded twin restored from a snapshot past eviction still matches.
+func TestSnapshotBoundedRingEviction(t *testing.T) {
+	ctx := context.Background()
+	build := snapshotConfigs(t)["pure-bounded"]
+	orig, err := NewSession(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	for i := 0; i < 10; i++ { // well past the limit of 3
+		if _, err := orig.Play(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := orig.Snapshot()
+	if len(orig.Results()) != 3 {
+		t.Fatalf("ring retained %d, want 3", len(orig.Results()))
+	}
+	restored, err := Restore(ctx, build(), RestoreTarget{Rounds: snap.Rounds, Digest: snap.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	want := fmt.Sprintf("%v", orig.Results())
+	got := fmt.Sprintf("%v", restored.Results())
+	if want != got {
+		t.Fatalf("retained rings diverged:\n%s\n%s", want, got)
+	}
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Counters are the authority host's operational counters, exported on the
+// GET /metrics Prometheus text endpoint. All fields are atomic: the play
+// hot path touches them lock-free and allocation-free.
+type Counters struct {
+	// Sessions is the number of currently hosted sessions (gauge).
+	Sessions atomic.Int64
+	// SessionsCreated counts every session ever hosted.
+	SessionsCreated atomic.Int64
+	// Plays counts completed plays across all hosted sessions.
+	Plays atomic.Int64
+	// Fouls counts judicial fouls observed in hosted plays.
+	Fouls atomic.Int64
+	// Convictions counts guilty verdicts observed in hosted plays.
+	Convictions atomic.Int64
+	// Recoveries counts sessions restored from the durable store.
+	Recoveries atomic.Int64
+	// ReplayedRounds counts plays re-executed during recovery.
+	ReplayedRounds atomic.Int64
+	// Snapshots counts compacted snapshots written to the store.
+	Snapshots atomic.Int64
+	// WALRecords counts write-ahead-log records appended to the store.
+	WALRecords atomic.Int64
+}
+
+// promMetric is one Prometheus exposition entry.
+type promMetric struct {
+	name string
+	kind string // gauge | counter
+	help string
+	val  *atomic.Int64
+}
+
+// WritePrometheus renders the counters in the Prometheus text exposition
+// format (version 0.0.4).
+func (c *Counters) WritePrometheus(w io.Writer) error {
+	metrics := []promMetric{
+		{"gameauthority_sessions", "gauge", "Currently hosted authority sessions.", &c.Sessions},
+		{"gameauthority_sessions_created_total", "counter", "Sessions ever hosted.", &c.SessionsCreated},
+		{"gameauthority_plays_total", "counter", "Completed plays across hosted sessions.", &c.Plays},
+		{"gameauthority_fouls_total", "counter", "Judicial fouls observed in hosted plays.", &c.Fouls},
+		{"gameauthority_convictions_total", "counter", "Guilty verdicts observed in hosted plays.", &c.Convictions},
+		{"gameauthority_recoveries_total", "counter", "Sessions restored from the durable store.", &c.Recoveries},
+		{"gameauthority_replayed_rounds_total", "counter", "Plays re-executed during recovery.", &c.ReplayedRounds},
+		{"gameauthority_snapshots_total", "counter", "Compacted snapshots written to the store.", &c.Snapshots},
+		{"gameauthority_wal_records_total", "counter", "Write-ahead-log records appended to the store.", &c.WALRecords},
+	}
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.kind, m.name, m.val.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,627 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File layout: one directory holds three files per session —
+//
+//	<dir>/sessions/<id>.spec   the opaque creation spec (written once)
+//	<dir>/sessions/<id>.wal    the append-only record log
+//	<dir>/sessions/<id>.snap   the latest compacted snapshot (atomic rename)
+//
+// Each WAL line is "<crc32c-hex> <json>\n": the checksum covers the JSON
+// bytes, so a torn or corrupted tail (the half-written line of a crash) is
+// detected and dropped instead of poisoning recovery. Snapshots are
+// written to a temp file and renamed into place, so a crash mid-snapshot
+// leaves the previous snapshot intact. PutSnapshot then rewrites the WAL
+// keeping only records at or after the snapshot watermark — the
+// "compaction" that bounds log growth on long-lived sessions.
+
+// fileStripes is the per-session lock striping width (power of two).
+const fileStripes = 64
+
+// defaultMaxHandles bounds the WAL file handles kept open for appends, so
+// thousands of durable sessions do not exhaust the process fd limit.
+const defaultMaxHandles = 128
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// File is the file-backed Store. Appends go through a bounded cache of
+// O_APPEND handles (evicted handles are fsynced before close); sessions
+// stripe onto fileStripes locks so distinct sessions rarely serialize.
+type File struct {
+	dir string // the sessions directory
+
+	stripes [fileStripes]sync.Mutex
+
+	mu      sync.Mutex // guards handles, closed
+	handles map[string]*walHandle
+	max     int
+	closed  bool
+}
+
+// walHandle wraps one session's append handle. Writes and the
+// evict-time fsync+close serialize on mu, so an append can never land
+// between an eviction's Sync and its Close (which would leave an
+// acknowledged record no later Store.Sync could reach). f is nil once
+// the handle is closed; writers seeing nil reopen through the cache.
+type walHandle struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+var _ Store = (*File)(nil)
+
+// NewFile opens (creating if needed) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	sessions := filepath.Join(dir, "sessions")
+	if err := os.MkdirAll(sessions, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &File{
+		dir:     sessions,
+		handles: make(map[string]*walHandle),
+		max:     defaultMaxHandles,
+	}, nil
+}
+
+// validID rejects ids that could escape the sessions directory. The
+// Authority already restricts ids to [A-Za-z0-9._-]{1,64}; this is the
+// backend's own defense.
+func validID(id string) bool {
+	if id == "" || id == "." || id == ".." || len(id) > 64 {
+		return false
+	}
+	return !strings.ContainsAny(id, "/\\")
+}
+
+func (f *File) stripe(id string) *sync.Mutex {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &f.stripes[h&(fileStripes-1)]
+}
+
+func (f *File) path(id, ext string) string {
+	return filepath.Join(f.dir, id+ext)
+}
+
+// CreateSession implements Store.
+func (f *File) CreateSession(id string, spec []byte) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
+	}
+	mu := f.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	specPath := f.path(id, ".spec")
+	if _, err := os.Stat(specPath); err == nil {
+		return fmt.Errorf("%w: %q", ErrSessionExists, id)
+	}
+	if err := atomicWrite(specPath, spec); err != nil {
+		return err
+	}
+	// An empty WAL marks the session as live even before its first play.
+	// The directory fsync makes its entry (and the spec's) survive an OS
+	// crash — otherwise a "missing" WAL would silently read as round 0.
+	wal, err := os.OpenFile(f.path(id, ".wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err == nil {
+		err = syncDir(f.dir)
+	}
+	if err != nil {
+		// Scrub the spec: an orphaned half-created session would poison
+		// the id and resurrect a phantom at the next recovery.
+		os.Remove(specPath)
+		return fmt.Errorf("store: %w", err)
+	}
+	f.cacheHandle(id, wal)
+	return nil
+}
+
+// checkOpen reports ErrClosed after Close.
+func (f *File) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Append implements Store.
+func (f *File) Append(id string, rec Record) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+
+	mu := f.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	for attempt := 0; attempt < 16; attempt++ {
+		wh, err := f.handle(id)
+		if err != nil {
+			return err
+		}
+		wh.mu.Lock()
+		if wh.f == nil {
+			// Evicted between the cache lookup and the write lock; the
+			// eviction fsynced everything it closed over. Reopen.
+			wh.mu.Unlock()
+			f.forgetHandle(id, wh)
+			continue
+		}
+		_, werr := wh.f.WriteString(line)
+		wh.mu.Unlock()
+		if werr != nil {
+			return fmt.Errorf("store: append %q: %w", id, werr)
+		}
+		return nil
+	}
+	return fmt.Errorf("store: append %q: handle churned out", id)
+}
+
+// forgetHandle removes the cache entry for id if it still maps to the
+// given (already closed) handle.
+func (f *File) forgetHandle(id string, wh *walHandle) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cur, ok := f.handles[id]; ok && cur == wh {
+		delete(f.handles, id)
+	}
+}
+
+// handle returns (opening if needed) the cached append handle for id. The
+// caller holds the session's stripe lock.
+func (f *File) handle(id string) (*walHandle, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if wh, ok := f.handles[id]; ok {
+		f.mu.Unlock()
+		return wh, nil
+	}
+	f.mu.Unlock()
+
+	if _, err := os.Stat(f.path(id, ".spec")); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	w, err := os.OpenFile(f.path(id, ".wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// The open normally finds an existing file; if it had to create one
+	// (first reopen after a compaction race), persist the entry.
+	if err := syncDir(f.dir); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return f.cacheHandle(id, w), nil
+}
+
+// closeHandle fsyncs and closes one cached handle under its write lock,
+// so no append can slip in between the sync and the close. The caller
+// holds f.mu (lock order is always f.mu → walHandle.mu).
+func closeHandle(wh *walHandle) {
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	if wh.f != nil {
+		_ = wh.f.Sync()
+		wh.f.Close()
+		wh.f = nil
+	}
+}
+
+// cacheHandle installs a handle, evicting an arbitrary other one (fsynced
+// before close) when the cache is full. Losing a race to another opener
+// just closes the newcomer and returns the winner.
+func (f *File) cacheHandle(id string, w *os.File) *walHandle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wh := &walHandle{f: w}
+	if f.closed {
+		w.Close()
+		wh.f = nil
+		return wh // Append sees f == nil and fails through handle() → ErrClosed
+	}
+	if prev, ok := f.handles[id]; ok {
+		w.Close()
+		return prev
+	}
+	for len(f.handles) >= f.max {
+		for other, oh := range f.handles {
+			if other == id {
+				continue
+			}
+			closeHandle(oh)
+			delete(f.handles, other)
+			break
+		}
+	}
+	f.handles[id] = wh
+	return wh
+}
+
+// dropHandle closes and forgets the cached handle for id (used before a
+// compaction rewrite or delete replaces the file under it).
+func (f *File) dropHandle(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if wh, ok := f.handles[id]; ok {
+		closeHandle(wh)
+		delete(f.handles, id)
+	}
+}
+
+// PutSnapshot implements Store: snapshot first (atomic rename), then the
+// WAL rewrite — a crash between the two leaves a superset WAL, which
+// recovery tolerates (replay verification is keyed by round index).
+func (f *File) PutSnapshot(id string, rounds int, payload []byte) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
+	}
+	mu := f.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := os.Stat(f.path(id, ".spec")); err != nil {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	snap, err := json.Marshal(struct {
+		Rounds  int             `json:"rounds"`
+		Payload json.RawMessage `json:"payload"`
+	}{Rounds: rounds, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(f.path(id, ".snap"), snap); err != nil {
+		return err
+	}
+	// Compact: rewrite the WAL keeping records the snapshot does not cover.
+	records, err := readWAL(f.path(id, ".wal"))
+	if err != nil {
+		return err
+	}
+	var buf strings.Builder
+	for _, rec := range compactWAL(records, rounds) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		fmt.Fprintf(&buf, "%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	}
+	f.dropHandle(id) // the rename below replaces the inode under any cached handle
+	return atomicWrite(f.path(id, ".wal"), []byte(buf.String()))
+}
+
+// Delete implements Store.
+func (f *File) Delete(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
+	}
+	mu := f.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	f.dropHandle(id)
+	var first error
+	for _, ext := range []string{".wal", ".snap", ".spec"} {
+		if err := os.Remove(f.path(id, ext)); err != nil && !errors.Is(err, fs.ErrNotExist) && first == nil {
+			first = fmt.Errorf("store: delete %q: %w", id, err)
+		}
+	}
+	return first
+}
+
+// IDs implements Store.
+func (f *File) IDs() ([]string, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, err
+	}
+	return f.sessionIDs()
+}
+
+// Load implements Store.
+func (f *File) Load() ([]SessionState, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, err
+	}
+	ids, err := f.sessionIDs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SessionState, 0, len(ids))
+	for _, id := range ids {
+		st, err := f.loadSession(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// LoadSession implements Store.
+func (f *File) LoadSession(id string) (SessionState, bool, error) {
+	if err := f.checkOpen(); err != nil {
+		return SessionState{}, false, err
+	}
+	if !validID(id) {
+		return SessionState{}, false, nil
+	}
+	if _, err := os.Stat(f.path(id, ".spec")); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return SessionState{}, false, nil
+		}
+		return SessionState{}, false, fmt.Errorf("store: %w", err)
+	}
+	st, err := f.loadSession(id)
+	if err != nil {
+		return SessionState{}, false, err
+	}
+	return st, true, nil
+}
+
+// sessionIDs lists persisted sessions (those with a .spec file), sorted.
+func (f *File) sessionIDs() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".spec"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// loadSession reads one session's spec, snapshot, and WAL tail under its
+// stripe lock.
+func (f *File) loadSession(id string) (SessionState, error) {
+	mu := f.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	st := SessionState{ID: id}
+	spec, err := os.ReadFile(f.path(id, ".spec"))
+	if err != nil {
+		return st, fmt.Errorf("store: %w", err)
+	}
+	st.Spec = spec
+	if rounds, payload, ok, err := readSnap(f.path(id, ".snap")); err != nil {
+		return st, err
+	} else if ok {
+		st.SnapshotRounds = rounds
+		st.Snapshot = payload
+	}
+	records, err := readWAL(f.path(id, ".wal"))
+	if err != nil {
+		return st, err
+	}
+	// A crash between snapshot and WAL rewrite leaves covered plays in the
+	// log; drop them here so Tail honors the documented invariant.
+	st.Tail = compactWAL(records, st.SnapshotRounds)
+	finishState(&st)
+	return st, nil
+}
+
+// Snapshots implements Store.
+func (f *File) Snapshots() ([]SnapshotInfo, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, err
+	}
+	ids, err := f.sessionIDs()
+	if err != nil {
+		return nil, err
+	}
+	var out []SnapshotInfo
+	for _, id := range ids {
+		mu := f.stripe(id)
+		mu.Lock()
+		rounds, payload, ok, err := readSnap(f.path(id, ".snap"))
+		mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, SnapshotInfo{ID: id, Rounds: rounds, Payload: payload})
+		}
+	}
+	return out, nil
+}
+
+// Sync implements Store: fsync every open WAL handle (evicted handles were
+// synced on eviction; snapshots and spec files are synced on write).
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	var first error
+	for id, wh := range f.handles {
+		wh.mu.Lock()
+		if wh.f != nil {
+			if err := wh.f.Sync(); err != nil && first == nil {
+				first = fmt.Errorf("store: sync %q: %w", id, err)
+			}
+		}
+		wh.mu.Unlock()
+	}
+	return first
+}
+
+// Close implements Store: sync, release every handle, and refuse further
+// writes. Idempotent.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var first error
+	for _, wh := range f.handles {
+		wh.mu.Lock()
+		if wh.f != nil {
+			if err := wh.f.Sync(); err != nil && first == nil {
+				first = fmt.Errorf("store: %w", err)
+			}
+			wh.f.Close()
+			wh.f = nil
+		}
+		wh.mu.Unlock()
+	}
+	f.handles = nil
+	return first
+}
+
+// --- File helpers --------------------------------------------------------------
+
+// atomicWrite writes data to path via a temp file + fsync + rename +
+// directory fsync, so readers never observe a torn file and the new
+// directory entry survives an OS crash (the contract Sync documents).
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames and creates within it are on
+// stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// readWAL parses a WAL file, verifying each line's checksum. A torn or
+// corrupt tail (crash artifact) truncates the result at the last good
+// record; corruption before the tail is an error.
+func readWAL(path string) ([]Record, error) {
+	file, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer file.Close()
+	var out []Record
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	bad := 0
+	for sc.Scan() {
+		line := sc.Text()
+		rec, ok := parseWALLine(line)
+		if !ok {
+			bad++
+			continue
+		}
+		if bad > 0 {
+			// Good records after bad ones mean mid-file corruption, not a
+			// torn tail — refuse to silently lose acknowledged plays.
+			return nil, fmt.Errorf("store: %s: %d corrupt record(s) before offset of a valid one", path, bad)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}
+
+// parseWALLine decodes one "<crc32c-hex> <json>" line.
+func parseWALLine(line string) (Record, bool) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(line[:8], "%08x", &sum); err != nil {
+		return rec, false
+	}
+	payload := []byte(line[9:])
+	if crc32.Checksum(payload, crcTable) != sum {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// readSnap reads a snapshot file; ok is false when none exists.
+func readSnap(path string) (rounds int, payload []byte, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("store: %w", err)
+	}
+	var snap struct {
+		Rounds  int             `json:"rounds"`
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, nil, false, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return snap.Rounds, snap.Payload, true, nil
+}

@@ -1,0 +1,322 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned by every operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrUnknownSession is returned when appending to or snapshotting a
+	// session the store has never seen.
+	ErrUnknownSession = errors.New("store: unknown session")
+	// ErrSessionExists is returned when creating a session id twice.
+	ErrSessionExists = errors.New("store: session already exists")
+)
+
+// Record kinds journaled in a session's WAL.
+const (
+	// RecordPlay journals one completed play: its absolute round index,
+	// the canonical transcript hash, and the verdict/conviction summary.
+	RecordPlay = "play"
+	// RecordClose journals a graceful session close, with the post-close
+	// state digest (a batched-audit mixed session mutates state on close).
+	RecordClose = "close"
+)
+
+// Record is one WAL entry. Play records carry Round/Hash (plus the
+// verdict summary); close records carry Digest.
+type Record struct {
+	Type string `json:"t"`
+	// Round is the absolute round index of a play record.
+	Round int `json:"round,omitempty"`
+	// Hash is the canonical transcript hash of the play (core.HashResult) —
+	// recovery verifies each replayed play against it.
+	Hash string `json:"hash,omitempty"`
+	// Fouls is the number of fouls the judicial service found in the play.
+	Fouls int `json:"fouls,omitempty"`
+	// Convicted lists the agents found guilty in the play's verdict.
+	Convicted []int `json:"convicted,omitempty"`
+	// Digest is the post-close state digest of a close record.
+	Digest string `json:"digest,omitempty"`
+}
+
+// SessionState is everything the store holds for one session: the opaque
+// creation spec, the latest compacted snapshot (if any), and the WAL tail
+// of records at or after the snapshot's round watermark.
+type SessionState struct {
+	ID string
+	// Spec is the opaque serialized session spec (the façade journals the
+	// HTTP CreateSessionRequest JSON).
+	Spec []byte
+	// SnapshotRounds is the round watermark of Snapshot (0 when none).
+	SnapshotRounds int
+	// Snapshot is the opaque latest snapshot payload (nil when none).
+	Snapshot []byte
+	// Tail holds the WAL records after the snapshot watermark, in append
+	// order.
+	Tail []Record
+	// Closed reports whether a close record was journaled; CloseDigest is
+	// its post-close state digest.
+	Closed      bool
+	CloseDigest string
+}
+
+// SnapshotInfo is one GET /snapshots listing entry: which sessions have a
+// compacted snapshot and at which round watermark.
+type SnapshotInfo struct {
+	ID      string
+	Rounds  int
+	Payload []byte
+}
+
+// Store is a pluggable persistence backend for authority sessions. All
+// methods are safe for concurrent use; operations on distinct sessions do
+// not serialize against each other (beyond backend I/O).
+//
+// Durability contract: Append and PutSnapshot must survive a process kill
+// (SIGKILL) as soon as they return; Sync additionally flushes to stable
+// storage so the data survives an OS crash. Close implies Sync.
+type Store interface {
+	// CreateSession durably records a new session's opaque spec. It fails
+	// with ErrSessionExists when the id is already journaled.
+	CreateSession(id string, spec []byte) error
+	// Append journals one WAL record for the session.
+	Append(id string, rec Record) error
+	// PutSnapshot atomically replaces the session's snapshot with payload
+	// at the given round watermark and compacts the WAL: play records
+	// below the watermark are dropped.
+	PutSnapshot(id string, rounds int, payload []byte) error
+	// Delete removes every trace of the session (spec, WAL, snapshot).
+	Delete(id string) error
+	// IDs lists every persisted session id, sorted, without reading any
+	// journal — recovery workers load states individually so I/O overlaps
+	// replay and memory stays bounded to in-flight sessions.
+	IDs() ([]string, error)
+	// Load reads every persisted session's state, sorted by id.
+	Load() ([]SessionState, error)
+	// LoadSession reads one session's state; ok is false when the id is
+	// not persisted.
+	LoadSession(id string) (st SessionState, ok bool, err error)
+	// Snapshots lists the sessions holding a compacted snapshot, sorted
+	// by id, without reading any WAL.
+	Snapshots() ([]SnapshotInfo, error)
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close syncs and releases the backend. Close is idempotent.
+	Close() error
+}
+
+// --- In-memory backend ---------------------------------------------------------
+
+// memSession is one session's in-memory journal.
+type memSession struct {
+	spec           []byte
+	snapshotRounds int
+	snapshot       []byte
+	wal            []Record
+}
+
+// Mem is the in-memory Store: full WAL/snapshot semantics with no I/O.
+// It survives the Authority that wrote it (crash-simulation harnesses
+// abandon an authority and recover a fresh one from the same Mem), but
+// not the process.
+type Mem struct {
+	mu       sync.RWMutex
+	sessions map[string]*memSession
+	closed   bool
+}
+
+// NewMem creates an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{sessions: make(map[string]*memSession)}
+}
+
+var _ Store = (*Mem)(nil)
+
+// CreateSession implements Store.
+func (m *Mem) CreateSession(id string, spec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.sessions[id]; ok {
+		return fmt.Errorf("%w: %q", ErrSessionExists, id)
+	}
+	m.sessions[id] = &memSession{spec: append([]byte(nil), spec...)}
+	return nil
+}
+
+// Append implements Store.
+func (m *Mem) Append(id string, rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	rec.Convicted = append([]int(nil), rec.Convicted...)
+	s.wal = append(s.wal, rec)
+	return nil
+}
+
+// PutSnapshot implements Store.
+func (m *Mem) PutSnapshot(id string, rounds int, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	s.snapshotRounds = rounds
+	s.snapshot = append([]byte(nil), payload...)
+	s.wal = compactWAL(s.wal, rounds)
+	return nil
+}
+
+// compactWAL drops play records below the snapshot watermark; close
+// records (and plays at or after the watermark) survive.
+func compactWAL(wal []Record, rounds int) []Record {
+	out := wal[:0]
+	for _, rec := range wal {
+		if rec.Type == RecordPlay && rec.Round < rounds {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// IDs implements Store.
+func (m *Mem) IDs() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Load implements Store.
+func (m *Mem) Load() ([]SessionState, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	out := make([]SessionState, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		out = append(out, m.stateOf(id, s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// LoadSession implements Store.
+func (m *Mem) LoadSession(id string) (SessionState, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return SessionState{}, false, ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return SessionState{}, false, nil
+	}
+	return m.stateOf(id, s), true, nil
+}
+
+// stateOf copies one session's journal out under the store lock. The tail
+// re-applies the snapshot watermark: a play record appended concurrently
+// with a compaction may sit below it in the raw WAL.
+func (m *Mem) stateOf(id string, s *memSession) SessionState {
+	st := SessionState{
+		ID:             id,
+		Spec:           append([]byte(nil), s.spec...),
+		SnapshotRounds: s.snapshotRounds,
+		Snapshot:       append([]byte(nil), s.snapshot...),
+		Tail:           compactWAL(append([]Record(nil), s.wal...), s.snapshotRounds),
+	}
+	finishState(&st)
+	return st
+}
+
+// finishState derives the Closed/CloseDigest summary from the WAL tail.
+func finishState(st *SessionState) {
+	if len(st.Snapshot) == 0 {
+		st.Snapshot = nil
+	}
+	for _, rec := range st.Tail {
+		if rec.Type == RecordClose {
+			st.Closed = true
+			st.CloseDigest = rec.Digest
+		}
+	}
+}
+
+// Snapshots implements Store.
+func (m *Mem) Snapshots() ([]SnapshotInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	var out []SnapshotInfo
+	for id, s := range m.sessions {
+		if len(s.snapshot) == 0 {
+			continue
+		}
+		out = append(out, SnapshotInfo{
+			ID:      id,
+			Rounds:  s.snapshotRounds,
+			Payload: append([]byte(nil), s.snapshot...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Sync implements Store (a no-op in memory).
+func (m *Mem) Sync() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

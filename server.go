@@ -13,20 +13,38 @@ import (
 
 // NewServer exposes an Authority as an HTTP/JSON API:
 //
-//	POST   /sessions              create a session (CreateSessionRequest)
-//	GET    /sessions              list hosted sessions
-//	GET    /sessions/{id}         session stats (incl. conviction counts)
-//	POST   /sessions/{id}/play    run plays ({"rounds": k}, default 1)
-//	GET    /sessions/{id}/events  live event stream (server-sent events)
-//	DELETE /sessions/{id}         close and unregister the session
-//	GET    /deviants              list the deviation-strategy catalog
+//	POST   /sessions                 create a session (CreateSessionRequest)
+//	GET    /sessions                 list hosted sessions
+//	GET    /sessions/{id}            session stats (incl. conviction counts)
+//	POST   /sessions/{id}/play       run plays ({"rounds": k}, default 1)
+//	POST   /sessions/{id}/snapshot   snapshot (and persist) session state
+//	GET    /sessions/{id}/events     live event stream (server-sent events)
+//	DELETE /sessions/{id}            close and unregister the session
+//	GET    /snapshots                list persisted compacted snapshots
+//	GET    /deviants                 list the deviation-strategy catalog
+//	GET    /metrics                  Prometheus text exposition of host counters
 //
 // Sessions are independent and may be created and played concurrently;
-// each session serializes its own plays.
+// each session serializes its own plays. On a store-backed authority
+// (WithStore) created sessions are durable, and a request for a session
+// id the registry misses restores it from the store before answering —
+// the restore-on-miss path that makes a crashed host's sessions
+// addressable again without an explicit recovery pass.
 func NewServer(a *Authority) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(a, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = a.counters.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /snapshots", func(w http.ResponseWriter, _ *http.Request) {
+		handleSnapshotList(a, w)
+	})
+	mux.HandleFunc("POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		withSession(a, w, r, handleSnapshot)
 	})
 	mux.HandleFunc("GET /deviants", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, deviantInfos())
@@ -45,7 +63,11 @@ func NewServer(a *Authority) http.Handler {
 	})
 	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := a.Remove(r.PathValue("id")); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			status := http.StatusNotFound
+			if errors.Is(err, ErrDurability) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -194,16 +216,18 @@ func handleCreate(a *Authority, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
-	g, opts, err := req.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	h, err := a.Create(req.ID, g, opts...)
+	// CreateFromSpec journals the spec on a store-backed authority, making
+	// the session durable; without a store it is exactly build+Create.
+	h, err := a.CreateFromSpec(req)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrSessionExists) {
+		switch {
+		case errors.Is(err, ErrSessionExists):
 			status = http.StatusConflict
+		case errors.Is(err, ErrDurability):
+			// The request was valid; the durable store could not record
+			// it — a server-side condition, not a client error.
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return
@@ -473,12 +497,84 @@ func uniformStrategies(g Game) func(int, Profile) MixedProfile {
 
 func withSession(a *Authority, w http.ResponseWriter, r *http.Request,
 	fn func(*HostedSession, http.ResponseWriter, *http.Request)) {
-	h, err := a.Get(r.PathValue("id"))
+	// Restore-on-miss: an id the registry lost to a crash is revived from
+	// the durable store before the request is answered.
+	h, err := a.GetOrRecover(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		status := http.StatusNotFound
+		if errors.Is(err, ErrDurability) {
+			// The store couldn't answer; the session may well exist.
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	fn(h, w, r)
+}
+
+// snapshotResponse is the wire form of a SessionSnapshot.
+type snapshotResponse struct {
+	ID             string    `json:"id"`
+	Kind           string    `json:"kind"`
+	Players        int       `json:"players"`
+	Rounds         int       `json:"rounds"`
+	Fouls          int       `json:"fouls"`
+	Convictions    int       `json:"convictions"`
+	CumulativeCost []float64 `json:"cumulative_cost,omitempty"`
+	Excluded       []bool    `json:"excluded,omitempty"`
+	Closed         bool      `json:"closed"`
+	Digest         string    `json:"digest"`
+	// Persisted reports whether the snapshot was written to the durable
+	// store (false on volatile sessions or store-less authorities).
+	Persisted bool `json:"persisted"`
+}
+
+func snapshotFor(id string, snap SessionSnapshot, persisted bool) snapshotResponse {
+	return snapshotResponse{
+		ID:             id,
+		Kind:           snap.Kind.String(),
+		Players:        snap.Players,
+		Rounds:         snap.Rounds,
+		Fouls:          snap.Fouls,
+		Convictions:    snap.Convictions,
+		CumulativeCost: snap.CumulativeCost,
+		Excluded:       snap.Excluded,
+		Closed:         snap.Closed,
+		Digest:         snap.Digest,
+		Persisted:      persisted,
+	}
+}
+
+func handleSnapshot(h *HostedSession, w http.ResponseWriter, _ *http.Request) {
+	snap, persisted, err := h.a.snapshotHosted(h, h.Session.Snapshot())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotFor(h.ID(), snap, persisted))
+}
+
+func handleSnapshotList(a *Authority, w http.ResponseWriter) {
+	out := make([]snapshotResponse, 0)
+	st := a.getStore()
+	if st == nil {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	infos, err := st.Snapshots()
+	if err != nil {
+		// Same degraded-store condition every other route maps to 503.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w: %v", ErrDurability, err))
+		return
+	}
+	for _, info := range infos {
+		var snap SessionSnapshot
+		if err := json.Unmarshal(info.Payload, &snap); err != nil {
+			continue // a torn snapshot never lists; recovery falls back to the WAL
+		}
+		out = append(out, snapshotFor(info.ID, snap, true))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func handleList(a *Authority, w http.ResponseWriter) {
@@ -534,10 +630,18 @@ func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 				return // the client is gone; nothing to report to
 			}
 			status := http.StatusInternalServerError
-			if errors.Is(err, ErrPulseBudget) {
+			switch {
+			case errors.Is(err, ErrPulseBudget):
 				// Documented-recoverable: the session is healthy but still
 				// re-converging; the client should simply retry.
 				status = http.StatusServiceUnavailable
+			case errors.Is(err, ErrDurability):
+				// The play executed — the session advanced a round — but
+				// its journal write failed. Report the result so the
+				// client's view stays consistent, with 503 marking the
+				// degraded store.
+				status = http.StatusServiceUnavailable
+				results = append(results, roundFor(res))
 			}
 			writeJSON(w, status, map[string]any{
 				"error":   err.Error(),

@@ -1,0 +1,246 @@
+package gameauthority_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	ga "gameauthority"
+)
+
+// storeServer builds a store-backed authority behind an httptest server.
+func storeServer(t *testing.T, st ga.Store) (*ga.Authority, *httptest.Server) {
+	t.Helper()
+	a := ga.NewAuthority(ga.WithStore(st))
+	srv := httptest.NewServer(ga.NewServer(a))
+	t.Cleanup(srv.Close)
+	return a, srv
+}
+
+func durPost(t *testing.T, url string, body any, want int) []byte {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(payload)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("POST %s: status %d, want %d: %s", url, resp.StatusCode, want, data)
+	}
+	return data
+}
+
+func durGet(t *testing.T, url string, want int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d: %s", url, resp.StatusCode, want, data)
+	}
+	return data
+}
+
+// TestServerSnapshotEndpoints drives the full durable HTTP surface:
+// create, play, snapshot, list snapshots.
+func TestServerSnapshotEndpoints(t *testing.T) {
+	_, srv := storeServer(t, ga.NewMemStore())
+
+	durPost(t, srv.URL+"/sessions", ga.CreateSessionRequest{ID: "snap-1", Game: "pd", Seed: 4}, http.StatusCreated)
+	durPost(t, srv.URL+"/sessions/snap-1/play", map[string]int{"rounds": 5}, http.StatusOK)
+
+	var snap struct {
+		ID        string `json:"id"`
+		Kind      string `json:"kind"`
+		Rounds    int    `json:"rounds"`
+		Digest    string `json:"digest"`
+		Persisted bool   `json:"persisted"`
+	}
+	if err := json.Unmarshal(durPost(t, srv.URL+"/sessions/snap-1/snapshot", nil, http.StatusOK), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "snap-1" || snap.Kind != "pure" || snap.Rounds != 5 || snap.Digest == "" || !snap.Persisted {
+		t.Fatalf("snapshot response: %+v", snap)
+	}
+
+	var listing []struct {
+		ID     string `json:"id"`
+		Rounds int    `json:"rounds"`
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(durGet(t, srv.URL+"/snapshots", http.StatusOK), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing) != 1 || listing[0].ID != "snap-1" || listing[0].Rounds != 5 || listing[0].Digest != snap.Digest {
+		t.Fatalf("snapshot listing: %+v", listing)
+	}
+
+	// Unknown sessions 404 even with a store attached.
+	durPost(t, srv.URL+"/sessions/nope/snapshot", nil, http.StatusNotFound)
+}
+
+// TestCreateFromSpecPreservesJournaledLedger: re-creating an id that a
+// crashed predecessor journaled must refuse with a conflict and leave
+// the old ledger intact — never scrub acknowledged plays.
+func TestCreateFromSpecPreservesJournaledLedger(t *testing.T) {
+	ctx := context.Background()
+	st := ga.NewMemStore()
+	a1 := ga.NewAuthority(ga.WithStore(st))
+	h, err := a1.CreateFromSpec(ga.CreateSessionRequest{ID: "keep", Game: "pd", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	a1.DetachStore() // crash: registry gone, ledger stays
+
+	a2 := ga.NewAuthority(ga.WithStore(st))
+	defer a2.Close()
+	// No Recover ran: the registry misses the id, the store has it.
+	if _, err := a2.CreateFromSpec(ga.CreateSessionRequest{ID: "keep", Game: "pd", Seed: 99}); !errors.Is(err, ga.ErrSessionExists) {
+		t.Fatalf("duplicate durable create: err = %v, want ErrSessionExists", err)
+	}
+	// The refused create must not have scrubbed the journal.
+	got, err := a2.GetOrRecover(ctx, "keep")
+	if err != nil {
+		t.Fatalf("ledger lost after refused create: %v", err)
+	}
+	if rounds := got.Stats().Rounds; rounds != 5 {
+		t.Fatalf("recovered %d rounds, want 5", rounds)
+	}
+}
+
+// TestCreateFromSpecAutoNameSkipsPredecessorIDs: a restarted host whose
+// auto-id counter restarted must hop over ids the dead predecessor
+// journaled instead of failing client creates with conflicts.
+func TestCreateFromSpecAutoNameSkipsPredecessorIDs(t *testing.T) {
+	st := ga.NewMemStore()
+	a1 := ga.NewAuthority(ga.WithStore(st))
+	for i := 0; i < 3; i++ { // predecessor journals s-1..s-3
+		if _, err := a1.CreateFromSpec(ga.CreateSessionRequest{Game: "pd", Seed: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1.DetachStore()
+
+	a2 := ga.NewAuthority(ga.WithStore(st)) // fresh counter, no Recover
+	defer a2.Close()
+	h, err := a2.CreateFromSpec(ga.CreateSessionRequest{Game: "pd", Seed: 9})
+	if err != nil {
+		t.Fatalf("auto-named create collided with predecessor ids: %v", err)
+	}
+	if h.ID() == "s-1" || h.ID() == "s-2" || h.ID() == "s-3" {
+		t.Fatalf("auto-named create reused journaled id %s", h.ID())
+	}
+	// The predecessor's ledgers are untouched and still recoverable.
+	states, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 4 {
+		t.Fatalf("store has %d sessions, want 4 (3 predecessor + 1 new)", len(states))
+	}
+}
+
+// TestServerMetricsEndpoint pins the Prometheus exposition: counters
+// exist, carry the right names, and move with traffic.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, srv := storeServer(t, ga.NewMemStore())
+	durPost(t, srv.URL+"/sessions", ga.CreateSessionRequest{ID: "m-1", Game: "pd", Seed: 1}, http.StatusCreated)
+	durPost(t, srv.URL+"/sessions/m-1/play", map[string]int{"rounds": 3}, http.StatusOK)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"gameauthority_sessions 1",
+		"gameauthority_sessions_created_total 1",
+		"gameauthority_plays_total 3",
+		"gameauthority_wal_records_total 3",
+		"# TYPE gameauthority_recoveries_total counter",
+		"# TYPE gameauthority_convictions_total counter",
+		"# TYPE gameauthority_snapshots_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerRestoreOnMiss: a second server over the same store answers
+// for a session only the crashed first server ever hosted.
+func TestServerRestoreOnMiss(t *testing.T) {
+	st := ga.NewMemStore()
+	a1, srv1 := storeServer(t, st)
+	durPost(t, srv1.URL+"/sessions", ga.CreateSessionRequest{ID: "lost", Game: "congestion", Players: 4, Seed: 9}, http.StatusCreated)
+	durPost(t, srv1.URL+"/sessions/lost/play", map[string]int{"rounds": 6}, http.StatusOK)
+	var statsBefore struct {
+		Rounds         int       `json:"rounds"`
+		CumulativeCost []float64 `json:"cumulative_cost"`
+	}
+	if err := json.Unmarshal(durGet(t, srv1.URL+"/sessions/lost", http.StatusOK), &statsBefore); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	a1.DetachStore() // SIGKILL-style: nothing synced, nothing closed
+
+	_, srv2 := storeServer(t, st)
+	// The registry is empty; stats must restore the session on the miss.
+	var statsAfter struct {
+		Rounds         int       `json:"rounds"`
+		CumulativeCost []float64 `json:"cumulative_cost"`
+	}
+	if err := json.Unmarshal(durGet(t, srv2.URL+"/sessions/lost", http.StatusOK), &statsAfter); err != nil {
+		t.Fatal(err)
+	}
+	if statsAfter.Rounds != statsBefore.Rounds {
+		t.Fatalf("restored rounds %d, want %d", statsAfter.Rounds, statsBefore.Rounds)
+	}
+	if fmt.Sprint(statsAfter.CumulativeCost) != fmt.Sprint(statsBefore.CumulativeCost) {
+		t.Fatalf("restored costs %v, want %v", statsAfter.CumulativeCost, statsBefore.CumulativeCost)
+	}
+	// And it keeps playing.
+	durPost(t, srv2.URL+"/sessions/lost/play", map[string]int{"rounds": 2}, http.StatusOK)
+
+	// Deleting it removes the ledger: a third host sees nothing.
+	req, err := http.NewRequest(http.MethodDelete, srv2.URL+"/sessions/lost", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	durGet(t, srv2.URL+"/sessions/lost", http.StatusNotFound)
+}

@@ -9,6 +9,129 @@ import (
 	ga "gameauthority"
 )
 
+// TestAuthorityCloseSyncsStoreAndStaysIdempotent pins the durable close
+// contract: Authority.Close fsyncs and closes the store before
+// returning, a second Close is a clean no-op, and host shutdown does NOT
+// journal session close records — only an explicit HostedSession.Close
+// marks a session durably closed. After a graceful restart the
+// explicitly-closed session recovers closed, the rest recover playable.
+func TestAuthorityCloseSyncsStoreAndStaysIdempotent(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, err := ga.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ga.NewAuthority(ga.WithStore(st))
+	sessions := make(map[string]*ga.HostedSession)
+	for i, game := range []string{"pd", "congestion"} {
+		h, err := a.CreateFromSpec(ga.CreateSessionRequest{
+			ID: []string{"close-a", "close-b"}[i], Game: game, Players: 3, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Run(ctx, 4); err != nil {
+			t.Fatal(err)
+		}
+		sessions[h.ID()] = h
+	}
+	// close-a ends deliberately (journals a close record); close-b stays
+	// live through the shutdown.
+	if err := sessions["close-a"].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	// The store is fsynced and closed before Close returns.
+	if err := st.Sync(); !errors.Is(err, ga.ErrStoreClosed) {
+		t.Fatalf("store still open after Authority.Close: err = %v", err)
+	}
+	// A second (and third) Close stays idempotent: no double-close error
+	// from the store, no panic from re-closing sessions.
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("third close: %v", err)
+	}
+
+	// Everything journaled before Close is on disk: a fresh store over the
+	// same directory recovers both sessions, closed, at their final round.
+	st2, err := ga.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ga.NewAuthority(ga.WithStore(st2))
+	defer b.Close()
+	report, err := b.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sessions != 2 || len(report.Failed) > 0 {
+		t.Fatalf("recovery after graceful close: %+v", report)
+	}
+	for _, id := range []string{"close-a", "close-b"} {
+		h, err := b.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.Stats().Rounds; got != 4 {
+			t.Fatalf("%s recovered at round %d, want 4", id, got)
+		}
+	}
+	// The explicitly-closed session recovered closed (its ledger survives,
+	// no further plays run)...
+	ha, _ := b.Get("close-a")
+	if _, err := ha.Play(ctx); !errors.Is(err, ga.ErrClosed) {
+		t.Fatalf("close-a: post-recovery Play on closed session = %v, want ErrClosed", err)
+	}
+	// ...while the session that merely lived through the shutdown is
+	// playable: a restart is not a session close.
+	hb, _ := b.Get("close-b")
+	if _, err := hb.Play(ctx); err != nil {
+		t.Fatalf("close-b bricked by graceful shutdown: %v", err)
+	}
+}
+
+// TestAuthorityPlayAfterCloseKeepsErrClosed: plays racing an
+// Authority.Close must surface ErrClosed (from the session), never a
+// store error or a panic, even on a durable host.
+func TestAuthorityPlayAfterCloseKeepsErrClosed(t *testing.T) {
+	ctx := context.Background()
+	a := ga.NewAuthority(ga.WithStore(ga.NewMemStore()))
+	h, err := a.CreateFromSpec(ga.CreateSessionRequest{ID: "race", Game: "pd", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := h.Play(ctx); err != nil && !errors.Is(err, ga.ErrClosed) {
+					t.Errorf("play: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := a.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	wg.Wait()
+	if _, err := h.Play(ctx); !errors.Is(err, ga.ErrClosed) {
+		t.Fatalf("after close, Play = %v, want ErrClosed", err)
+	}
+}
+
 // lifecycleSessions builds one session per driver for the close-semantics
 // tests.
 func lifecycleSessions(t *testing.T) map[string]ga.Session {
