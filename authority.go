@@ -73,9 +73,14 @@ type Authority struct {
 	snapshotEvery int
 	// counters are the host's operational counters (GET /metrics).
 	counters metrics.Counters
-	// restoring singleflights restore-on-miss replays per session id.
-	restoreMu sync.Mutex
-	restoring map[string]*restoreCall
+	// restoring singleflights restore-on-miss replays per session id;
+	// restoreFailed memoizes ids whose replay failed deterministically
+	// (diverged digest, unbuildable spec) so every later request does not
+	// re-pay the full replay just to fail again. Remove clears the memo
+	// when it deletes the ledger.
+	restoreMu     sync.Mutex
+	restoring     map[string]*restoreCall
+	restoreFailed map[string]error
 	// storeClosed latches after the first Close so a second Close stays
 	// idempotent (the store is synced and closed exactly once).
 	storeClosed atomic.Bool
@@ -107,13 +112,19 @@ type HostedSession struct {
 	id string
 	a  *Authority
 
-	// jmu orders journaling against close: plays journal under the read
-	// lock, Close journals its close record under the write lock, so a
-	// play that completed before Close always reaches the WAL before the
-	// close record (whose digest covers it) is written.
-	jmu sync.RWMutex
+	// jmu orders journaling against close and removal: each play journals
+	// under the lock (exclusively — its RoundResult aliases the driver's
+	// history ring, which the next play may wrap), Close journals its
+	// close record under it, and Remove decides the ledger's fate under
+	// it, so a play that completed before Close always reaches the WAL
+	// before the close record (whose digest covers it) is written.
+	jmu sync.Mutex
 
-	// durable marks sessions journaled in the authority's store.
+	// durable marks sessions journaled in the authority's store. It flips
+	// under jmu, in the same critical section as the spec journal write,
+	// so a Remove deciding the ledger's fate under jmu sees either a
+	// durable session (whose ledger it then owns deleting) or a volatile
+	// one that — having observed dropped — will never journal.
 	durable atomic.Bool
 	// dropped marks sessions being removed: Close skips the close-record
 	// journal because Remove deletes the whole ledger.
@@ -246,51 +257,128 @@ func (a *Authority) Get(id string) (*HostedSession, error) {
 // its durable ledger (a removed session is gone, not recoverable). The
 // ledger is deleted *before* the registry entry so a concurrent
 // restore-on-miss cannot revive the session from a ledger that is about
-// to vanish (restoreOne re-checks the ledger after hosting, closing the
-// other half of that race). A session the registry lost to a crash but
-// the store still journals is likewise deleted without being revived.
+// to vanish (restoreOne re-checks the ledger after hosting, and the
+// registry-miss path below re-checks the registry after deleting,
+// closing both halves of that race). A session the registry lost to a
+// crash but the store still journals is likewise deleted without being
+// revived.
 func (a *Authority) Remove(id string) error {
-	sh := a.shardFor(id)
-	sh.mu.RLock()
-	h, ok := sh.sessions[id]
-	sh.mu.RUnlock()
 	st := a.getStore()
-	if !ok {
-		if st != nil {
-			if _, journaled, lerr := st.LoadSession(id); lerr != nil {
-				return fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, lerr))
-			} else if journaled {
-				if derr := st.Delete(id); derr != nil {
-					return fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+	deleted := false
+	for attempt := 0; ; attempt++ {
+		sh := a.shardFor(id)
+		sh.mu.RLock()
+		h, ok := sh.sessions[id]
+		sh.mu.RUnlock()
+		if !ok {
+			if st == nil {
+				return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+			}
+			journaled, lerr := storeHas(st, id)
+			if errors.Is(lerr, store.ErrClosed) {
+				// A closed store (the authority shut down) cannot be
+				// consulted; report the id not found. Trade-off: a real
+				// journaled session caught by a shutdown also reads as 404
+				// here — its ledger is intact and the next host recovers
+				// it, so the delete must be retried there.
+				return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+			}
+			if lerr == nil && !journaled {
+				// No ledger: make sure no stale restore-failure memo
+				// outlives it (a racing GetOrRecover may have memoized a
+				// ledger this or an earlier Remove deleted).
+				a.clearRestoreMemo(id)
+				if deleted {
+					return nil // a prior pass deleted the ledger; the removal stands
 				}
-				return nil
+				return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+			}
+			// Journaled (a damaged ledger still probes as present) — or
+			// the probe itself failed. Either way the ledger files are
+			// exactly what the caller wants gone; DELETE is the one API
+			// remedy for a poisoned id, so a probe failure must not block
+			// it.
+			if derr := st.Delete(id); derr != nil {
+				return fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+			}
+			deleted = true
+			a.clearRestoreMemo(id)
+			// A recovery may have re-hosted the session between the
+			// registry miss above and the ledger delete (its post-host
+			// ledger re-check can pass just before the delete lands): take
+			// another pass to remove the now-ledgerless session rather
+			// than leaving a zombie whose every play fails journaling.
+			if attempt == 0 {
+				if _, err := a.Get(id); err == nil {
+					continue
+				}
+			}
+			return nil
+		}
+		h.dropped.Store(true) // stop journaling before the ledger goes away
+		var first error
+		if st != nil {
+			// Decide the ledger's fate under the journal lock, mutually
+			// exclusive with CreateFromSpec's journal step, restoreOne's
+			// durable flip, and in-flight plays: a durable session's
+			// ledger is deleted here; a volatile one has journaled nothing
+			// and — having observed dropped — never will, but the id may
+			// still carry a ledger no live session owns (journaled by a
+			// crashed predecessor while this entry is a newer transient,
+			// or mid-restore), which this delete honors too.
+			h.jmu.Lock()
+			if h.durable.Load() {
+				if derr := st.Delete(id); derr != nil {
+					first = fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+				}
+			} else if derr := st.Delete(id); derr != nil && !errors.Is(derr, store.ErrClosed) {
+				// Delete tolerates an absent ledger, so no existence probe
+				// is needed: absent is a no-op, journaled or damaged is
+				// scrubbed. A closed store is skipped — a volatile session
+				// needs no store work to be removed.
+				first = fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+			}
+			h.jmu.Unlock()
+			if first == nil {
+				a.clearRestoreMemo(id) // the ledger is gone; a fresh id may journal anew
 			}
 		}
-		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
-	}
-	h.dropped.Store(true) // stop journaling before the ledger goes away
-	var first error
-	if st != nil && h.durable.Load() {
-		if derr := st.Delete(id); derr != nil {
-			first = fmt.Errorf("gameauthority: remove %q: %w", id, errors.Join(ErrDurability, derr))
+		if a.unhost(h) {
+			// The goroutine that unhosted the entry owns the close; a
+			// concurrent Remove that lost the race changes nothing.
+			if cerr := h.Close(); cerr != nil && first == nil {
+				first = cerr
+			}
 		}
+		return first
 	}
+}
+
+// clearRestoreMemo drops the restore-failure memo for id after its
+// ledger was deleted (see Authority.restoreFailed).
+func (a *Authority) clearRestoreMemo(id string) {
+	a.restoreMu.Lock()
+	delete(a.restoreFailed, id)
+	a.restoreMu.Unlock()
+}
+
+// unhost removes h's registry entry if this session still owns it,
+// decrementing the gauge; it reports whether the caller won the removal
+// (the winner runs Close). The store is never touched — ledger fate is
+// the caller's business.
+func (a *Authority) unhost(h *HostedSession) bool {
+	sh := a.shardFor(h.id)
 	sh.mu.Lock()
-	cur, present := sh.sessions[id]
+	cur, present := sh.sessions[h.id]
 	owned := present && cur == h
 	if owned {
-		delete(sh.sessions, id)
+		delete(sh.sessions, h.id)
 	}
 	sh.mu.Unlock()
 	if owned {
-		// The goroutine that unhosted the entry owns the close and the
-		// gauge; a concurrent Remove that lost the race changes nothing.
 		a.counters.Sessions.Add(-1)
-		if cerr := h.Close(); cerr != nil && first == nil {
-			first = cerr
-		}
 	}
-	return first
+	return owned
 }
 
 // Len returns the number of hosted sessions.

@@ -108,21 +108,42 @@ func (a *Authority) CreateFromSpec(req CreateSessionRequest) (*HostedSession, er
 		req.ID = h.ID() // record the assigned id for auto-named sessions
 		spec, err := json.Marshal(req)
 		if err == nil {
-			err = st.CreateSession(h.ID(), spec)
+			// The spec journal and the durable flip are one critical
+			// section under the journal lock, mutually exclusive with
+			// Remove's ledger decision: Remove sees either a volatile
+			// session that will never journal (the dropped check below) or
+			// a durable one whose ledger it then owns deleting.
+			h.jmu.Lock()
+			if h.dropped.Load() {
+				// A Remove won between hosting and journaling: nothing was
+				// journaled and nothing will be (Remove also scrubbed any
+				// unowned predecessor ledger under this id). The create
+				// itself succeeded — the session was simply removed right
+				// after, which Remove already reported to its caller.
+				h.jmu.Unlock()
+				return h, nil
+			}
+			if err = st.CreateSession(h.ID(), spec); err == nil {
+				h.durable.Store(true)
+			}
+			h.jmu.Unlock()
 		}
 		if err == nil {
-			h.durable.Store(true)
 			return h, nil
 		}
 		// Never host a session the ledger cannot recover: a durable create
 		// that cannot journal is a failed create.
-		_ = a.Remove(h.ID())
 		if errors.Is(err, store.ErrSessionExists) {
 			// The id is journaled by a previous host whose registry entry
-			// was lost to a crash. Its ledger must NOT be scrubbed. An
-			// auto-named create simply skips past the predecessor's ids
-			// (the counter is monotone, so this terminates); an explicit
-			// id is a conflict — recover it instead of re-creating.
+			// was lost to a crash. Its ledger must NOT be scrubbed by this
+			// cleanup (unhost leaves the store alone; only an explicit
+			// Remove may delete it). An auto-named create simply skips
+			// past the predecessor's ids (the counter is monotone, so this
+			// terminates); an explicit id is a conflict — recover it
+			// instead of re-creating.
+			if a.unhost(h) {
+				_ = h.Close()
+			}
 			if autoNamed {
 				req.ID = ""
 				continue
@@ -130,10 +151,15 @@ func (a *Authority) CreateFromSpec(req CreateSessionRequest) (*HostedSession, er
 			return nil, fmt.Errorf("%w: %q (journaled by a previous host; recover it instead of re-creating)",
 				ErrSessionExists, h.ID())
 		}
-		// Remove skips the store for non-durable sessions, so scrub any
-		// partial journal (an orphaned spec would poison the id and
-		// resurrect a phantom session at the next recovery) explicitly.
+		// Scrub any partial journal (an orphaned spec would poison the id
+		// and resurrect a phantom session at the next recovery) while the
+		// id is still hosted: once the registry entry is gone a newer
+		// create could journal the same id, and this delete would destroy
+		// that ledger instead.
 		_ = st.Delete(h.ID())
+		if a.unhost(h) {
+			_ = h.Close()
+		}
 		return nil, fmt.Errorf("journal create: %w", errors.Join(ErrDurability, err))
 	}
 }
@@ -141,11 +167,16 @@ func (a *Authority) CreateFromSpec(req CreateSessionRequest) (*HostedSession, er
 // Play executes one play on the hosted session, then journals it to the
 // durable store (durable sessions) and bumps the host counters. The play
 // record carries the canonical transcript hash recovery re-verifies.
-// Journaling happens under the session's journal read-lock, so a play
-// can never race Close into appending after the close record.
+// Journaling happens under the session's journal lock, so a play can
+// never race Close into appending after the close record. The lock is
+// exclusive, not shared: the RoundResult aliases the driver's history
+// ring (valid only until its slot is evicted), so the hash and convicted
+// list journaled below must be read before another play of this session
+// can wrap the ring. Plays of one session serialize on the driver's own
+// mutex anyway; this only keeps the journal append inside that window.
 func (h *HostedSession) Play(ctx context.Context) (RoundResult, error) {
-	h.jmu.RLock()
-	defer h.jmu.RUnlock()
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
 	res, err := h.Session.Play(ctx)
 	if err != nil || h.a == nil {
 		return res, err
@@ -216,7 +247,9 @@ func (h *HostedSession) Close() error {
 // compaction.
 func (a *Authority) journalPlay(h *HostedSession, res RoundResult) error {
 	st := a.getStore()
-	if st == nil || !h.durable.Load() {
+	if st == nil || !h.durable.Load() || h.dropped.Load() {
+		// dropped: a Remove is deleting the ledger — appending would only
+		// manufacture a spurious ErrDurability for a play that succeeded.
 		return nil
 	}
 	rec := store.Record{
@@ -258,10 +291,17 @@ func (a *Authority) snapshotHosted(h *HostedSession, snap SessionSnapshot) (Sess
 	if err != nil {
 		return snap, false, fmt.Errorf("gameauthority: snapshot: %w", err)
 	}
+	// Claim the cadence counter atomically rather than zeroing it after
+	// the write: plays journaled concurrently with the compaction keep
+	// their counts, so the next compaction is not pushed out by up to a
+	// full snapshotEvery window, and two concurrent snapshots cannot
+	// double-subtract. (On the journalPlay CAS path the threshold batch
+	// was already claimed; anything swapped out here is newer.)
+	claimed := h.walPlays.Swap(0)
 	if err := st.PutSnapshot(h.id, snap.Rounds, payload); err != nil {
+		h.walPlays.Add(claimed) // return the claim; the WAL is intact
 		return snap, false, fmt.Errorf("snapshot: %w", errors.Join(ErrDurability, err))
 	}
-	h.walPlays.Store(0)
 	a.counters.Snapshots.Add(1)
 	return snap, true, nil
 }
@@ -383,6 +423,17 @@ func (a *Authority) Recover(ctx context.Context) (RecoveryReport, error) {
 	return report, ctx.Err()
 }
 
+// storeHas is a cheap existence probe: backends exposing Has (both
+// built-ins do) answer with a stat or map lookup; others fall back to a
+// full LoadSession.
+func storeHas(st Store, id string) (bool, error) {
+	if h, ok := st.(interface{ Has(string) (bool, error) }); ok {
+		return h.Has(id)
+	}
+	_, ok, err := st.LoadSession(id)
+	return ok, err
+}
+
 // restoreCall tracks one in-flight restore-on-miss so concurrent
 // requests for the same lost id share a single replay (singleflight).
 type restoreCall struct {
@@ -407,6 +458,14 @@ func (a *Authority) GetOrRecover(ctx context.Context, id string) (*HostedSession
 	}
 
 	a.restoreMu.Lock()
+	if ferr, failed := a.restoreFailed[id]; failed {
+		// The replay failed deterministically before (diverged digest,
+		// unbuildable spec): the ledger has not changed, so re-paying the
+		// full replay would only re-derive the same failure. Remove — the
+		// one API remedy, which deletes the ledger — clears this memo.
+		a.restoreMu.Unlock()
+		return nil, ferr
+	}
 	if a.restoring == nil {
 		a.restoring = make(map[string]*restoreCall)
 	}
@@ -443,11 +502,30 @@ func (a *Authority) GetOrRecover(ctx context.Context, id string) (*HostedSession
 		c.err = err // the original ErrSessionNotFound
 		return nil, err
 	}
-	if _, _, rerr := a.restoreOne(ctx, state); rerr != nil {
+	// The replay is shared by every waiter on c.done, so it must not die
+	// with the leader's request: a leader disconnect mid-replay would
+	// otherwise surface as an ErrDurability 503 to followers of a healthy
+	// store. The replay is finite (bounded by the WAL watermark), so
+	// running it to completion without the request's cancellation is safe.
+	if _, _, rerr := a.restoreOne(context.WithoutCancel(ctx), state); rerr != nil {
 		// The ledger exists but could not be revived (diverged digest,
 		// unbuildable spec). That is a damaged-store condition, not "never
-		// existed" — report it as such, with the cause inspectable.
+		// existed" — report it as such, with the cause inspectable. The
+		// replay is deterministic, so memoize the failure rather than
+		// re-paying it on every request for the poisoned id.
 		c.err = fmt.Errorf("restore %q: %w", id, errors.Join(ErrDurability, rerr))
+		a.restoreMu.Lock()
+		// Memoize only while the ledger still exists: a Remove that raced
+		// the replay deleted it — and its memo clear, which serializes on
+		// restoreMu, must not be outrun by this write (a stale memo would
+		// 503 a session that is simply gone).
+		if has, herr := storeHas(st, id); herr == nil && has {
+			if a.restoreFailed == nil {
+				a.restoreFailed = make(map[string]error)
+			}
+			a.restoreFailed[id] = c.err
+		}
+		a.restoreMu.Unlock()
 		return nil, c.err
 	}
 	return a.Get(id)
@@ -489,7 +567,7 @@ func (a *Authority) restoreOne(ctx context.Context, state store.SessionState) (r
 		return 0, false, err
 	}
 	if st := a.getStore(); st != nil {
-		if _, journaled, lerr := st.LoadSession(state.ID); lerr == nil && !journaled {
+		if has, herr := storeHas(st, state.ID); herr == nil && !has {
 			// A Remove deleted the ledger while we were replaying: honor
 			// the delete instead of hosting a zombie with no journal.
 			h.dropped.Store(true)
@@ -497,7 +575,16 @@ func (a *Authority) restoreOne(ctx context.Context, state store.SessionState) (r
 			return 0, false, nil
 		}
 	}
+	h.jmu.Lock()
+	if h.dropped.Load() {
+		// A Remove claimed the freshly hosted session before the durable
+		// flip: under this same lock it saw the journaled ledger and
+		// deleted it. Honor the removal.
+		h.jmu.Unlock()
+		return 0, false, nil
+	}
 	h.durable.Store(true)
+	h.jmu.Unlock()
 	if target.Closed {
 		h.closeLogged.Store(true)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,10 +46,17 @@ type File struct {
 
 	stripes [fileStripes]sync.Mutex
 
-	mu      sync.Mutex // guards handles, closed
-	handles map[string]*walHandle
-	max     int
-	closed  bool
+	mu       sync.Mutex // guards handles, repaired, closed
+	handles  map[string]*walHandle
+	repaired map[string]struct{} // ids whose WAL tail was checked this process
+	max      int
+	closed   bool
+
+	// evictions tracks in-flight evicted-handle syncs, which run outside
+	// mu so one slow fsync cannot stall every session's handle lookup.
+	// Sync and Close wait on it so "synced on eviction" stays true by the
+	// time either returns.
+	evictions sync.WaitGroup
 }
 
 // walHandle wraps one session's append handle. Writes and the
@@ -70,9 +78,10 @@ func NewFile(dir string) (*File, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &File{
-		dir:     sessions,
-		handles: make(map[string]*walHandle),
-		max:     defaultMaxHandles,
+		dir:      sessions,
+		handles:  make(map[string]*walHandle),
+		repaired: make(map[string]struct{}),
+		max:      defaultMaxHandles,
 	}, nil
 }
 
@@ -126,7 +135,10 @@ func (f *File) CreateSession(id string, spec []byte) error {
 	// crash — otherwise a "missing" WAL would silently read as round 0.
 	wal, err := os.OpenFile(f.path(id, ".wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err == nil {
-		err = syncDir(f.dir)
+		if err = syncDir(f.dir); err != nil {
+			wal.Close()
+			os.Remove(f.path(id, ".wal"))
+		}
 	}
 	if err != nil {
 		// Scrub the spec: an orphaned half-created session would poison
@@ -135,6 +147,11 @@ func (f *File) CreateSession(id string, spec []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	f.cacheHandle(id, wal)
+	f.mu.Lock()
+	if !f.closed {
+		f.repaired[id] = struct{}{} // a brand-new WAL needs no tail repair
+	}
+	f.mu.Unlock()
 	return nil
 }
 
@@ -153,11 +170,10 @@ func (f *File) Append(id string, rec Record) error {
 	if !validID(id) {
 		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
 	}
-	payload, err := json.Marshal(rec)
+	line, err := appendWALLine(nil, rec)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
-	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
 
 	mu := f.stripe(id)
 	mu.Lock()
@@ -175,14 +191,34 @@ func (f *File) Append(id string, rec Record) error {
 			f.forgetHandle(id, wh)
 			continue
 		}
-		_, werr := wh.f.WriteString(line)
+		_, werr := wh.f.Write(line)
 		wh.mu.Unlock()
 		if werr != nil {
+			// The line may be partially on disk (short write on a full
+			// disk): retire the handle and its repair latch so the next
+			// append re-runs repairWAL and resumes on a clean boundary,
+			// instead of gluing onto the fragment and escalating the torn
+			// line into permanent mid-file corruption.
+			f.invalidateHandle(id, wh)
 			return fmt.Errorf("store: append %q: %w", id, werr)
 		}
 		return nil
 	}
 	return fmt.Errorf("store: append %q: handle churned out", id)
+}
+
+// invalidateHandle retires a handle whose last write failed. The handle
+// is fsynced before closing (earlier acknowledged records keep the
+// synced-on-retire contract) and the repair latch cleared; the caller
+// holds the session's stripe lock.
+func (f *File) invalidateHandle(id string, wh *walHandle) {
+	closeHandle(wh)
+	f.mu.Lock()
+	if cur, ok := f.handles[id]; ok && cur == wh {
+		delete(f.handles, id)
+	}
+	delete(f.repaired, id)
+	f.mu.Unlock()
 }
 
 // forgetHandle removes the cache entry for id if it still maps to the
@@ -212,22 +248,51 @@ func (f *File) handle(id string) (*walHandle, error) {
 	if _, err := os.Stat(f.path(id, ".spec")); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
+	// A crash may have left a half-written final line. O_APPEND would glue
+	// the next record onto that fragment — corrupting an acknowledged write
+	// and, once valid records follow it, turning a tolerable torn tail into
+	// the mid-file corruption readWAL refuses. Truncate to the last clean
+	// line boundary before any append can land. Once per session per
+	// process: everything this process wrote is clean, so cache-churn
+	// reopens skip the scan.
+	f.mu.Lock()
+	_, checked := f.repaired[id]
+	f.mu.Unlock()
+	if !checked {
+		if err := repairWAL(f.path(id, ".wal")); err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.repaired[id] = struct{}{}
+		f.mu.Unlock()
+	}
+	_, statErr := os.Stat(f.path(id, ".wal"))
 	w, err := os.OpenFile(f.path(id, ".wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	// The open normally finds an existing file; if it had to create one
-	// (first reopen after a compaction race), persist the entry.
-	if err := syncDir(f.dir); err != nil {
-		w.Close()
-		return nil, err
+	// The open normally finds an existing file (no directory change to
+	// persist); only when it had to create one (first reopen after a
+	// compaction race) is the new entry fsynced — a directory fsync on
+	// every cache-miss reopen would put milliseconds on the append path
+	// under handle churn.
+	if errors.Is(statErr, fs.ErrNotExist) {
+		if err := syncDir(f.dir); err != nil {
+			w.Close()
+			// Un-create the file, or the next reopen would stat it as
+			// existing and skip the directory fsync forever — leaving an
+			// entry an OS crash can drop along with acknowledged appends.
+			os.Remove(f.path(id, ".wal"))
+			return nil, err
+		}
 	}
 	return f.cacheHandle(id, w), nil
 }
 
 // closeHandle fsyncs and closes one cached handle under its write lock,
-// so no append can slip in between the sync and the close. The caller
-// holds f.mu (lock order is always f.mu → walHandle.mu).
+// so no append can slip in between the sync and the close. Callers may
+// hold f.mu (lock order is f.mu → walHandle.mu) or run lock-free on a
+// handle already removed from the cache (eviction).
 func closeHandle(wh *walHandle) {
 	wh.mu.Lock()
 	defer wh.mu.Unlock()
@@ -240,41 +305,69 @@ func closeHandle(wh *walHandle) {
 
 // cacheHandle installs a handle, evicting an arbitrary other one (fsynced
 // before close) when the cache is full. Losing a race to another opener
-// just closes the newcomer and returns the winner.
+// just closes the newcomer and returns the winner. Victims are removed
+// from the map under f.mu but synced+closed after it is released, so one
+// slow fsync does not stall every other session's handle lookup; the
+// evictions WaitGroup lets Sync and Close wait those syncs out. A
+// straggler append on an evicted handle is safe: it serialized on the
+// handle's own lock before the sync, or sees f == nil and reopens — and
+// O_APPEND keeps whole-line writes from the brief old/new fd overlap
+// intact (per-session appends serialize on the stripe lock anyway).
 func (f *File) cacheHandle(id string, w *os.File) *walHandle {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	wh := &walHandle{f: w}
 	if f.closed {
+		f.mu.Unlock()
 		w.Close()
 		wh.f = nil
 		return wh // Append sees f == nil and fails through handle() → ErrClosed
 	}
 	if prev, ok := f.handles[id]; ok {
+		f.mu.Unlock()
 		w.Close()
 		return prev
 	}
+	var victims []*walHandle
 	for len(f.handles) >= f.max {
+		evicted := false
 		for other, oh := range f.handles {
 			if other == id {
 				continue
 			}
-			closeHandle(oh)
+			victims = append(victims, oh)
 			delete(f.handles, other)
+			evicted = true
 			break
+		}
+		if !evicted {
+			break // only this id is cached; nothing to evict
 		}
 	}
 	f.handles[id] = wh
+	f.evictions.Add(len(victims))
+	f.mu.Unlock()
+	for _, oh := range victims {
+		closeHandle(oh)
+		f.evictions.Done()
+	}
 	return wh
 }
 
 // dropHandle closes and forgets the cached handle for id (used before a
-// compaction rewrite or delete replaces the file under it).
+// compaction rewrite or delete replaces the file under it). No fsync:
+// every caller immediately discards the inode — compaction re-persists
+// the surviving records through atomicWrite, deletion unlinks them — so
+// syncing here would only stall other sessions' lookups on f.mu.
 func (f *File) dropHandle(id string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if wh, ok := f.handles[id]; ok {
-		closeHandle(wh)
+		wh.mu.Lock()
+		if wh.f != nil {
+			wh.f.Close()
+			wh.f = nil
+		}
+		wh.mu.Unlock()
 		delete(f.handles, id)
 	}
 }
@@ -310,16 +403,22 @@ func (f *File) PutSnapshot(id string, rounds int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	var buf strings.Builder
+	var buf []byte
 	for _, rec := range compactWAL(records, rounds) {
-		payload, err := json.Marshal(rec)
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
+		if buf, err = appendWALLine(buf, rec); err != nil {
+			return err
 		}
-		fmt.Fprintf(&buf, "%08x %s\n", crc32.Checksum(payload, crcTable), payload)
 	}
-	f.dropHandle(id) // the rename below replaces the inode under any cached handle
-	return atomicWrite(f.path(id, ".wal"), []byte(buf.String()))
+	if err := atomicWrite(f.path(id, ".wal"), buf); err != nil {
+		// The old WAL (and its cached handle) stays live, so Sync/Close
+		// still reach any un-flushed appends.
+		return err
+	}
+	// Only now is the old inode truly discarded: drop the cached handle
+	// that still points at it (no append can interleave — the caller
+	// holds the stripe lock).
+	f.dropHandle(id)
+	return nil
 }
 
 // Delete implements Store.
@@ -334,11 +433,24 @@ func (f *File) Delete(id string) error {
 		return err
 	}
 	f.dropHandle(id)
+	f.mu.Lock()
+	delete(f.repaired, id)
+	f.mu.Unlock()
 	var first error
+	removed := false
 	for _, ext := range []string{".wal", ".snap", ".spec"} {
-		if err := os.Remove(f.path(id, ext)); err != nil && !errors.Is(err, fs.ErrNotExist) && first == nil {
+		switch err := os.Remove(f.path(id, ext)); {
+		case err == nil:
+			removed = true
+		case !errors.Is(err, fs.ErrNotExist) && first == nil:
 			first = fmt.Errorf("store: delete %q: %w", id, err)
 		}
+	}
+	// Persist the unlinks: without the directory fsync an OS crash can
+	// bring the files back, resurrecting a session the caller was told is
+	// gone — the same reason every create and rename syncs the directory.
+	if removed && first == nil {
+		first = syncDir(f.dir)
 	}
 	return first
 }
@@ -362,11 +474,13 @@ func (f *File) Load() ([]SessionState, error) {
 	}
 	out := make([]SessionState, 0, len(ids))
 	for _, id := range ids {
-		st, err := f.loadSession(id)
+		st, ok, err := f.loadSession(id)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, st)
+		if ok { // deleted between the listing and the load
+			out = append(out, st)
+		}
 	}
 	return out, nil
 }
@@ -385,11 +499,25 @@ func (f *File) LoadSession(id string) (SessionState, bool, error) {
 		}
 		return SessionState{}, false, fmt.Errorf("store: %w", err)
 	}
-	st, err := f.loadSession(id)
-	if err != nil {
-		return SessionState{}, false, err
+	return f.loadSession(id)
+}
+
+// Has reports whether a session with the given id is journaled — a cheap
+// existence probe (one stat) for callers that do not need the state.
+func (f *File) Has(id string) (bool, error) {
+	if err := f.checkOpen(); err != nil {
+		return false, err
 	}
-	return st, true, nil
+	if !validID(id) {
+		return false, nil
+	}
+	if _, err := os.Stat(f.path(id, ".spec")); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: %w", err)
+	}
+	return true, nil
 }
 
 // sessionIDs lists persisted sessions (those with a .spec file), sorted.
@@ -409,32 +537,37 @@ func (f *File) sessionIDs() ([]string, error) {
 }
 
 // loadSession reads one session's spec, snapshot, and WAL tail under its
-// stripe lock.
-func (f *File) loadSession(id string) (SessionState, error) {
+// stripe lock. ok is false when the spec vanished since the caller's
+// existence check — a concurrent Delete, which must read as session
+// absent, not as a store failure.
+func (f *File) loadSession(id string) (SessionState, bool, error) {
 	mu := f.stripe(id)
 	mu.Lock()
 	defer mu.Unlock()
 	st := SessionState{ID: id}
 	spec, err := os.ReadFile(f.path(id, ".spec"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return st, false, nil
+	}
 	if err != nil {
-		return st, fmt.Errorf("store: %w", err)
+		return st, false, fmt.Errorf("store: %w", err)
 	}
 	st.Spec = spec
 	if rounds, payload, ok, err := readSnap(f.path(id, ".snap")); err != nil {
-		return st, err
+		return st, false, err
 	} else if ok {
 		st.SnapshotRounds = rounds
 		st.Snapshot = payload
 	}
 	records, err := readWAL(f.path(id, ".wal"))
 	if err != nil {
-		return st, err
+		return st, false, err
 	}
 	// A crash between snapshot and WAL rewrite leaves covered plays in the
 	// log; drop them here so Tail honors the documented invariant.
 	st.Tail = compactWAL(records, st.SnapshotRounds)
 	finishState(&st)
-	return st, nil
+	return st, true, nil
 }
 
 // Snapshots implements Store.
@@ -470,6 +603,10 @@ func (f *File) Sync() error {
 	if f.closed {
 		return ErrClosed
 	}
+	// Evictions sync outside f.mu; wait them out so everything written
+	// before this call is durable when it returns. In-flight evictions
+	// complete without f.mu, and no new one can start while we hold it.
+	f.evictions.Wait()
 	var first error
 	for id, wh := range f.handles {
 		wh.mu.Lock()
@@ -492,6 +629,7 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
+	f.evictions.Wait() // see Sync: evicted-handle fsyncs must land too
 	var first error
 	for _, wh := range f.handles {
 		wh.mu.Lock()
@@ -551,6 +689,74 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// repairWAL truncates a torn tail — the half-written final line(s) of a
+// crash — so appends resume on a clean line boundary. A final record that
+// is CRC-valid but lost only its newline is completed in place rather
+// than dropped (it was acknowledged, and readWAL already accepts it).
+// Corruption followed by a valid record is mid-file damage, not a torn
+// tail: repair refuses, like readWAL, instead of burying the evidence
+// under fresh appends. The caller holds the session's stripe lock.
+func repairWAL(path string) error {
+	file, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer file.Close()
+	r := bufio.NewReaderSize(file, 64*1024)
+	var (
+		off   int64 // bytes consumed so far
+		good  int64 // offset just past the last intact, terminated line
+		torn  bool  // an invalid line has been seen
+		dirty bool  // the file was modified and needs an fsync
+	)
+	for {
+		line, rerr := r.ReadString('\n')
+		if len(line) > 0 {
+			terminated := strings.HasSuffix(line, "\n")
+			_, valid := parseWALLine(strings.TrimSuffix(line, "\n"))
+			off += int64(len(line))
+			switch {
+			case valid && torn:
+				return fmt.Errorf("store: %s: corrupt record(s) before offset of a valid one", path)
+			case valid && terminated:
+				good = off
+			case valid:
+				// The crash clipped only the trailing newline; the record
+				// itself is intact. Complete the line (pwrite at EOF).
+				if _, err := file.WriteAt([]byte("\n"), off); err != nil {
+					return fmt.Errorf("store: repair %s: %w", path, err)
+				}
+				off++
+				good = off
+				dirty = true
+			default:
+				torn = true
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("store: %w", rerr)
+		}
+	}
+	if good < off {
+		if err := file.Truncate(good); err != nil {
+			return fmt.Errorf("store: repair %s: %w", path, err)
+		}
+		dirty = true
+	}
+	if dirty {
+		if err := file.Sync(); err != nil {
+			return fmt.Errorf("store: repair %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
 // readWAL parses a WAL file, verifying each line's checksum. A torn or
 // corrupt tail (crash artifact) truncates the result at the last good
 // record; corruption before the tail is an error.
@@ -585,6 +791,17 @@ func readWAL(path string) ([]Record, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return out, nil
+}
+
+// appendWALLine appends the canonical "<crc32c-hex> <json>\n" encoding of
+// rec to buf — the one encoder matching parseWALLine, shared by Append
+// and the compaction rewrite so the two can never drift.
+func appendWALLine(buf []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("store: %w", err)
+	}
+	return fmt.Appendf(buf, "%08x %s\n", crc32.Checksum(payload, crcTable), payload), nil
 }
 
 // parseWALLine decodes one "<crc32c-hex> <json>" line.

@@ -209,6 +209,18 @@ func (m *Mem) Delete(id string) error {
 	return nil
 }
 
+// Has reports whether a session with the given id is journaled — a cheap
+// existence probe for callers that do not need the state.
+func (m *Mem) Has(id string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	_, ok := m.sessions[id]
+	return ok, nil
+}
+
 // IDs implements Store.
 func (m *Mem) IDs() ([]string, error) {
 	m.mu.RLock()

@@ -220,6 +220,127 @@ func TestFileTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestFileAppendAfterTornTail is the dangerous half of the torn-tail
+// story: after a crash leaves a half-written final line, the next append
+// must land on a clean line boundary. Without repair, O_APPEND glues the
+// new record onto the fragment — losing that acknowledged record and,
+// once further valid records follow, turning the tolerable torn tail
+// into the mid-file corruption that bricks Load and compaction forever.
+func TestFileAppendAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateSession("torn", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if err := st.Append("torn", Record{Type: RecordPlay, Round: r, Hash: "h"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "sessions", "torn.wal")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`0bad00 {"t":"play","rou`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	// The post-recovery appends that used to glue onto the fragment.
+	for r := 3; r < 5; r++ {
+		if err := st2.Append("torn", Record{Type: RecordPlay, Round: r, Hash: "h"}); err != nil {
+			t.Fatalf("append after torn tail: %v", err)
+		}
+	}
+	states, err := st2.Load()
+	if err != nil {
+		t.Fatalf("load after post-crash appends: %v", err)
+	}
+	if len(states) != 1 || len(states[0].Tail) != 5 {
+		t.Fatalf("post-crash appends corrupted the WAL: %+v", states)
+	}
+	for i, rec := range states[0].Tail {
+		if rec.Round != i {
+			t.Fatalf("tail[%d].Round = %d, want %d", i, rec.Round, i)
+		}
+	}
+	// Compaction (the other reader that refuses mid-file corruption) works.
+	if err := st2.PutSnapshot("torn", 4, []byte(`{"rounds":4}`)); err != nil {
+		t.Fatalf("compaction after post-crash appends: %v", err)
+	}
+	state, ok, err := st2.LoadSession("torn")
+	if err != nil || !ok {
+		t.Fatalf("load after compaction: ok=%v err=%v", ok, err)
+	}
+	if len(state.Tail) != 1 || state.Tail[0].Round != 4 {
+		t.Fatalf("compacted tail: %+v", state.Tail)
+	}
+}
+
+// TestFileAppendAfterClippedNewline: a crash can clip just the trailing
+// newline off a fully-written, CRC-valid record. That record was
+// acknowledged and the read path accepts it, so resuming appends must
+// complete the line — not truncate the record away, and not glue onto it.
+func TestFileAppendAfterClippedNewline(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateSession("clip", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if err := st.Append("clip", Record{Type: RecordPlay, Round: r, Hash: "h"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "sessions", "clip.wal")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, info.Size()-1); err != nil { // drop only the final '\n'
+		t.Fatal(err)
+	}
+
+	st2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.Append("clip", Record{Type: RecordPlay, Round: 3, Hash: "h"}); err != nil {
+		t.Fatalf("append after clipped newline: %v", err)
+	}
+	states, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || len(states[0].Tail) != 4 {
+		t.Fatalf("clipped-newline record lost or glued: %+v", states)
+	}
+	for i, rec := range states[0].Tail {
+		if rec.Round != i {
+			t.Fatalf("tail[%d].Round = %d, want %d", i, rec.Round, i)
+		}
+	}
+}
+
 // TestFileMidCorruptionRefused: corruption before valid records means lost
 // acknowledged plays — Load must fail loudly instead of recovering a lie.
 func TestFileMidCorruptionRefused(t *testing.T) {

@@ -130,6 +130,35 @@ func TestCreateFromSpecPreservesJournaledLedger(t *testing.T) {
 	}
 }
 
+// TestGetOrRecoverSurvivesLeaderCancellation: the singleflight replay is
+// shared by every waiter, so a leader whose client disconnected (its
+// request context canceled) must not poison the restore — the replay
+// runs detached and the session comes back for everyone.
+func TestGetOrRecoverSurvivesLeaderCancellation(t *testing.T) {
+	st := ga.NewMemStore()
+	a1 := ga.NewAuthority(ga.WithStore(st))
+	h, err := a1.CreateFromSpec(ga.CreateSessionRequest{ID: "gone", Game: "pd", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+	a1.DetachStore() // crash: registry gone, ledger stays
+
+	a2 := ga.NewAuthority(ga.WithStore(st))
+	defer a2.Close()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel() // the leader's client hung up before the replay even started
+	got, err := a2.GetOrRecover(canceled, "gone")
+	if err != nil {
+		t.Fatalf("restore under a canceled leader context: %v", err)
+	}
+	if rounds := got.Stats().Rounds; rounds != 6 {
+		t.Fatalf("recovered %d rounds, want 6", rounds)
+	}
+}
+
 // TestCreateFromSpecAutoNameSkipsPredecessorIDs: a restarted host whose
 // auto-id counter restarted must hop over ids the dead predecessor
 // journaled instead of failing client creates with conflicts.

@@ -1,8 +1,12 @@
 package gameauthority_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -93,6 +97,108 @@ func TestAuthorityCloseSyncsStoreAndStaysIdempotent(t *testing.T) {
 	hb, _ := b.Get("close-b")
 	if _, err := hb.Play(ctx); err != nil {
 		t.Fatalf("close-b bricked by graceful shutdown: %v", err)
+	}
+}
+
+// TestCreateRemoveRaceNeverLeaksLedger hammers the window where a
+// CreateFromSpec is still journaling its spec when a Remove lands: no
+// interleaving may leak a ledger for an unhosted session (it would
+// resurrect at the next recovery) or strip a hosted session's ledger.
+func TestCreateRemoveRaceNeverLeaksLedger(t *testing.T) {
+	st := ga.NewMemStore()
+	a := ga.NewAuthority(ga.WithStore(st))
+	defer a.Close()
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("race-%d", i)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, _ = a.CreateFromSpec(ga.CreateSessionRequest{ID: id, Game: "pd", Seed: uint64(i) + 1})
+		}()
+		go func() {
+			defer wg.Done()
+			_ = a.Remove(id)
+		}()
+		wg.Wait()
+		hosted := false
+		if _, err := a.Get(id); err == nil {
+			hosted = true
+		}
+		_, journaled, err := st.LoadSession(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hosted != journaled {
+			t.Fatalf("iteration %d: hosted=%v journaled=%v — ledger %s", i, hosted, journaled,
+				map[bool]string{true: "leaked for a removed session", false: "lost for a live session"}[journaled])
+		}
+	}
+}
+
+// TestRemoveDeletesDamagedLedger: DELETE is the one API remedy for a
+// ledger recovery refuses (mid-file WAL corruption), so the load failure
+// that blocks recovery must not also block the delete.
+func TestRemoveDeletesDamagedLedger(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, err := ga.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ga.NewAuthority(ga.WithStore(st))
+	h, err := a.CreateFromSpec(ga.CreateSessionRequest{ID: "damaged", Game: "pd", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	a.DetachStore() // crash: the registry forgets, the ledger stays
+
+	// Corrupt the first WAL record so every load refuses the ledger.
+	wal := filepath.Join(dir, "sessions", "damaged.wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[bytes.IndexByte(data, '{')+5] ^= 0xFF
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := ga.NewAuthority(ga.WithStore(st))
+	defer b.Close()
+	if _, err := b.GetOrRecover(ctx, "damaged"); err == nil {
+		t.Fatal("damaged ledger recovered without error")
+	}
+	if err := b.Remove("damaged"); err != nil {
+		t.Fatalf("remove of a damaged ledger must scrub it, got %v", err)
+	}
+	if _, ok, lerr := st.LoadSession("damaged"); lerr != nil || ok {
+		t.Fatalf("ledger not scrubbed: ok=%v err=%v", ok, lerr)
+	}
+	// The id is usable again.
+	if _, err := b.CreateFromSpec(ga.CreateSessionRequest{ID: "damaged", Game: "pd", Seed: 6}); err != nil {
+		t.Fatalf("recreate after scrub: %v", err)
+	}
+}
+
+// TestRemoveUnknownAfterCloseIsNotFound: DELETE of an id that was never
+// hosted must stay a not-found after Authority.Close — the closed store
+// cannot be consulted, but that is not a durability failure (503) for a
+// session that does not exist.
+func TestRemoveUnknownAfterCloseIsNotFound(t *testing.T) {
+	a := ga.NewAuthority(ga.WithStore(ga.NewMemStore()))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Remove("never-existed")
+	if !errors.Is(err, ga.ErrSessionNotFound) {
+		t.Fatalf("remove unknown id after close: err = %v, want ErrSessionNotFound", err)
+	}
+	if errors.Is(err, ga.ErrDurability) {
+		t.Fatalf("remove unknown id after close reported a durability failure: %v", err)
 	}
 }
 
