@@ -3,10 +3,10 @@ GO ?= go
 .PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
 	deviation-matrix deviation-matrix-short cover-gate \
-	crash-bench crash-smoke
+	crash-bench crash-smoke ws-smoke loadgen-ws
 
 ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
-	docs-check fuzz-smoke deviation-matrix-short cover-gate
+	ws-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -62,6 +62,20 @@ loadgen-smoke:
 	$(GO) run ./cmd/loadgen -selfserve -sessions 16 -plays 2 > /dev/null
 	$(GO) run ./cmd/loadgen -sessions 64 -plays 4 -deviants 0.25 -chaos > /dev/null
 
+# CI-sized streaming smoke: the full scenario mix over the /ws binary
+# transport, many sessions multiplexed onto four connections; fails on
+# any transport error, never on timing.
+ws-smoke:
+	$(GO) run ./cmd/loadgen -transport ws -selfserve -sessions 64 -plays 4 -conns 4 > /dev/null
+
+# The streaming-scale run (DESIGN.md §10): 100k concurrent sessions
+# multiplexed over 64 WebSocket connections into a sharded authority; the
+# tracked BENCH_PR6.json artifact records the WS-vs-HTTP throughput and
+# latency split.
+loadgen-ws:
+	$(GO) run ./cmd/loadgen -transport ws -selfserve -sessions 100000 -plays 4 -conns 64 \
+		| $(GO) run ./cmd/benchfmt -command "make loadgen-ws" -out BENCH_PR6.json
+
 # The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
 # SIGKILL-drops the authority mid-run and recovers every session from the
 # write-ahead log, twice. The artifact tracks durable throughput plus the
@@ -92,19 +106,22 @@ deviation-matrix-short:
 # not finding anything new.
 fuzz-smoke:
 	$(GO) test -run '^Fuzz' .
+	$(GO) test -run '^Fuzz' ./internal/wire
 	$(GO) test -fuzz '^FuzzServerSessions$$' -fuzztime 5s -run '^Fuzz' .
 	$(GO) test -fuzz '^FuzzServerPlay$$' -fuzztime 5s -run '^Fuzz' .
+	$(GO) test -fuzz '^FuzzWireDecode$$' -fuzztime 5s -run '^Fuzz' ./internal/wire
 
 # Coverage gate: the audited packages must keep ≥ 70% of statements
 # covered by the whole suite (merged -coverpkg profile; see
 # cmd/covergate).
-COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub
 cover-gate:
 	$(GO) test -short -coverprofile=cover.out -coverpkg=$(COVER_PKGS) ./... > /dev/null
 	$(GO) run ./cmd/covergate -profile cover.out -min 70 \
 		gameauthority/internal/core gameauthority/internal/punish \
 		gameauthority/internal/audit gameauthority/internal/deviate \
-		gameauthority/internal/store
+		gameauthority/internal/store gameauthority/internal/wire \
+		gameauthority/internal/hub
 
 # Every internal package must carry a package comment (the godoc story of
 # DESIGN.md §1); CI fails when one goes missing.

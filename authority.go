@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gameauthority/internal/hub"
 	"gameauthority/internal/metrics"
 	"gameauthority/internal/store"
 )
@@ -84,6 +85,17 @@ type Authority struct {
 	// storeClosed latches after the first Close so a second Close stays
 	// idempotent (the store is synced and closed exactly once).
 	storeClosed atomic.Bool
+
+	// loops is the pool of authoritative shard loops (internal/hub):
+	// sessions are pinned onto a loop by id hash, and all plays for a
+	// session execute on that loop's goroutine. WithShards installs the
+	// pool up front and sets loopsRoute, which makes HostedSession.Play
+	// enqueue instead of playing inline; otherwise the pool is created
+	// lazily the first time the WebSocket transport needs it, and the
+	// HTTP/in-process play path stays direct.
+	loops      atomic.Pointer[hub.Shards]
+	loopsRoute atomic.Bool
+	loopsMu    sync.Mutex
 }
 
 // storeBox wraps the store interface for atomic.Pointer.
@@ -421,6 +433,12 @@ func (a *Authority) Sessions() []*HostedSession {
 // already-closed store.
 func (a *Authority) Close() error {
 	var first error
+	// Stop the shard loops first so every play they already accepted
+	// finishes (and journals) before sessions close and the store syncs.
+	// Plays submitted after this point fall back to the direct path.
+	if sp := a.loops.Load(); sp != nil {
+		sp.Close()
+	}
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()

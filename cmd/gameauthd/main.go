@@ -20,6 +20,7 @@
 //	go run ./cmd/gameauthd -corrupt 3 -plays 12     # transient fault after play 3
 //	go run ./cmd/gameauthd -serve :8080             # multi-session HTTP host
 //	go run ./cmd/gameauthd -serve :8080 -data-dir /var/lib/gameauthd  # durable host
+//	go run ./cmd/gameauthd -serve :8080 -shards -1  # plays routed onto GOMAXPROCS shard loops
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		seed    = flag.Uint64("seed", 7, "root seed")
 		serve   = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
 		dataDir = flag.String("data-dir", "", "durable store directory (serve mode): journal sessions, recover on startup, snapshot on shutdown")
+		ws      = flag.Bool("ws", true, "serve mode: mount the /ws binary streaming transport")
+		shards  = flag.Int("shards", 0, "serve mode: route every play through this many authoritative shard loops (0: direct HTTP plays, lazy loops for /ws; -1: GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
 		memProf = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
 	)
@@ -61,7 +64,9 @@ func main() {
 		// ignoring them.
 		var stray []string
 		flag.Visit(func(fl *flag.Flag) {
-			if fl.Name != "serve" && fl.Name != "data-dir" {
+			switch fl.Name {
+			case "serve", "data-dir", "ws", "shards":
+			default:
 				stray = append(stray, "-"+fl.Name)
 			}
 		})
@@ -69,7 +74,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v only apply to trace mode; sessions are configured via POST /sessions\n", stray)
 			os.Exit(2)
 		}
-		if err := serveAPI(*serve, *dataDir); err != nil {
+		if err := serveAPI(*serve, *dataDir, *ws, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 			os.Exit(1)
 		}
@@ -78,6 +83,16 @@ func main() {
 
 	if *dataDir != "" {
 		fmt.Fprintln(os.Stderr, "gameauthd: -data-dir only applies to serve mode (-serve)")
+		os.Exit(2)
+	}
+	strayServe := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "ws" || fl.Name == "shards" {
+			strayServe = true
+		}
+	})
+	if strayServe {
+		fmt.Fprintln(os.Stderr, "gameauthd: -ws and -shards only apply to serve mode (-serve)")
 		os.Exit(2)
 	}
 	if err := validateFlags(*n, *f, *plays, *cheat); err != nil {
@@ -113,7 +128,7 @@ func main() {
 // journaled is compacted and on disk before the process exits. A kill
 // that skips shutdown loses nothing either — that is what the
 // write-ahead log is for.
-func serveAPI(addr, dataDir string) error {
+func serveAPI(addr, dataDir string, ws bool, shards int) error {
 	var opts []ga.AuthorityOption
 	if dataDir != "" {
 		st, err := ga.NewFileStore(dataDir)
@@ -121,6 +136,11 @@ func serveAPI(addr, dataDir string) error {
 			return err
 		}
 		opts = append(opts, ga.WithStore(st))
+	}
+	if shards != 0 {
+		// Route every play (HTTP included) through the authoritative
+		// shard loops; the loops also back the /ws transport.
+		opts = append(opts, ga.WithShards(shards))
 	}
 	authority := ga.NewAuthority(opts...)
 	if dataDir != "" {
@@ -137,10 +157,14 @@ func serveAPI(addr, dataDir string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: addr, Handler: ga.NewServer(authority)}
+	srv := &http.Server{Addr: addr, Handler: ga.NewServer(authority, ga.WithWebSocket(ws))}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("gameauthd: serving the authority API on %s\n", addr)
+	if ws {
+		fmt.Printf("gameauthd: serving the authority API on %s (streaming transport at /ws)\n", addr)
+	} else {
+		fmt.Printf("gameauthd: serving the authority API on %s\n", addr)
+	}
 
 	select {
 	case err := <-errCh:

@@ -47,7 +47,10 @@ func main() {
 	flag.IntVar(&cfg.plays, "plays", 20, "plays per session (heavy drivers play a documented fraction)")
 	flag.StringVar(&cfg.mix, "mix", "", "override scenario weights, e.g. congestion=4,rra=1 (default: built-in mix over every family)")
 	flag.StringVar(&cfg.httpBase, "http", "", "drive a running gameauthd -serve at this base URL instead of in-process")
-	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start a loopback HTTP server in-process and drive it (hermetic HTTP mode)")
+	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start a loopback HTTP server in-process and drive it (hermetic wire mode)")
+	flag.StringVar(&cfg.transport, "transport", "",
+		"transport to drive: inproc, http, or ws (default: http when -http/-selfserve is set, else inproc)")
+	flag.IntVar(&cfg.conns, "conns", 16, "ws transport: number of multiplexed WebSocket connections")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "root seed; session i uses seed+i")
 	flag.Float64Var(&cfg.deviants, "deviants", 0,
 		"fraction of sessions carrying one selfish deviant player (0..1); strategies rotate through the deviation catalog")
@@ -70,6 +73,8 @@ type config struct {
 	mix       string
 	httpBase  string
 	selfserve bool
+	transport string
+	conns     int
 	seed      uint64
 	deviants  float64
 	chaos     bool
@@ -335,6 +340,28 @@ func run(cfg config) error {
 	if cfg.httpBase != "" && cfg.selfserve {
 		return fmt.Errorf("-http and -selfserve are mutually exclusive")
 	}
+	tmode := cfg.transport
+	if tmode == "" {
+		if cfg.httpBase != "" || cfg.selfserve {
+			tmode = "http"
+		} else {
+			tmode = "inproc"
+		}
+	}
+	switch tmode {
+	case "inproc", "http", "ws":
+	default:
+		return fmt.Errorf("-transport %q must be inproc, http, or ws", cfg.transport)
+	}
+	if tmode == "inproc" && (cfg.httpBase != "" || cfg.selfserve) {
+		return fmt.Errorf("-transport inproc cannot combine with -http/-selfserve")
+	}
+	if tmode != "inproc" && cfg.httpBase == "" && !cfg.selfserve {
+		return fmt.Errorf("-transport %s needs a server: set -http or -selfserve", tmode)
+	}
+	if tmode == "ws" && cfg.conns < 1 {
+		return fmt.Errorf("-conns %d must be positive", cfg.conns)
+	}
 	if cfg.deviants < 0 || cfg.deviants > 1 {
 		return fmt.Errorf("-deviants %v must be in [0,1]", cfg.deviants)
 	}
@@ -363,16 +390,31 @@ func run(cfg config) error {
 
 	var tr transport
 	mode := "in-process"
-	switch {
-	case cfg.httpBase != "":
-		tr = newHTTPTransport(cfg.httpBase)
-		mode = "http " + cfg.httpBase
-	case cfg.selfserve:
+	base := cfg.httpBase
+	var closeSrv func()
+	if cfg.selfserve {
+		// One loopback server backs both wire transports, so WS-vs-HTTP
+		// comparisons hit identical server code.
 		srv := httptest.NewServer(ga.NewServer(ga.NewAuthority()))
-		ht := newHTTPTransport(srv.URL)
-		ht.onShutdown = srv.Close
+		base, closeSrv = srv.URL, srv.Close
+	}
+	switch {
+	case tmode == "ws":
+		wt, err := newWSTransport(base, cfg.conns)
+		if err != nil {
+			if closeSrv != nil {
+				closeSrv()
+			}
+			return err
+		}
+		wt.onShutdown = closeSrv
+		tr = wt
+		mode = fmt.Sprintf("ws %s (%d conns)", base, cfg.conns)
+	case tmode == "http":
+		ht := newHTTPTransport(base)
+		ht.onShutdown = closeSrv
 		tr = ht
-		mode = "http (selfserve)"
+		mode = "http " + base
 	case cfg.crash > 0 || cfg.dataDir != "":
 		dir := cfg.dataDir
 		if dir == "" {
@@ -567,12 +609,15 @@ func run(cfg config) error {
 		createDur.Round(time.Millisecond), playDur.Round(time.Millisecond),
 		float64(len(all))/playDur.Seconds())
 
+	// Bench names carry the transport label so WS-vs-HTTP runs land as
+	// separate rows with their own p50/p99 split in the BENCH_*.json
+	// artifacts.
 	fmt.Fprintf(cfg.out, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	for i, sc := range mix {
-		writeBenchLine(cfg.out, "Loadgen/scenario="+sc.name+"/driver="+sc.driver,
+		writeBenchLine(cfg.out, "Loadgen/transport="+tmode+"/scenario="+sc.name+"/driver="+sc.driver,
 			perScenario[i], sessionsPer[i], playDur)
 	}
-	writeBenchLine(cfg.out, "Loadgen/total", all, len(slots), playDur)
+	writeBenchLine(cfg.out, "Loadgen/transport="+tmode+"/total", all, len(slots), playDur)
 	if deviantSessions > 0 {
 		detectionRate := float64(detected) / float64(deviantSessions)
 		convictionRate := float64(convicted) / float64(deviantSessions)

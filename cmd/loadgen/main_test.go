@@ -132,7 +132,7 @@ func TestRunInProcessMini(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	if !strings.Contains(got, "BenchmarkLoadgen/total") {
+	if !strings.Contains(got, "BenchmarkLoadgen/transport=inproc/total") {
 		t.Fatalf("no total line in output:\n%s", got)
 	}
 	for _, sc := range loadMix() {
@@ -154,8 +154,28 @@ func TestRunSelfserveMini(t *testing.T) {
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "BenchmarkLoadgen/total") {
+	if !strings.Contains(out.String(), "BenchmarkLoadgen/transport=http/total") {
 		t.Fatalf("no total line in output:\n%s", out.String())
+	}
+}
+
+// TestRunWSMini exercises the streaming transport hermetically: the full
+// mix multiplexed over two WebSocket connections.
+func TestRunWSMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 11, plays: 2, seed: 5, selfserve: true,
+		transport: "ws", conns: 2, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkLoadgen/transport=ws/total") {
+		t.Fatalf("no total line in output:\n%s", got)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "Benchmark") && benchLine.FindStringSubmatch(line) == nil {
+			t.Fatalf("unparseable bench line %q", line)
+		}
 	}
 }
 

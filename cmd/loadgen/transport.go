@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	ga "gameauthority"
+	"gameauthority/internal/hub"
 )
 
 // historyLimit bounds every load session's retained history: the harness
@@ -264,3 +266,88 @@ func (p *httpPlayer) stats() (outcome, error) {
 func (p *httpPlayer) close() error {
 	return p.t.do(http.MethodDelete, "/sessions/"+p.id, nil, http.StatusNoContent)
 }
+
+// --- WebSocket transport ------------------------------------------------------
+
+// wsTransport drives the /ws binary streaming endpoint: all sessions are
+// multiplexed over a small fixed set of connections (-conns), so 100k+
+// concurrent sessions ride a few dozen sockets. Sessions are assigned to
+// connections round-robin at create time and stay pinned (the ref is
+// connection-local).
+type wsTransport struct {
+	clients    []*hub.Client
+	next       atomic.Uint64
+	onShutdown func()
+}
+
+func newWSTransport(base string, conns int) (*wsTransport, error) {
+	t := &wsTransport{clients: make([]*hub.Client, 0, conns)}
+	for i := 0; i < conns; i++ {
+		c, err := hub.Dial(base + "/ws")
+		if err != nil {
+			for _, prev := range t.clients {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("ws dial %d/%d: %w", i+1, conns, err)
+		}
+		t.clients = append(t.clients, c)
+	}
+	return t, nil
+}
+
+func (t *wsTransport) create(id string, sc scenario, seed uint64, dev deviance) (player, error) {
+	req := sc.request(id, seed)
+	req.HistoryLimit = historyLimit
+	if dev.strategy != "" {
+		req.Deviant = &ga.DeviantSpec{Player: 0, Strategy: dev.strategy}
+		if !sc.punished && req.Punishment == nil {
+			req.Punishment = &ga.PunishmentSpec{Scheme: "disconnect"}
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c := t.clients[int(t.next.Add(1))%len(t.clients)]
+	ref, _, err := c.Create(body)
+	if err != nil {
+		return nil, err
+	}
+	return &wsPlayer{c: c, ref: ref}, nil
+}
+
+func (t *wsTransport) shutdown() error {
+	for _, c := range t.clients {
+		c.Close()
+	}
+	if t.onShutdown != nil {
+		t.onShutdown()
+	}
+	return nil
+}
+
+type wsPlayer struct {
+	c   *hub.Client
+	ref uint64
+}
+
+func (p *wsPlayer) play(context.Context) error {
+	_, err := p.c.Play(p.ref, 1)
+	return err
+}
+
+func (p *wsPlayer) stats() (outcome, error) {
+	st, err := p.c.Stats(p.ref)
+	if err != nil {
+		return outcome{}, err
+	}
+	out := outcome{fouls: st.Fouls, convictions: st.Convictions}
+	for _, i := range st.Excluded {
+		if i == 0 {
+			out.excluded = true
+		}
+	}
+	return out, nil
+}
+
+func (p *wsPlayer) close() error { return p.c.CloseSession(p.ref) }

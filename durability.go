@@ -174,7 +174,37 @@ func (a *Authority) CreateFromSpec(req CreateSessionRequest) (*HostedSession, er
 // list journaled below must be read before another play of this session
 // can wrap the ring. Plays of one session serialize on the driver's own
 // mutex anyway; this only keeps the journal append inside that window.
+// When the authority routes plays through shard loops (WithShards), Play
+// enqueues onto the session's pinned loop and waits; playDirect is the
+// body that actually runs there (and is what the WebSocket hub calls —
+// its commands are already on the right loop).
 func (h *HostedSession) Play(ctx context.Context) (RoundResult, error) {
+	if h.a != nil && h.a.loopsRoute.Load() {
+		if sp := h.a.loops.Load(); sp != nil {
+			type playOut struct {
+				res RoundResult
+				err error
+			}
+			ch := make(chan playOut, 1)
+			if sp.Submit(h.id, func() {
+				res, err := h.playDirect(ctx)
+				ch <- playOut{res, err}
+			}) {
+				select {
+				case out := <-ch:
+					return out.res, out.err
+				case <-ctx.Done():
+					return RoundResult{}, ctx.Err()
+				}
+			}
+			// Pool closed (authority shutting down): fall through and play
+			// directly so shutdown-time plays still drain correctly.
+		}
+	}
+	return h.playDirect(ctx)
+}
+
+func (h *HostedSession) playDirect(ctx context.Context) (RoundResult, error) {
 	h.jmu.Lock()
 	defer h.jmu.Unlock()
 	res, err := h.Session.Play(ctx)

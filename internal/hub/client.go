@@ -1,0 +1,543 @@
+package hub
+
+import (
+	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"gameauthority/internal/wire"
+)
+
+// cryptoRand seeds per-connection mask-key PRNGs.
+var cryptoRand = cryptorand.Reader
+
+func newConnReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 1<<16)
+}
+
+// ErrClientClosed reports an operation on a closed client connection.
+var ErrClientClosed = errors.New("hub: client connection closed")
+
+// RemoteError is a server-reported command failure.
+type RemoteError struct {
+	Code   uint64
+	Detail string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("hub: remote error %d: %s", e.Code, e.Detail)
+}
+
+// PlayOutcome is the client-side result of one play batch.
+type PlayOutcome struct {
+	// Completed counts the rounds that ran before any error.
+	Completed int
+	// Last is the final decoded result (valid when Completed > 0). Its
+	// slices are owned by the client connection; copy to retain.
+	Last wire.Result
+}
+
+// EventHandler consumes pushed events for one subscription. lag is the
+// number of events dropped immediately before ev (0 almost always); the
+// event following a lag gap is always self-contained. The handler runs
+// on the connection's read goroutine: it must not block, and ev's slices
+// are owned by the delta decoder — valid only for the duration of the
+// call, copy to retain.
+type EventHandler func(ev wire.Event, lag uint64)
+
+// Client is one multiplexed WebSocket connection to an authority. All
+// methods are safe for concurrent use: many goroutines can issue
+// commands over one connection, and a writer goroutine coalesces their
+// frames into shared flushes.
+type Client struct {
+	ws     *WSConn
+	Shards int // shard loops on the serving authority (from Welcome)
+
+	outbox chan []byte
+	done   chan struct{}
+	once   sync.Once
+	cause  error
+
+	mu      sync.Mutex // guards pending, subs, nextReq, bufs
+	pending map[uint64]chan clientReply
+	subs    map[uint64]*clientSub
+	nextReq uint64
+	bufs    [][]byte
+}
+
+type clientReply struct {
+	msg any
+	err error
+}
+
+type clientSub struct {
+	dec     wire.EventDecoder
+	lag     uint64
+	handler EventHandler
+}
+
+// Dial connects and performs the protocol handshake. rawURL accepts
+// ws://, wss:// is not supported (no TLS in this deployment), and for
+// convenience http:// URLs (e.g. a httptest server base) are rewritten.
+func Dial(rawURL string) (*Client, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("hub: dial: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("hub: dial: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	path := u.Path
+	if path == "" || path == "/" {
+		path = "/ws"
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("hub: dial: %w", err)
+	}
+	ws, err := clientHandshake(conn, host, path)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	c := &Client{
+		ws:      ws,
+		outbox:  make(chan []byte, 256),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan clientReply),
+		subs:    make(map[uint64]*clientSub),
+	}
+	// Protocol handshake: Hello, then Welcome.
+	if err := ws.WriteMessage(opBinary, wire.AppendHello(nil, wire.Version)); err != nil {
+		ws.Close()
+		return nil, fmt.Errorf("hub: handshake: %w", err)
+	}
+	ws.SetReadDeadline(time.Now().Add(10 * time.Second))
+	op, payload, err := ws.ReadMessage()
+	if err != nil || op != opBinary {
+		ws.Close()
+		return nil, fmt.Errorf("hub: handshake: no welcome: %v", err)
+	}
+	dec := wire.NewDecoder(payload)
+	if dec.Byte() != wire.MsgWelcome {
+		ws.Close()
+		return nil, errors.New("hub: handshake: unexpected first message")
+	}
+	welcome, err := wire.DecodeWelcome(&dec)
+	if err != nil || welcome.Version != wire.Version {
+		ws.Close()
+		return nil, errors.New("hub: handshake: protocol version mismatch")
+	}
+	ws.SetReadDeadline(time.Time{})
+	c.Shards = int(welcome.Shards)
+
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
+}
+
+func clientHandshake(conn net.Conn, host, path string) (*WSConn, error) {
+	var keyRaw [16]byte
+	if _, err := cryptoRand.Read(keyRaw[:]); err != nil {
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw[:])
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return nil, fmt.Errorf("hub: handshake request: %w", err)
+	}
+	br := newConnReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hub: handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		return nil, fmt.Errorf("hub: handshake refused: %s", resp.Status)
+	}
+	if resp.Header.Get("Sec-WebSocket-Accept") != acceptKey(key) {
+		return nil, errors.New("hub: handshake: bad Sec-WebSocket-Accept")
+	}
+	conn.SetDeadline(time.Time{})
+	return newWSConn(conn, br, true, 0), nil
+}
+
+func (c *Client) getBuf() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.bufs); n > 0 {
+		b := c.bufs[n-1]
+		c.bufs = c.bufs[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, 256)
+}
+
+func (c *Client) putBuf(b []byte) {
+	if cap(b) > 1<<16 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.bufs) < 64 {
+		c.bufs = append(c.bufs, b)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) closeWith(err error) {
+	c.once.Do(func() {
+		c.cause = err
+		close(c.done)
+		c.ws.Close()
+		c.mu.Lock()
+		pend := c.pending
+		c.pending = map[uint64]chan clientReply{}
+		c.mu.Unlock()
+		for _, ch := range pend {
+			ch <- clientReply{err: err}
+		}
+	})
+}
+
+// Close tears the connection down; outstanding commands fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.closeWith(ErrClientClosed)
+	return nil
+}
+
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case b := <-c.outbox:
+			c.ws.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			err := c.ws.WriteMessageNoFlush(opBinary, b)
+			c.putBuf(b)
+			for err == nil {
+				select {
+				case b2 := <-c.outbox:
+					err = c.ws.WriteMessageNoFlush(opBinary, b2)
+					c.putBuf(b2)
+					continue
+				default:
+				}
+				break
+			}
+			if err == nil {
+				err = c.ws.Flush()
+			}
+			if err != nil {
+				c.closeWith(fmt.Errorf("hub: client write: %w", err))
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	var scratch wire.Result
+	for {
+		op, payload, err := c.ws.ReadMessage()
+		if err != nil {
+			if errors.Is(err, ErrWSClosed) {
+				err = ErrClientClosed
+			}
+			c.closeWith(err)
+			return
+		}
+		if op != opBinary {
+			continue
+		}
+		dec := wire.NewDecoder(payload)
+		for dec.Len() > 0 {
+			if err := c.dispatch(&dec, &scratch); err != nil {
+				c.closeWith(err)
+				return
+			}
+		}
+	}
+}
+
+// dispatch routes one server message: replies resolve the pending
+// round-trip by request id, pushes go to the subscription handler.
+func (c *Client) dispatch(dec *wire.Decoder, scratch *wire.Result) error {
+	switch typ := dec.Byte(); typ {
+	case wire.MsgCreated:
+		m, err := wire.DecodeCreated(dec)
+		if err != nil {
+			return err
+		}
+		c.resolve(m.ReqID, clientReply{msg: m})
+	case wire.MsgResults:
+		h, err := wire.DecodeResultsHeader(dec)
+		if err != nil {
+			return err
+		}
+		// Decode in place with one reusable scratch result; the waiter
+		// only sees the count and the final result, so a 100k-session
+		// load generator never allocates per round.
+		var out PlayOutcome
+		for {
+			more, err := wire.DecodeResultItem(dec, scratch)
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+			out.Completed++
+		}
+		out.Last = *scratch
+		t, err := wire.DecodeResultsTrailer(dec)
+		if err != nil {
+			return err
+		}
+		rep := clientReply{msg: out}
+		if t.Code != wire.CodeOK {
+			rep.err = &RemoteError{Code: t.Code, Detail: t.Detail}
+			rep.msg = out // partial results still visible to the caller
+		}
+		c.resolve(h.ReqID, rep)
+	case wire.MsgError:
+		m, err := wire.DecodeError(dec)
+		if err != nil {
+			return err
+		}
+		c.resolve(m.ReqID, clientReply{err: &RemoteError{Code: m.Code, Detail: m.Detail}})
+	case wire.MsgOK:
+		m, err := wire.DecodeOK(dec)
+		if err != nil {
+			return err
+		}
+		c.resolve(m.ReqID, clientReply{msg: m})
+	case wire.MsgStatsReply:
+		reqID, st, err := wire.DecodeStatsReply(dec)
+		if err != nil {
+			return err
+		}
+		c.resolve(reqID, clientReply{msg: st})
+	case wire.MsgSnapshotReply:
+		m, err := wire.DecodeSnapshotReply(dec)
+		if err != nil {
+			return err
+		}
+		c.resolve(m.ReqID, clientReply{msg: m})
+	case wire.MsgEvent:
+		ref := dec.Uvarint()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		sub := c.subs[ref]
+		c.mu.Unlock()
+		if sub == nil {
+			// Event for a ref we no longer track: skip by decoding with
+			// a throwaway decoder (delta state is irrelevant once
+			// unsubscribed).
+			var dead wire.EventDecoder
+			_, err := dead.Decode(dec)
+			return err
+		}
+		ev, err := sub.dec.Decode(dec)
+		if err != nil {
+			return err
+		}
+		lag := sub.lag
+		sub.lag = 0
+		if sub.handler != nil {
+			sub.handler(ev, lag)
+		}
+	case wire.MsgLag:
+		m, err := wire.DecodeLag(dec)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if sub := c.subs[m.Ref]; sub != nil {
+			sub.lag += m.Dropped
+		}
+		c.mu.Unlock()
+	default:
+		return fmt.Errorf("hub: client: unexpected message type %#x", typ)
+	}
+	return nil
+}
+
+func (c *Client) resolve(reqID uint64, rep clientReply) {
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- rep
+	}
+}
+
+// roundTrip sends an encoded command frame and waits for its reply.
+func (c *Client) roundTrip(reqID uint64, frame []byte) (any, error) {
+	ch := make(chan clientReply, 1)
+	c.mu.Lock()
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+	select {
+	case c.outbox <- frame:
+	case <-c.done:
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, c.cause
+	}
+	select {
+	case rep := <-ch:
+		return rep.msg, rep.err
+	case <-c.done:
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		// A raced resolve may have delivered after done; prefer it.
+		select {
+		case rep := <-ch:
+			return rep.msg, rep.err
+		default:
+			return nil, c.cause
+		}
+	}
+}
+
+func (c *Client) reqID() uint64 {
+	c.mu.Lock()
+	c.nextReq++
+	id := c.nextReq
+	c.mu.Unlock()
+	return id
+}
+
+// Create hosts a session from a JSON CreateSessionRequest document and
+// returns its connection-local ref and canonical id.
+func (c *Client) Create(spec []byte) (ref uint64, id string, err error) {
+	rid := c.reqID()
+	msg, err := c.roundTrip(rid, wire.AppendCreate(c.getBuf(), rid, spec))
+	if err != nil {
+		return 0, "", err
+	}
+	created, ok := msg.(wire.Created)
+	if !ok {
+		return 0, "", errors.New("hub: client: unexpected create reply")
+	}
+	return created.Ref, created.ID, nil
+}
+
+// Attach binds an existing session (recovering it from the durable store
+// if needed) and returns its ref.
+func (c *Client) Attach(id string) (ref uint64, err error) {
+	rid := c.reqID()
+	msg, err := c.roundTrip(rid, wire.AppendAttach(c.getBuf(), rid, id))
+	if err != nil {
+		return 0, err
+	}
+	created, ok := msg.(wire.Created)
+	if !ok {
+		return 0, errors.New("hub: client: unexpected attach reply")
+	}
+	return created.Ref, nil
+}
+
+// Play runs rounds plays on ref.
+func (c *Client) Play(ref uint64, rounds int) (PlayOutcome, error) {
+	rid := c.reqID()
+	msg, err := c.roundTrip(rid, wire.AppendPlay(c.getBuf(), rid, ref, uint64(rounds)))
+	out, _ := msg.(PlayOutcome)
+	return out, err
+}
+
+// Subscribe starts event delivery for ref. The handler runs on the
+// connection's read goroutine: it must not block and must not call back
+// into the client synchronously.
+func (c *Client) Subscribe(ref uint64, handler EventHandler) error {
+	c.mu.Lock()
+	if _, dup := c.subs[ref]; dup {
+		c.mu.Unlock()
+		return errors.New("hub: client: already subscribed")
+	}
+	c.subs[ref] = &clientSub{handler: handler}
+	c.mu.Unlock()
+	rid := c.reqID()
+	_, err := c.roundTrip(rid, wire.AppendRefReq(c.getBuf(), wire.MsgSubscribe, rid, ref))
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, ref)
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Unsubscribe stops event delivery for ref.
+func (c *Client) Unsubscribe(ref uint64) error {
+	rid := c.reqID()
+	_, err := c.roundTrip(rid, wire.AppendRefReq(c.getBuf(), wire.MsgUnsubscribe, rid, ref))
+	c.mu.Lock()
+	delete(c.subs, ref)
+	c.mu.Unlock()
+	return err
+}
+
+// Stats fetches driver stats for ref.
+func (c *Client) Stats(ref uint64) (wire.Stats, error) {
+	rid := c.reqID()
+	msg, err := c.roundTrip(rid, wire.AppendRefReq(c.getBuf(), wire.MsgStats, rid, ref))
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	st, ok := msg.(wire.Stats)
+	if !ok {
+		return wire.Stats{}, errors.New("hub: client: unexpected stats reply")
+	}
+	return st, nil
+}
+
+// Snapshot captures (and persists, when the authority is durable) the
+// session snapshot and returns its canonical digest.
+func (c *Client) Snapshot(ref uint64) (wire.SnapshotReply, error) {
+	rid := c.reqID()
+	msg, err := c.roundTrip(rid, wire.AppendRefReq(c.getBuf(), wire.MsgSnapshot, rid, ref))
+	if err != nil {
+		return wire.SnapshotReply{}, err
+	}
+	snap, ok := msg.(wire.SnapshotReply)
+	if !ok {
+		return wire.SnapshotReply{}, errors.New("hub: client: unexpected snapshot reply")
+	}
+	return snap, nil
+}
+
+// CloseSession closes and unregisters the session bound to ref.
+func (c *Client) CloseSession(ref uint64) error {
+	rid := c.reqID()
+	c.mu.Lock()
+	delete(c.subs, ref)
+	c.mu.Unlock()
+	_, err := c.roundTrip(rid, wire.AppendRefReq(c.getBuf(), wire.MsgCloseSession, rid, ref))
+	return err
+}

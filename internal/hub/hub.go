@@ -1,0 +1,541 @@
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gameauthority/internal/core"
+	"gameauthority/internal/metrics"
+	"gameauthority/internal/wire"
+)
+
+// Handle is one hosted session as the hub needs it. The root package
+// adapts *gameauthority.HostedSession; the indirection keeps internal/hub
+// importable without a cycle. Play must be the direct (non-routed) form:
+// the hub already runs it on the session's shard loop.
+type Handle interface {
+	ID() string
+	Play(ctx context.Context) (core.RoundResult, error)
+	Subscribe(obs core.Observer) (cancel func())
+	Stats() core.SessionStats
+	// Snapshot captures (and, when a durable store is configured,
+	// persists) the session's canonical snapshot.
+	Snapshot() (snap core.SessionSnapshot, persisted bool, err error)
+}
+
+// Backend is the authority surface the hub dispatches commands into.
+type Backend interface {
+	// Create hosts a session from a JSON CreateSessionRequest document.
+	Create(spec []byte) (Handle, error)
+	// Attach resolves an existing (possibly store-resident) session.
+	Attach(ctx context.Context, id string) (Handle, error)
+	// Remove closes and unregisters a session.
+	Remove(id string) error
+}
+
+// Coded attaches a wire error code to an error so the backend can steer
+// the status a client sees.
+type Coded struct {
+	Code uint64
+	Err  error
+}
+
+func (c Coded) Error() string { return c.Err.Error() }
+
+// Unwrap exposes the inner error to errors.Is/As.
+func (c Coded) Unwrap() error { return c.Err }
+
+// ErrCode extracts the wire code from err, defaulting to CodeInternal.
+func ErrCode(err error) uint64 {
+	var c Coded
+	if errors.As(err, &c) {
+		return c.Code
+	}
+	return wire.CodeInternal
+}
+
+// Options tune a Hub.
+type Options struct {
+	// Shards is the pool running plays; required.
+	Shards *Shards
+	// Counters receives transport metrics; optional.
+	Counters *metrics.Counters
+	// Outbox is the per-connection queue depth in frames (default 256).
+	Outbox int
+	// WriteTimeout bounds one flush to the peer; a connection that cannot
+	// absorb its outbox within it is closed (default 10s).
+	WriteTimeout time.Duration
+	// MaxMessage caps one incoming WebSocket message (default 4 MiB).
+	MaxMessage int
+	// MaxRounds caps rounds per play command, mirroring the HTTP API.
+	MaxRounds uint64
+}
+
+// Hub serves the /ws endpoint: each connection multiplexes many sessions,
+// with a single reader (the request goroutine) dispatching commands onto
+// the shard loops and a single writer goroutine draining a bounded
+// outbox.
+type Hub struct {
+	backend Backend
+	opt     Options
+	bufs    sync.Pool
+}
+
+// New builds a Hub over the backend.
+func New(b Backend, opt Options) *Hub {
+	if opt.Shards == nil {
+		panic("hub: Options.Shards is required")
+	}
+	if opt.Outbox <= 0 {
+		opt.Outbox = 256
+	}
+	if opt.WriteTimeout <= 0 {
+		opt.WriteTimeout = 10 * time.Second
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 100000
+	}
+	return &Hub{backend: b, opt: opt}
+}
+
+func (h *Hub) getBuf() []byte {
+	if b, ok := h.bufs.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, 512)
+}
+
+func (h *Hub) putBuf(b []byte) {
+	if cap(b) > 1<<16 { // don't pool jumbo buffers
+		return
+	}
+	h.bufs.Put(&b)
+}
+
+// ServeHTTP upgrades the request and runs the connection until the peer
+// goes away or a protocol error occurs.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ws, err := Upgrade(w, r, h.opt.MaxMessage)
+	if err != nil {
+		return
+	}
+	if c := h.opt.Counters; c != nil {
+		c.WSConnections.Add(1)
+		defer c.WSConnections.Add(-1)
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	conn := &wsConn{
+		hub:    h,
+		ws:     ws,
+		ctx:    ctx,
+		cancel: cancel,
+		outbox: make(chan []byte, h.opt.Outbox),
+		done:   make(chan struct{}),
+		refs:   make(map[uint64]*refEntry),
+	}
+	defer conn.shutdown()
+
+	// Handshake: the client speaks first.
+	ws.SetReadDeadline(time.Now().Add(10 * time.Second))
+	op, payload, err := ws.ReadMessage()
+	if err != nil || op != opBinary {
+		return
+	}
+	dec := wire.NewDecoder(payload)
+	if dec.Byte() != wire.MsgHello {
+		return
+	}
+	hello, err := wire.DecodeHello(&dec)
+	if err != nil || hello.Version != wire.Version {
+		ws.WriteMessage(opBinary, wire.AppendError(nil, 0, wire.CodeBadRequest,
+			fmt.Sprintf("unsupported protocol version (want %d)", wire.Version)))
+		return
+	}
+	ws.SetReadDeadline(time.Time{})
+	if err := ws.WriteMessage(opBinary,
+		wire.AppendWelcome(h.getBuf(), wire.Version, uint64(h.opt.Shards.N()))); err != nil {
+		return
+	}
+
+	go conn.writeLoop()
+	conn.readLoop()
+}
+
+// refEntry is one connection-local session binding.
+type refEntry struct {
+	ref    uint64
+	handle Handle
+
+	evMu   sync.Mutex // guards enc and unsub
+	enc    wire.EventEncoder
+	unsub  func()
+	lagged uint64 // dropped events awaiting a MsgLag notice (under evMu)
+}
+
+// wsConn is the server side of one connection.
+type wsConn struct {
+	hub    *Hub
+	ws     *WSConn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	outbox chan []byte
+	done   chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex // guards refs and nextRef
+	refs    map[uint64]*refEntry
+	nextRef uint64
+}
+
+// closeConn makes the connection doomed: pending sends unblock, the
+// writer exits, in-flight shard jobs see a cancelled context.
+func (c *wsConn) closeConn() {
+	c.once.Do(func() {
+		c.cancel()
+		close(c.done)
+		c.ws.Close()
+	})
+}
+
+// shutdown runs when the reader exits: tear everything down and detach
+// observers so closed connections stop consuming session events.
+func (c *wsConn) shutdown() {
+	c.closeConn()
+	c.mu.Lock()
+	refs := make([]*refEntry, 0, len(c.refs))
+	for _, e := range c.refs {
+		refs = append(refs, e)
+	}
+	clear(c.refs)
+	c.mu.Unlock()
+	for _, e := range refs {
+		e.detach()
+	}
+}
+
+func (e *refEntry) detach() {
+	e.evMu.Lock()
+	unsub := e.unsub
+	e.unsub = nil
+	e.evMu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+}
+
+// send queues a command reply. It blocks while the outbox is full (the
+// writer goroutine drains it; a peer that cannot keep up trips the write
+// deadline, which closes the connection and unblocks us) and reports
+// whether the frame was accepted.
+func (c *wsConn) send(b []byte) bool {
+	select {
+	case c.outbox <- b:
+		return true
+	case <-c.done:
+		c.hub.putBuf(b)
+		return false
+	}
+}
+
+// trySend queues an event frame without blocking: events are droppable,
+// and the subscriber is told how many it missed via MsgLag.
+func (c *wsConn) trySend(b []byte) bool {
+	select {
+	case c.outbox <- b:
+		return true
+	default:
+		c.hub.putBuf(b)
+		return false
+	}
+}
+
+// writeLoop drains the outbox, coalescing queued frames into one flush.
+func (c *wsConn) writeLoop() {
+	for {
+		select {
+		case b := <-c.outbox:
+			if !c.writeBatch(b) {
+				return
+			}
+		case <-c.done:
+			// Best-effort drain of already-queued replies.
+			for {
+				select {
+				case b := <-c.outbox:
+					if !c.writeBatch(b) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeBatch writes b plus everything else currently queued, then
+// flushes under one write deadline.
+func (c *wsConn) writeBatch(first []byte) bool {
+	c.ws.SetWriteDeadline(time.Now().Add(c.hub.opt.WriteTimeout))
+	err := c.ws.WriteMessageNoFlush(opBinary, first)
+	c.hub.putBuf(first)
+	for err == nil {
+		select {
+		case b := <-c.outbox:
+			err = c.ws.WriteMessageNoFlush(opBinary, b)
+			c.hub.putBuf(b)
+			continue
+		default:
+		}
+		break
+	}
+	if err == nil {
+		err = c.ws.Flush()
+	}
+	if err != nil {
+		if ctrs := c.hub.opt.Counters; ctrs != nil && isTimeout(err) {
+			ctrs.StreamTimeouts.Add(1)
+		}
+		c.closeConn()
+		return false
+	}
+	return true
+}
+
+func isTimeout(err error) bool {
+	var ne interface{ Timeout() bool }
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readLoop decodes command batches and dispatches them. Any protocol
+// error is fatal to the connection.
+func (c *wsConn) readLoop() {
+	for {
+		op, payload, err := c.ws.ReadMessage()
+		if err != nil {
+			return
+		}
+		if op != opBinary {
+			continue
+		}
+		dec := wire.NewDecoder(payload)
+		for dec.Len() > 0 {
+			if !c.dispatch(&dec) {
+				return
+			}
+		}
+	}
+}
+
+func (c *wsConn) lookup(ref uint64) *refEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refs[ref]
+}
+
+func (c *wsConn) sendError(reqID, code uint64, msg string) bool {
+	return c.send(wire.AppendError(c.hub.getBuf(), reqID, code, msg))
+}
+
+// dispatch decodes and executes one command. It returns false when the
+// connection should die (malformed frame or doomed connection).
+func (c *wsConn) dispatch(dec *wire.Decoder) bool {
+	switch typ := dec.Byte(); typ {
+	case wire.MsgHello:
+		if _, err := wire.DecodeHello(dec); err != nil {
+			return false
+		}
+		return true // redundant hello: ignore
+	case wire.MsgCreate:
+		m, err := wire.DecodeCreate(dec)
+		if err != nil {
+			return false
+		}
+		handle, cerr := c.hub.backend.Create(m.Spec)
+		return c.finishBind(m.ReqID, handle, cerr)
+	case wire.MsgAttach:
+		m, err := wire.DecodeAttach(dec)
+		if err != nil {
+			return false
+		}
+		handle, aerr := c.hub.backend.Attach(c.ctx, m.ID)
+		return c.finishBind(m.ReqID, handle, aerr)
+	case wire.MsgPlay:
+		m, err := wire.DecodePlay(dec)
+		if err != nil {
+			return false
+		}
+		return c.handlePlay(m)
+	case wire.MsgSubscribe:
+		m, err := wire.DecodeRefReq(dec)
+		if err != nil {
+			return false
+		}
+		return c.handleSubscribe(m)
+	case wire.MsgUnsubscribe:
+		m, err := wire.DecodeRefReq(dec)
+		if err != nil {
+			return false
+		}
+		if e := c.lookup(m.Ref); e != nil {
+			e.detach()
+		}
+		return c.send(wire.AppendOK(c.hub.getBuf(), m.ReqID))
+	case wire.MsgCloseSession:
+		m, err := wire.DecodeRefReq(dec)
+		if err != nil {
+			return false
+		}
+		return c.handleCloseSession(m)
+	case wire.MsgStats:
+		m, err := wire.DecodeRefReq(dec)
+		if err != nil {
+			return false
+		}
+		e := c.lookup(m.Ref)
+		if e == nil {
+			return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+		}
+		st := e.handle.Stats()
+		return c.send(wire.AppendStatsReply(c.hub.getBuf(), m.ReqID, &st))
+	case wire.MsgSnapshot:
+		m, err := wire.DecodeRefReq(dec)
+		if err != nil {
+			return false
+		}
+		return c.handleSnapshot(m)
+	default:
+		return false // unknown or server-to-client type: protocol error
+	}
+}
+
+// finishBind registers a successfully created/attached handle under a
+// fresh ref and replies.
+func (c *wsConn) finishBind(reqID uint64, handle Handle, err error) bool {
+	if err != nil {
+		return c.sendError(reqID, ErrCode(err), err.Error())
+	}
+	c.mu.Lock()
+	c.nextRef++
+	ref := c.nextRef
+	c.refs[ref] = &refEntry{ref: ref, handle: handle}
+	c.mu.Unlock()
+	return c.send(wire.AppendCreated(c.hub.getBuf(), reqID, ref, handle.ID()))
+}
+
+// handlePlay enqueues the batch onto the session's shard loop; results
+// stream back as they complete in a single MsgResults frame.
+func (c *wsConn) handlePlay(m wire.Play) bool {
+	e := c.lookup(m.Ref)
+	if e == nil {
+		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+	}
+	rounds := m.Rounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	if rounds > c.hub.opt.MaxRounds {
+		return c.sendError(m.ReqID, wire.CodeBadRequest, "rounds exceeds limit")
+	}
+	ok := c.hub.opt.Shards.Submit(e.handle.ID(), func() {
+		buf := wire.AppendResultsHeader(c.hub.getBuf(), m.ReqID, e.ref)
+		code, detail := wire.CodeOK, ""
+		for i := uint64(0); i < rounds; i++ {
+			res, err := e.handle.Play(c.ctx)
+			if err != nil {
+				code, detail = ErrCode(err), err.Error()
+				break
+			}
+			buf = wire.AppendResult(buf, &res)
+		}
+		c.send(wire.FinishResults(buf, code, detail))
+	})
+	if !ok {
+		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")
+	}
+	return true
+}
+
+func (c *wsConn) handleSubscribe(m wire.RefReq) bool {
+	e := c.lookup(m.Ref)
+	if e == nil {
+		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+	}
+	e.evMu.Lock()
+	already := e.unsub != nil
+	e.evMu.Unlock()
+	if already {
+		return c.sendError(m.ReqID, wire.CodeExists, "already subscribed")
+	}
+	unsub := e.handle.Subscribe(core.ObserverFunc(func(ev core.Event) {
+		e.evMu.Lock()
+		defer e.evMu.Unlock()
+		buf := c.hub.getBuf()
+		if e.lagged > 0 {
+			buf = wire.AppendLag(buf, e.ref, e.lagged)
+		}
+		buf = e.enc.Append(buf, e.ref, &ev)
+		if c.trySend(buf) {
+			e.lagged = 0
+			return
+		}
+		// Dropped: roll back to full encoding and owe the subscriber a
+		// lag notice on the next delivered event.
+		e.lagged++
+		e.enc.Reset()
+		if ctrs := c.hub.opt.Counters; ctrs != nil {
+			ctrs.EventsDropped.Add(1)
+		}
+	}))
+	e.evMu.Lock()
+	if e.unsub != nil { // raced with a concurrent subscribe
+		e.evMu.Unlock()
+		unsub()
+		return c.sendError(m.ReqID, wire.CodeExists, "already subscribed")
+	}
+	e.unsub = unsub
+	e.evMu.Unlock()
+	return c.send(wire.AppendOK(c.hub.getBuf(), m.ReqID))
+}
+
+func (c *wsConn) handleCloseSession(m wire.RefReq) bool {
+	e := c.lookup(m.Ref)
+	if e == nil {
+		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+	}
+	e.detach()
+	c.mu.Lock()
+	delete(c.refs, m.Ref)
+	c.mu.Unlock()
+	if err := c.hub.backend.Remove(e.handle.ID()); err != nil {
+		return c.sendError(m.ReqID, ErrCode(err), err.Error())
+	}
+	return c.send(wire.AppendOK(c.hub.getBuf(), m.ReqID))
+}
+
+// handleSnapshot runs on the session's shard loop so the digest reflects
+// a quiescent point between plays.
+func (c *wsConn) handleSnapshot(m wire.RefReq) bool {
+	e := c.lookup(m.Ref)
+	if e == nil {
+		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+	}
+	ok := c.hub.opt.Shards.Submit(e.handle.ID(), func() {
+		snap, persisted, err := e.handle.Snapshot()
+		if err != nil {
+			c.sendError(m.ReqID, ErrCode(err), err.Error())
+			return
+		}
+		c.send(wire.AppendSnapshotReply(c.hub.getBuf(), m.ReqID,
+			uint64(snap.Rounds), snap.Digest, persisted))
+	})
+	if !ok {
+		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")
+	}
+	return true
+}

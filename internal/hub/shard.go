@@ -1,0 +1,110 @@
+package hub
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardInbox is each shard loop's command queue depth. A full inbox makes
+// Submit block — backpressure onto the enqueuing connection rather than
+// unbounded memory.
+const shardInbox = 1024
+
+// Shards is a pool of authoritative session loops: N goroutines, each
+// owning the sessions whose ids hash onto it. All plays for a session run
+// on its shard goroutine, so session work is single-threaded by
+// construction and the network side only enqueues commands and dequeues
+// results (the voxelcraft shape: one goroutine owns the world).
+type Shards struct {
+	inboxes []chan func()
+	done    chan struct{}
+
+	mu      sync.RWMutex // guards closed against Submit
+	closed  bool
+	pending sync.WaitGroup // Submits past the closed check, pre-enqueue
+	loops   sync.WaitGroup
+	once    sync.Once
+}
+
+// NewShards starts n shard loops; n < 1 means GOMAXPROCS.
+func NewShards(n int) *Shards {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Shards{
+		inboxes: make([]chan func(), n),
+		done:    make(chan struct{}),
+	}
+	for i := range s.inboxes {
+		s.inboxes[i] = make(chan func(), shardInbox)
+		s.loops.Add(1)
+		go s.run(s.inboxes[i])
+	}
+	return s
+}
+
+// N reports the number of shard loops.
+func (s *Shards) N() int { return len(s.inboxes) }
+
+// Index reports which shard owns the key.
+func (s *Shards) Index(key string) int {
+	// FNV-1a, matching the registry's shard pinning.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(s.inboxes)))
+}
+
+// Submit enqueues job on the shard owning key. It blocks while the
+// shard's inbox is full (bounded-queue backpressure) and returns false —
+// without running the job — once the pool is closed. A true return
+// guarantees the job will execute.
+func (s *Shards) Submit(key string, job func()) bool {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return false
+	}
+	s.pending.Add(1)
+	s.mu.RUnlock()
+	s.inboxes[s.Index(key)] <- job
+	s.pending.Done()
+	return true
+}
+
+func (s *Shards) run(inbox chan func()) {
+	defer s.loops.Done()
+	for {
+		select {
+		case job := <-inbox:
+			job()
+		case <-s.done:
+			// No Submit can enqueue anymore (Close waits for in-flight
+			// sends before closing done): drain what is queued and exit,
+			// so every accepted job runs.
+			for {
+				select {
+				case job := <-inbox:
+					job()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops accepting jobs, runs everything already accepted, and
+// waits for the loops to exit. Safe to call more than once.
+func (s *Shards) Close() {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.pending.Wait()
+		close(s.done)
+		s.loops.Wait()
+	})
+}

@@ -1,0 +1,117 @@
+package hub
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardsDefaultSize(t *testing.T) {
+	if n := NewShardsForTest(t, 0).N(); n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewShards(0).N() = %d, want GOMAXPROCS = %d", n, runtime.GOMAXPROCS(0))
+	}
+	if n := NewShardsForTest(t, 3).N(); n != 3 {
+		t.Fatalf("NewShards(3).N() = %d", n)
+	}
+}
+
+// NewShardsForTest builds a pool torn down with the test.
+func NewShardsForTest(t *testing.T, n int) *Shards {
+	t.Helper()
+	s := NewShards(n)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestShardsIndexStableAndInRange(t *testing.T) {
+	s := NewShardsForTest(t, 7)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		idx := s.Index(key)
+		if idx < 0 || idx >= s.N() {
+			t.Fatalf("Index(%q) = %d out of range", key, idx)
+		}
+		if again := s.Index(key); again != idx {
+			t.Fatalf("Index(%q) unstable: %d then %d", key, idx, again)
+		}
+	}
+}
+
+// TestShardsSerializePerKey: jobs for one key run in submission order —
+// the property the hub relies on for session state ownership.
+func TestShardsSerializePerKey(t *testing.T) {
+	s := NewShardsForTest(t, 4)
+	const jobs = 500
+	var order []int // appended without locking: same-shard jobs serialize
+	done := make(chan struct{})
+	for i := 0; i < jobs; i++ {
+		i := i
+		if !s.Submit("the-one-session", func() {
+			order = append(order, i)
+			if i == jobs-1 {
+				close(done)
+			}
+		}) {
+			t.Fatalf("Submit %d refused", i)
+		}
+	}
+	<-done
+	if len(order) != jobs {
+		t.Fatalf("ran %d jobs, want %d", len(order), jobs)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d: same-key jobs reordered", i, got)
+		}
+	}
+}
+
+// TestShardsCloseDrains: every Submit that returned true must have run by
+// the time Close returns, even when Close races active submitters.
+func TestShardsCloseDrains(t *testing.T) {
+	s := NewShards(4)
+	var accepted, executed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s.Submit(fmt.Sprintf("key-%d-%d", g, i%13), func() {
+					executed.Add(1)
+				}) {
+					accepted.Add(1)
+				} else {
+					return // pool closed
+				}
+			}
+		}(g)
+	}
+	// Let the submitters get going, then close under load.
+	for accepted.Load() < 1000 {
+		runtime.Gosched()
+	}
+	s.Close()
+	close(stop)
+	wg.Wait()
+	if a, e := accepted.Load(), executed.Load(); a != e {
+		t.Fatalf("accepted %d jobs but executed %d: Close dropped work", a, e)
+	}
+	if s.Submit("late", func() {}) {
+		t.Fatal("Submit accepted after Close")
+	}
+}
+
+func TestShardsCloseIdempotent(t *testing.T) {
+	s := NewShards(2)
+	s.Close()
+	s.Close() // must not panic or hang
+}

@@ -28,6 +28,16 @@ type Counters struct {
 	Snapshots atomic.Int64
 	// WALRecords counts write-ahead-log records appended to the store.
 	WALRecords atomic.Int64
+	// WSConnections is the number of live WebSocket connections (gauge).
+	WSConnections atomic.Int64
+	// EventsDropped counts events dropped for slow subscribers (SSE and
+	// WebSocket); subscribers are told how many they missed via lag
+	// notices.
+	EventsDropped atomic.Int64
+	// StreamTimeouts counts streaming connections (SSE or WebSocket)
+	// closed because a write deadline expired — a dead or hopelessly
+	// slow reader.
+	StreamTimeouts atomic.Int64
 }
 
 // promMetric is one Prometheus exposition entry.
@@ -51,6 +61,9 @@ func (c *Counters) WritePrometheus(w io.Writer) error {
 		{"gameauthority_replayed_rounds_total", "counter", "Plays re-executed during recovery.", &c.ReplayedRounds},
 		{"gameauthority_snapshots_total", "counter", "Compacted snapshots written to the store.", &c.Snapshots},
 		{"gameauthority_wal_records_total", "counter", "Write-ahead-log records appended to the store.", &c.WALRecords},
+		{"gameauthority_ws_connections", "gauge", "Live WebSocket connections.", &c.WSConnections},
+		{"gameauthority_events_dropped_total", "counter", "Events dropped for slow streaming subscribers.", &c.EventsDropped},
+		{"gameauthority_stream_timeouts_total", "counter", "Streaming connections closed by a write deadline.", &c.StreamTimeouts},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const corpusDir = "testdata/fuzz/FuzzWireDecode"
+
+// TestFuzzCorpusCheckedIn keeps the seed corpus in sync with fuzzSeeds:
+// every seed must exist under testdata/fuzz/FuzzWireDecode in the native
+// `go test fuzz v1` format, so `go test -run Fuzz` replays them even
+// without -fuzz. Run with WIRE_WRITE_CORPUS=1 to regenerate after
+// changing the wire format.
+func TestFuzzCorpusCheckedIn(t *testing.T) {
+	seeds := fuzzSeeds()
+	if os.Getenv("WIRE_WRITE_CORPUS") != "" {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing corpus entry (regenerate with WIRE_WRITE_CORPUS=1): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if string(got) != want {
+			t.Errorf("%s is stale (regenerate with WIRE_WRITE_CORPUS=1)", name)
+		}
+	}
+}

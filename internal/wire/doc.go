@@ -1,0 +1,33 @@
+// Package wire is the authority's compact binary wire protocol: the
+// framing the WebSocket transport (internal/hub) speaks between clients
+// and the shard loops.
+//
+// A connection carries a stream of messages. The WebSocket layer
+// delimits each batch (one binary WebSocket message = one length-prefixed
+// frame holding one or more wire messages back to back); within a batch,
+// every message is self-delimiting — a type byte followed by a
+// type-specific body built from unsigned varints, length-prefixed byte
+// strings, and fixed 8-byte little-endian float64 bits. Integers that are
+// semantically small (rounds, refs, agent ids, action indices) ride
+// varints, so a typical play command is ~6 bytes and a round result
+// ~15–30 bytes — versus several hundred bytes of JSON on the HTTP path.
+//
+// Encoding is allocation-free on the hot path: every Append* function
+// appends into a caller-owned buffer (the hub recycles them through a
+// pool), and round results stream item-by-item (AppendResultsHeader /
+// AppendResult / FinishResults) so a batch of plays encodes as it
+// executes with no intermediate collection.
+//
+// Decoding is defensive: Decoder never panics on malformed input, all
+// lengths and element counts are bounded by the bytes actually present,
+// and a sticky error poisons the rest of the batch (the connection is
+// closed). FuzzWireDecode pins this property.
+//
+// Event frames are delta-encoded per subscription: an EventEncoder omits
+// a play event's outcome and costs when they equal the previously
+// delivered play's (flag bits say which fields are present), and the
+// EventDecoder on the other side substitutes its retained copies. The
+// encoder resets to full encoding after any dropped event, so a lag gap
+// can never make the decoder reconstruct from stale state. See DESIGN.md
+// §10 for the full frame layout and the safety argument.
+package wire

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"gameauthority/internal/core"
+)
+
+// Event field-presence flags. For play events, an absent outcome or costs
+// field means "unchanged since the previous play event on this ref" (the
+// delta encoding); for all other kinds, absent means empty.
+const (
+	evOutcome byte = 1 << iota
+	evCosts
+	evFouls
+	evAgent
+	evWinner
+	evPulse
+	evDetail
+)
+
+// Event is the decoded form of one session event. Slices alias
+// decoder-owned state, valid until the next Decode on the same
+// EventDecoder.
+type Event struct {
+	Kind    uint8
+	Round   int
+	Outcome []int
+	Costs   []float64
+	Fouls   []Foul
+	Agent   int
+	Winner  int
+	Pulse   int
+	Detail  string
+}
+
+// EventEncoder delta-encodes one subscription's event stream. It retains
+// the outcome and costs of the last play event it successfully handed to
+// the outbox; when the next play's values are identical (common in
+// equilibrium play), the fields are omitted. The hub must call Reset
+// after any event it failed to enqueue, so the decoder can never be asked
+// to fill a gap from state it never received.
+type EventEncoder struct {
+	prevOutcome []int
+	prevCosts   []float64
+	have        bool
+}
+
+// Reset forces the next event to encode in full. Call after a dropped
+// event (the subscriber will see a MsgLag and then a self-contained
+// event).
+func (e *EventEncoder) Reset() { e.have = false }
+
+// Append encodes a MsgEvent for ev and updates the delta state. The
+// caller must only keep the state (i.e. not Reset) if the returned buffer
+// is actually delivered or queued for delivery.
+func (e *EventEncoder) Append(dst []byte, ref uint64, ev *core.Event) []byte {
+	dst = append(dst, MsgEvent)
+	dst = AppendUvarint(dst, ref)
+	dst = append(dst, byte(ev.Kind))
+
+	isPlay := ev.Kind == core.EventPlay
+	var flags byte
+	if isPlay {
+		if !e.have || !intsEqual(e.prevOutcome, ev.Outcome) {
+			flags |= evOutcome
+		}
+		if !e.have || !floatsEqual(e.prevCosts, ev.Costs) {
+			flags |= evCosts
+		}
+	} else {
+		if len(ev.Outcome) > 0 {
+			flags |= evOutcome
+		}
+		if len(ev.Costs) > 0 {
+			flags |= evCosts
+		}
+	}
+	if len(ev.Fouls) > 0 {
+		flags |= evFouls
+	}
+	if ev.Kind == core.EventConviction {
+		flags |= evAgent
+	}
+	if ev.Kind == core.EventElection {
+		flags |= evWinner
+	}
+	if ev.Pulse != 0 {
+		flags |= evPulse
+	}
+	if ev.Detail != "" {
+		flags |= evDetail
+	}
+
+	dst = append(dst, flags)
+	dst = appendInt(dst, ev.Round)
+	if flags&evOutcome != 0 {
+		dst = appendInts(dst, ev.Outcome)
+	}
+	if flags&evCosts != 0 {
+		dst = appendFloats(dst, ev.Costs)
+	}
+	if flags&evFouls != 0 {
+		dst = AppendUvarint(dst, uint64(len(ev.Fouls)))
+		for _, f := range ev.Fouls {
+			dst = appendInt(dst, f.Agent)
+			dst = append(dst, byte(f.Reason))
+			dst = appendString(dst, f.Detail)
+		}
+	}
+	if flags&evAgent != 0 {
+		dst = appendInt(dst, ev.Agent)
+	}
+	if flags&evWinner != 0 {
+		dst = appendInt(dst, ev.Winner)
+	}
+	if flags&evPulse != 0 {
+		dst = appendInt(dst, ev.Pulse)
+	}
+	if flags&evDetail != 0 {
+		dst = appendString(dst, ev.Detail)
+	}
+
+	if isPlay {
+		e.prevOutcome = append(e.prevOutcome[:0], ev.Outcome...)
+		e.prevCosts = append(e.prevCosts[:0], ev.Costs...)
+		e.have = true
+	}
+	return dst
+}
+
+// EventDecoder reconstructs one subscription's event stream, retaining
+// the last play outcome and costs so delta frames can be expanded.
+type EventDecoder struct {
+	prevOutcome []int
+	prevCosts   []float64
+	fouls       []Foul
+}
+
+// Decode decodes a MsgEvent body (after the type byte and ref).
+func (e *EventDecoder) Decode(d *Decoder) (Event, error) {
+	var ev Event
+	ev.Kind = d.Byte()
+	flags := d.Byte()
+	ev.Round = d.Int()
+	isPlay := ev.Kind == uint8(core.EventPlay)
+	if flags&evOutcome != 0 {
+		e.prevOutcome = d.Ints(e.prevOutcome)
+		ev.Outcome = e.prevOutcome
+	} else if isPlay {
+		ev.Outcome = e.prevOutcome
+	}
+	if flags&evCosts != 0 {
+		e.prevCosts = d.Floats(e.prevCosts)
+		ev.Costs = e.prevCosts
+	} else if isPlay {
+		ev.Costs = e.prevCosts
+	}
+	if flags&evFouls != 0 {
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Len()) {
+			d.fail()
+		}
+		e.fouls = e.fouls[:0]
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			e.fouls = append(e.fouls, Foul{
+				Agent:  d.Int(),
+				Reason: d.Byte(),
+				Detail: d.String(),
+			})
+		}
+		ev.Fouls = e.fouls
+	}
+	if flags&evAgent != 0 {
+		ev.Agent = d.Int()
+	}
+	if flags&evWinner != 0 {
+		ev.Winner = d.Int()
+	}
+	if flags&evPulse != 0 {
+		ev.Pulse = d.Int()
+	}
+	if flags&evDetail != 0 {
+		ev.Detail = d.String()
+	}
+	return ev, d.Err()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

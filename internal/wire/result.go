@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"gameauthority/internal/core"
+)
+
+// Result field-presence flags: a result's flags byte says which optional
+// fields follow, so honest 2-player plays (no fouls, no exclusions) cost
+// a handful of bytes.
+const (
+	resFouls byte = 1 << iota
+	resConvicted
+	resExcluded
+	resCosts
+	resPulse
+)
+
+// Foul is the wire form of one judicial finding. Reason is the
+// audit.Reason enum value.
+type Foul struct {
+	Agent  int
+	Reason uint8
+	Detail string
+}
+
+// Result is the decoded form of one round result. Slices alias
+// decoder-owned scratch reused across DecodeResultItem calls; copy them
+// to retain past the next decode.
+type Result struct {
+	Round     int
+	Outcome   []int
+	Costs     []float64
+	Fouls     []Foul
+	Convicted []int
+	Excluded  []int
+	Pulse     int
+}
+
+// AppendResultsHeader starts a MsgResults reply. The caller then appends
+// zero or more results with AppendResult and terminates the stream with
+// FinishResults — results encode as plays complete, with no intermediate
+// collection and no up-front count.
+func AppendResultsHeader(dst []byte, reqID, ref uint64) []byte {
+	dst = append(dst, MsgResults)
+	dst = AppendUvarint(dst, reqID)
+	return AppendUvarint(dst, ref)
+}
+
+// AppendResult appends one round result to an open MsgResults stream.
+func AppendResult(dst []byte, res *core.RoundResult) []byte {
+	dst = append(dst, 1) // item marker: a result follows
+	var flags byte
+	if len(res.Verdict.Fouls) > 0 {
+		flags |= resFouls
+	}
+	if len(res.Convicted) > 0 {
+		flags |= resConvicted
+	}
+	if len(res.Excluded) > 0 {
+		flags |= resExcluded
+	}
+	if len(res.Costs) > 0 {
+		flags |= resCosts
+	}
+	if res.Pulse != 0 {
+		flags |= resPulse
+	}
+	dst = append(dst, flags)
+	dst = appendInt(dst, res.Round)
+	dst = appendInts(dst, res.Outcome)
+	if flags&resFouls != 0 {
+		dst = AppendUvarint(dst, uint64(len(res.Verdict.Fouls)))
+		for _, f := range res.Verdict.Fouls {
+			dst = appendInt(dst, f.Agent)
+			dst = append(dst, byte(f.Reason))
+			dst = appendString(dst, f.Detail)
+		}
+	}
+	if flags&resConvicted != 0 {
+		dst = appendInts(dst, res.Convicted)
+	}
+	if flags&resExcluded != 0 {
+		dst = appendInts(dst, res.Excluded)
+	}
+	if flags&resCosts != 0 {
+		dst = appendFloats(dst, res.Costs)
+	}
+	if flags&resPulse != 0 {
+		dst = appendInt(dst, res.Pulse)
+	}
+	return dst
+}
+
+// FinishResults terminates a MsgResults stream. code is CodeOK when every
+// requested round completed; otherwise it explains why the batch stopped
+// early (results before the error are still valid).
+func FinishResults(dst []byte, code uint64, detail string) []byte {
+	dst = append(dst, 0) // item marker: end of stream
+	dst = AppendUvarint(dst, code)
+	return appendString(dst, detail)
+}
+
+// ResultsHeader is the fixed prefix of a MsgResults reply.
+type ResultsHeader struct{ ReqID, Ref uint64 }
+
+// DecodeResultsHeader decodes the MsgResults prefix (after the type
+// byte). The caller then loops DecodeResultItem until it reports no more
+// items, and finishes with DecodeResultsTrailer.
+func DecodeResultsHeader(d *Decoder) (ResultsHeader, error) {
+	h := ResultsHeader{ReqID: d.Uvarint(), Ref: d.Uvarint()}
+	return h, d.Err()
+}
+
+// DecodeResultItem decodes the next stream item into out, reusing out's
+// slice capacity. It returns false when the stream terminator was
+// consumed instead of a result.
+func DecodeResultItem(d *Decoder, out *Result) (bool, error) {
+	marker := d.Byte()
+	if d.Err() != nil {
+		return false, d.Err()
+	}
+	if marker == 0 {
+		return false, nil
+	}
+	if marker != 1 {
+		d.fail()
+		return false, d.Err()
+	}
+	flags := d.Byte()
+	out.Round = d.Int()
+	out.Outcome = d.Ints(out.Outcome)
+	out.Fouls = out.Fouls[:0]
+	if flags&resFouls != 0 {
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Len()) {
+			d.fail()
+		}
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			out.Fouls = append(out.Fouls, Foul{
+				Agent:  d.Int(),
+				Reason: d.Byte(),
+				Detail: d.String(),
+			})
+		}
+	}
+	out.Convicted = out.Convicted[:0]
+	if flags&resConvicted != 0 {
+		out.Convicted = d.Ints(out.Convicted)
+	}
+	out.Excluded = out.Excluded[:0]
+	if flags&resExcluded != 0 {
+		out.Excluded = d.Ints(out.Excluded)
+	}
+	out.Costs = out.Costs[:0]
+	if flags&resCosts != 0 {
+		out.Costs = d.Floats(out.Costs)
+	}
+	out.Pulse = 0
+	if flags&resPulse != 0 {
+		out.Pulse = d.Int()
+	}
+	return d.Err() == nil, d.Err()
+}
+
+// ResultsTrailer is the end-of-stream status of a MsgResults reply.
+type ResultsTrailer struct {
+	Code   uint64
+	Detail string
+}
+
+// DecodeResultsTrailer decodes the stream terminator's status (after
+// DecodeResultItem returned false).
+func DecodeResultsTrailer(d *Decoder) (ResultsTrailer, error) {
+	t := ResultsTrailer{Code: d.Uvarint(), Detail: d.String()}
+	return t, d.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Session stats.
+
+// Stats is the wire form of core.SessionStats.
+type Stats struct {
+	Kind           uint8
+	Players        int
+	Rounds         int
+	Fouls          int
+	Convictions    int
+	CumulativeCost []float64
+	Excluded       []int // indices of currently excluded agents
+	MaxLoad        uint64
+	Pulses         uint64
+	Messages       uint64
+	Commitments    uint64
+	Reveals        uint64
+	Agreements     uint64
+}
+
+// AppendStatsReply encodes a MsgStatsReply from driver stats.
+func AppendStatsReply(dst []byte, reqID uint64, st *core.SessionStats) []byte {
+	dst = append(dst, MsgStatsReply)
+	dst = AppendUvarint(dst, reqID)
+	dst = append(dst, byte(st.Kind))
+	dst = appendInt(dst, st.Players)
+	dst = appendInt(dst, st.Rounds)
+	dst = appendInt(dst, st.Fouls)
+	dst = appendInt(dst, st.Convictions)
+	dst = appendFloats(dst, st.CumulativeCost)
+	n := 0
+	for _, x := range st.Excluded {
+		if x {
+			n++
+		}
+	}
+	dst = AppendUvarint(dst, uint64(n))
+	for i, x := range st.Excluded {
+		if x {
+			dst = appendInt(dst, i)
+		}
+	}
+	dst = AppendUvarint(dst, uint64(max(st.MaxLoad, 0)))
+	dst = AppendUvarint(dst, uint64(max(st.Pulses, 0)))
+	dst = AppendUvarint(dst, uint64(max(st.Messages, 0)))
+	dst = AppendUvarint(dst, uint64(max(st.Protocol.Commitments, 0)))
+	dst = AppendUvarint(dst, uint64(max(st.Protocol.Reveals, 0)))
+	return AppendUvarint(dst, uint64(max(st.Protocol.Agreements, 0)))
+}
+
+// DecodeStatsReply decodes a MsgStatsReply body.
+func DecodeStatsReply(d *Decoder) (uint64, Stats, error) {
+	reqID := d.Uvarint()
+	st := Stats{
+		Kind:           d.Byte(),
+		Players:        d.Int(),
+		Rounds:         d.Int(),
+		Fouls:          d.Int(),
+		Convictions:    d.Int(),
+		CumulativeCost: d.Floats(nil),
+		Excluded:       d.Ints(nil),
+		MaxLoad:        d.Uvarint(),
+		Pulses:         d.Uvarint(),
+		Messages:       d.Uvarint(),
+		Commitments:    d.Uvarint(),
+		Reveals:        d.Uvarint(),
+		Agreements:     d.Uvarint(),
+	}
+	return reqID, st, d.Err()
+}

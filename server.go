@@ -7,9 +7,33 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"gameauthority/internal/audit"
+	"gameauthority/internal/metrics"
 )
+
+// maxPlayRounds caps rounds per play request on both transports (HTTP
+// and WebSocket).
+const maxPlayRounds = 100000
+
+// sseWriteTimeout bounds one SSE event write: a subscriber that cannot
+// absorb an event within it is considered dead and its connection is
+// closed (counted in StreamTimeouts).
+const sseWriteTimeout = 10 * time.Second
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	webSocket bool
+}
+
+// WithWebSocket enables or disables the /ws streaming endpoint (enabled
+// by default).
+func WithWebSocket(enabled bool) ServerOption {
+	return func(c *serverConfig) { c.webSocket = enabled }
+}
 
 // NewServer exposes an Authority as an HTTP/JSON API:
 //
@@ -23,6 +47,8 @@ import (
 //	GET    /snapshots                list persisted compacted snapshots
 //	GET    /deviants                 list the deviation-strategy catalog
 //	GET    /metrics                  Prometheus text exposition of host counters
+//	GET    /ws                       binary streaming transport (internal/wire
+//	                                 over WebSocket; see DESIGN.md §10)
 //
 // Sessions are independent and may be created and played concurrently;
 // each session serializes its own plays. On a store-backed authority
@@ -30,8 +56,15 @@ import (
 // id the registry misses restores it from the store before answering —
 // the restore-on-miss path that makes a crashed host's sessions
 // addressable again without an explicit recovery pass.
-func NewServer(a *Authority) http.Handler {
+func NewServer(a *Authority, opts ...ServerOption) http.Handler {
+	cfg := serverConfig{webSocket: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
+	if cfg.webSocket {
+		mux.Handle("GET /ws", a.streamHub())
+	}
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(a, w, r)
 	})
@@ -617,9 +650,8 @@ func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 	if rounds <= 0 {
 		rounds = 1
 	}
-	const maxRounds = 100000
-	if rounds > maxRounds {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d exceeds the per-request cap %d", rounds, maxRounds))
+	if rounds > maxPlayRounds {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d exceeds the per-request cap %d", rounds, maxPlayRounds))
 		return
 	}
 	results := make([]roundResponse, 0, rounds)
@@ -669,6 +701,10 @@ func handleEvents(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 	// Like Events, but counts overflow instead of dropping silently: a
 	// slow reader sees a "lag" event naming how many events it missed, so
 	// its view of the session is never wrong without it knowing.
+	var counters *metrics.Counters
+	if h.a != nil {
+		counters = &h.a.counters
+	}
 	events := make(chan Event, 256)
 	var mu sync.Mutex
 	var dropped int64
@@ -683,6 +719,9 @@ func handleEvents(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 		case events <- e:
 		default:
 			dropped++
+			if counters != nil {
+				counters.EventsDropped.Add(1)
+			}
 		}
 	}))
 	defer func() {
@@ -692,16 +731,29 @@ func handleEvents(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 		mu.Unlock()
 	}()
 
+	// Bound every write: a subscriber only buffers 256 events of lag, and
+	// one that cannot absorb a write within the deadline is truly dead —
+	// close it instead of letting the handler goroutine linger forever.
+	rc := http.NewResponseController(w)
 	write := func(info eventInfo) bool {
 		payload, err := json.Marshal(info)
 		if err != nil {
 			return true
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
-			return false
+		rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+		_, err = fmt.Fprintf(w, "data: %s\n\n", payload)
+		if err == nil {
+			err = rc.Flush()
 		}
-		flusher.Flush()
-		return true
+		if err == nil {
+			return true
+		}
+		if counters != nil && r.Context().Err() == nil {
+			// The reader did not go away cleanly; it stalled past the
+			// write deadline.
+			counters.StreamTimeouts.Add(1)
+		}
+		return false
 	}
 	for {
 		select {

@@ -1,0 +1,131 @@
+package gameauthority
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"gameauthority/internal/core"
+	"gameauthority/internal/hub"
+	"gameauthority/internal/wire"
+)
+
+// WithShards runs the authority's plays on n authoritative shard loops
+// (n < 1 means GOMAXPROCS): each hosted session is pinned onto one loop
+// by id hash and every play — HTTP, WebSocket, or in-process — executes
+// on that loop's goroutine, turning per-request locking into
+// enqueue/dequeue onto shard inboxes. Without this option the HTTP and
+// in-process paths play inline as before, and only the WebSocket
+// transport uses (lazily created) shard loops.
+func WithShards(n int) AuthorityOption {
+	return func(a *Authority) {
+		a.loops.Store(hub.NewShards(n))
+		a.loopsRoute.Store(true)
+	}
+}
+
+// shardLoops returns the authority's loop pool, creating a GOMAXPROCS
+// pool on first use (the WebSocket transport always dispatches through
+// loops; see WithShards for routing everything through them).
+func (a *Authority) shardLoops() *hub.Shards {
+	if sp := a.loops.Load(); sp != nil {
+		return sp
+	}
+	a.loopsMu.Lock()
+	defer a.loopsMu.Unlock()
+	if sp := a.loops.Load(); sp != nil {
+		return sp
+	}
+	sp := hub.NewShards(runtime.GOMAXPROCS(0))
+	a.loops.Store(sp)
+	return sp
+}
+
+// streamHub lazily builds the WebSocket hub mounted at /ws.
+func (a *Authority) streamHub() *hub.Hub {
+	return hub.New(wsBackend{a}, hub.Options{
+		Shards:    a.shardLoops(),
+		Counters:  &a.counters,
+		MaxRounds: maxPlayRounds,
+	})
+}
+
+// wsBackend adapts the Authority to the hub's Backend interface, mapping
+// registry errors onto wire error codes.
+type wsBackend struct{ a *Authority }
+
+func (b wsBackend) Create(spec []byte) (hub.Handle, error) {
+	var req CreateSessionRequest
+	if err := json.Unmarshal(spec, &req); err != nil {
+		return nil, hub.Coded{Code: wire.CodeBadRequest, Err: fmt.Errorf("invalid session spec: %w", err)}
+	}
+	h, err := b.a.CreateFromSpec(req)
+	if err != nil {
+		return nil, hub.Coded{Code: wsErrCode(err, wire.CodeBadRequest), Err: err}
+	}
+	return wsHandle{h}, nil
+}
+
+func (b wsBackend) Attach(ctx context.Context, id string) (hub.Handle, error) {
+	h, err := b.a.GetOrRecover(ctx, id)
+	if err != nil {
+		return nil, hub.Coded{Code: wsErrCode(err, wire.CodeInternal), Err: err}
+	}
+	return wsHandle{h}, nil
+}
+
+func (b wsBackend) Remove(id string) error {
+	if err := b.a.Remove(id); err != nil {
+		return hub.Coded{Code: wsErrCode(err, wire.CodeInternal), Err: err}
+	}
+	return nil
+}
+
+// wsErrCode maps authority errors onto wire codes, with a fallback for
+// errors with no specific mapping.
+func wsErrCode(err error, fallback uint64) uint64 {
+	switch {
+	case errors.Is(err, ErrSessionExists):
+		return wire.CodeExists
+	case errors.Is(err, ErrSessionNotFound):
+		return wire.CodeNotFound
+	case errors.Is(err, ErrSessionID):
+		return wire.CodeBadRequest
+	case errors.Is(err, ErrDurability), errors.Is(err, ErrPulseBudget):
+		return wire.CodeUnavailable
+	case errors.Is(err, ErrClosed):
+		return wire.CodeClosed
+	default:
+		return fallback
+	}
+}
+
+// wsHandle adapts a hosted session for the hub. Play is the direct form:
+// hub commands already execute on the session's shard loop, so routing
+// through HostedSession.Play again would deadlock a WithShards authority
+// (the loop would wait on itself).
+type wsHandle struct{ h *HostedSession }
+
+func (w wsHandle) ID() string { return w.h.ID() }
+
+func (w wsHandle) Play(ctx context.Context) (core.RoundResult, error) {
+	res, err := w.h.playDirect(ctx)
+	if err != nil {
+		return res, hub.Coded{Code: wsErrCode(err, wire.CodeInternal), Err: err}
+	}
+	return res, nil
+}
+
+func (w wsHandle) Subscribe(obs core.Observer) func() { return w.h.Subscribe(obs) }
+
+func (w wsHandle) Stats() core.SessionStats { return w.h.Stats() }
+
+func (w wsHandle) Snapshot() (core.SessionSnapshot, bool, error) {
+	snap, persisted, err := w.h.a.snapshotHosted(w.h, w.h.Session.Snapshot())
+	if err != nil {
+		return snap, persisted, hub.Coded{Code: wire.CodeUnavailable, Err: err}
+	}
+	return snap, persisted, nil
+}
