@@ -3,10 +3,10 @@ GO ?= go
 .PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
 	deviation-matrix deviation-matrix-short cover-gate \
-	crash-bench crash-smoke ws-smoke loadgen-ws
+	crash-bench crash-smoke ws-smoke loadgen-ws chaos-bench chaos-smoke
 
 ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
-	ws-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
+	ws-smoke chaos-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -76,6 +76,23 @@ loadgen-ws:
 	$(GO) run ./cmd/loadgen -transport ws -selfserve -sessions 100000 -plays 4 -conns 64 \
 		| $(GO) run ./cmd/benchfmt -command "make loadgen-ws" -out BENCH_PR6.json
 
+# The fault-injection acceptance harness (DESIGN.md §11): deterministic
+# disk and network chaos around the streaming transport, with self-healing
+# clients. Each run asserts zero verdict loss and digest-identical final
+# state against a fault-free twin; the tracked BENCH_PR7.json artifact
+# records throughput and healing counters at 0%, 5%, and 20% fault rates.
+chaos-bench:
+	( $(GO) run ./cmd/loadgen -sessions 48 -plays 8 -conns 4 -seed 1 -chaos-disk 0 -chaos-net 0; \
+	  $(GO) run ./cmd/loadgen -sessions 48 -plays 8 -conns 4 -seed 1 -chaos-disk 0.05 -chaos-net 0.05; \
+	  $(GO) run ./cmd/loadgen -sessions 48 -plays 8 -conns 4 -seed 1 -chaos-disk 0.2 -chaos-net 0.2 ) \
+		| $(GO) run ./cmd/benchfmt -command "make chaos-bench" -out BENCH_PR7.json
+
+# CI-sized chaos smoke: one run at a 5% disk + 5% net fault rate; fails
+# on any verdict loss, digest mismatch, or unhealed connection, never on
+# timing.
+chaos-smoke:
+	$(GO) run ./cmd/loadgen -sessions 24 -plays 6 -conns 4 -seed 1 -chaos-disk 0.05 -chaos-net 0.05 > /dev/null
+
 # The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
 # SIGKILL-drops the authority mid-run and recovers every session from the
 # write-ahead log, twice. The artifact tracks durable throughput plus the
@@ -114,14 +131,14 @@ fuzz-smoke:
 # Coverage gate: the audited packages must keep ≥ 70% of statements
 # covered by the whole suite (merged -coverpkg profile; see
 # cmd/covergate).
-COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub,./internal/faults
 cover-gate:
 	$(GO) test -short -coverprofile=cover.out -coverpkg=$(COVER_PKGS) ./... > /dev/null
 	$(GO) run ./cmd/covergate -profile cover.out -min 70 \
 		gameauthority/internal/core gameauthority/internal/punish \
 		gameauthority/internal/audit gameauthority/internal/deviate \
 		gameauthority/internal/store gameauthority/internal/wire \
-		gameauthority/internal/hub
+		gameauthority/internal/hub gameauthority/internal/faults
 
 # Every internal package must carry a package comment (the godoc story of
 # DESIGN.md §1); CI fails when one goes missing.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gameauthority/internal/hub"
 	"gameauthority/internal/metrics"
@@ -86,6 +87,15 @@ type Authority struct {
 	// idempotent (the store is synced and closed exactly once).
 	storeClosed atomic.Bool
 
+	// faultPlan is the optional chaos schedule (WithFaultPlan): applied
+	// after options by NewAuthority, wrapping the durable store.
+	faultPlan *FaultPlan
+	// breakerThreshold/breakerCooldown tune the per-session circuit
+	// breaker on repeated store failures (WithBreaker; threshold < 0
+	// disables it).
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
 	// loops is the pool of authoritative shard loops (internal/hub):
 	// sessions are pinned onto a loop by id hash, and all plays for a
 	// session execute on that loop's goroutine. WithShards installs the
@@ -146,6 +156,12 @@ type HostedSession struct {
 	closeLogged atomic.Bool
 	// walPlays counts plays journaled since the last compacted snapshot.
 	walPlays atomic.Int64
+
+	// breakerFails counts consecutive journal failures; breakerUntil is
+	// the unix-nano deadline while the session's circuit breaker is open
+	// (0 = closed). See playDirect.
+	breakerFails atomic.Int64
+	breakerUntil atomic.Int64
 }
 
 // ID returns the session's registry key.
@@ -154,12 +170,24 @@ func (h *HostedSession) ID() string { return h.id }
 // NewAuthority creates an empty host. Options attach a durable store
 // (WithStore) and tune the snapshot cadence (WithSnapshotEvery).
 func NewAuthority(opts ...AuthorityOption) *Authority {
-	a := &Authority{snapshotEvery: defaultSnapshotEvery}
+	a := &Authority{
+		snapshotEvery:    defaultSnapshotEvery,
+		breakerThreshold: defaultBreakerThreshold,
+		breakerCooldown:  defaultBreakerCooldown,
+	}
 	for i := range a.shards {
 		a.shards[i].sessions = make(map[string]*HostedSession)
 	}
 	for _, opt := range opts {
 		opt(a)
+	}
+	// Arm the fault plan after all options so WithFaultPlan and WithStore
+	// compose in either order.
+	if a.faultPlan != nil {
+		a.faultPlan.AttachCounters(&a.counters)
+		if st := a.getStore(); st != nil {
+			a.store.Store(&storeBox{st: a.faultPlan.Store(st)})
+		}
 	}
 	return a
 }

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,18 +44,20 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 4, "number of processors (= players)")
-		f       = flag.Int("f", 1, "Byzantine fault bound (n > 3f)")
-		plays   = flag.Int("plays", 8, "number of plays to run")
-		cheat   = flag.Int("cheat", -1, "processor id that plays an illegitimate action (-1: none)")
-		corrupt = flag.Int("corrupt", -1, "inject a transient fault after this play (-1: never)")
-		seed    = flag.Uint64("seed", 7, "root seed")
-		serve   = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
-		dataDir = flag.String("data-dir", "", "durable store directory (serve mode): journal sessions, recover on startup, snapshot on shutdown")
-		ws      = flag.Bool("ws", true, "serve mode: mount the /ws binary streaming transport")
-		shards  = flag.Int("shards", 0, "serve mode: route every play through this many authoritative shard loops (0: direct HTTP plays, lazy loops for /ws; -1: GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
-		memProf = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
+		n         = flag.Int("n", 4, "number of processors (= players)")
+		f         = flag.Int("f", 1, "Byzantine fault bound (n > 3f)")
+		plays     = flag.Int("plays", 8, "number of plays to run")
+		cheat     = flag.Int("cheat", -1, "processor id that plays an illegitimate action (-1: none)")
+		corrupt   = flag.Int("corrupt", -1, "inject a transient fault after this play (-1: never)")
+		seed      = flag.Uint64("seed", 7, "root seed")
+		serve     = flag.String("serve", "", "host the multi-session HTTP API on this address instead of tracing")
+		dataDir   = flag.String("data-dir", "", "durable store directory (serve mode): journal sessions, recover on startup, snapshot on shutdown")
+		ws        = flag.Bool("ws", true, "serve mode: mount the /ws binary streaming transport")
+		shards    = flag.Int("shards", 0, "serve mode: route every play through this many authoritative shard loops (0: direct HTTP plays, lazy loops for /ws; -1: GOMAXPROCS)")
+		chaosDisk = flag.Float64("chaos-disk", 0, "serve mode: inject seeded disk faults into the durable store at this base rate [0,1]")
+		chaosNet  = flag.Float64("chaos-net", 0, "serve mode: inject seeded network faults into accepted connections at this base rate [0,1]")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
 	)
 	flag.Parse()
 
@@ -65,7 +68,7 @@ func main() {
 		var stray []string
 		flag.Visit(func(fl *flag.Flag) {
 			switch fl.Name {
-			case "serve", "data-dir", "ws", "shards":
+			case "serve", "data-dir", "ws", "shards", "chaos-disk", "chaos-net", "seed":
 			default:
 				stray = append(stray, "-"+fl.Name)
 			}
@@ -74,7 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v only apply to trace mode; sessions are configured via POST /sessions\n", stray)
 			os.Exit(2)
 		}
-		if err := serveAPI(*serve, *dataDir, *ws, *shards); err != nil {
+		if err := serveAPI(*serve, *dataDir, *ws, *shards, *seed, *chaosDisk, *chaosNet); err != nil {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 			os.Exit(1)
 		}
@@ -87,12 +90,13 @@ func main() {
 	}
 	strayServe := false
 	flag.Visit(func(fl *flag.Flag) {
-		if fl.Name == "ws" || fl.Name == "shards" {
+		switch fl.Name {
+		case "ws", "shards", "chaos-disk", "chaos-net":
 			strayServe = true
 		}
 	})
 	if strayServe {
-		fmt.Fprintln(os.Stderr, "gameauthd: -ws and -shards only apply to serve mode (-serve)")
+		fmt.Fprintln(os.Stderr, "gameauthd: -ws, -shards, -chaos-disk and -chaos-net only apply to serve mode (-serve)")
 		os.Exit(2)
 	}
 	if err := validateFlags(*n, *f, *plays, *cheat); err != nil {
@@ -128,7 +132,7 @@ func main() {
 // journaled is compacted and on disk before the process exits. A kill
 // that skips shutdown loses nothing either — that is what the
 // write-ahead log is for.
-func serveAPI(addr, dataDir string, ws bool, shards int) error {
+func serveAPI(addr, dataDir string, ws bool, shards int, seed uint64, chaosDisk, chaosNet float64) error {
 	var opts []ga.AuthorityOption
 	if dataDir != "" {
 		st, err := ga.NewFileStore(dataDir)
@@ -141,6 +145,15 @@ func serveAPI(addr, dataDir string, ws bool, shards int) error {
 		// Route every play (HTTP included) through the authoritative
 		// shard loops; the loops also back the /ws transport.
 		opts = append(opts, ga.WithShards(shards))
+	}
+	if chaosDisk > 0 {
+		opts = append(opts, ga.WithFaultPlan(ga.NewFaultPlan(ga.DiskFaultConfig(seed, chaosDisk))))
+		fmt.Printf("gameauthd: CHAOS disk faults armed at rate %g (seed %d)\n", chaosDisk, seed)
+	}
+	var netPlan *ga.FaultPlan
+	if chaosNet > 0 {
+		netPlan = ga.NewFaultPlan(ga.NetFaultConfig(seed, chaosNet))
+		fmt.Printf("gameauthd: CHAOS network faults armed at rate %g (seed %d)\n", chaosNet, seed)
 	}
 	authority := ga.NewAuthority(opts...)
 	if dataDir != "" {
@@ -159,7 +172,20 @@ func serveAPI(addr, dataDir string, ws bool, shards int) error {
 	defer stop()
 	srv := &http.Server{Addr: addr, Handler: ga.NewServer(authority, ga.WithWebSocket(ws))}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() {
+		if netPlan == nil {
+			errCh <- srv.ListenAndServe()
+			return
+		}
+		// Network chaos wraps the listener so every accepted connection
+		// sees the plan's latency, drops, and mid-frame cuts.
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- srv.Serve(netPlan.Listener(ln))
+	}()
 	if ws {
 		fmt.Printf("gameauthd: serving the authority API on %s (streaming transport at /ws)\n", addr)
 	} else {

@@ -60,7 +60,18 @@ func main() {
 		"crash/recover cycles: SIGKILL-style drop the authority mid-run and recover it from the write-ahead log this many times (in-process only)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "",
 		"durable store directory for -crash (default: a throwaway temp dir)")
+	flag.Float64Var(&cfg.chaosDisk, "chaos-disk", 0,
+		"chaos acceptance mode: seeded disk-fault rate in [0,1] injected under the store (setting this flag, even to 0, switches to the chaos harness)")
+	flag.Float64Var(&cfg.chaosNet, "chaos-net", 0,
+		"chaos acceptance mode: seeded network-fault rate in [0,1] injected under every client connection (setting this flag, even to 0, switches to the chaos harness)")
 	flag.Parse()
+	// Setting either chaos rate — including explicitly to 0, for the
+	// fault-free baseline row — selects the acceptance harness.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chaos-disk" || f.Name == "chaos-net" {
+			cfg.chaosMode = true
+		}
+	})
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
@@ -78,6 +89,9 @@ type config struct {
 	seed      uint64
 	deviants  float64
 	chaos     bool
+	chaosMode bool    // -chaos-disk/-chaos-net was set: run the chaos acceptance harness
+	chaosDisk float64 // seeded disk-fault rate for chaos mode
+	chaosNet  float64 // seeded network-fault rate for chaos mode
 	crash     int
 	dataDir   string
 	out       io.Writer // bench lines (stdout in main)
@@ -334,6 +348,9 @@ type transport interface {
 }
 
 func run(cfg config) error {
+	if cfg.chaosMode {
+		return runChaos(cfg)
+	}
 	if cfg.sessions < 1 || cfg.plays < 1 {
 		return fmt.Errorf("-sessions and -plays must be positive")
 	}

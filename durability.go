@@ -19,6 +19,11 @@ import (
 // compacted snapshots. See NewMemStore and NewFileStore.
 type Store = store.Store
 
+// Record is one WAL entry in a Store's per-session journal. Exported so
+// external Store decorators (middleware, fault injectors, tests) can
+// implement the interface without importing internal packages.
+type Record = store.Record
+
 // SessionSnapshot is a session's durable state summary: the replay
 // watermark, counters, and the canonical state digest that proves a
 // restored session is byte-identical. See Session.Snapshot.
@@ -45,6 +50,36 @@ var ErrDurability = errors.New("gameauthority: durable store operation failed")
 // match the journal — the spec, seed, or engine semantics changed since
 // the state was written.
 var ErrRestore = core.ErrRestore
+
+// ErrBreakerOpen is returned by Play while a session's circuit breaker
+// is open: repeated consecutive journal failures tripped it, and until
+// the cooldown elapses plays fail fast without touching the session or
+// the degraded store. Clients should back off and retry; the first play
+// after the cooldown probes the store and closes the breaker on success.
+var ErrBreakerOpen = errors.New("gameauthority: circuit breaker open (store failing)")
+
+// Circuit-breaker defaults: five consecutive journal failures open a
+// session's breaker for 500ms. See WithBreaker.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 500 * time.Millisecond
+)
+
+// WithBreaker tunes the per-session circuit breaker: failures
+// consecutive journal failures open it for cooldown, during which plays
+// fail fast with ErrBreakerOpen instead of hammering a degraded store.
+// failures < 0 disables the breaker; failures/cooldown of 0 keep the
+// defaults (5 failures, 500ms).
+func WithBreaker(failures int, cooldown time.Duration) AuthorityOption {
+	return func(a *Authority) {
+		if failures != 0 {
+			a.breakerThreshold = failures
+		}
+		if cooldown > 0 {
+			a.breakerCooldown = cooldown
+		}
+	}
+}
 
 // defaultSnapshotEvery is the default compaction cadence: a durable
 // session's WAL is folded into a snapshot every this many journaled
@@ -205,6 +240,9 @@ func (h *HostedSession) Play(ctx context.Context) (RoundResult, error) {
 }
 
 func (h *HostedSession) playDirect(ctx context.Context) (RoundResult, error) {
+	if err := h.breakerGate(); err != nil {
+		return RoundResult{}, err
+	}
 	h.jmu.Lock()
 	defer h.jmu.Unlock()
 	res, err := h.Session.Play(ctx)
@@ -220,11 +258,55 @@ func (h *HostedSession) playDirect(ctx context.Context) (RoundResult, error) {
 		c.Convictions.Add(int64(n))
 	}
 	if jerr := h.a.journalPlay(h, res); jerr != nil {
+		h.breakerRecord(true)
 		// The play happened; reporting the journal failure tells the
 		// caller durability is degraded without losing the result.
 		return res, jerr
 	}
+	if h.durable.Load() {
+		h.breakerRecord(false)
+	}
 	return res, nil
+}
+
+// breakerGate fails fast with ErrBreakerOpen while the session's breaker
+// is open. When the cooldown has elapsed it moves the breaker half-open:
+// the next play probes the store, and one more failure re-opens it.
+func (h *HostedSession) breakerGate() error {
+	if h.a == nil || h.a.breakerThreshold < 0 {
+		return nil
+	}
+	until := h.breakerUntil.Load()
+	if until == 0 {
+		return nil
+	}
+	if time.Now().UnixNano() < until {
+		return ErrBreakerOpen
+	}
+	if h.breakerUntil.CompareAndSwap(until, 0) {
+		// Half-open: leave the counter one failure short of the threshold
+		// so a failed probe trips the breaker again immediately while a
+		// successful one resets it.
+		h.breakerFails.Store(int64(h.a.breakerThreshold) - 1)
+	}
+	return nil
+}
+
+// breakerRecord tracks consecutive journal failures and opens the
+// breaker at the threshold.
+func (h *HostedSession) breakerRecord(failed bool) {
+	a := h.a
+	if a == nil || a.breakerThreshold < 0 {
+		return
+	}
+	if !failed {
+		h.breakerFails.Store(0)
+		return
+	}
+	if h.breakerFails.Add(1) >= int64(a.breakerThreshold) {
+		h.breakerUntil.Store(time.Now().Add(a.breakerCooldown).UnixNano())
+		a.counters.BreakerOpens.Add(1)
+	}
 }
 
 // Run executes rounds plays through Play, so every play of a durable

@@ -1,0 +1,37 @@
+package gameauthority
+
+import (
+	"gameauthority/internal/faults"
+)
+
+// FaultPlan is a seeded, deterministic fault-injection schedule (see
+// internal/faults). Attach one to an authority with WithFaultPlan to
+// chaos-test the durable write paths, or wrap client connections with
+// its Conn decorator for network chaos.
+type FaultPlan = faults.Plan
+
+// FaultConfig sets a FaultPlan's per-operation fault rates.
+type FaultConfig = faults.Config
+
+// ErrFaultInjected is the sentinel wrapped by every injected fault, so
+// harnesses can tell scheduled chaos from real failures.
+var ErrFaultInjected = faults.ErrInjected
+
+// NewFaultPlan builds a fault plan from cfg.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan { return faults.NewPlan(cfg) }
+
+// DiskFaultConfig is the standard disk-chaos mix at one base rate.
+func DiskFaultConfig(seed uint64, rate float64) FaultConfig { return faults.DiskConfig(seed, rate) }
+
+// NetFaultConfig is the standard network-chaos mix at one base rate.
+func NetFaultConfig(seed uint64, rate float64) FaultConfig { return faults.NetConfig(seed, rate) }
+
+// WithFaultPlan arms deterministic disk chaos on the authority: the
+// durable store (WithStore) is wrapped so its write paths fail, tear,
+// and stall on the plan's seeded schedule, and every injected fault is
+// counted on the authority's metrics (gameauthority_faults_injected_total).
+// Order-independent with WithStore — the wrap happens after all options
+// apply. A nil plan is a no-op.
+func WithFaultPlan(plan *FaultPlan) AuthorityOption {
+	return func(a *Authority) { a.faultPlan = plan }
+}

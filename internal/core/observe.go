@@ -50,7 +50,13 @@ func (k EventKind) String() string {
 // Event is one entry in a session's observer stream. Only the fields
 // relevant to Kind are set.
 type Event struct {
-	Kind  EventKind
+	Kind EventKind
+	// Seq is the session-scoped sequence number stamped at emit time:
+	// strictly increasing from 1 across every event the session publishes.
+	// Subscribers that resume after a disconnect use it to tell replayed
+	// events from new ones. (Sticky election replays keep their original
+	// stamp, so a fresh subscriber may see an old seq first.)
+	Seq   uint64
 	Round int
 	// Outcome is the published profile (EventPlay).
 	Outcome game.Profile
@@ -86,6 +92,7 @@ type observerHub struct {
 	mu     sync.Mutex
 	subs   map[int]Observer
 	next   int
+	seq    uint64
 	sticky []Event
 }
 
@@ -120,9 +127,12 @@ func (h *observerHub) active() bool {
 	return len(h.subs) > 0
 }
 
-// emit delivers e to every current subscriber (outside the hub lock).
+// emit stamps e with the next session sequence number and delivers it to
+// every current subscriber (outside the hub lock).
 func (h *observerHub) emit(e Event) {
 	h.mu.Lock()
+	h.seq++
+	e.Seq = h.seq
 	if e.Kind == EventElection {
 		h.sticky = append(h.sticky, e)
 	}

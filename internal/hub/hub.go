@@ -20,6 +20,11 @@ import (
 type Handle interface {
 	ID() string
 	Play(ctx context.Context) (core.RoundResult, error)
+	// ResultAt returns the completed result of an absolute round index,
+	// if it is still in the session's retained history — the replay
+	// source for deduplicated play retries. The result may alias
+	// session-owned buffers; encode or copy it before the next play.
+	ResultAt(round int) (core.RoundResult, bool)
 	Subscribe(obs core.Observer) (cancel func())
 	Stats() core.SessionStats
 	// Snapshot captures (and, when a durable store is configured,
@@ -154,6 +159,9 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		ws.WriteMessage(opBinary, wire.AppendError(nil, 0, wire.CodeBadRequest,
 			fmt.Sprintf("unsupported protocol version (want %d)", wire.Version)))
 		return
+	}
+	if c := h.opt.Counters; c != nil && hello.Flags&wire.FlagReconnect != 0 {
+		c.Reconnects.Add(1)
 	}
 	ws.SetReadDeadline(time.Time{})
 	if err := ws.WriteMessage(opBinary,
@@ -372,7 +380,7 @@ func (c *wsConn) dispatch(dec *wire.Decoder) bool {
 		}
 		return c.handlePlay(m)
 	case wire.MsgSubscribe:
-		m, err := wire.DecodeRefReq(dec)
+		m, err := wire.DecodeSubscribe(dec)
 		if err != nil {
 			return false
 		}
@@ -425,7 +433,11 @@ func (c *wsConn) finishBind(reqID uint64, handle Handle, err error) bool {
 	ref := c.nextRef
 	c.refs[ref] = &refEntry{ref: ref, handle: handle}
 	c.mu.Unlock()
-	return c.send(wire.AppendCreated(c.hub.getBuf(), reqID, ref, handle.ID()))
+	// The completed-round count seeds the client's idempotency watermark
+	// (bind is the cold path, so the extra Stats call costs nothing on
+	// the play path).
+	rounds := uint64(handle.Stats().Rounds)
+	return c.send(wire.AppendCreated(c.hub.getBuf(), reqID, ref, handle.ID(), rounds))
 }
 
 // handlePlay enqueues the batch onto the session's shard loop; results
@@ -445,7 +457,37 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 	ok := c.hub.opt.Shards.Submit(e.handle.ID(), func() {
 		buf := wire.AppendResultsHeader(c.hub.getBuf(), m.ReqID, e.ref)
 		code, detail := wire.CodeOK, ""
-		for i := uint64(0); i < rounds; i++ {
+		var deduped uint64
+		remaining := rounds
+		if m.Expect > 0 {
+			// Idempotent retry: the client believes expect rounds have
+			// completed. When the session is ahead (the original command
+			// was applied before the connection died), replay the
+			// already-completed overlap from the session's history
+			// instead of double-playing.
+			expect := m.Expect - 1
+			if cur := uint64(e.handle.Stats().Rounds); cur > expect {
+				replay := cur - expect
+				if replay > remaining {
+					replay = remaining
+				}
+				for i := uint64(0); i < replay; i++ {
+					res, ok := e.handle.ResultAt(int(expect + i))
+					if !ok {
+						code = wire.CodeBadRequest
+						detail = "retry watermark outside the retained history window"
+						break
+					}
+					buf = wire.AppendResult(buf, &res)
+					deduped++
+				}
+				remaining -= deduped
+				if ctrs := c.hub.opt.Counters; ctrs != nil && deduped > 0 {
+					ctrs.DedupedPlays.Add(int64(deduped))
+				}
+			}
+		}
+		for i := uint64(0); code == wire.CodeOK && i < remaining; i++ {
 			res, err := e.handle.Play(c.ctx)
 			if err != nil {
 				code, detail = ErrCode(err), err.Error()
@@ -453,7 +495,7 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 			}
 			buf = wire.AppendResult(buf, &res)
 		}
-		c.send(wire.FinishResults(buf, code, detail))
+		c.send(wire.FinishResults(buf, code, detail, deduped))
 	})
 	if !ok {
 		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")
@@ -461,7 +503,7 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 	return true
 }
 
-func (c *wsConn) handleSubscribe(m wire.RefReq) bool {
+func (c *wsConn) handleSubscribe(m wire.Subscribe) bool {
 	e := c.lookup(m.Ref)
 	if e == nil {
 		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
@@ -471,6 +513,16 @@ func (c *wsConn) handleSubscribe(m wire.RefReq) bool {
 	e.evMu.Unlock()
 	if already {
 		return c.sendError(m.ReqID, wire.CodeExists, "already subscribed")
+	}
+	// A non-zero Since is a resume token: the client re-subscribed after
+	// a disconnect. The subscription below always starts a fresh delta
+	// encoder, so the first event is self-contained — the token's job is
+	// client-side (distinguishing replayed events from new ones), the
+	// server just counts the resume.
+	if m.Since > 0 {
+		if ctrs := c.hub.opt.Counters; ctrs != nil {
+			ctrs.ResumedSubscriptions.Add(1)
+		}
 	}
 	unsub := e.handle.Subscribe(core.ObserverFunc(func(ev core.Event) {
 		e.evMu.Lock()

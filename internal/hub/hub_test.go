@@ -23,10 +23,15 @@ import (
 type fakeHandle struct {
 	id string
 
-	mu     sync.Mutex
-	rounds int
-	obs    map[int]core.Observer
-	nextOb int
+	mu      sync.Mutex
+	rounds  int
+	history []core.RoundResult
+	seq     uint64
+	obs     map[int]core.Observer
+	nextOb  int
+
+	playErr  error // when set, Play fails without advancing...
+	failFrom int   // ...once the session reaches this round
 }
 
 func newFakeHandle(id string) *fakeHandle {
@@ -37,25 +42,41 @@ func (h *fakeHandle) ID() string { return h.id }
 
 func (h *fakeHandle) Play(ctx context.Context) (core.RoundResult, error) {
 	h.mu.Lock()
+	if err := h.playErr; err != nil && h.rounds >= h.failFrom {
+		h.mu.Unlock()
+		return core.RoundResult{}, err
+	}
 	r := h.rounds
 	h.rounds++
+	h.seq++
+	seq := h.seq
 	var watchers []core.Observer
 	for _, o := range h.obs {
 		watchers = append(watchers, o)
 	}
-	h.mu.Unlock()
 	res := core.RoundResult{
 		Round:   r,
 		Outcome: game.Profile{r % 2, 1},
 		Costs:   []float64{1, 2},
 	}
+	h.history = append(h.history, res)
+	h.mu.Unlock()
 	for _, o := range watchers {
 		o.OnEvent(core.Event{
-			Kind: core.EventPlay, Round: r,
+			Kind: core.EventPlay, Round: r, Seq: seq,
 			Outcome: res.Outcome, Costs: res.Costs,
 		})
 	}
 	return res, nil
+}
+
+func (h *fakeHandle) ResultAt(round int) (core.RoundResult, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if round < 0 || round >= len(h.history) {
+		return core.RoundResult{}, false
+	}
+	return h.history[round], true
 }
 
 func (h *fakeHandle) Subscribe(obs core.Observer) func() {
@@ -288,7 +309,7 @@ func TestHubVersionMismatch(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	ws := rawDial(t, srv.URL)
-	if err := ws.WriteMessage(opBinary, wire.AppendHello(nil, 99)); err != nil {
+	if err := ws.WriteMessage(opBinary, wire.AppendHello(nil, 99, 0)); err != nil {
 		t.Fatal(err)
 	}
 	_, payload, err := ws.ReadMessage()
@@ -315,7 +336,7 @@ func rawDial(t *testing.T, base string) *WSConn {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	ws, err := clientHandshake(conn, host, "/ws")
+	ws, err := clientHandshake(conn, host, "/ws", 5*time.Second)
 	if err != nil {
 		t.Fatalf("handshake: %v", err)
 	}

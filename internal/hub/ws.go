@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,6 +50,7 @@ type WSConn struct {
 	whdr       [14]byte // writer scratch (under wmu)
 	wscratch   []byte   // masking scratch (client role, under wmu)
 	maskState  uint64   // splitmix64 state for mask keys (under wmu)
+	activity   atomic.Uint64
 }
 
 func newWSConn(conn net.Conn, br *bufio.Reader, client bool, maxMessage int) *WSConn {
@@ -148,6 +150,10 @@ func (c *WSConn) ReadMessage() (op byte, payload []byte, err error) {
 		if _, err := io.ReadFull(c.br, hdr); err != nil {
 			return 0, nil, err
 		}
+		// Every frame the peer sends — including pongs, which are
+		// otherwise swallowed below — counts as read activity for the
+		// keepalive probe.
+		c.activity.Add(1)
 		fin := hdr[0]&0x80 != 0
 		if hdr[0]&0x70 != 0 {
 			return 0, nil, errors.New("hub: websocket: nonzero RSV bits")
@@ -320,6 +326,18 @@ func (c *WSConn) Flush() error {
 	c.lock()
 	defer c.unlock()
 	return c.bw.Flush()
+}
+
+// Activity returns a counter of frames read from the peer (including
+// control frames such as pongs). A keepalive probe compares successive
+// readings: a counter that stops advancing despite pings means the
+// connection is half-open.
+func (c *WSConn) Activity() uint64 { return c.activity.Load() }
+
+// WritePing sends a ping control frame and flushes. A live peer answers
+// with a pong, which shows up as read activity.
+func (c *WSConn) WritePing(payload []byte) error {
+	return c.writeFrame(opPing, payload, true)
 }
 
 // SetReadDeadline bounds the next ReadMessage.

@@ -228,7 +228,7 @@ func TestClientHandshake(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	client, err := clientHandshake(conn, host, "/ws")
+	client, err := clientHandshake(conn, host, "/ws", 5*time.Second)
 	if err != nil {
 		t.Fatalf("clientHandshake: %v", err)
 	}

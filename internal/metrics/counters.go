@@ -38,6 +38,22 @@ type Counters struct {
 	// closed because a write deadline expired — a dead or hopelessly
 	// slow reader.
 	StreamTimeouts atomic.Int64
+	// FaultsInjected counts faults injected by an attached fault plan
+	// (chaos testing only; zero in production).
+	FaultsInjected atomic.Int64
+	// Reconnects counts WebSocket clients that re-dialed after losing a
+	// connection (Hello carried the reconnect flag).
+	Reconnects atomic.Int64
+	// ResumedSubscriptions counts event subscriptions re-established with
+	// a resume token after a reconnect.
+	ResumedSubscriptions atomic.Int64
+	// DedupedPlays counts play rounds answered from the journal instead
+	// of being re-executed, because a retried command's watermark showed
+	// the round had already completed.
+	DedupedPlays atomic.Int64
+	// BreakerOpens counts per-session circuit-breaker trips after
+	// repeated store failures.
+	BreakerOpens atomic.Int64
 }
 
 // promMetric is one Prometheus exposition entry.
@@ -64,6 +80,11 @@ func (c *Counters) WritePrometheus(w io.Writer) error {
 		{"gameauthority_ws_connections", "gauge", "Live WebSocket connections.", &c.WSConnections},
 		{"gameauthority_events_dropped_total", "counter", "Events dropped for slow streaming subscribers.", &c.EventsDropped},
 		{"gameauthority_stream_timeouts_total", "counter", "Streaming connections closed by a write deadline.", &c.StreamTimeouts},
+		{"gameauthority_faults_injected_total", "counter", "Faults injected by an attached fault plan.", &c.FaultsInjected},
+		{"gameauthority_reconnects_total", "counter", "WebSocket clients re-dialing after a lost connection.", &c.Reconnects},
+		{"gameauthority_resumed_subscriptions_total", "counter", "Event subscriptions re-established with a resume token.", &c.ResumedSubscriptions},
+		{"gameauthority_deduped_plays_total", "counter", "Play rounds answered from the journal on retried commands.", &c.DedupedPlays},
+		{"gameauthority_breaker_opens_total", "counter", "Per-session circuit-breaker trips on repeated store failures.", &c.BreakerOpens},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

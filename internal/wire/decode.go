@@ -8,6 +8,7 @@ type Results struct {
 	Results    []Result
 	Code       uint64
 	Detail     string
+	Deduped    uint64
 }
 
 // EventFrame pairs a pushed event with its subscription ref.
@@ -47,7 +48,9 @@ func DecodeAny(d *Decoder, evDec *EventDecoder) (any, error) {
 		return DecodeAttach(d)
 	case MsgPlay:
 		return DecodePlay(d)
-	case MsgSubscribe, MsgUnsubscribe, MsgCloseSession, MsgStats, MsgSnapshot:
+	case MsgSubscribe:
+		return DecodeSubscribe(d)
+	case MsgUnsubscribe, MsgCloseSession, MsgStats, MsgSnapshot:
 		r, err := DecodeRefReq(d)
 		if err != nil {
 			return nil, err
@@ -79,7 +82,7 @@ func DecodeAny(d *Decoder, evDec *EventDecoder) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Code, out.Detail = t.Code, t.Detail
+		out.Code, out.Detail, out.Deduped = t.Code, t.Detail, t.Deduped
 		return out, nil
 	case MsgError:
 		return DecodeError(d)

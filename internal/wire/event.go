@@ -19,9 +19,12 @@ const (
 
 // Event is the decoded form of one session event. Slices alias
 // decoder-owned state, valid until the next Decode on the same
-// EventDecoder.
+// EventDecoder. Seq is the per-session sequence number stamped by the
+// session's observer hub; a resumed subscriber uses it to tell replayed
+// events from new ones.
 type Event struct {
 	Kind    uint8
+	Seq     uint64
 	Round   int
 	Outcome []int
 	Costs   []float64
@@ -55,6 +58,7 @@ func (e *EventEncoder) Reset() { e.have = false }
 func (e *EventEncoder) Append(dst []byte, ref uint64, ev *core.Event) []byte {
 	dst = append(dst, MsgEvent)
 	dst = AppendUvarint(dst, ref)
+	dst = AppendUvarint(dst, ev.Seq)
 	dst = append(dst, byte(ev.Kind))
 
 	isPlay := ev.Kind == core.EventPlay
@@ -138,6 +142,7 @@ type EventDecoder struct {
 // Decode decodes a MsgEvent body (after the type byte and ref).
 func (e *EventDecoder) Decode(d *Decoder) (Event, error) {
 	var ev Event
+	ev.Seq = d.Uvarint()
 	ev.Kind = d.Byte()
 	flags := d.Byte()
 	ev.Round = d.Int()

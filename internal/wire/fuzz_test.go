@@ -52,7 +52,7 @@ func fuzzSeeds() [][]byte {
 	}
 	results := AppendResultsHeader(nil, 5, 1)
 	results = AppendResult(results, &res)
-	results = FinishResults(results, CodeOK, "")
+	results = FinishResults(results, CodeOK, "", 0)
 
 	st := core.SessionStats{
 		Kind: core.KindRRA, Players: 3, Rounds: 10, Fouls: 1, Convictions: 1,
@@ -67,17 +67,17 @@ func fuzzSeeds() [][]byte {
 	events = enc.Append(events, 4, &ev2)
 
 	seeds := [][]byte{
-		AppendHello(nil, Version),
+		AppendHello(nil, Version, FlagReconnect),
 		AppendWelcome(nil, Version, 4),
 		AppendCreate(nil, 1, []byte(`{"id":"s","game":"pd"}`)),
 		AppendAttach(nil, 2, "session-1"),
-		AppendPlay(nil, 3, 1, 100),
-		AppendRefReq(nil, MsgSubscribe, 4, 1),
+		AppendPlay(nil, 3, 1, 100, 7),
+		AppendSubscribe(nil, 4, 1, 11),
 		AppendRefReq(nil, MsgUnsubscribe, 5, 1),
 		AppendRefReq(nil, MsgCloseSession, 6, 1),
 		AppendRefReq(nil, MsgStats, 7, 1),
 		AppendRefReq(nil, MsgSnapshot, 8, 1),
-		AppendCreated(nil, 1, 1, "session-1"),
+		AppendCreated(nil, 1, 1, "session-1", 3),
 		AppendError(nil, 2, CodeNotFound, "no such session"),
 		AppendOK(nil, 4),
 		AppendSnapshotReply(nil, 8, 42, "0123abcd", true),

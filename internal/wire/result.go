@@ -93,11 +93,14 @@ func AppendResult(dst []byte, res *core.RoundResult) []byte {
 
 // FinishResults terminates a MsgResults stream. code is CodeOK when every
 // requested round completed; otherwise it explains why the batch stopped
-// early (results before the error are still valid).
-func FinishResults(dst []byte, code uint64, detail string) []byte {
+// early (results before the error are still valid). deduped counts how
+// many of the streamed results were replayed from already-completed
+// rounds rather than played fresh (see Play.Expect).
+func FinishResults(dst []byte, code uint64, detail string, deduped uint64) []byte {
 	dst = append(dst, 0) // item marker: end of stream
 	dst = AppendUvarint(dst, code)
-	return appendString(dst, detail)
+	dst = appendString(dst, detail)
+	return AppendUvarint(dst, deduped)
 }
 
 // ResultsHeader is the fixed prefix of a MsgResults reply.
@@ -164,14 +167,16 @@ func DecodeResultItem(d *Decoder, out *Result) (bool, error) {
 
 // ResultsTrailer is the end-of-stream status of a MsgResults reply.
 type ResultsTrailer struct {
-	Code   uint64
-	Detail string
+	Code    uint64
+	Detail  string
+	Deduped uint64
 }
 
 // DecodeResultsTrailer decodes the stream terminator's status (after
 // DecodeResultItem returned false).
 func DecodeResultsTrailer(d *Decoder) (ResultsTrailer, error) {
 	t := ResultsTrailer{Code: d.Uvarint(), Detail: d.String()}
+	t.Deduped = d.Uvarint()
 	return t, d.Err()
 }
 

@@ -8,7 +8,13 @@ import (
 
 // Version is the protocol version exchanged in Hello/Welcome. A server
 // refuses clients speaking a different major version.
-const Version = 1
+//
+// Version 2 added reconnect/resume support: Hello carries a flags word
+// (FlagReconnect), Play carries an Expect watermark for idempotent
+// retries, Subscribe carries a Since resume token, Created reports the
+// session's completed rounds, events carry per-session sequence numbers,
+// and the results trailer reports how many rounds were deduplicated.
+const Version = 2
 
 // MaxPayload bounds any single length-prefixed field (spec JSON, detail
 // strings). Anything larger is malformed.
@@ -17,25 +23,33 @@ const MaxPayload = 1 << 22
 // Message type bytes. Client→server commands sit below 0x40, server→client
 // replies and pushes at 0x40 and above.
 const (
-	MsgHello        byte = 0x01 // version
+	MsgHello        byte = 0x01 // version, flags
 	MsgCreate       byte = 0x02 // reqID, spec JSON bytes
 	MsgAttach       byte = 0x03 // reqID, session id
-	MsgPlay         byte = 0x04 // reqID, ref, rounds
-	MsgSubscribe    byte = 0x05 // reqID, ref
+	MsgPlay         byte = 0x04 // reqID, ref, rounds, expect
+	MsgSubscribe    byte = 0x05 // reqID, ref, since
 	MsgUnsubscribe  byte = 0x06 // reqID, ref
 	MsgCloseSession byte = 0x07 // reqID, ref
 	MsgStats        byte = 0x08 // reqID, ref
 	MsgSnapshot     byte = 0x09 // reqID, ref
 
 	MsgWelcome       byte = 0x40 // version, shards
-	MsgCreated       byte = 0x41 // reqID, ref, session id
-	MsgResults       byte = 0x42 // reqID, ref, results stream, errCode, errMsg
+	MsgCreated       byte = 0x41 // reqID, ref, session id, rounds
+	MsgResults       byte = 0x42 // reqID, ref, results stream, errCode, errMsg, deduped
 	MsgError         byte = 0x43 // reqID, code, detail
 	MsgOK            byte = 0x44 // reqID
 	MsgStatsReply    byte = 0x45 // reqID, stats
 	MsgSnapshotReply byte = 0x46 // reqID, rounds, digest, persisted
-	MsgEvent         byte = 0x47 // ref, delta-encoded event
+	MsgEvent         byte = 0x47 // ref, seq, delta-encoded event
 	MsgLag           byte = 0x48 // ref, dropped count
+)
+
+// Hello flag bits.
+const (
+	// FlagReconnect marks a Hello sent by a client re-dialing after a
+	// connection loss, so the server can count reconnects distinctly from
+	// first connections.
+	FlagReconnect uint64 = 1 << 0
 )
 
 // Error codes carried by MsgError and the MsgResults trailer.
@@ -47,6 +61,10 @@ const (
 	CodeUnavailable uint64 = 4
 	CodeInternal    uint64 = 5
 	CodeClosed      uint64 = 6
+	// CodeBreakerOpen: the session's circuit breaker is open after
+	// repeated store failures; the command was refused without touching
+	// the session. Retry after the breaker's cool-down.
+	CodeBreakerOpen uint64 = 7
 )
 
 // ErrMalformed is the sticky Decoder error for any out-of-bounds,
@@ -236,17 +254,18 @@ func (d *Decoder) Floats(dst []float64) []float64 {
 // body; each Decode* assumes the caller already consumed the type byte.
 
 // Hello is the client's opening message.
-type Hello struct{ Version uint64 }
+type Hello struct{ Version, Flags uint64 }
 
 // AppendHello encodes a MsgHello.
-func AppendHello(dst []byte, version uint64) []byte {
+func AppendHello(dst []byte, version, flags uint64) []byte {
 	dst = append(dst, MsgHello)
-	return AppendUvarint(dst, version)
+	dst = AppendUvarint(dst, version)
+	return AppendUvarint(dst, flags)
 }
 
 // DecodeHello decodes a MsgHello body.
 func DecodeHello(d *Decoder) (Hello, error) {
-	h := Hello{Version: d.Uvarint()}
+	h := Hello{Version: d.Uvarint(), Flags: d.Uvarint()}
 	return h, d.Err()
 }
 
@@ -306,25 +325,54 @@ func DecodeAttach(d *Decoder) (Attach, error) {
 	return a, d.Err()
 }
 
-// Play runs up to Rounds plays on the session bound to Ref.
-type Play struct{ ReqID, Ref, Rounds uint64 }
+// Play runs up to Rounds plays on the session bound to Ref. Expect is an
+// idempotency watermark: zero means "no expectation" (always play fresh
+// rounds); a non-zero value encodes expectedRounds+1, the number of
+// completed rounds the client believes the session has. When the session
+// is already ahead of the expectation — a retried command whose original
+// was applied before the connection died — the server replays the
+// already-journaled results for the overlap instead of double-playing.
+type Play struct{ ReqID, Ref, Rounds, Expect uint64 }
 
 // AppendPlay encodes a MsgPlay.
-func AppendPlay(dst []byte, reqID, ref, rounds uint64) []byte {
+func AppendPlay(dst []byte, reqID, ref, rounds, expect uint64) []byte {
 	dst = append(dst, MsgPlay)
 	dst = AppendUvarint(dst, reqID)
 	dst = AppendUvarint(dst, ref)
-	return AppendUvarint(dst, rounds)
+	dst = AppendUvarint(dst, rounds)
+	return AppendUvarint(dst, expect)
 }
 
 // DecodePlay decodes a MsgPlay body.
 func DecodePlay(d *Decoder) (Play, error) {
-	p := Play{ReqID: d.Uvarint(), Ref: d.Uvarint(), Rounds: d.Uvarint()}
+	p := Play{ReqID: d.Uvarint(), Ref: d.Uvarint(), Rounds: d.Uvarint(), Expect: d.Uvarint()}
 	return p, d.Err()
 }
 
-// RefReq is the shared shape of Subscribe, Unsubscribe, CloseSession,
-// Stats, and Snapshot commands: a request id and a session ref.
+// Subscribe attaches an event stream to the session bound to Ref. Since
+// is a resume token: zero asks for a fresh subscription; a non-zero
+// value encodes lastSeq+1, the sequence number after the last event the
+// client saw before losing its connection. The stream always restarts
+// with a full-state (non-delta) event, so a resumed decoder never sees a
+// delta against state it missed.
+type Subscribe struct{ ReqID, Ref, Since uint64 }
+
+// AppendSubscribe encodes a MsgSubscribe.
+func AppendSubscribe(dst []byte, reqID, ref, since uint64) []byte {
+	dst = append(dst, MsgSubscribe)
+	dst = AppendUvarint(dst, reqID)
+	dst = AppendUvarint(dst, ref)
+	return AppendUvarint(dst, since)
+}
+
+// DecodeSubscribe decodes a MsgSubscribe body.
+func DecodeSubscribe(d *Decoder) (Subscribe, error) {
+	s := Subscribe{ReqID: d.Uvarint(), Ref: d.Uvarint(), Since: d.Uvarint()}
+	return s, d.Err()
+}
+
+// RefReq is the shared shape of Unsubscribe, CloseSession, Stats, and
+// Snapshot commands: a request id and a session ref.
 type RefReq struct{ ReqID, Ref uint64 }
 
 // AppendRefReq encodes one of the ref-only commands under the given type.
@@ -343,23 +391,28 @@ func DecodeRefReq(d *Decoder) (RefReq, error) {
 // ---------------------------------------------------------------------------
 // Replies.
 
-// Created acknowledges Create/Attach with the assigned ref.
+// Created acknowledges Create/Attach with the assigned ref. Rounds is
+// the session's completed-round count at bind time, seeding the client's
+// idempotency watermark (see Play.Expect).
 type Created struct {
 	ReqID, Ref uint64
 	ID         string
+	Rounds     uint64
 }
 
 // AppendCreated encodes a MsgCreated.
-func AppendCreated(dst []byte, reqID, ref uint64, id string) []byte {
+func AppendCreated(dst []byte, reqID, ref uint64, id string, rounds uint64) []byte {
 	dst = append(dst, MsgCreated)
 	dst = AppendUvarint(dst, reqID)
 	dst = AppendUvarint(dst, ref)
-	return appendString(dst, id)
+	dst = appendString(dst, id)
+	return AppendUvarint(dst, rounds)
 }
 
 // DecodeCreated decodes a MsgCreated body.
 func DecodeCreated(d *Decoder) (Created, error) {
 	c := Created{ReqID: d.Uvarint(), Ref: d.Uvarint(), ID: d.String()}
+	c.Rounds = d.Uvarint()
 	return c, d.Err()
 }
 

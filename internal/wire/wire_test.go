@@ -12,14 +12,14 @@ import (
 
 func TestCommandRoundTrips(t *testing.T) {
 	var buf []byte
-	buf = AppendHello(buf, Version)
+	buf = AppendHello(buf, Version, FlagReconnect)
 	buf = AppendCreate(buf, 1, []byte(`{"id":"s1","game":"pd"}`))
 	buf = AppendAttach(buf, 2, "s1")
-	buf = AppendPlay(buf, 3, 7, 25)
-	buf = AppendRefReq(buf, MsgSubscribe, 4, 7)
+	buf = AppendPlay(buf, 3, 7, 25, 10)
+	buf = AppendSubscribe(buf, 4, 7, 42)
 	buf = AppendRefReq(buf, MsgStats, 5, 7)
 	buf = AppendWelcome(buf, Version, 8)
-	buf = AppendCreated(buf, 1, 7, "s1")
+	buf = AppendCreated(buf, 1, 7, "s1", 9)
 	buf = AppendError(buf, 9, CodeNotFound, "unknown ref")
 	buf = AppendOK(buf, 4)
 	buf = AppendSnapshotReply(buf, 6, 42, "deadbeef", true)
@@ -38,8 +38,8 @@ func TestCommandRoundTrips(t *testing.T) {
 	if len(got) != 12 {
 		t.Fatalf("decoded %d messages, want 12", len(got))
 	}
-	if h := got[0].(Hello); h.Version != Version {
-		t.Errorf("hello version = %d", h.Version)
+	if h := got[0].(Hello); h.Version != Version || h.Flags != FlagReconnect {
+		t.Errorf("hello = %+v", h)
 	}
 	if c := got[1].(Create); c.ReqID != 1 || string(c.Spec) != `{"id":"s1","game":"pd"}` {
 		t.Errorf("create = %+v", c)
@@ -47,13 +47,16 @@ func TestCommandRoundTrips(t *testing.T) {
 	if a := got[2].(Attach); a.ReqID != 2 || a.ID != "s1" {
 		t.Errorf("attach = %+v", a)
 	}
-	if p := got[3].(Play); p.ReqID != 3 || p.Ref != 7 || p.Rounds != 25 {
+	if p := got[3].(Play); p.ReqID != 3 || p.Ref != 7 || p.Rounds != 25 || p.Expect != 10 {
 		t.Errorf("play = %+v", p)
+	}
+	if s := got[4].(Subscribe); s.ReqID != 4 || s.Ref != 7 || s.Since != 42 {
+		t.Errorf("subscribe = %+v", s)
 	}
 	if w := got[6].(Welcome); w.Shards != 8 {
 		t.Errorf("welcome = %+v", w)
 	}
-	if c := got[7].(Created); c.Ref != 7 || c.ID != "s1" {
+	if c := got[7].(Created); c.Ref != 7 || c.ID != "s1" || c.Rounds != 9 {
 		t.Errorf("created = %+v", c)
 	}
 	if e := got[8].(ErrorMsg); e.Code != CodeNotFound || e.Detail != "unknown ref" {
@@ -87,7 +90,7 @@ func TestResultsRoundTrip(t *testing.T) {
 	buf := AppendResultsHeader(nil, 11, 7)
 	buf = AppendResult(buf, &r1)
 	buf = AppendResult(buf, &r2)
-	buf = FinishResults(buf, CodeUnavailable, "pulse budget exhausted")
+	buf = FinishResults(buf, CodeUnavailable, "pulse budget exhausted", 1)
 
 	d := NewDecoder(buf)
 	if typ := d.Byte(); typ != MsgResults {
@@ -122,7 +125,7 @@ func TestResultsRoundTrip(t *testing.T) {
 		t.Fatalf("terminator: more=%v err=%v", more, err)
 	}
 	tr, err := DecodeResultsTrailer(&d)
-	if err != nil || tr.Code != CodeUnavailable || tr.Detail != "pulse budget exhausted" {
+	if err != nil || tr.Code != CodeUnavailable || tr.Detail != "pulse budget exhausted" || tr.Deduped != 1 {
 		t.Fatalf("trailer = %+v, err %v", tr, err)
 	}
 	if d.Len() != 0 {
@@ -262,7 +265,7 @@ func TestMalformedInputsError(t *testing.T) {
 		"string over length":  append([]byte{MsgAttach, 0x01}, 0x20, 'a', 'b'),
 		"huge count":          {MsgStatsReply, 0x01, 0x00, 0x01, 0x01, 0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
 		"bad results marker":  append(AppendResultsHeader(nil, 1, 1), 0x02),
-		"float short":         {MsgEvent, 0x01, 0x01, 0x02, 0x00, 0x01, 0x11, 0x22},
+		"float short":         {MsgEvent, 0x01, 0x05, 0x01, 0x02, 0x00, 0x01, 0x11, 0x22},
 		"oversized payload":   append([]byte{MsgCreate, 0x01}, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
 		"negative-ish varint": {MsgPlay, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
 	}

@@ -68,6 +68,13 @@ func NewServer(a *Authority, opts ...ServerOption) http.Handler {
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(a, w, r)
 	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"sessions": a.Len(),
+			"durable":  a.getStore() != nil,
+		})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -663,6 +670,11 @@ func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 			}
 			status := http.StatusInternalServerError
 			switch {
+			case errors.Is(err, ErrBreakerOpen):
+				// The breaker failed the play fast — no round executed, no
+				// result to report. The client backs off and retries after
+				// the cooldown.
+				status = http.StatusServiceUnavailable
 			case errors.Is(err, ErrPulseBudget):
 				// Documented-recoverable: the session is healthy but still
 				// re-converging; the client should simply retry.

@@ -93,6 +93,8 @@ func wsErrCode(err error, fallback uint64) uint64 {
 		return wire.CodeNotFound
 	case errors.Is(err, ErrSessionID):
 		return wire.CodeBadRequest
+	case errors.Is(err, ErrBreakerOpen):
+		return wire.CodeBreakerOpen
 	case errors.Is(err, ErrDurability), errors.Is(err, ErrPulseBudget):
 		return wire.CodeUnavailable
 	case errors.Is(err, ErrClosed):
@@ -117,6 +119,10 @@ func (w wsHandle) Play(ctx context.Context) (core.RoundResult, error) {
 	}
 	return res, nil
 }
+
+// ResultAt serves the hub's deduplicated replays of retried plays from
+// the session's history ring.
+func (w wsHandle) ResultAt(round int) (core.RoundResult, bool) { return w.h.ResultAt(round) }
 
 func (w wsHandle) Subscribe(obs core.Observer) func() { return w.h.Subscribe(obs) }
 
