@@ -3,10 +3,11 @@ GO ?= go
 .PHONY: ci fmt fmt-fix vet build test race bench bench-smoke \
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
 	deviation-matrix deviation-matrix-short cover-gate \
-	crash-bench crash-smoke ws-smoke loadgen-ws chaos-bench chaos-smoke
+	crash-bench crash-smoke ws-smoke loadgen-ws chaos-bench chaos-smoke \
+	batch-bench batch-smoke
 
 ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
-	ws-smoke chaos-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
+	ws-smoke chaos-smoke batch-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -92,6 +93,29 @@ chaos-bench:
 # timing.
 chaos-smoke:
 	$(GO) run ./cmd/loadgen -sessions 24 -plays 6 -conns 4 -seed 1 -chaos-disk 0.05 -chaos-net 0.05 > /dev/null
+	$(GO) run ./cmd/loadgen -sessions 24 -plays 6 -conns 4 -seed 1 -chaos-disk 0.2 -chaos-net 0 -batch 3 > /dev/null
+
+# The durability-tax benchmark (DESIGN.md §12): the same 300-session
+# scenario mix volatile, durable with batched plays + WAL group commit at
+# an equal shape, and durable through a crash/recover cycle. The tracked
+# BENCH_PR8.json artifact asserts the headline: durable batched throughput
+# stays within 2x of the volatile baseline.
+batch-bench:
+	@dir=$$(mktemp -d); \
+	( $(GO) run ./cmd/loadgen -sessions 300 -plays 24 -seed 1; \
+	  $(GO) run ./cmd/loadgen -sessions 300 -plays 24 -batch 24 -data-dir $$dir -seed 1; \
+	  $(GO) run ./cmd/loadgen -sessions 300 -plays 12 -batch 6 -crash 1 -seed 1 ) \
+		| $(GO) run ./cmd/benchfmt -command "make batch-bench" -out BENCH_PR8.json; \
+	status=$$?; rm -rf $$dir; exit $$status
+
+# CI-sized batch smoke: the PlayN equivalence battery (every catalog game
+# x four drivers x Mem/File stores), crash-mid-batch recovery, the fsync
+# regression gate, and a batched durable loadgen run crossing one
+# crash/recover cycle. Fails on any divergence, never on timing.
+batch-smoke:
+	$(GO) test -run 'TestPlayNEquivalence|TestCrashBetweenCommitEpochs|TestCrashInsideBatchAppend|TestBatchAppendFaults|TestGroupCommitFsyncGate' .
+	$(GO) test -run 'TestBatchRecordRoundTrip|TestFileTornBatchTail|TestGroupCommitEpochs|TestGroupCommitCloseReleasesParked' ./internal/store
+	$(GO) run ./cmd/loadgen -sessions 32 -plays 8 -batch 4 -crash 1 > /dev/null
 
 # The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
 # SIGKILL-drops the authority mid-run and recovers every session from the

@@ -20,6 +20,11 @@ const (
 	mixedAllocBudget = 48
 	rraAllocBudget   = 96
 	distAllocBudget  = 6000
+	// playNOverheadBudget bounds the fixed cost of one PlayN call beyond
+	// its rounds' own budgets: the lock-once loop may allocate for its
+	// play closure but must not allocate per round, so a whole pure batch
+	// stays within this constant regardless of batch size.
+	playNOverheadBudget = 2
 )
 
 func TestAllocsPerPlayPure(t *testing.T) {
@@ -41,6 +46,32 @@ func TestAllocsPerPlayPure(t *testing.T) {
 	if allocs > pureAllocBudget {
 		t.Fatalf("pure play allocates %v times, budget %d", allocs, pureAllocBudget)
 	}
+}
+
+// TestAllocsPerPlayNPure gates the batched hot path: a 16-round pure
+// PlayN — 16 fully audited plays plus the batch loop itself — must stay
+// within the fixed per-call overhead, i.e. zero allocations per round.
+func TestAllocsPerPlayNPure(t *testing.T) {
+	ctx := context.Background()
+	s, err := ga.New(ga.PrisonersDilemma(), ga.WithSeed(1),
+		ga.WithPunishment(ga.NewDisconnectScheme(2, 0)),
+		ga.WithHistoryLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := func(ga.RoundResult) error { return nil }
+	if _, err := s.PlayN(ctx, 64, sink); err != nil { // warm scratch + ring
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.PlayN(ctx, 16, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > playNOverheadBudget {
+		t.Fatalf("16-round pure PlayN allocates %v times, budget %d", allocs, playNOverheadBudget)
+	}
+	t.Logf("16-round pure PlayN: %v allocs (budget %d)", allocs, playNOverheadBudget)
 }
 
 func TestAllocsPerPlayMixed(t *testing.T) {

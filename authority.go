@@ -90,6 +90,11 @@ type Authority struct {
 	// faultPlan is the optional chaos schedule (WithFaultPlan): applied
 	// after options by NewAuthority, wrapping the durable store.
 	faultPlan *FaultPlan
+	// gcWindow/gcMaxBatch configure WAL group commit (WithGroupCommit):
+	// enabled by NewAuthority on the unwrapped store, before any fault
+	// decorator, when the backend supports it.
+	gcWindow   time.Duration
+	gcMaxBatch int
 	// breakerThreshold/breakerCooldown tune the per-session circuit
 	// breaker on repeated store failures (WithBreaker; threshold < 0
 	// disables it).
@@ -180,6 +185,19 @@ func NewAuthority(opts ...AuthorityOption) *Authority {
 	}
 	for _, opt := range opts {
 		opt(a)
+	}
+	// Enable group commit on the raw store before any fault decorator
+	// wraps it (WithGroupCommit and WithStore compose in either order; a
+	// backend without a committer — Mem, custom decorators — is a no-op).
+	if a.gcWindow > 0 {
+		if st, ok := a.getStore().(interface {
+			SetGroupCommit(time.Duration, int, func(synced, parked int))
+		}); ok {
+			st.SetGroupCommit(a.gcWindow, a.gcMaxBatch, func(synced, parked int) {
+				a.counters.CommitEpochs.Add(1)
+				a.counters.Fsyncs.Add(int64(synced))
+			})
+		}
 	}
 	// Arm the fault plan after all options so WithFaultPlan and WithStore
 	// compose in either order.

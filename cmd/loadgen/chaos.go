@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -100,6 +101,15 @@ func runChaos(cfg config) error {
 	if cfg.conns < 1 {
 		return fmt.Errorf("-conns %d must be positive", cfg.conns)
 	}
+	if cfg.batch < 0 {
+		return fmt.Errorf("-batch %d must be non-negative", cfg.batch)
+	}
+	if cfg.batch > historyLimit {
+		// A lost batch ack is healed by replaying the orphaned rounds from
+		// the history ring; a batch larger than the ring could not be
+		// deduplicated whole.
+		return fmt.Errorf("-batch %d exceeds the chaos history ring (%d)", cfg.batch, historyLimit)
+	}
 	mix, err := applyMix(loadMix(), cfg.mix)
 	if err != nil {
 		return err
@@ -114,7 +124,24 @@ func runChaos(cfg config) error {
 	// client connections are wrapped by a seeded network plan.
 	diskPlan := ga.NewFaultPlan(ga.DiskFaultConfig(cfg.seed, cfg.chaosDisk))
 	netPlan := ga.NewFaultPlan(ga.NetFaultConfig(cfg.seed, cfg.chaosNet))
-	auth := ga.NewAuthority(ga.WithStore(ga.NewMemStore()), ga.WithFaultPlan(diskPlan))
+	opts := []ga.AuthorityOption{ga.WithStore(ga.NewMemStore()), ga.WithFaultPlan(diskPlan)}
+	if cfg.batch > 1 {
+		// Batched chaos drives the real group-commit write path: a
+		// file-backed WAL whose fsync epochs coalesce batch records while
+		// the disk plan drops and tears them underneath.
+		dir, err := os.MkdirTemp("", "loadgen-chaos-wal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := ga.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		opts = []ga.AuthorityOption{ga.WithStore(st), ga.WithFaultPlan(diskPlan),
+			ga.WithGroupCommit(groupCommitWindow, groupCommitMaxBatch)}
+	}
+	auth := ga.NewAuthority(opts...)
 	srv := httptest.NewServer(ga.NewServer(auth))
 	defer srv.Close()
 
@@ -203,7 +230,7 @@ func runChaos(cfg config) error {
 		wg.Add(1)
 		go func(s *chaosSlot) {
 			defer wg.Done()
-			if err := chaosPlay(s); err != nil {
+			if err := chaosPlay(s, cfg.batch); err != nil {
 				errCh <- fmt.Errorf("play %s: %w", s.id, err)
 			}
 		}(s)
@@ -264,8 +291,12 @@ func runChaos(cfg config) error {
 		all = append(all, s.lat...)
 		rounds += s.plays
 	}
-	fmt.Fprintf(cfg.info, "loadgen: chaos disk=%g net=%g, %d sessions over %d conns, %d rounds verified\n",
-		cfg.chaosDisk, cfg.chaosNet, len(slots), len(clients), rounds)
+	shape := ""
+	if cfg.batch > 1 {
+		shape = fmt.Sprintf(" (batch=%d, group commit)", cfg.batch)
+	}
+	fmt.Fprintf(cfg.info, "loadgen: chaos disk=%g net=%g%s, %d sessions over %d conns, %d rounds verified\n",
+		cfg.chaosDisk, cfg.chaosNet, shape, len(slots), len(clients), rounds)
 	fmt.Fprintf(cfg.info, "loadgen: created in %v, played in %v; %d faults injected, %d reconnects, %d resumed subscriptions, %d deduped rounds, %d breaker opens\n",
 		createDur.Round(time.Millisecond), playDur.Round(time.Millisecond),
 		faults, cc.Reconnects, cc.ResumedSubscriptions, deduped, breakerOpens)
@@ -273,6 +304,9 @@ func runChaos(cfg config) error {
 		len(slots), events, lag)
 
 	name := fmt.Sprintf("LoadgenChaos/disk=%g/net=%g", cfg.chaosDisk, cfg.chaosNet)
+	if cfg.batch > 1 {
+		name += fmt.Sprintf("/batch=%d", cfg.batch)
+	}
 	fmt.Fprintf(cfg.out, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	writeBenchLine(cfg.out, name+"/total", all, len(slots), playDur)
 	fmt.Fprintf(cfg.out, "Benchmark%s/heal-%d\t%d\t%.0f ns/op\t%d faults-injected\t%d reconnects\t%d resumed-subscriptions\t%d deduped-rounds\t%d breaker-opens\t%d verdict-loss\t%d digest-mismatches\n",
@@ -364,24 +398,40 @@ func chaosCreate(s *chaosSlot) error {
 	})
 }
 
-// chaosPlay drives the slot one round at a time. Each acknowledged round
-// must carry exactly the next round index — a duplicate or a gap is
-// verdict loss and fails the run. Injected failures retry; the session's
-// watermark makes the retries idempotent.
-func chaosPlay(s *chaosSlot) error {
+// chaosPlay drives the slot one request at a time — single rounds by
+// default, PlayN batches with -batch — and verifies every acknowledged
+// result lands exactly on the next expected round index: a duplicate or a
+// gap is verdict loss and fails the run. Injected failures retry; the
+// session's watermark makes the retries idempotent, batched or not.
+func chaosPlay(s *chaosSlot, batch int) error {
 	s.lat = make([]float64, 0, s.plays)
 	done := 0
 	stuck := 0
 	for done < s.plays {
+		n := 1
+		if batch > 1 {
+			if n = batch; done+n > s.plays {
+				n = s.plays - done
+			}
+		}
 		t0 := time.Now()
-		out, err := s.client.Play(s.ref, 1)
+		var out hub.PlayOutcome
+		var err error
+		if n == 1 {
+			out, err = s.client.Play(s.ref, 1)
+		} else {
+			out, err = s.client.PlayBatch(s.ref, n)
+		}
 		if out.Completed > 0 {
 			done += out.Completed
 			s.deduped += uint64(out.Deduped)
 			if out.Last.Round != done-1 {
 				return fmt.Errorf("verdict loss: round %d acknowledged where %d was expected", out.Last.Round, done-1)
 			}
-			s.lat = append(s.lat, float64(time.Since(t0).Nanoseconds()))
+			per := float64(time.Since(t0).Nanoseconds()) / float64(out.Completed)
+			for i := 0; i < out.Completed; i++ {
+				s.lat = append(s.lat, per)
+			}
 			stuck = 0
 		}
 		if err != nil {

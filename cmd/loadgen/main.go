@@ -45,6 +45,8 @@ func main() {
 	cfg := defaultConfig()
 	flag.IntVar(&cfg.sessions, "sessions", 1000, "number of concurrent sessions to host")
 	flag.IntVar(&cfg.plays, "plays", 20, "plays per session (heavy drivers play a documented fraction)")
+	flag.IntVar(&cfg.batch, "batch", 0,
+		"plays per batched request: >1 drives PlayN batches (one session lock, one WAL batch record per batch) and, in durable runs, enables WAL group commit")
 	flag.StringVar(&cfg.mix, "mix", "", "override scenario weights, e.g. congestion=4,rra=1 (default: built-in mix over every family)")
 	flag.StringVar(&cfg.httpBase, "http", "", "drive a running gameauthd -serve at this base URL instead of in-process")
 	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start a loopback HTTP server in-process and drive it (hermetic wire mode)")
@@ -81,6 +83,7 @@ func main() {
 type config struct {
 	sessions  int
 	plays     int
+	batch     int // >1: play in PlayN batches of this size
 	mix       string
 	httpBase  string
 	selfserve bool
@@ -337,6 +340,9 @@ type outcome struct {
 // player is one hosted session under load, on either transport.
 type player interface {
 	play(ctx context.Context) error
+	// playN plays n rounds as one batched request: one session lock, one
+	// WAL batch record, one wire round trip.
+	playN(ctx context.Context, n int) error
 	stats() (outcome, error)
 	close() error
 }
@@ -382,6 +388,9 @@ func run(cfg config) error {
 	if cfg.deviants < 0 || cfg.deviants > 1 {
 		return fmt.Errorf("-deviants %v must be in [0,1]", cfg.deviants)
 	}
+	if cfg.batch < 0 {
+		return fmt.Errorf("-batch %d must be non-negative", cfg.batch)
+	}
 	if cfg.chaos && (cfg.httpBase != "" || cfg.selfserve) {
 		return fmt.Errorf("-chaos installs in-process network adversaries; it cannot ride the HTTP transport")
 	}
@@ -405,6 +414,7 @@ func run(cfg config) error {
 			cfg.sessions, len(mix))
 	}
 
+	durable := cfg.crash > 0 || cfg.dataDir != ""
 	var tr transport
 	mode := "in-process"
 	base := cfg.httpBase
@@ -432,7 +442,7 @@ func run(cfg config) error {
 		ht.onShutdown = closeSrv
 		tr = ht
 		mode = "http " + base
-	case cfg.crash > 0 || cfg.dataDir != "":
+	case durable:
 		dir := cfg.dataDir
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "loadgen-wal-*")
@@ -446,12 +456,33 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		tr = &inprocTransport{authority: ga.NewAuthority(ga.WithStore(st)), durable: true}
+		// Batched durable runs amortize the fsync: appends from every
+		// session coalesce into shared group-commit epochs. extraOpts is
+		// carried so crash recovery rebuilds the same write path.
+		it := &inprocTransport{durable: true}
+		if cfg.batch > 1 {
+			it.extraOpts = []ga.AuthorityOption{ga.WithGroupCommit(groupCommitWindow, groupCommitMaxBatch)}
+		}
+		it.authority = ga.NewAuthority(append([]ga.AuthorityOption{ga.WithStore(st)}, it.extraOpts...)...)
+		tr = it
 		mode = "in-process durable (" + dir + ")"
+		if cfg.batch > 1 {
+			mode = fmt.Sprintf("in-process durable group-commit (%s, batch=%d)", dir, cfg.batch)
+		}
 	default:
 		tr = &inprocTransport{authority: ga.NewAuthority()}
 	}
 	defer tr.shutdown()
+
+	// Row names carry the write-path shape so volatile, durable, and
+	// durable-batched runs land as distinct rows in one BENCH artifact.
+	label := "Loadgen/transport=" + tmode
+	if durable {
+		label += "/durable"
+	}
+	if cfg.batch > 1 {
+		label += fmt.Sprintf("/batch=%d", cfg.batch)
+	}
 
 	counts := sessionCounts(mix, cfg.sessions)
 
@@ -545,13 +576,33 @@ func run(cfg config) error {
 			go func(s *slot) {
 				defer wg.Done()
 				from, to := segmentBounds(s.plays, segments, seg)
-				for r := from; r < to; r++ {
+				for r := from; r < to; {
+					// Batched mode plays chunks of -batch rounds per call
+					// (the segment tail takes what remains) and books the
+					// amortized per-round latency for each round, so ns/op
+					// stays comparable across batch sizes.
+					n := 1
+					if cfg.batch > 1 {
+						if n = cfg.batch; r+n > to {
+							n = to - r
+						}
+					}
 					t0 := time.Now()
-					if err := s.player.play(ctx); err != nil {
+					var err error
+					if n == 1 {
+						err = s.player.play(ctx)
+					} else {
+						err = s.player.playN(ctx, n)
+					}
+					if err != nil {
 						errCh <- fmt.Errorf("play %s: %w", mix[s.scenario].name, err)
 						return
 					}
-					s.lat = append(s.lat, float64(time.Since(t0).Nanoseconds()))
+					per := float64(time.Since(t0).Nanoseconds()) / float64(n)
+					for i := 0; i < n; i++ {
+						s.lat = append(s.lat, per)
+					}
+					r += n
 				}
 			}(s)
 		}
@@ -631,10 +682,10 @@ func run(cfg config) error {
 	// artifacts.
 	fmt.Fprintf(cfg.out, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	for i, sc := range mix {
-		writeBenchLine(cfg.out, "Loadgen/transport="+tmode+"/scenario="+sc.name+"/driver="+sc.driver,
+		writeBenchLine(cfg.out, label+"/scenario="+sc.name+"/driver="+sc.driver,
 			perScenario[i], sessionsPer[i], playDur)
 	}
-	writeBenchLine(cfg.out, "Loadgen/transport="+tmode+"/total", all, len(slots), playDur)
+	writeBenchLine(cfg.out, label+"/total", all, len(slots), playDur)
 	if deviantSessions > 0 {
 		detectionRate := float64(detected) / float64(deviantSessions)
 		convictionRate := float64(convicted) / float64(deviantSessions)
@@ -650,8 +701,12 @@ func run(cfg config) error {
 			recov.cycles, recov.sessions, recov.rounds, perCycle.Round(time.Millisecond))
 		s := metrics.Summarize(recov.lat)
 		replayRate := float64(recov.rounds) / recov.dur.Seconds()
-		fmt.Fprintf(cfg.out, "BenchmarkLoadgen/crash-%d\t%d\t%.0f ns/op\t%.1f recovered-sessions\t%.1f replayed-rounds\t%.1f replayed-rounds/s\n",
-			runtime.GOMAXPROCS(0), recov.cycles, s.Mean,
+		crashName := "BenchmarkLoadgen/crash"
+		if cfg.batch > 1 {
+			crashName += fmt.Sprintf("/batch=%d", cfg.batch)
+		}
+		fmt.Fprintf(cfg.out, "%s-%d\t%d\t%.0f ns/op\t%.1f recovered-sessions\t%.1f replayed-rounds\t%.1f replayed-rounds/s\n",
+			crashName, runtime.GOMAXPROCS(0), recov.cycles, s.Mean,
 			float64(recov.sessions)/float64(recov.cycles), float64(recov.rounds)/float64(recov.cycles), replayRate)
 	}
 	return nil

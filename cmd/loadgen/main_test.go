@@ -190,6 +190,10 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 		{sessions: 100, plays: 1, crash: 1, selfserve: true}, // crash is in-process only
 		{sessions: 100, plays: 1, dataDir: "x", selfserve: true},
 		{sessions: 100, plays: 1, crash: 1, chaos: true}, // closures cannot be journaled
+		{sessions: 100, plays: 1, batch: -1},
+		// A chaos batch must fit the history ring: a lost batch ack is
+		// healed by replaying orphaned rounds from it.
+		{sessions: 100, plays: 1, chaosMode: true, conns: 1, batch: historyLimit + 1},
 	} {
 		cfg.out, cfg.info = io.Discard, io.Discard
 		if err := run(cfg); err == nil {
@@ -215,6 +219,33 @@ func TestRunCrashMini(t *testing.T) {
 	for _, unit := range []string{"recovered-sessions", "replayed-rounds", "replayed-rounds/s"} {
 		if !strings.Contains(got, unit) {
 			t.Fatalf("crash line misses %s:\n%s", unit, got)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "Benchmark") && benchLine.FindStringSubmatch(line) == nil {
+			t.Fatalf("unparseable bench line %q", line)
+		}
+	}
+}
+
+// TestRunBatchDurableMini drives the batched durable harness: every
+// scenario plays in PlayN batches journaled as single WAL records under
+// group commit, crosses one crash/recover cycle, and the bench rows carry
+// the /batch= label so volatile and batched artifacts stay distinct.
+func TestRunBatchDurableMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 16, plays: 6, seed: 13, batch: 3, crash: 1, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkLoadgen/transport=inproc/durable/batch=3/total",
+		"BenchmarkLoadgen/crash/batch=3",
+		"recovered-sessions",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output misses %q:\n%s", want, got)
 		}
 	}
 	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {

@@ -20,6 +20,14 @@ import (
 // flat memory footprint.
 const historyLimit = 8
 
+// Group-commit shape for batched durable runs: a short coalescing window
+// keeps per-batch latency low while still merging appends from hundreds
+// of concurrent sessions into shared fsync epochs.
+const (
+	groupCommitWindow   = time.Millisecond
+	groupCommitMaxBatch = 256
+)
+
 // --- In-process transport -----------------------------------------------------
 
 // inprocTransport hosts sessions directly on a sharded Authority — the
@@ -30,6 +38,9 @@ const historyLimit = 8
 type inprocTransport struct {
 	authority *ga.Authority
 	durable   bool
+	// extraOpts re-applies write-path options (group commit) to every
+	// authority rebuilt across a crash/recover cycle.
+	extraOpts []ga.AuthorityOption
 }
 
 func (t *inprocTransport) create(id string, sc scenario, seed uint64, dev deviance) (player, error) {
@@ -96,7 +107,7 @@ func (t *inprocTransport) crashRecover(ctx context.Context) (ga.RecoveryReport, 
 	if st == nil {
 		return ga.RecoveryReport{}, fmt.Errorf("crash mode needs a store-backed authority")
 	}
-	next := ga.NewAuthority(ga.WithStore(st))
+	next := ga.NewAuthority(append([]ga.AuthorityOption{ga.WithStore(st)}, t.extraOpts...)...)
 	report, err := next.Recover(ctx)
 	if err != nil {
 		return report, err
@@ -132,6 +143,11 @@ type inprocPlayer struct {
 
 func (p *inprocPlayer) play(ctx context.Context) error {
 	_, err := p.h.Play(ctx)
+	return err
+}
+
+func (p *inprocPlayer) playN(ctx context.Context, n int) error {
+	_, err := p.h.PlayN(ctx, n, nil)
 	return err
 }
 
@@ -237,6 +253,10 @@ func (p *httpPlayer) play(context.Context) error {
 	return p.t.do(http.MethodPost, "/sessions/"+p.id+"/play", playBody, http.StatusOK)
 }
 
+func (p *httpPlayer) playN(_ context.Context, n int) error {
+	return p.t.do(http.MethodPost, fmt.Sprintf("/sessions/%s/play?n=%d", p.id, n), nil, http.StatusOK)
+}
+
 func (p *httpPlayer) stats() (outcome, error) {
 	resp, err := p.t.client.Get(p.t.base + "/sessions/" + p.id)
 	if err != nil {
@@ -333,6 +353,11 @@ type wsPlayer struct {
 
 func (p *wsPlayer) play(context.Context) error {
 	_, err := p.c.Play(p.ref, 1)
+	return err
+}
+
+func (p *wsPlayer) playN(_ context.Context, n int) error {
+	_, err := p.c.PlayBatch(p.ref, n)
 	return err
 }
 

@@ -2,9 +2,14 @@ package gameauthority_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	ga "gameauthority"
 	"gameauthority/internal/core"
@@ -203,5 +208,289 @@ func TestCrashRecovery200Sessions(t *testing.T) {
 	}
 	if err := recovered.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// verifyAgainstTwin checks that a recovered session sits at wantRounds
+// and that its future matches a fresh seeded twin advanced to the same
+// round, hash-for-hash, ending digest-equal.
+func verifyAgainstTwin(t *testing.T, h *ga.HostedSession, spec ga.CreateSessionRequest, wantRounds int) {
+	t.Helper()
+	ctx := context.Background()
+	if got := h.Stats().Rounds; got != wantRounds {
+		t.Fatalf("%s: recovered at round %d, want %d", h.ID(), got, wantRounds)
+	}
+	spec.ID = ""
+	twinHost := ga.NewAuthority()
+	defer twinHost.Close()
+	twin, err := twinHost.CreateFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantRounds > 0 {
+		if _, err := twin.Run(ctx, wantRounds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		want, err := twin.Play(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Play(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wh, gh := core.HashResult(want), core.HashResult(got); wh != gh {
+			t.Fatalf("%s: post-recovery play %d hash %s, twin %s", h.ID(), r, gh, wh)
+		}
+	}
+	if w, g := twin.Snapshot().Digest, h.Snapshot().Digest; w != g {
+		t.Fatalf("%s: final digest diverged from twin", h.ID())
+	}
+}
+
+// TestCrashBetweenCommitEpochs kills (detaches the store from) an
+// authority whose sessions are mid-flight through batched PlayN loops
+// under group commit. Whatever the crash interleaves with, the disk must
+// only ever hold whole batch records — every recovered session sits at a
+// multiple of the batch size — and recovery replays all of them against
+// a seeded twin without a single ErrRestore.
+func TestCrashBetweenCommitEpochs(t *testing.T) {
+	ctx := context.Background()
+	const (
+		sessions = 16
+		batch    = 5
+	)
+	st, err := ga.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ga.NewAuthority(ga.WithStore(st),
+		ga.WithGroupCommit(200*time.Microsecond, 1<<20),
+		ga.WithSnapshotEvery(0)) // keep every batch in the WAL: the modulo assertion below needs the raw tail
+
+	specs := make([]ga.CreateSessionRequest, sessions)
+	var wg sync.WaitGroup
+	var crashed atomic.Bool
+	errCh := make(chan error, sessions)
+	for i := range specs {
+		specs[i] = ga.CreateSessionRequest{
+			ID:         fmt.Sprintf("epoch-%02d", i),
+			Game:       "pd",
+			Seed:       uint64(9000 + i),
+			Punishment: &ga.PunishmentSpec{Scheme: "disconnect"},
+		}
+		h, err := victim.CreateFromSpec(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *ga.HostedSession) {
+			defer wg.Done()
+			for {
+				if _, err := h.PlayN(ctx, batch, nil); err != nil {
+					// After the crash the store is gone mid-loop; any
+					// other error is a real failure.
+					if !crashed.Load() {
+						errCh <- err
+					}
+					return
+				}
+				if crashed.Load() {
+					return
+				}
+			}
+		}(h)
+	}
+	time.Sleep(5 * time.Millisecond) // let the fleet land mid-batch
+	detached := victim.DetachStore()
+	crashed.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	defer victim.Close()
+
+	recovered := ga.NewAuthority(ga.WithStore(detached), ga.WithSnapshotEvery(0))
+	report, err := recovered.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if len(report.Failed) > 0 {
+		t.Fatalf("recovery failed for %d sessions, first: %s", len(report.Failed), report.Failed[0])
+	}
+	if report.Sessions != sessions {
+		t.Fatalf("recovered %d sessions, want %d", report.Sessions, sessions)
+	}
+	for _, spec := range specs {
+		h, err := recovered.Get(spec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := h.Stats().Rounds
+		if rounds%batch != 0 {
+			t.Fatalf("%s: recovered at round %d — not a whole number of %d-round batches", spec.ID, rounds, batch)
+		}
+		verifyAgainstTwin(t, h, spec, rounds)
+	}
+}
+
+// TestCrashInsideBatchAppend tears the WAL tail inside a batch record by
+// direct file surgery — the on-disk image of a crash mid-append — and
+// checks repairWAL's whole-batch-or-none contract: a newline-clipped but
+// otherwise complete final record is repaired and fully replayed, while
+// a mid-record tear rolls the session back to the previous whole batch.
+// Neither case may surface ErrRestore.
+func TestCrashInsideBatchAppend(t *testing.T) {
+	const batch = 4
+	cases := []struct {
+		name       string
+		truncate   int // bytes clipped off the WAL tail
+		wantRounds int
+	}{
+		// Only the trailing newline is missing; the final batch record is
+		// intact and must be repaired and replayed whole.
+		{"newline-clipped", 1, 3 * batch},
+		// The tear lands inside the last batch record; the whole batch
+		// must vanish, never a prefix of its plays.
+		{"mid-record", 10, 2 * batch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			st, err := ga.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := ga.CreateSessionRequest{
+				ID:         "torn",
+				Game:       "congestion",
+				Players:    4,
+				Seed:       77,
+				Punishment: &ga.PunishmentSpec{Scheme: "reputation"},
+			}
+			a := ga.NewAuthority(ga.WithStore(st), ga.WithSnapshotEvery(0))
+			h, err := a.CreateFromSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := h.PlayN(ctx, batch, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			wal := filepath.Join(dir, "sessions", spec.ID+".wal")
+			info, err := os.Stat(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(wal, info.Size()-int64(tc.truncate)); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, err := ga.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered := ga.NewAuthority(ga.WithStore(st2), ga.WithSnapshotEvery(0))
+			defer recovered.Close()
+			report, err := recovered.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report.Failed) > 0 {
+				t.Fatalf("recovery failed: %v", report.Failed)
+			}
+			h2, err := recovered.Get(spec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainstTwin(t, h2, spec, tc.wantRounds)
+		})
+	}
+}
+
+// TestBatchAppendFaults drives PlayN against a store whose appends fail
+// on a deterministic plan, covering both batch failure modes as units:
+// a clean AppendFail journals none of the batch's plays (the session
+// recovers at the last acknowledged batch), and a torn AppendTorn — the
+// ack lost after a durable apply — journals all of them, so recovery
+// lands ahead of what the caller saw acknowledged. In both worlds the
+// disk holds whole batches only.
+func TestBatchAppendFaults(t *testing.T) {
+	const batch = 6
+	cases := []struct {
+		name       string
+		cfg        ga.FaultConfig
+		wantRounds int
+	}{
+		// Every append fails cleanly: three batches play in memory, zero
+		// reach the WAL.
+		{"append-fail", ga.FaultConfig{Seed: 1, AppendFail: 1}, 0},
+		// Every append applies durably but loses its ack: all three
+		// batches reach the WAL even though every PlayN reported failure.
+		{"append-torn", ga.FaultConfig{Seed: 1, AppendTorn: 1}, 3 * batch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			st, err := ga.NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := ga.CreateSessionRequest{
+				ID:         "faulty",
+				Game:       "minority",
+				Players:    5,
+				Seed:       42,
+				Punishment: &ga.PunishmentSpec{Scheme: "disconnect"},
+			}
+			victim := ga.NewAuthority(ga.WithStore(st),
+				ga.WithFaultPlan(ga.NewFaultPlan(tc.cfg)),
+				ga.WithSnapshotEvery(0),
+				ga.WithBreaker(-1, 0)) // no breaker: every batch must reach the store and eat its fault
+			h, err := victim.CreateFromSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				_, err := h.PlayN(ctx, batch, nil)
+				if !errors.Is(err, ga.ErrDurability) || !errors.Is(err, ga.ErrFaultInjected) {
+					t.Fatalf("batch %d: error %v, want ErrDurability wrapping ErrFaultInjected", i, err)
+				}
+			}
+			if got := h.Stats().Rounds; got != 3*batch {
+				t.Fatalf("in-memory session at round %d, want %d", got, 3*batch)
+			}
+			// Crash the victim, but recover against the raw store: the
+			// detached handle is the fault-wrapped decorator, which would
+			// keep injecting append failures into the recovered world.
+			victim.DetachStore()
+			defer victim.Close()
+
+			recovered := ga.NewAuthority(ga.WithStore(st), ga.WithSnapshotEvery(0))
+			defer recovered.Close()
+			report, err := recovered.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report.Failed) > 0 {
+				t.Fatalf("recovery failed: %v", report.Failed)
+			}
+			h2, err := recovered.Get(spec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainstTwin(t, h2, spec, tc.wantRounds)
+		})
 	}
 }

@@ -119,6 +119,26 @@ func WithSnapshotEvery(n int) AuthorityOption {
 	return func(a *Authority) { a.snapshotEvery = n }
 }
 
+// WithGroupCommit enables WAL group commit on a file-backed store:
+// journal appends from every durable session park on a shared commit
+// ticket, and a single background committer fsyncs all dirty session
+// logs once per epoch — so every acknowledged append is OS-crash
+// durable at a per-play fsync cost amortized over the whole epoch. An
+// epoch flushes every window or as soon as maxBatch appends are parked
+// on it, whichever comes first (maxBatch ≤ 0 means window-only). The
+// option is a no-op on backends without a committer (the in-memory
+// store, custom decorators) and composes with WithFaultPlan in either
+// order: faults are injected above the committer, so an injected append
+// failure never reaches the fsync path. Epoch and fsync counts surface
+// on /metrics as gameauthority_commit_epochs_total and
+// gameauthority_fsyncs_total.
+func WithGroupCommit(window time.Duration, maxBatch int) AuthorityOption {
+	return func(a *Authority) {
+		a.gcWindow = window
+		a.gcMaxBatch = maxBatch
+	}
+}
+
 // --- Durable session lifecycle --------------------------------------------------
 
 // CreateFromSpec builds and hosts a session from its serializable wire
@@ -269,6 +289,113 @@ func (h *HostedSession) playDirect(ctx context.Context) (RoundResult, error) {
 	return res, nil
 }
 
+// PlayN executes n plays on the hosted session under a single journal
+// (and driver) lock acquisition, journaling the whole batch as ONE WAL
+// record — the batched-play fast path that closes the per-play
+// durability tax. State evolution is identical to n sequential Play
+// calls (the drivers' PlayN is lock + the same play body in a loop);
+// only the journaling is coalesced. sink, when non-nil, observes every
+// completed round in order before the next round runs — results may
+// alias driver scratch, so sink must copy or hash what it keeps, and on
+// a routed authority (WithShards) it runs on the session's shard loop.
+// On a mid-batch error the completed prefix is journaled and the last
+// completed result returned with the error; a journal failure after a
+// clean batch surfaces as ErrDurability with the last result, exactly
+// like Play.
+func (h *HostedSession) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	if h.a != nil && h.a.loopsRoute.Load() {
+		if sp := h.a.loops.Load(); sp != nil {
+			type playOut struct {
+				res RoundResult
+				err error
+			}
+			ch := make(chan playOut, 1)
+			if sp.Submit(h.id, func() {
+				res, err := h.playNDirect(ctx, n, sink)
+				ch <- playOut{res, err}
+			}) {
+				select {
+				case out := <-ch:
+					return out.res, out.err
+				case <-ctx.Done():
+					return RoundResult{}, ctx.Err()
+				}
+			}
+			// Pool closed (authority shutting down): fall through, as Play.
+		}
+	}
+	return h.playNDirect(ctx, n, sink)
+}
+
+// playNDirect is the body of PlayN (what the WebSocket hub calls — its
+// commands already run on the right shard loop).
+func (h *HostedSession) playNDirect(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	if n <= 0 {
+		// Reject here rather than inside the driver so the batch buffer
+		// below never sizes from a negative n.
+		return RoundResult{}, fmt.Errorf("%w: non-positive batch size %d", ErrConfig, n)
+	}
+	if err := h.breakerGate(); err != nil {
+		return RoundResult{}, err
+	}
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
+	// The batch record is assembled inside the sink: each round's hash and
+	// convicted list are read before the next play can reuse the driver's
+	// scratch or wrap its history ring (the same aliasing rule journalPlay
+	// relies on, held per round instead of per lock acquisition).
+	journaling := h.a != nil && h.durable.Load() && !h.dropped.Load() && h.a.getStore() != nil
+	var batch []store.BatchPlay
+	if journaling {
+		batch = make([]store.BatchPlay, 0, n)
+	}
+	var completed, fouls, convictions int64
+	inner := func(res RoundResult) error {
+		completed++
+		fouls += int64(len(res.Verdict.Fouls))
+		convictions += int64(len(res.Convicted))
+		if journaling {
+			bp := store.BatchPlay{
+				Round: res.Round,
+				Hash:  core.HashResult(res),
+				Fouls: len(res.Verdict.Fouls),
+			}
+			if len(res.Convicted) > 0 {
+				bp.Convicted = append([]int(nil), res.Convicted...)
+			}
+			batch = append(batch, bp)
+		}
+		if sink != nil {
+			return sink(res)
+		}
+		return nil
+	}
+	res, err := h.Session.PlayN(ctx, n, inner)
+	if h.a == nil {
+		return res, err
+	}
+	c := &h.a.counters
+	if completed > 0 {
+		c.Plays.Add(completed)
+	}
+	if fouls > 0 {
+		c.Fouls.Add(fouls)
+	}
+	if convictions > 0 {
+		c.Convictions.Add(convictions)
+	}
+	// Journal whatever completed — on a mid-batch error the prefix stands,
+	// exactly as n sequential Play calls would have journaled it.
+	if jerr := h.a.journalBatch(h, batch); jerr != nil {
+		h.breakerRecord(true)
+		return res, errors.Join(err, jerr)
+	}
+	if h.durable.Load() && completed > 0 {
+		h.breakerRecord(false)
+	}
+	return res, err
+}
+
 // breakerGate fails fast with ErrBreakerOpen while the session's breaker
 // is open. When the cooldown has elapsed it moves the breaker half-open:
 // the next play probes the store, and one more failure re-opens it.
@@ -383,6 +510,33 @@ func (a *Authority) journalPlay(h *HostedSession, res RoundResult) error {
 		// another; on failure the claim is returned, so the WAL stays
 		// intact and a later play retries the compaction.
 		if n := h.walPlays.Add(1); n >= int64(every) && h.walPlays.CompareAndSwap(n, 0) {
+			if _, ok, err := a.snapshotHosted(h, h.Session.Snapshot()); err != nil || !ok {
+				h.walPlays.Add(n)
+			}
+		}
+	}
+	return nil
+}
+
+// journalBatch appends one batch WAL record covering every completed
+// play of a PlayN call. The batch is a single CRC-guarded journal line,
+// so it is atomic on disk: a crash persists all of its plays or none
+// (repairWAL truncates a torn line whole), and recovery unpacks the
+// per-play hashes exactly as if each had its own record. The compaction
+// cadence advances by the batch size.
+func (a *Authority) journalBatch(h *HostedSession, plays []store.BatchPlay) error {
+	st := a.getStore()
+	if st == nil || len(plays) == 0 || !h.durable.Load() || h.dropped.Load() {
+		return nil
+	}
+	if err := st.Append(h.id, store.Record{Type: store.RecordBatch, Plays: plays}); err != nil {
+		return fmt.Errorf("journal batch: %w", errors.Join(ErrDurability, err))
+	}
+	a.counters.WALRecords.Add(1)
+	a.counters.BatchedPlays.Add(int64(len(plays)))
+	if every := a.snapshotEvery; every > 0 {
+		// Same claim discipline as journalPlay, advanced by the batch size.
+		if n := h.walPlays.Add(int64(len(plays))); n >= int64(every) && h.walPlays.CompareAndSwap(n, 0) {
 			if _, ok, err := a.snapshotHosted(h, h.Session.Snapshot()); err != nil || !ok {
 				h.walPlays.Add(n)
 			}
@@ -730,16 +884,27 @@ func restoreTargetFor(state store.SessionState) (RestoreTarget, error) {
 		}
 	}
 	lastPlay := -1
-	for _, rec := range state.Tail {
-		if rec.Type != store.RecordPlay {
-			continue
-		}
+	record := func(round int, hash string) {
 		if target.Hashes == nil {
 			target.Hashes = make(map[int]string, len(state.Tail))
 		}
-		target.Hashes[rec.Round] = rec.Hash
-		if rec.Round > lastPlay {
-			lastPlay = rec.Round
+		target.Hashes[round] = hash
+		if round > lastPlay {
+			lastPlay = round
+		}
+	}
+	for _, rec := range state.Tail {
+		switch rec.Type {
+		case store.RecordPlay:
+			record(rec.Round, rec.Hash)
+		case store.RecordBatch:
+			// A batch unpacks into per-play hashes; entries below the
+			// snapshot watermark (a batch straddling a compaction) are
+			// harmless — replay starts at round zero and just verifies them
+			// too.
+			for _, bp := range rec.Plays {
+				record(bp.Round, bp.Hash)
+			}
 		}
 	}
 	if lastPlay+1 > target.Rounds {

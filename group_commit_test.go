@@ -1,0 +1,119 @@
+package gameauthority_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ga "gameauthority"
+	"gameauthority/internal/store"
+)
+
+// TestGroupCommitFsyncGate is the durability-tax regression gate: K
+// concurrent sessions each playing M batches of B rounds under group
+// commit must finish with the committer's epoch count bounded by the
+// issue formula ceil(elapsed/window)+K, with fsyncs bounded per-handle
+// accounting (each epoch fsyncs at most one handle per dirty session),
+// and — the amortization that pays for the whole subsystem — far fewer
+// fsyncs than durable plays. Two of the three bounds are timing-free:
+// an epoch only exists when at least one append parked on it, so epochs
+// can never exceed the K*M appends no matter how slow the box is.
+func TestGroupCommitFsyncGate(t *testing.T) {
+	const (
+		k      = 8  // concurrent sessions
+		m      = 10 // batches per session
+		b      = 10 // rounds per batch
+		window = time.Millisecond
+	)
+	ctx := context.Background()
+	st, err := ga.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := st.(*store.File)
+	if !ok {
+		t.Fatalf("NewFileStore returned %T, want *store.File", st)
+	}
+	a := ga.NewAuthority(ga.WithStore(st),
+		ga.WithGroupCommit(window, 1<<20), // window-only epochs: maxBatch kicks never fire
+		ga.WithSnapshotEvery(0))
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, k)
+	sessions := make([]*ga.HostedSession, k)
+	for i := range sessions {
+		h, err := a.CreateFromSpec(ga.CreateSessionRequest{
+			ID:   fmt.Sprintf("gate-%02d", i),
+			Game: "pd",
+			Seed: uint64(7000 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = h
+	}
+	start := time.Now()
+	for _, h := range sessions {
+		wg.Add(1)
+		go func(h *ga.HostedSession) {
+			defer wg.Done()
+			for j := 0; j < m; j++ {
+				if _, err := h.PlayN(ctx, b, nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	epochs := f.CommitEpochs()
+	fsyncs := f.Fsyncs()
+	plays := int64(k * m * b)
+	appends := int64(k * m)
+	t.Logf("%d plays in %d batch appends: %d epochs, %d fsyncs over %v (window %v)",
+		plays, appends, epochs, fsyncs, elapsed, window)
+
+	if epochs == 0 {
+		t.Fatal("group committer flushed no epochs — appends never parked")
+	}
+	// The issue's gate: epochs bounded by the elapsed commit windows plus
+	// one slack per session.
+	ceil := int64((elapsed + window - 1) / window)
+	if epochs > ceil+k {
+		t.Errorf("commit epochs %d exceed ceil(%v/%v)+%d = %d", epochs, elapsed, window, k, ceil+k)
+	}
+	// Timing-free backstop: an epoch exists only if an append parked on
+	// it, so epochs can never exceed the number of batch appends.
+	if epochs > appends {
+		t.Errorf("commit epochs %d exceed the %d batch appends", epochs, appends)
+	}
+	// Per-handle accounting: each epoch fsyncs at most one handle per
+	// session, and every handle can be fsynced at most once more by
+	// eviction before Close.
+	if fsyncs > epochs*k+k {
+		t.Errorf("fsyncs %d exceed epochs(%d)*K(%d)+K", fsyncs, epochs, k)
+	}
+	// The durability tax actually amortized: one fsync per *batch append*
+	// at the very worst, never one per play.
+	if fsyncs > appends {
+		t.Errorf("fsyncs %d exceed batch appends %d — group commit amortized nothing", fsyncs, appends)
+	}
+	if fsyncs >= plays {
+		t.Errorf("fsyncs %d not below the %d durable plays", fsyncs, plays)
+	}
+
+	// The counters surfaced on /metrics must mirror the store's own.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,15 @@ func (k SessionKind) String() string {
 type Session interface {
 	// Play executes one audited play of the §3.3 protocol.
 	Play(ctx context.Context) (RoundResult, error)
+	// PlayN executes n audited plays under a single lock acquisition and
+	// returns the last result. State evolution is exactly that of n
+	// sequential Play calls at the same point — the batch is purely a
+	// locking/journaling optimization. sink, when non-nil, observes each
+	// completed round before the next play begins; results passed to it
+	// may alias per-play scratch, so it must hash or copy what it keeps.
+	// On a mid-batch error the completed prefix stands (and was already
+	// seen by sink); the last completed result is returned with the error.
+	PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error)
 	// Run executes the given number of plays and returns the last result.
 	Run(ctx context.Context, rounds int) (RoundResult, error)
 	// Results returns deep copies of the retained plays, oldest first.
@@ -262,6 +271,34 @@ func runSession(ctx context.Context, s Session, rounds int) (RoundResult, error)
 	return last, nil
 }
 
+// playN is the shared PlayN implementation: one lock acquisition, n
+// sequential locked plays, sink observing each result before the next
+// play reuses its scratch. Each driver's Play is lock + playLocked, so
+// the batch path is structurally the same state evolution as n
+// sequential Play calls.
+func playN(ctx context.Context, mu *sync.Mutex, play func(context.Context) (RoundResult, error),
+	n int, sink func(RoundResult) error) (RoundResult, error) {
+	if n <= 0 {
+		return RoundResult{}, fmt.Errorf("%w: non-positive batch size %d", ErrConfig, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var last RoundResult
+	for i := 0; i < n; i++ {
+		res, err := play(ctx)
+		if err != nil {
+			return last, err
+		}
+		last = res
+		if sink != nil {
+			if err := sink(res); err != nil {
+				return last, err
+			}
+		}
+	}
+	return last, nil
+}
+
 // snapshotExcluded captures the executive's current exclusion flags.
 func snapshotExcluded(n int, excluded func(int) bool) []bool {
 	out := make([]bool, n)
@@ -388,6 +425,15 @@ func (d *pureDriver) Pure() *PureSession { return d.s }
 func (d *pureDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.playLocked(ctx)
+}
+
+// PlayN implements Session.
+func (d *pureDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	return playN(ctx, &d.mu, d.playLocked, n, sink)
+}
+
+func (d *pureDriver) playLocked(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
@@ -544,6 +590,15 @@ func (d *mixedDriver) Mixed() *MixedSession { return d.s }
 func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.playLocked(ctx)
+}
+
+// PlayN implements Session.
+func (d *mixedDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	return playN(ctx, &d.mu, d.playLocked, n, sink)
+}
+
+func (d *mixedDriver) playLocked(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
@@ -744,6 +799,15 @@ func (d *rraDriver) Harness() *RRASupervised { return d.h }
 func (d *rraDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.playLocked(ctx)
+}
+
+// PlayN implements Session.
+func (d *rraDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	return playN(ctx, &d.mu, d.playLocked, n, sink)
+}
+
+func (d *rraDriver) playLocked(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}
@@ -915,6 +979,15 @@ func (d *distDriver) Dist() *DistSession { return d.s }
 func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.playLocked(ctx)
+}
+
+// PlayN implements Session.
+func (d *distDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
+	return playN(ctx, &d.mu, d.playLocked, n, sink)
+}
+
+func (d *distDriver) playLocked(ctx context.Context) (RoundResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundResult{}, err
 	}

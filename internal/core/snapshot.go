@@ -47,10 +47,24 @@ type SessionSnapshot struct {
 
 // appendResultLine renders one play canonically (the same shape for every
 // driver), so transcript hashes and state digests are stable across runs
-// and processes. Floats use shortest round-trip form.
+// and processes. Floats use shortest round-trip form. The rendering is
+// hand-rolled strconv rather than fmt: this line is hashed once per
+// journaled play, and on a saturated single core the fmt state machine was
+// a measurable slice of the durable write path. The byte shape is frozen —
+// digests persisted in snapshots were computed over it (see
+// TestResultLineCanonicalShape).
 func appendResultLine(b []byte, res *RoundResult) []byte {
-	b = fmt.Appendf(b, "round=%d outcome=%v convicted=%v excluded=%v pulse=%d costs=[",
-		res.Round, res.Outcome, res.Convicted, res.Excluded, res.Pulse)
+	b = append(b, "round="...)
+	b = strconv.AppendInt(b, int64(res.Round), 10)
+	b = append(b, " outcome="...)
+	b = appendIntSlice(b, res.Outcome)
+	b = append(b, " convicted="...)
+	b = appendIntSlice(b, res.Convicted)
+	b = append(b, " excluded="...)
+	b = appendIntSlice(b, res.Excluded)
+	b = append(b, " pulse="...)
+	b = strconv.AppendInt(b, int64(res.Pulse), 10)
+	b = append(b, " costs=["...)
 	for i, c := range res.Costs {
 		if i > 0 {
 			b = append(b, ' ')
@@ -62,10 +76,26 @@ func appendResultLine(b []byte, res *RoundResult) []byte {
 		if i > 0 {
 			b = append(b, ' ')
 		}
-		b = fmt.Appendf(b, "%d:%s", f.Agent, f.Reason)
+		b = strconv.AppendInt(b, int64(f.Agent), 10)
+		b = append(b, ':')
+		b = append(b, f.Reason.String()...)
 	}
 	b = append(b, ']', '\n')
 	return b
+}
+
+// appendIntSlice renders an int slice exactly as fmt's %v would
+// ("[1 2 3]", nil and empty both "[]"), keeping the transcript line
+// byte-compatible with the formatting it previously used.
+func appendIntSlice(b []byte, xs []int) []byte {
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return append(b, ']')
 }
 
 // HashResult returns the canonical transcript hash of one play — the value

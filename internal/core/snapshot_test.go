@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"testing"
 
+	"gameauthority/internal/audit"
 	"gameauthority/internal/game"
 	"gameauthority/internal/punish"
 )
@@ -288,6 +290,44 @@ func TestHashResultStable(t *testing.T) {
 	c.Costs = []float64{1, 3}
 	if HashResult(a) == HashResult(c) {
 		t.Fatal("cost change did not change the hash")
+	}
+}
+
+// TestResultLineCanonicalShape pins the transcript line's byte shape to
+// the fmt rendering it originally used. Digests persisted in snapshots on
+// disk were computed over these bytes, so any drift here silently breaks
+// recovery of existing stores.
+func TestResultLineCanonicalShape(t *testing.T) {
+	cases := []RoundResult{
+		{},
+		{Round: 7, Outcome: game.Profile{1, 0, 2}, Costs: []float64{1.5, -0.25, 3}},
+		{Round: 42, Outcome: game.Profile{0, 1}, Convicted: []int{1}, Excluded: []int{0, 1},
+			Pulse: 9, Costs: []float64{0.1, 2e-8},
+			Verdict: audit.Verdict{Fouls: []audit.Foul{
+				{Agent: 1, Reason: audit.ReasonCommitMismatch},
+				{Agent: 0, Reason: audit.Reason(99)},
+			}}},
+	}
+	for _, res := range cases {
+		want := fmt.Sprintf("round=%d outcome=%v convicted=%v excluded=%v pulse=%d costs=[",
+			res.Round, res.Outcome, res.Convicted, res.Excluded, res.Pulse)
+		for i, c := range res.Costs {
+			if i > 0 {
+				want += " "
+			}
+			want += strconv.FormatFloat(c, 'g', -1, 64)
+		}
+		want += "] fouls=["
+		for i, f := range res.Verdict.Fouls {
+			if i > 0 {
+				want += " "
+			}
+			want += fmt.Sprintf("%d:%s", f.Agent, f.Reason)
+		}
+		want += "]\n"
+		if got := string(appendResultLine(nil, &res)); got != want {
+			t.Fatalf("canonical line drifted:\n got: %q\nwant: %q", got, want)
+		}
 	}
 }
 

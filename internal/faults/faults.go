@@ -189,6 +189,15 @@ func (s *faultStore) CreateSession(id string, spec []byte) error {
 	return s.inner.CreateSession(id, spec)
 }
 
+// Append injects the write-path disk faults. Both fault kinds treat the
+// record as a unit regardless of its type: an AppendFail drops the whole
+// record (for a batch record, none of its plays reach the WAL), and an
+// AppendTorn applies the whole record durably before losing the ack (for
+// a batch record, every play in the batch is journaled). There is no
+// partially-applied middle ground at this layer — a batch is one WAL
+// line with one checksum, so torn-batch semantics are
+// all-applied-ack-lost or nothing, exactly what the dedup/retry path
+// assumes.
 func (s *faultStore) Append(id string, rec store.Record) error {
 	s.slow()
 	if s.p.roll(s.p.cfg.AppendFail) {

@@ -1035,6 +1035,20 @@ func (c *Client) Attach(id string) (ref uint64, err error) {
 // one session are assumed not to run concurrently when reconnect is
 // enabled.
 func (c *Client) Play(ref uint64, rounds int) (PlayOutcome, error) {
+	return c.playWith(ref, rounds, wire.AppendPlay)
+}
+
+// PlayBatch is Play over the batched opcode: the server executes the
+// rounds as one PlayN call and journals them as a single batch WAL
+// record. Retry, watermark dedup, and the reply shape are identical to
+// Play — only the server-side execution and journaling differ.
+func (c *Client) PlayBatch(ref uint64, rounds int) (PlayOutcome, error) {
+	return c.playWith(ref, rounds, wire.AppendPlayBatch)
+}
+
+// playWith is the shared watermark-retry loop behind Play and PlayBatch;
+// appendCmd encodes the chosen play opcode.
+func (c *Client) playWith(ref uint64, rounds int, appendCmd func(dst []byte, reqID, ref, rounds, expect uint64) []byte) (PlayOutcome, error) {
 	s := c.session(ref)
 	if s == nil {
 		return PlayOutcome{}, errUnknownRef()
@@ -1064,7 +1078,7 @@ func (c *Client) Play(ref uint64, rounds int) (PlayOutcome, error) {
 		}
 		rid := c.reqID()
 		msg, err := c.roundTripOn(conn, rid,
-			wire.AppendPlay(c.getBuf(), rid, serverRef, target-cur, expect))
+			appendCmd(c.getBuf(), rid, serverRef, target-cur, expect))
 		out, _ := msg.(PlayOutcome)
 		if out.Completed > 0 {
 			total.Completed += out.Completed

@@ -32,6 +32,16 @@ type Handle interface {
 	Snapshot() (snap core.SessionSnapshot, persisted bool, err error)
 }
 
+// BatchHandle is the optional batched-play surface of a Handle. A handle
+// that implements it runs N rounds under one session lock and journals
+// them as a single batch WAL record; the hub falls back to looped Play
+// when the assertion fails. Like Handle.Play, PlayN must be the direct
+// (non-routed) form — the hub already runs it on the session's shard
+// loop.
+type BatchHandle interface {
+	PlayN(ctx context.Context, n int, sink func(core.RoundResult) error) (core.RoundResult, error)
+}
+
 // Backend is the authority surface the hub dispatches commands into.
 type Backend interface {
 	// Create hosts a session from a JSON CreateSessionRequest document.
@@ -379,6 +389,12 @@ func (c *wsConn) dispatch(dec *wire.Decoder) bool {
 			return false
 		}
 		return c.handlePlay(m)
+	case wire.MsgPlayBatch:
+		m, err := wire.DecodePlayBatch(dec)
+		if err != nil {
+			return false
+		}
+		return c.handlePlayBatch(m)
 	case wire.MsgSubscribe:
 		m, err := wire.DecodeSubscribe(dec)
 		if err != nil {
@@ -494,6 +510,81 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 				break
 			}
 			buf = wire.AppendResult(buf, &res)
+		}
+		c.send(wire.FinishResults(buf, code, detail, deduped))
+	})
+	if !ok {
+		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")
+	}
+	return true
+}
+
+// handlePlayBatch is handlePlay with the batched execution path: after
+// the same watermark dedup, the remaining rounds run as one PlayN call —
+// one session lock, one batch WAL record — instead of N independent
+// plays. Results stream into the same MsgResults frame shape, so clients
+// decode both replies identically.
+func (c *wsConn) handlePlayBatch(m wire.PlayBatch) bool {
+	e := c.lookup(m.Ref)
+	if e == nil {
+		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
+	}
+	rounds := m.Rounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	if rounds > c.hub.opt.MaxRounds {
+		return c.sendError(m.ReqID, wire.CodeBadRequest, "rounds exceeds limit")
+	}
+	ok := c.hub.opt.Shards.Submit(e.handle.ID(), func() {
+		buf := wire.AppendResultsHeader(c.hub.getBuf(), m.ReqID, e.ref)
+		code, detail := wire.CodeOK, ""
+		var deduped uint64
+		remaining := rounds
+		if m.Expect > 0 {
+			expect := m.Expect - 1
+			if cur := uint64(e.handle.Stats().Rounds); cur > expect {
+				replay := cur - expect
+				if replay > remaining {
+					replay = remaining
+				}
+				for i := uint64(0); i < replay; i++ {
+					res, ok := e.handle.ResultAt(int(expect + i))
+					if !ok {
+						code = wire.CodeBadRequest
+						detail = "retry watermark outside the retained history window"
+						break
+					}
+					buf = wire.AppendResult(buf, &res)
+					deduped++
+				}
+				remaining -= deduped
+				if ctrs := c.hub.opt.Counters; ctrs != nil && deduped > 0 {
+					ctrs.DedupedPlays.Add(int64(deduped))
+				}
+			}
+		}
+		if code == wire.CodeOK && remaining > 0 {
+			if bh, isBatch := e.handle.(BatchHandle); isBatch {
+				_, err := bh.PlayN(c.ctx, int(remaining), func(res core.RoundResult) error {
+					// The sink's result aliases session scratch; encoding
+					// here, before the next round, is the required copy.
+					buf = wire.AppendResult(buf, &res)
+					return nil
+				})
+				if err != nil {
+					code, detail = ErrCode(err), err.Error()
+				}
+			} else {
+				for i := uint64(0); code == wire.CodeOK && i < remaining; i++ {
+					res, err := e.handle.Play(c.ctx)
+					if err != nil {
+						code, detail = ErrCode(err), err.Error()
+						break
+					}
+					buf = wire.AppendResult(buf, &res)
+				}
+			}
 		}
 		c.send(wire.FinishResults(buf, code, detail, deduped))
 	})

@@ -54,6 +54,14 @@ type Counters struct {
 	// BreakerOpens counts per-session circuit-breaker trips after
 	// repeated store failures.
 	BreakerOpens atomic.Int64
+	// BatchedPlays counts plays journaled through batch WAL records (the
+	// PlayN path) rather than one record per play.
+	BatchedPlays atomic.Int64
+	// CommitEpochs counts group-commit fsync epochs flushed by the store's
+	// background committer.
+	CommitEpochs atomic.Int64
+	// Fsyncs counts WAL-handle fsyncs issued by group-commit epochs.
+	Fsyncs atomic.Int64
 }
 
 // promMetric is one Prometheus exposition entry.
@@ -85,6 +93,9 @@ func (c *Counters) WritePrometheus(w io.Writer) error {
 		{"gameauthority_resumed_subscriptions_total", "counter", "Event subscriptions re-established with a resume token.", &c.ResumedSubscriptions},
 		{"gameauthority_deduped_plays_total", "counter", "Play rounds answered from the journal on retried commands.", &c.DedupedPlays},
 		{"gameauthority_breaker_opens_total", "counter", "Per-session circuit-breaker trips on repeated store failures.", &c.BreakerOpens},
+		{"gameauthority_batched_plays_total", "counter", "Plays journaled through batch WAL records (PlayN).", &c.BatchedPlays},
+		{"gameauthority_commit_epochs_total", "counter", "Group-commit fsync epochs flushed by the committer.", &c.CommitEpochs},
+		{"gameauthority_fsyncs_total", "counter", "WAL-handle fsyncs issued by group-commit epochs.", &c.Fsyncs},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

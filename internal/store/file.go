@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // File layout: one directory holds three files per session —
@@ -57,6 +59,17 @@ type File struct {
 	// Sync and Close wait on it so "synced on eviction" stays true by the
 	// time either returns.
 	evictions sync.WaitGroup
+
+	// gc is the optional group committer (see SetGroupCommit); nil means
+	// appends return as soon as the line is written (process-kill durable,
+	// OS-crash durable only after Sync/Close/eviction).
+	gc atomic.Pointer[groupCommitter]
+
+	// fsyncs counts every fsync issued against a session WAL handle —
+	// commit epochs, evictions, invalidations, Sync, and Close alike. The
+	// group-commit regression gate reads it through Fsyncs.
+	fsyncs atomic.Int64
+	epochs atomic.Int64
 }
 
 // walHandle wraps one session's append handle. Writes and the
@@ -165,7 +178,12 @@ func (f *File) checkOpen() error {
 	return nil
 }
 
-// Append implements Store.
+// Append implements Store. With group commit enabled (SetGroupCommit)
+// the record is written immediately — surviving a process kill exactly
+// like the direct path — and the call then parks on the current commit
+// epoch's ticket until the background committer fsyncs the session's WAL
+// handle, so on return the record also survives an OS crash at a cost
+// amortized over every append sharing the epoch.
 func (f *File) Append(id string, rec Record) error {
 	if !validID(id) {
 		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
@@ -174,14 +192,34 @@ func (f *File) Append(id string, rec Record) error {
 	if err != nil {
 		return err
 	}
+	wh, err := f.writeLine(id, line)
+	if err != nil {
+		return err
+	}
+	// Park outside the stripe lock: other sessions on the stripe (and
+	// later appends to this one — ordering is the caller's journal mutex)
+	// must not serialize behind a commit window.
+	if gc := f.gc.Load(); gc != nil {
+		if e := gc.enlist(wh); e != nil {
+			<-e.done
+			if e.err != nil {
+				return fmt.Errorf("store: commit %q: %w", id, e.err)
+			}
+		}
+	}
+	return nil
+}
 
+// writeLine appends one encoded line to the session's WAL under its
+// stripe lock and returns the handle it landed on.
+func (f *File) writeLine(id string, line []byte) (*walHandle, error) {
 	mu := f.stripe(id)
 	mu.Lock()
 	defer mu.Unlock()
 	for attempt := 0; attempt < 16; attempt++ {
 		wh, err := f.handle(id)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		wh.mu.Lock()
 		if wh.f == nil {
@@ -200,11 +238,11 @@ func (f *File) Append(id string, rec Record) error {
 			// instead of gluing onto the fragment and escalating the torn
 			// line into permanent mid-file corruption.
 			f.invalidateHandle(id, wh)
-			return fmt.Errorf("store: append %q: %w", id, werr)
+			return nil, fmt.Errorf("store: append %q: %w", id, werr)
 		}
-		return nil
+		return wh, nil
 	}
-	return fmt.Errorf("store: append %q: handle churned out", id)
+	return nil, fmt.Errorf("store: append %q: handle churned out", id)
 }
 
 // invalidateHandle retires a handle whose last write failed. The handle
@@ -212,7 +250,7 @@ func (f *File) Append(id string, rec Record) error {
 // synced-on-retire contract) and the repair latch cleared; the caller
 // holds the session's stripe lock.
 func (f *File) invalidateHandle(id string, wh *walHandle) {
-	closeHandle(wh)
+	f.closeHandle(wh)
 	f.mu.Lock()
 	if cur, ok := f.handles[id]; ok && cur == wh {
 		delete(f.handles, id)
@@ -292,12 +330,25 @@ func (f *File) handle(id string) (*walHandle, error) {
 // closeHandle fsyncs and closes one cached handle under its write lock,
 // so no append can slip in between the sync and the close. Callers may
 // hold f.mu (lock order is f.mu → walHandle.mu) or run lock-free on a
-// handle already removed from the cache (eviction).
-func closeHandle(wh *walHandle) {
+// handle already removed from the cache (eviction). Under a syncfs-armed
+// committer the fsync is skipped: every acknowledged record on the
+// handle already crossed an epoch barrier, and any unacknowledged tail
+// is covered by the epoch its appender is parked on — syncfs flushes a
+// closed fd's dirty pages all the same. Without that skip, handle-cache
+// churn above max sessions costs one fsync per append and dominates the
+// durable write path.
+func (f *File) closeHandle(wh *walHandle) {
+	syncfs := false
+	if gc := f.gc.Load(); gc != nil && gc.syncfsOK.Load() {
+		syncfs = true
+	}
 	wh.mu.Lock()
 	defer wh.mu.Unlock()
 	if wh.f != nil {
-		_ = wh.f.Sync()
+		if !syncfs {
+			_ = wh.f.Sync()
+			f.fsyncs.Add(1)
+		}
 		wh.f.Close()
 		wh.f = nil
 	}
@@ -347,7 +398,7 @@ func (f *File) cacheHandle(id string, w *os.File) *walHandle {
 	f.evictions.Add(len(victims))
 	f.mu.Unlock()
 	for _, oh := range victims {
-		closeHandle(oh)
+		f.closeHandle(oh)
 		f.evictions.Done()
 	}
 	return wh
@@ -607,6 +658,22 @@ func (f *File) Sync() error {
 	// before this call is durable when it returns. In-flight evictions
 	// complete without f.mu, and no new one can start while we hold it.
 	f.evictions.Wait()
+	// Under a syncfs-armed committer one filesystem barrier covers every
+	// handle — cached, evicted, or closed — in a single journal commit.
+	// A private dir fd avoids racing the committer's own (closed on stop).
+	if gc := f.gc.Load(); gc != nil && gc.syncfsOK.Load() {
+		if d, err := os.Open(f.dir); err == nil {
+			ok, serr := syncFilesystem(d.Fd())
+			d.Close()
+			if ok {
+				f.fsyncs.Add(1)
+				if serr != nil {
+					return fmt.Errorf("store: sync: %w", serr)
+				}
+				return nil
+			}
+		}
+	}
 	var first error
 	for id, wh := range f.handles {
 		wh.mu.Lock()
@@ -614,15 +681,18 @@ func (f *File) Sync() error {
 			if err := wh.f.Sync(); err != nil && first == nil {
 				first = fmt.Errorf("store: sync %q: %w", id, err)
 			}
+			f.fsyncs.Add(1)
 		}
 		wh.mu.Unlock()
 	}
 	return first
 }
 
-// Close implements Store: sync, release every handle, and refuse further
-// writes. Idempotent.
+// Close implements Store: stop the group committer (releasing any parked
+// appends), sync, release every handle, and refuse further writes.
+// Idempotent.
 func (f *File) Close() error {
+	f.stopCommitter()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -637,6 +707,7 @@ func (f *File) Close() error {
 			if err := wh.f.Sync(); err != nil && first == nil {
 				first = fmt.Errorf("store: %w", err)
 			}
+			f.fsyncs.Add(1)
 			wh.f.Close()
 			wh.f = nil
 		}
@@ -644,6 +715,284 @@ func (f *File) Close() error {
 	}
 	f.handles = nil
 	return first
+}
+
+// --- Group commit --------------------------------------------------------------
+
+// commitEpoch is one coalesced fsync barrier: every append since the
+// previous flush registers its WAL handle in dirty and parks on done.
+// The committer fsyncs each distinct dirty handle exactly once, stores
+// the first failure in err, and releases every parked caller together.
+type commitEpoch struct {
+	dirty   map[*walHandle]struct{}
+	tickets int
+	done    chan struct{}
+	err     error
+}
+
+// groupCommitter is the single background goroutine coalescing appends
+// from many sessions into shared fsync epochs.
+type groupCommitter struct {
+	f        *File
+	window   time.Duration
+	maxBatch int
+	onEpoch  func(synced, parked int)
+
+	mu      sync.Mutex // guards cur and stopped
+	cur     *commitEpoch
+	stopped bool
+
+	// dir is the open sessions directory used as the syncfs(2) anchor:
+	// when non-nil, an epoch flushes with one filesystem-wide barrier
+	// instead of one fsync per dirty handle. Only the committer goroutine
+	// touches it after SetGroupCommit (stopCommitter closes it after the
+	// goroutine exits). syncfsOK mirrors dir != nil for lock-free reads
+	// from the eviction and Sync paths.
+	dir      *os.File
+	syncfsOK atomic.Bool
+
+	kick chan struct{} // signaled when an epoch reaches maxBatch tickets
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// SetGroupCommit turns on group commit: appends park on a shared commit
+// ticket and return OS-crash durable, with the background committer
+// issuing at most one fsync per dirty session per epoch. An epoch closes
+// every window or as soon as maxBatch appends have parked on it,
+// whichever comes first (maxBatch <= 0 means window-only). onEpoch, when
+// non-nil, observes every flushed epoch with the number of handles
+// fsynced and appends released. A non-positive window is a no-op; the
+// committer stops (releasing any parked appends) on Close.
+func (f *File) SetGroupCommit(window time.Duration, maxBatch int, onEpoch func(synced, parked int)) {
+	if window <= 0 || f.gc.Load() != nil {
+		return
+	}
+	if err := f.checkOpen(); err != nil {
+		return
+	}
+	gc := &groupCommitter{
+		f:        f,
+		window:   window,
+		maxBatch: maxBatch,
+		onEpoch:  onEpoch,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	// Probe syncfs support up front (the probe itself is a harmless
+	// barrier): committing to one flush mode for the committer's lifetime
+	// is what lets evictions skip their fsync safely. A nil dir just
+	// means per-handle fsyncs.
+	if d, err := os.Open(f.dir); err == nil {
+		if ok, serr := syncFilesystem(d.Fd()); ok && serr == nil {
+			gc.dir = d
+			gc.syncfsOK.Store(true)
+		} else {
+			d.Close()
+		}
+	}
+	if !f.gc.CompareAndSwap(nil, gc) {
+		if gc.dir != nil {
+			gc.dir.Close()
+		}
+		return
+	}
+	gc.wg.Add(1)
+	go gc.run()
+}
+
+// Fsyncs reports the total fsyncs issued against session WAL handles —
+// the quantity the group-commit regression gate bounds.
+func (f *File) Fsyncs() int64 { return f.fsyncs.Load() }
+
+// CommitEpochs reports how many group-commit epochs have been flushed.
+func (f *File) CommitEpochs() int64 { return f.epochs.Load() }
+
+// stopCommitter shuts the committer down, flushing the pending epoch so
+// no parked append leaks. Idempotent.
+func (f *File) stopCommitter() {
+	gc := f.gc.Swap(nil)
+	if gc == nil {
+		return
+	}
+	close(gc.stop)
+	gc.wg.Wait()
+	if gc.dir != nil {
+		gc.dir.Close()
+	}
+}
+
+// enlist registers a successful append on the current epoch. It returns
+// nil when the committer has stopped — the caller falls back to the
+// direct-append contract (Close fsyncs everything anyway).
+func (gc *groupCommitter) enlist(wh *walHandle) *commitEpoch {
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		return nil
+	}
+	e := gc.cur
+	if e == nil {
+		e = &commitEpoch{dirty: make(map[*walHandle]struct{}), done: make(chan struct{})}
+		gc.cur = e
+	}
+	e.dirty[wh] = struct{}{}
+	e.tickets++
+	full := gc.maxBatch > 0 && e.tickets >= gc.maxBatch
+	gc.mu.Unlock()
+	if full {
+		select {
+		case gc.kick <- struct{}{}:
+		default:
+		}
+	}
+	return e
+}
+
+// run is the committer goroutine: flush on every window tick or maxBatch
+// kick, then drain one final epoch on stop. Between window ticks it polls
+// at a quarter-window cadence and flushes early once the epoch has gone
+// quiet (no new append parked for a full poll interval): the window is a
+// ceiling for coalescing steady load, not a debt a lone straggler must
+// pay — without the early close, the last appends of a run leave the CPU
+// idle for the window's remainder while their callers sit parked.
+func (gc *groupCommitter) run() {
+	defer gc.wg.Done()
+	quiet := gc.window / 4
+	if quiet < 50*time.Microsecond {
+		quiet = 50 * time.Microsecond
+	}
+	ticker := time.NewTicker(gc.window)
+	defer ticker.Stop()
+	poll := time.NewTicker(quiet)
+	defer poll.Stop()
+	last := 0 // tickets observed at the previous quiet poll
+	for {
+		select {
+		case <-ticker.C:
+			gc.flush(false)
+			last = 0
+		case <-poll.C:
+			n := gc.pendingTickets()
+			if n > 0 && n == last {
+				gc.flush(false)
+				n = 0
+			}
+			last = n
+		case <-gc.kick:
+			gc.flush(false)
+			last = 0
+		case <-gc.stop:
+			gc.flush(true)
+			return
+		}
+	}
+}
+
+// pendingTickets reports how many appends are parked on the open epoch.
+func (gc *groupCommitter) pendingTickets() int {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.cur == nil {
+		return 0
+	}
+	return gc.cur.tickets
+}
+
+// flushFanout bounds how many dirty handles an epoch fsyncs concurrently.
+// The fsyncs target distinct files, so they are independent I/O waits:
+// overlapping them keeps the epoch's wall time near one device round trip
+// instead of one per dirty session.
+const flushFanout = 64
+
+// flush detaches the pending epoch, fsyncs its dirty handles, and wakes
+// every parked append. A handle already closed by eviction or
+// invalidation is skipped: its close fsynced everything it held. Every
+// appender parked on the epoch is already waiting on done, so holding the
+// dirty handles' locks across the concurrent fsyncs cannot deadlock.
+func (gc *groupCommitter) flush(final bool) {
+	gc.mu.Lock()
+	e := gc.cur
+	gc.cur = nil
+	if final {
+		gc.stopped = true
+	}
+	gc.mu.Unlock()
+	if e == nil {
+		return
+	}
+	var first error
+	synced := 0
+	if gc.dir != nil {
+		// One syncfs barrier commits every dirty WAL in the epoch with a
+		// single filesystem journal commit — the flat-cost flush that
+		// makes the epoch price independent of how many sessions parked.
+		// It also covers page-cache data of handles the cache evicted (a
+		// closed fd's dirty pages still belong to the filesystem), which
+		// is why closeHandle skips its fsync in this mode.
+		if ok, err := syncFilesystem(gc.dir.Fd()); ok {
+			gc.f.fsyncs.Add(1)
+			e.err = err
+			gc.f.epochs.Add(1)
+			if gc.onEpoch != nil {
+				gc.onEpoch(1, e.tickets)
+			}
+			close(e.done)
+			return
+		}
+		// Unreachable after a successful arm-time probe, but stay safe:
+		// fall back to per-handle fsyncs for the rest of the run.
+		gc.syncfsOK.Store(false)
+		gc.dir.Close()
+		gc.dir = nil
+	}
+	syncOne := func(wh *walHandle) (did bool, err error) {
+		wh.mu.Lock()
+		defer wh.mu.Unlock()
+		if wh.f == nil {
+			return false, nil
+		}
+		err = wh.f.Sync()
+		gc.f.fsyncs.Add(1)
+		return true, err
+	}
+	if len(e.dirty) == 1 {
+		for wh := range e.dirty {
+			did, err := syncOne(wh)
+			if did {
+				synced++
+			}
+			first = err
+		}
+	} else {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, flushFanout)
+		for wh := range e.dirty {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(wh *walHandle) {
+				defer wg.Done()
+				did, err := syncOne(wh)
+				<-sem
+				mu.Lock()
+				if did {
+					synced++
+				}
+				if err != nil && first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}(wh)
+		}
+		wg.Wait()
+	}
+	e.err = first
+	gc.f.epochs.Add(1)
+	if gc.onEpoch != nil {
+		gc.onEpoch(synced, e.tickets)
+	}
+	close(e.done)
 }
 
 // --- File helpers --------------------------------------------------------------

@@ -26,10 +26,25 @@ const (
 	// RecordClose journals a graceful session close, with the post-close
 	// state digest (a batched-audit mixed session mutates state on close).
 	RecordClose = "close"
+	// RecordBatch journals N consecutive completed plays as one WAL entry
+	// (the PlayN path). The batch is one journal line, so the line CRC
+	// makes it atomic: a crash either persists every play in the batch or
+	// none of them — recovery never sees a torn prefix of a batch.
+	RecordBatch = "batch"
 )
 
+// BatchPlay is one play inside a RecordBatch entry, carrying the same
+// per-play summary a RecordPlay would.
+type BatchPlay struct {
+	Round     int    `json:"round"`
+	Hash      string `json:"hash"`
+	Fouls     int    `json:"fouls,omitempty"`
+	Convicted []int  `json:"convicted,omitempty"`
+}
+
 // Record is one WAL entry. Play records carry Round/Hash (plus the
-// verdict summary); close records carry Digest.
+// verdict summary); batch records carry Plays; close records carry
+// Digest.
 type Record struct {
 	Type string `json:"t"`
 	// Round is the absolute round index of a play record.
@@ -41,8 +56,24 @@ type Record struct {
 	Fouls int `json:"fouls,omitempty"`
 	// Convicted lists the agents found guilty in the play's verdict.
 	Convicted []int `json:"convicted,omitempty"`
+	// Plays holds the per-play summaries of a batch record, in round order.
+	Plays []BatchPlay `json:"plays,omitempty"`
 	// Digest is the post-close state digest of a close record.
 	Digest string `json:"digest,omitempty"`
+}
+
+// LastRound returns the highest absolute round index the record covers,
+// or -1 for records that carry no round (close records, empty batches).
+func (r *Record) LastRound() int {
+	switch r.Type {
+	case RecordPlay:
+		return r.Round
+	case RecordBatch:
+		if n := len(r.Plays); n > 0 {
+			return r.Plays[n-1].Round
+		}
+	}
+	return -1
 }
 
 // SessionState is everything the store holds for one session: the opaque
@@ -164,6 +195,14 @@ func (m *Mem) Append(id string, rec Record) error {
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	rec.Convicted = append([]int(nil), rec.Convicted...)
+	if len(rec.Plays) > 0 {
+		plays := make([]BatchPlay, len(rec.Plays))
+		copy(plays, rec.Plays)
+		for i := range plays {
+			plays[i].Convicted = append([]int(nil), plays[i].Convicted...)
+		}
+		rec.Plays = plays
+	}
 	s.wal = append(s.wal, rec)
 	return nil
 }
@@ -186,12 +225,23 @@ func (m *Mem) PutSnapshot(id string, rounds int, payload []byte) error {
 }
 
 // compactWAL drops play records below the snapshot watermark; close
-// records (and plays at or after the watermark) survive.
+// records (and plays at or after the watermark) survive. A batch record
+// is dropped only when its *last* play sits below the watermark: a batch
+// straddling the watermark survives whole, and recovery — which replays
+// from round zero anyway — simply has extra verified hashes below the
+// snapshot round.
 func compactWAL(wal []Record, rounds int) []Record {
 	out := wal[:0]
 	for _, rec := range wal {
-		if rec.Type == RecordPlay && rec.Round < rounds {
-			continue
+		switch rec.Type {
+		case RecordPlay:
+			if rec.Round < rounds {
+				continue
+			}
+		case RecordBatch:
+			if n := len(rec.Plays); n == 0 || rec.Plays[n-1].Round < rounds {
+				continue
+			}
 		}
 		out = append(out, rec)
 	}

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package store
+
+// syncfs(2) syscall number on linux/arm64.
+const sysSyncfs uintptr = 267

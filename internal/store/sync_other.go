@@ -1,0 +1,8 @@
+//go:build !linux || !(amd64 || arm64)
+
+package store
+
+// syncFilesystem reports that no filesystem-wide sync barrier is
+// available on this platform; group-commit epochs fall back to one fsync
+// per dirty session handle.
+func syncFilesystem(uintptr) (bool, error) { return false, nil }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -653,7 +654,20 @@ func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// ?n= selects the batched path: the N rounds execute under one session
+	// lock and journal as a single batch WAL record instead of N play
+	// records. It overrides any body "rounds" field.
+	batched := false
 	rounds := req.Rounds
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch size %q", raw))
+			return
+		}
+		batched = true
+		rounds = n
+	}
 	if rounds <= 0 {
 		rounds = 1
 	}
@@ -662,35 +676,54 @@ func handlePlay(h *HostedSession, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]roundResponse, 0, rounds)
+	fail := func(err error, partial *RoundResult) {
+		if r.Context().Err() != nil {
+			return // the client is gone; nothing to report to
+		}
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBreakerOpen):
+			// The breaker failed the play fast — no round executed, no
+			// result to report. The client backs off and retries after
+			// the cooldown.
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrPulseBudget):
+			// Documented-recoverable: the session is healthy but still
+			// re-converging; the client should simply retry.
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrDurability):
+			// The play executed — the session advanced a round — but
+			// its journal write failed. Report the result so the
+			// client's view stays consistent, with 503 marking the
+			// degraded store.
+			status = http.StatusServiceUnavailable
+			if partial != nil {
+				results = append(results, roundFor(*partial))
+			}
+		}
+		writeJSON(w, status, map[string]any{
+			"error":   err.Error(),
+			"results": results,
+		})
+	}
+	if batched {
+		_, err := h.PlayN(r.Context(), rounds, func(res RoundResult) error {
+			results = append(results, roundFor(res))
+			return nil
+		})
+		if err != nil {
+			// The sink already collected every completed round, so a
+			// durability failure needs no extra partial result here.
+			fail(err, nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		return
+	}
 	for i := 0; i < rounds; i++ {
 		res, err := h.Play(r.Context())
 		if err != nil {
-			if r.Context().Err() != nil {
-				return // the client is gone; nothing to report to
-			}
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, ErrBreakerOpen):
-				// The breaker failed the play fast — no round executed, no
-				// result to report. The client backs off and retries after
-				// the cooldown.
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, ErrPulseBudget):
-				// Documented-recoverable: the session is healthy but still
-				// re-converging; the client should simply retry.
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, ErrDurability):
-				// The play executed — the session advanced a round — but
-				// its journal write failed. Report the result so the
-				// client's view stays consistent, with 503 marking the
-				// degraded store.
-				status = http.StatusServiceUnavailable
-				results = append(results, roundFor(res))
-			}
-			writeJSON(w, status, map[string]any{
-				"error":   err.Error(),
-				"results": results,
-			})
+			fail(err, &res)
 			return
 		}
 		results = append(results, roundFor(res))

@@ -120,6 +120,16 @@ func (w wsHandle) Play(ctx context.Context) (core.RoundResult, error) {
 	return res, nil
 }
 
+// PlayN is the hub.BatchHandle surface: like Play it must use the direct
+// form, since the hub runs it on the session's shard loop already.
+func (w wsHandle) PlayN(ctx context.Context, n int, sink func(core.RoundResult) error) (core.RoundResult, error) {
+	res, err := w.h.playNDirect(ctx, n, sink)
+	if err != nil {
+		return res, hub.Coded{Code: wsErrCode(err, wire.CodeInternal), Err: err}
+	}
+	return res, nil
+}
+
 // ResultAt serves the hub's deduplicated replays of retried plays from
 // the session's history ring.
 func (w wsHandle) ResultAt(round int) (core.RoundResult, bool) { return w.h.ResultAt(round) }
