@@ -4,10 +4,10 @@ GO ?= go
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
 	deviation-matrix deviation-matrix-short cover-gate \
 	crash-bench crash-smoke ws-smoke loadgen-ws chaos-bench chaos-smoke \
-	batch-bench batch-smoke
+	batch-bench batch-smoke dist-bench dist-smoke clean
 
 ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
-	ws-smoke chaos-smoke batch-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
+	ws-smoke chaos-smoke batch-smoke dist-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -117,6 +117,33 @@ batch-smoke:
 	$(GO) test -run 'TestBatchRecordRoundTrip|TestFileTornBatchTail|TestGroupCommitEpochs|TestGroupCommitCloseReleasesParked' ./internal/store
 	$(GO) run ./cmd/loadgen -sessions 32 -plays 8 -batch 4 -crash 1 > /dev/null
 
+# The distributed-only scenario mix: the Byzantine families (fork-choice
+# mining, committee attestation) plus the public-goods baseline on the
+# replicated driver, everything else zeroed out.
+DIST_MIX = congestion=0,braess=0,coordination-n=0,publicgoods-punish=0,minority=0,firstprice=0,secondprice=0,pd=0,mixed-pennies=0,rra=0,dist-publicgoods=1,dist-mining=1,dist-committee=1
+
+# CI-sized distributed smoke (DESIGN.md §13): the hard per-pulse allocation
+# gates (a warm interactive-consistency phase must not allocate; the
+# distributed play budget is pinned at measured+10%), cross-driver
+# determinism, and short Byzantine scenario rows through both pulse
+# engines. Fails on allocation or agreement regressions, never on timing.
+dist-smoke:
+	$(GO) test -run 'TestICEngine|TestDolevStrong' ./internal/bap
+	$(GO) test -run 'TestAllocsPerPlayDistributed|TestCrossDriverDeterminism' .
+	$(GO) run ./cmd/loadgen -sessions 12 -plays 8 -seed 1 -mix "$(DIST_MIX)" > /dev/null
+	$(GO) run ./cmd/loadgen -sessions 12 -plays 8 -seed 1 -pulse-workers 2 -mix "$(DIST_MIX)" > /dev/null
+
+# The distributed-pulse benchmark (DESIGN.md §13): the Byzantine scenario
+# rows at an equal shape on the lockstep engine and on the worker-pool
+# engine under GOMAXPROCS=4. The tracked BENCH_PR9.json artifact keeps the
+# single- and multi-core rows distinct via the /pulse-workers label; on a
+# single-hardware-core host the worker-pool row measures its scheduling
+# overhead honestly rather than a speedup.
+dist-bench:
+	( $(GO) run ./cmd/loadgen -sessions 24 -plays 16 -seed 1 -mix "$(DIST_MIX)"; \
+	  GOMAXPROCS=4 $(GO) run ./cmd/loadgen -sessions 24 -plays 16 -seed 1 -pulse-workers 4 -mix "$(DIST_MIX)" ) \
+		| $(GO) run ./cmd/benchfmt -command "make dist-bench" -out BENCH_PR9.json
+
 # The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
 # SIGKILL-drops the authority mid-run and recovers every session from the
 # write-ahead log, twice. The artifact tracks durable throughput plus the
@@ -154,15 +181,24 @@ fuzz-smoke:
 
 # Coverage gate: the audited packages must keep ≥ 70% of statements
 # covered by the whole suite (merged -coverpkg profile; see
-# cmd/covergate).
-COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub,./internal/faults
+# cmd/covergate). The profile lives in a temp file so repeated local runs
+# leave no cover.out litter in the work tree.
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub,./internal/faults,./internal/sim,./internal/bap
 cover-gate:
-	$(GO) test -short -coverprofile=cover.out -coverpkg=$(COVER_PKGS) ./... > /dev/null
-	$(GO) run ./cmd/covergate -profile cover.out -min 70 \
+	@profile=$$(mktemp); \
+	$(GO) test -short -coverprofile=$$profile -coverpkg=$(COVER_PKGS) ./... > /dev/null && \
+	$(GO) run ./cmd/covergate -profile $$profile -min 70 \
 		gameauthority/internal/core gameauthority/internal/punish \
 		gameauthority/internal/audit gameauthority/internal/deviate \
 		gameauthority/internal/store gameauthority/internal/wire \
-		gameauthority/internal/hub gameauthority/internal/faults
+		gameauthority/internal/hub gameauthority/internal/faults \
+		gameauthority/internal/sim gameauthority/internal/bap; \
+	status=$$?; rm -f $$profile; exit $$status
+
+# Remove generated local artifacts (coverage profiles, build cache junk).
+clean:
+	rm -f cover.out
+	$(GO) clean ./...
 
 # Every internal package must carry a package comment (the godoc story of
 # DESIGN.md §1); CI fails when one goes missing.

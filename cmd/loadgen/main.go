@@ -53,6 +53,8 @@ func main() {
 	flag.StringVar(&cfg.transport, "transport", "",
 		"transport to drive: inproc, http, or ws (default: http when -http/-selfserve is set, else inproc)")
 	flag.IntVar(&cfg.conns, "conns", 16, "ws transport: number of multiplexed WebSocket connections")
+	flag.IntVar(&cfg.pulseWorkers, "pulse-workers", 0,
+		"distributed pulse engine width: 0 driver default, 1 lockstep, >1 worker pool (needs GOMAXPROCS>1 to pay off)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "root seed; session i uses seed+i")
 	flag.Float64Var(&cfg.deviants, "deviants", 0,
 		"fraction of sessions carrying one selfish deviant player (0..1); strategies rotate through the deviation catalog")
@@ -97,8 +99,11 @@ type config struct {
 	chaosNet  float64 // seeded network-fault rate for chaos mode
 	crash     int
 	dataDir   string
-	out       io.Writer // bench lines (stdout in main)
-	info      io.Writer // human summary (stderr in main)
+	// pulseWorkers overrides the distributed sessions' pulse engine width
+	// (0 keeps the driver default).
+	pulseWorkers int
+	out          io.Writer // bench lines (stdout in main)
+	info         io.Writer // human summary (stderr in main)
 }
 
 func defaultConfig() config {
@@ -210,6 +215,76 @@ func loadMix() []scenario {
 				return req
 			},
 		},
+		// The Byzantine scenario families run on the driver they model:
+		// fork-choice and committee attestation replicated over interactive
+		// consistency with one tolerated fault.
+		distScenario("dist-mining", "mining", 4, 1, 1),
+		distScenario("dist-committee", "validator-committee", 4, 1, 1),
+	}
+	return mix
+}
+
+// distScenario lifts a scenario-catalog family onto the distributed
+// driver: n replicated processors agree on every play via interactive
+// consistency, tolerating f Byzantine faults.
+func distScenario(label, game string, n, f, weight int) scenario {
+	return scenario{
+		name:     label,
+		driver:   "distributed",
+		weight:   weight,
+		players:  n,
+		punished: true, // the distributed driver defaults to one-strike disconnection
+		playsDiv: 4,
+		build: func(seed uint64) (ga.Game, []ga.Option, error) {
+			e, ok := ga.ScenarioByName(game)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown catalog scenario %q", game)
+			}
+			g, err := e.Build(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, []ga.Option{
+				ga.WithDistributed(n, f, nil),
+				ga.WithPulseBudget(1000 * ga.PulsesPerPlay(f)),
+			}, nil
+		},
+		request: func(id string, seed uint64) ga.CreateSessionRequest {
+			req := ga.CreateSessionRequest{ID: id, Seed: seed, Game: game,
+				Players: n, PulseBudget: 1000 * ga.PulsesPerPlay(f)}
+			req.Distributed = &struct {
+				N int `json:"n"`
+				F int `json:"f"`
+			}{N: n, F: f}
+			return req
+		},
+	}
+}
+
+// applyPulseWorkers overrides the pulse engine width on every distributed
+// scenario in the mix, both in-process (option) and over the wire
+// (request field). workers ≤ 0 leaves the mix untouched.
+func applyPulseWorkers(mix []scenario, workers int) []scenario {
+	if workers <= 0 {
+		return mix
+	}
+	for i := range mix {
+		if mix[i].driver != "distributed" {
+			continue
+		}
+		sc := mix[i]
+		mix[i].build = func(seed uint64) (ga.Game, []ga.Option, error) {
+			g, opts, err := sc.build(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, append(opts, ga.WithPulseWorkers(workers)), nil
+		}
+		mix[i].request = func(id string, seed uint64) ga.CreateSessionRequest {
+			req := sc.request(id, seed)
+			req.PulseWorkers = workers
+			return req
+		}
 	}
 	return mix
 }
@@ -403,6 +478,9 @@ func run(cfg config) error {
 	if cfg.crash > 0 && cfg.chaos {
 		return fmt.Errorf("-crash cannot compose with -chaos: network adversaries are in-process closures a recovered session cannot rebuild from its journaled spec")
 	}
+	if cfg.pulseWorkers < 0 {
+		return fmt.Errorf("-pulse-workers %d must be non-negative", cfg.pulseWorkers)
+	}
 	mix, err := applyMix(loadMix(), cfg.mix)
 	if err != nil {
 		return err
@@ -413,6 +491,7 @@ func run(cfg config) error {
 		return fmt.Errorf("-sessions %d is below the mix's %d scenarios; raise -sessions or narrow -mix",
 			cfg.sessions, len(mix))
 	}
+	mix = applyPulseWorkers(mix, cfg.pulseWorkers)
 
 	durable := cfg.crash > 0 || cfg.dataDir != ""
 	var tr transport
@@ -482,6 +561,9 @@ func run(cfg config) error {
 	}
 	if cfg.batch > 1 {
 		label += fmt.Sprintf("/batch=%d", cfg.batch)
+	}
+	if cfg.pulseWorkers > 0 {
+		label += fmt.Sprintf("/pulse-workers=%d", cfg.pulseWorkers)
 	}
 
 	counts := sessionCounts(mix, cfg.sessions)

@@ -150,7 +150,7 @@ func TestRunInProcessMini(t *testing.T) {
 // TestRunSelfserveMini exercises the HTTP transport hermetically.
 func TestRunSelfserveMini(t *testing.T) {
 	var out bytes.Buffer
-	cfg := config{sessions: 11, plays: 1, seed: 3, selfserve: true, out: &out, info: io.Discard}
+	cfg := config{sessions: 16, plays: 1, seed: 3, selfserve: true, out: &out, info: io.Discard}
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestRunSelfserveMini(t *testing.T) {
 // mix multiplexed over two WebSocket connections.
 func TestRunWSMini(t *testing.T) {
 	var out bytes.Buffer
-	cfg := config{sessions: 11, plays: 2, seed: 5, selfserve: true,
+	cfg := config{sessions: 16, plays: 2, seed: 5, selfserve: true,
 		transport: "ws", conns: 2, out: &out, info: io.Discard}
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
@@ -176,6 +176,30 @@ func TestRunWSMini(t *testing.T) {
 		if strings.HasPrefix(line, "Benchmark") && benchLine.FindStringSubmatch(line) == nil {
 			t.Fatalf("unparseable bench line %q", line)
 		}
+	}
+}
+
+// TestRunPulseWorkersMini drives every distributed scenario through the
+// worker-pool pulse engine and pins the /pulse-workers row label that
+// keeps multi-core rows distinct in the BENCH artifacts.
+func TestRunPulseWorkersMini(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{sessions: 16, plays: 2, seed: 17, pulseWorkers: 2, out: &out, info: io.Discard}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkLoadgen/transport=inproc/pulse-workers=2/total") {
+		t.Fatalf("no pulse-workers total line in output:\n%s", got)
+	}
+	for _, sc := range []string{"dist-publicgoods", "dist-mining", "dist-committee"} {
+		if !strings.Contains(got, "scenario="+sc+"/") {
+			t.Fatalf("scenario %s missing from output:\n%s", sc, got)
+		}
+	}
+	cfg = config{sessions: 16, plays: 1, pulseWorkers: -1, out: io.Discard, info: io.Discard}
+	if err := run(cfg); err == nil {
+		t.Fatal("negative -pulse-workers must be rejected")
 	}
 }
 

@@ -155,6 +155,26 @@ func TestDeviationMatrix(t *testing.T) {
 		}
 	}})
 
+	// Registry-driven completeness: every catalog scenario must appear in
+	// the sweep — a new catalog entry extends the matrix automatically, and
+	// this guard trips if the sweep is ever rewritten around a hardcoded
+	// list. The two Byzantine families are asserted by name so that renaming
+	// or dropping them cannot pass silently.
+	swept := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		swept[c.game] = true
+	}
+	for _, entry := range ga.Catalog() {
+		if !swept[entry.Name] {
+			t.Errorf("catalog scenario %q is missing from the deviation matrix", entry.Name)
+		}
+	}
+	for _, name := range []string{"mining", "validator-committee"} {
+		if !swept[name] {
+			t.Errorf("Byzantine scenario %q is missing from the deviation matrix", name)
+		}
+	}
+
 	strategies := ga.DeviantStrategies()
 	for _, c := range cells {
 		for _, sch := range schemes {

@@ -19,6 +19,11 @@ type AuthICProc struct {
 	procs    []*DSProc // procs[s]: broadcast with sender s
 	done     bool
 	vector   []Value
+
+	// Reused per-pulse scratch: the demux lists and the multiplexed outbox
+	// persist across pulses so steady-state stepping does not allocate.
+	perInstance [][]sim.Message
+	outBuf      []sim.Message
 }
 
 var (
@@ -39,7 +44,8 @@ func NewAuthICProc(id, n, f int, authn *auth.Authenticator, private Value) (*Aut
 	if authn == nil {
 		return nil, fmt.Errorf("%w: nil authenticator", ErrConfig)
 	}
-	p := &AuthICProc{id: id, n: n, f: f, procs: make([]*DSProc, n)}
+	p := &AuthICProc{id: id, n: n, f: f, procs: make([]*DSProc, n),
+		perInstance: make([][]sim.Message, n)}
 	for s := 0; s < n; s++ {
 		v := DefaultValue
 		if s == id {
@@ -64,7 +70,10 @@ func AuthICTotalPulses(f int) int { return DSTotalPulses(f) }
 // Step implements sim.Process: demultiplex per-instance traffic, step every
 // broadcast, and multiplex the outboxes.
 func (p *AuthICProc) Step(pulse int, inbox []sim.Message) []sim.Message {
-	perInstance := make([][]sim.Message, p.n)
+	perInstance := p.perInstance
+	for s := range perInstance {
+		perInstance[s] = perInstance[s][:0]
+	}
 	for _, m := range inbox {
 		pl, ok := m.Payload.(authICPayload)
 		if !ok || pl.Instance < 0 || pl.Instance >= p.n {
@@ -73,7 +82,7 @@ func (p *AuthICProc) Step(pulse int, inbox []sim.Message) []sim.Message {
 		perInstance[pl.Instance] = append(perInstance[pl.Instance],
 			sim.Message{From: m.From, To: p.id, Payload: pl.Inner})
 	}
-	var out []sim.Message
+	out := p.outBuf[:0]
 	allDone := true
 	for s, ds := range p.procs {
 		msgs := ds.Step(pulse, perInstance[s])
@@ -87,6 +96,7 @@ func (p *AuthICProc) Step(pulse int, inbox []sim.Message) []sim.Message {
 			allDone = false
 		}
 	}
+	p.outBuf = out
 	if allDone && !p.done {
 		p.done = true
 		p.vector = make([]Value, p.n)

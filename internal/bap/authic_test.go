@@ -107,7 +107,7 @@ func TestAuthICEquivocatingSource(t *testing.T) {
 			if m.To%2 == 1 {
 				v = "y"
 			}
-			body := dsMessageBody(0, v)
+			body := dsMessageBody(nil, 0, v)
 			pl.Inner = dsPayload{Val: v, Chain: []dsChainLink{{Signer: 0, Tags: auths[0].Sign(body)}}}
 			m.Payload = pl
 			forged = append(forged, m)

@@ -349,7 +349,7 @@ func TestDolevStrongEquivocatingSenderYieldsDefault(t *testing.T) {
 				if m.To%2 == 1 {
 					v = "y"
 				}
-				body := dsMessageBody(0, v)
+				body := dsMessageBody(nil, 0, v)
 				chain := []dsChainLink{{Signer: 0, Tags: d.auths[0].Sign(body)}}
 				m.Payload = dsPayload{Val: v, Chain: chain}
 				forged = append(forged, m)
@@ -385,7 +385,7 @@ func TestDolevStrongForgedChainRejected(t *testing.T) {
 			return out
 		}
 		// Forge: claim the sender signed "evil" (but sign with own key).
-		body := dsMessageBody(0, "evil")
+		body := dsMessageBody(nil, 0, "evil")
 		chain := []dsChainLink{
 			{Signer: 0, Tags: d.auths[2].Sign(body)}, // forged: not 0's key
 			{Signer: 2, Tags: d.auths[2].Sign(body)},
@@ -480,5 +480,60 @@ func BenchmarkEIGRound(b *testing.B) {
 			b.Fatal(err)
 		}
 		nw.Run(Rounds(f) + 2)
+	}
+}
+
+func TestEIGTreeSizeGrowsPerRound(t *testing.T) {
+	n, f := 4, 1
+	e, err := NewEIG(0, n, f, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root only after construction; the flat layout for (4,1) has
+	// 1 + 4 + 12 = 17 slots in total.
+	if got := e.TreeSize(); got != 1 {
+		t.Fatalf("TreeSize after init = %d, want 1 (root)", got)
+	}
+	sizes := []int{e.TreeSize()}
+	procs := make([]*EIG, n)
+	for i := range procs {
+		if procs[i], err = NewEIG(i, n, f, Value(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < Rounds(f); round++ {
+		msgs := make([][]Pair, n)
+		for i, p := range procs {
+			msgs[i] = p.RoundMessages(round)
+		}
+		for _, p := range procs {
+			for from := range procs {
+				p.Absorb(round, from, msgs[from])
+			}
+			p.EndRound()
+		}
+		sizes = append(sizes, procs[0].TreeSize())
+	}
+	// All-honest full mesh fills every level: 1, then +n, then +n(n−1).
+	want := []int{1, 1 + n, 1 + n + n*(n-1)}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("tree sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestProcCorruptRecoversViaRestart(t *testing.T) {
+	// A corrupted single-instance EIG Proc must not panic on arbitrary
+	// state and must keep stepping (the ssba layer handles true
+	// self-stabilization).
+	p, err := NewProc(0, 4, 1, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(7)
+	p.Corrupt(src.Uint64)
+	for pulse := 0; pulse < 10; pulse++ {
+		_ = p.Step(pulse, nil)
 	}
 }

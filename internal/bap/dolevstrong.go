@@ -2,7 +2,7 @@ package bap
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
 	"gameauthority/internal/auth"
 	"gameauthority/internal/sim"
@@ -29,8 +29,12 @@ type dsPayload struct {
 
 // dsMessageBody returns the byte string every chain signature covers:
 // the sender id and the value (chains bind to the broadcast instance).
-func dsMessageBody(sender int, v Value) []byte {
-	return []byte(fmt.Sprintf("ds|%d|%s", sender, string(v)))
+// It appends into buf so steady-state verification reuses one buffer.
+func dsMessageBody(buf []byte, sender int, v Value) []byte {
+	buf = append(buf[:0], "ds|"...)
+	buf = strconv.AppendInt(buf, int64(sender), 10)
+	buf = append(buf, '|')
+	return append(buf, v...)
 }
 
 // DSProc is one processor's state in a Dolev–Strong broadcast with a fixed
@@ -46,6 +50,13 @@ type DSProc struct {
 	pulseNo   int
 	done      bool
 	decision  Value
+
+	// Reused verification scratch, pre-sized at construction: quiet pulses
+	// (no newly extracted value) run allocation-free, and each inbound
+	// chain is validated without a per-message signer map.
+	seenBuf []bool
+	bodyBuf []byte
+	outBuf  []sim.Message
 }
 
 var _ sim.Process = (*DSProc)(nil)
@@ -67,6 +78,8 @@ func NewDSProc(id, n, f, sender int, authn *auth.Authenticator, initial Value) (
 	return &DSProc{
 		id: id, n: n, f: f, sender: sender, authn: authn, initial: initial,
 		extracted: make(map[Value][]dsChainLink),
+		seenBuf:   make([]bool, n),
+		bodyBuf:   make([]byte, 0, 64),
 	}, nil
 }
 
@@ -99,7 +112,8 @@ func (p *DSProc) Step(pulse int, inbox []sim.Message) []sim.Message {
 			return nil
 		}
 		// Round 1: sender signs and broadcasts.
-		body := dsMessageBody(p.sender, p.initial)
+		body := dsMessageBody(p.bodyBuf, p.sender, p.initial)
+		p.bodyBuf = body
 		chain := []dsChainLink{{Signer: p.sender, Tags: p.authn.Sign(body)}}
 		p.extracted[p.initial] = chain
 		return broadcastAll(p.id, p.n, dsPayload{Val: p.initial, Chain: chain})
@@ -124,8 +138,10 @@ func (p *DSProc) Step(pulse int, inbox []sim.Message) []sim.Message {
 }
 
 // absorb validates an incoming payload at the given round: the chain must
-// have exactly `round` distinct signers beginning with the designated
-// sender, all tags valid. Valid new values are queued for relay.
+// have exactly `round` distinct in-range signers beginning with the
+// designated sender, all tags valid. Valid new values are queued for relay.
+// The signer-dedup scratch is a reused []bool, cleared link by link on the
+// way out, so rejecting Byzantine floods does not allocate.
 func (p *DSProc) absorb(pl dsPayload, round int) {
 	if len(pl.Chain) != round || round < 1 {
 		return
@@ -133,22 +149,34 @@ func (p *DSProc) absorb(pl dsPayload, round int) {
 	if pl.Chain[0].Signer != p.sender {
 		return
 	}
-	seen := make(map[int]bool, len(pl.Chain))
-	body := dsMessageBody(p.sender, pl.Val)
+	body := dsMessageBody(p.bodyBuf, p.sender, pl.Val)
+	p.bodyBuf = body
+	valid := 0
+	selfSigned := false
 	for _, link := range pl.Chain {
-		if seen[link.Signer] {
-			return // duplicate signer
+		if link.Signer < 0 || link.Signer >= p.n || p.seenBuf[link.Signer] {
+			break // out-of-range or duplicate signer
 		}
-		seen[link.Signer] = true
 		if err := p.authn.Verify(link.Signer, body, link.Tags); err != nil {
-			return
+			break
 		}
+		p.seenBuf[link.Signer] = true
+		if link.Signer == p.id {
+			selfSigned = true
+		}
+		valid++
+	}
+	for _, link := range pl.Chain[:valid] {
+		p.seenBuf[link.Signer] = false
+	}
+	if valid != len(pl.Chain) {
+		return
 	}
 	if _, known := p.extracted[pl.Val]; known {
 		return
 	}
 	p.extracted[pl.Val] = pl.Chain
-	if !seen[p.id] {
+	if !selfSigned {
 		// Queue for relay with our signature.
 		chain := append(append([]dsChainLink(nil), pl.Chain...),
 			dsChainLink{Signer: p.id, Tags: p.authn.Sign(body)})
@@ -156,16 +184,20 @@ func (p *DSProc) absorb(pl dsPayload, round int) {
 	}
 }
 
-// flushRelays emits queued relays to everyone.
+// flushRelays emits queued relays to everyone, reusing the outbox buffer
+// (the network copies messages out before the next pulse's flush).
 func (p *DSProc) flushRelays() []sim.Message {
 	if len(p.relayQ) == 0 {
 		return nil
 	}
-	var out []sim.Message
+	out := p.outBuf[:0]
 	for _, pl := range p.relayQ {
-		out = append(out, broadcastAll(p.id, p.n, pl)...)
+		for to := 0; to < p.n; to++ {
+			out = append(out, sim.Message{From: p.id, To: to, Payload: pl})
+		}
 	}
-	p.relayQ = nil
+	p.relayQ = p.relayQ[:0]
+	p.outBuf = out
 	return out
 }
 
@@ -180,15 +212,6 @@ func (p *DSProc) decide() {
 		return
 	}
 	p.decision = DefaultValue
-	// Deterministic documentation of the conflict set (sorted) could be
-	// logged; the decision itself is the default value.
-	if len(p.extracted) > 1 {
-		vals := make([]string, 0, len(p.extracted))
-		for v := range p.extracted {
-			vals = append(vals, string(v))
-		}
-		sort.Strings(vals)
-	}
 }
 
 // Done and Decision expose the outcome.

@@ -3,7 +3,7 @@ package bap
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // Value is an agreement value. Protocol payloads are canonically encoded
@@ -22,13 +22,100 @@ var (
 // Rounds returns the number of communication rounds EIG needs: f+1.
 func Rounds(f int) int { return f + 1 }
 
+// eigLayout is the shared, immutable shape of the EIG tree for one (n, f)
+// pair: every distinct-processor label up to length f+1, enumerated level
+// by level in lexicographic order, with precomputed label strings, a
+// label→index map (string lookups on a prebuilt map do not allocate), and
+// per-node child tables. Building it costs one burst of allocations; it is
+// cached process-wide so every EIG instance at the same (n, f) shares it —
+// the instance state shrinks to flat value/seen arrays over these indices,
+// which is what makes the per-pulse protocol work allocation-free.
+type eigLayout struct {
+	n, f       int
+	labels     []string         // node index → label path
+	index      map[string]int32 // label → node index
+	levelStart []int32          // level L occupies [levelStart[L], levelStart[L+1])
+	child      [][]int32        // node index → per-processor child index (-1: none)
+}
+
+var layoutCache sync.Map // [2]int{n, f} → *eigLayout
+
+// layoutFor returns the cached layout for (n, f), building it on first use.
+func layoutFor(n, f int) *eigLayout {
+	key := [2]int{n, f}
+	if v, ok := layoutCache.Load(key); ok {
+		return v.(*eigLayout)
+	}
+	lay := buildLayout(n, f)
+	actual, _ := layoutCache.LoadOrStore(key, lay)
+	return actual.(*eigLayout)
+}
+
+// buildLayout enumerates the distinct-id labels level by level. Within a
+// level, parents are visited in index (= lexicographic) order and children
+// appended in processor order, so same-length labels are lexicographically
+// sorted by construction — RoundMessages inherits sortedness for free.
+func buildLayout(n, f int) *eigLayout {
+	lay := &eigLayout{n: n, f: f, index: make(map[string]int32)}
+	lay.labels = append(lay.labels, "")
+	lay.index[""] = 0
+	lay.levelStart = append(lay.levelStart, 0, 1)
+	for level := 0; level <= f; level++ {
+		for i := lay.levelStart[level]; i < lay.levelStart[level+1]; i++ {
+			label := lay.labels[i]
+			for j := 0; j < n; j++ {
+				if labelContains(label, j) {
+					continue
+				}
+				child := label + string(byte(j))
+				lay.index[child] = int32(len(lay.labels))
+				lay.labels = append(lay.labels, child)
+			}
+		}
+		lay.levelStart = append(lay.levelStart, int32(len(lay.labels)))
+	}
+	lay.child = make([][]int32, len(lay.labels))
+	flat := make([]int32, len(lay.labels)*n)
+	for i := range flat {
+		flat[i] = -1
+	}
+	for i, label := range lay.labels {
+		lay.child[i] = flat[i*n : (i+1)*n]
+		if len(label) > f {
+			continue // leaves have no children
+		}
+		for j := 0; j < n; j++ {
+			if labelContains(label, j) {
+				continue
+			}
+			lay.child[i][j] = lay.index[label+string(byte(j))]
+		}
+	}
+	return lay
+}
+
+// nodes returns the total node count.
+func (l *eigLayout) nodes() int { return len(l.labels) }
+
+// level returns the [start, end) node range of one tree level.
+func (l *eigLayout) level(lv int) (int32, int32) {
+	return l.levelStart[lv], l.levelStart[lv+1]
+}
+
 // EIG is one processor's state in a single EIG agreement instance.
 // It is a pure state machine: the caller moves messages between instances
 // (the sim adapter in process.go does this over a Network).
+//
+// State is a pair of flat arrays indexed by the shared layout — no maps,
+// no per-round allocation: Absorb, RoundMessages (via AppendRoundMessages)
+// and EndRound run allocation-free once the instance exists.
 type EIG struct {
 	id, n, f int
 	round    int // completed rounds
-	tree     map[string]Value
+	lay      *eigLayout
+	vals     []Value // node index → stored value
+	set      []bool  // node index → value present
+	res      []Value // resolve scratch (bottom-up majorities)
 	decided  bool
 	decision Value
 }
@@ -49,8 +136,30 @@ func NewEIG(id, n, f int, initial Value) (*EIG, error) {
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("%w: id=%d out of range", ErrConfig, id)
 	}
-	e := &EIG{id: id, n: n, f: f, tree: map[string]Value{"": initial}}
+	e := &EIG{id: id, n: n, f: f, lay: layoutFor(n, f)}
+	nodes := e.lay.nodes()
+	e.vals = make([]Value, nodes)
+	e.set = make([]bool, nodes)
+	e.res = make([]Value, nodes)
+	e.Reset(initial)
 	return e, nil
+}
+
+// Reset rewinds the instance to a fresh agreement on initial, reusing all
+// backing arrays (no allocation). Composition layers that run one agreement
+// per phase (the distributed driver's IC) reset instead of reallocating.
+func (e *EIG) Reset(initial Value) {
+	for i := range e.set {
+		e.set[i] = false
+	}
+	for i := range e.vals {
+		e.vals[i] = DefaultValue
+	}
+	e.round = 0
+	e.decided = false
+	e.decision = DefaultValue
+	e.vals[0] = initial
+	e.set[0] = true
 }
 
 // labelContains reports whether the label path includes processor j.
@@ -65,23 +174,46 @@ func labelContains(label string, j int) bool {
 
 // RoundMessages returns the pairs processor id must broadcast in the given
 // round (0-based): all tree nodes at level == round whose label does not
-// contain id. Every processor receives the same pairs (honest behaviour).
+// contain id, in label order. Every processor receives the same pairs
+// (honest behaviour).
 func (e *EIG) RoundMessages(round int) []Pair {
-	var out []Pair
-	for label, val := range e.tree {
-		if len(label) != round || labelContains(label, e.id) {
+	return e.AppendRoundMessages(round, nil)
+}
+
+// AppendRoundMessages is RoundMessages into a caller-owned buffer: pairs
+// are appended to dst and the extended slice returned. With a pre-sized
+// buffer the call does not allocate.
+func (e *EIG) AppendRoundMessages(round int, dst []Pair) []Pair {
+	if round < 0 || round > e.f+1 {
+		return dst
+	}
+	start, end := e.lay.level(round)
+	for i := start; i < end; i++ {
+		if !e.set[i] || labelContains(e.lay.labels[i], e.id) {
 			continue
 		}
-		out = append(out, Pair{Label: label, Val: val})
+		dst = append(dst, Pair{Label: e.lay.labels[i], Val: e.vals[i]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
-	return out
+	return dst
+}
+
+// MaxRoundPairs returns an upper bound on the pairs AppendRoundMessages
+// can produce in any single round — the widest tree level. Callers size
+// their reusable buffers with it.
+func (e *EIG) MaxRoundPairs() int {
+	max := 0
+	for lv := 0; lv < len(e.lay.levelStart)-1; lv++ {
+		if w := int(e.lay.levelStart[lv+1] - e.lay.levelStart[lv]); w > max {
+			max = w
+		}
+	}
+	return max
 }
 
 // Absorb ingests the pairs received from processor `from` in the given
-// round: pair (L, v) becomes tree[L·from] provided the label has the right
-// level, does not already contain `from`, and does not contain this
-// processor (nodes through own id are redundant).
+// round: pair (L, v) becomes node L·from provided the label has the right
+// level and does not already contain `from`. First writer wins; labels
+// outside the distinct-processor tree (Byzantine garbage) are dropped.
 func (e *EIG) Absorb(round, from int, pairs []Pair) {
 	if from < 0 || from >= e.n {
 		return
@@ -90,14 +222,16 @@ func (e *EIG) Absorb(round, from int, pairs []Pair) {
 		if len(p.Label) != round || labelContains(p.Label, from) {
 			continue
 		}
-		child := p.Label + string(byte(from))
-		if len(child) > e.f+1 {
+		idx, ok := e.lay.index[p.Label]
+		if !ok {
 			continue
 		}
-		if _, exists := e.tree[child]; exists {
-			continue // first writer wins; duplicates from a liar are ignored
+		child := e.lay.child[idx][from]
+		if child < 0 || e.set[child] {
+			continue // leaf level, or first writer already won
 		}
-		e.tree[child] = p.Val
+		e.vals[child] = p.Val
+		e.set[child] = true
 	}
 }
 
@@ -106,7 +240,7 @@ func (e *EIG) Absorb(round, from int, pairs []Pair) {
 func (e *EIG) EndRound() {
 	e.round++
 	if e.round >= Rounds(e.f) && !e.decided {
-		e.decision = e.resolve("")
+		e.decision = e.resolve()
 		e.decided = true
 	}
 }
@@ -122,51 +256,88 @@ func (e *EIG) Decision() (Value, error) {
 	return e.decision, nil
 }
 
-// resolve computes the recursive majority ("resolve") of the EIG tree.
-func (e *EIG) resolve(label string) Value {
-	if len(label) == e.f+1 {
-		if v, ok := e.tree[label]; ok {
-			return v
-		}
-		return DefaultValue
-	}
-	counts := make(map[Value]int)
-	children := 0
-	for j := 0; j < e.n; j++ {
-		if labelContains(label, j) {
-			continue
-		}
-		children++
-		counts[e.resolve(label+string(byte(j)))]++
-	}
-	if children == 0 {
-		if v, ok := e.tree[label]; ok {
-			return v
-		}
-		return DefaultValue
-	}
-	// Strict majority, with deterministic tie handling (default).
-	for v, c := range counts {
-		if 2*c > children {
-			return v
+// resolve computes the recursive majority ("resolve") of the EIG tree,
+// bottom-up over the flat layout: leaves resolve to their stored value (or
+// the default), inner nodes to the strict majority of their children's
+// resolutions. A strict majority is unique, so the pairwise count below is
+// order-independent and needs no map.
+func (e *EIG) resolve() Value {
+	start, end := e.lay.level(e.f + 1)
+	for i := start; i < end; i++ {
+		if e.set[i] {
+			e.res[i] = e.vals[i]
+		} else {
+			e.res[i] = DefaultValue
 		}
 	}
-	return DefaultValue
+	for lv := e.f; lv >= 0; lv-- {
+		start, end := e.lay.level(lv)
+		for i := start; i < end; i++ {
+			children := e.lay.child[i]
+			total := 0
+			for j := 0; j < e.n; j++ {
+				if children[j] >= 0 {
+					total++
+				}
+			}
+			if total == 0 {
+				if e.set[i] {
+					e.res[i] = e.vals[i]
+				} else {
+					e.res[i] = DefaultValue
+				}
+				continue
+			}
+			e.res[i] = DefaultValue
+			for j := 0; j < e.n; j++ {
+				if children[j] < 0 {
+					continue
+				}
+				v := e.res[children[j]]
+				count := 0
+				for k := 0; k < e.n; k++ {
+					if children[k] >= 0 && e.res[children[k]] == v {
+						count++
+					}
+				}
+				if 2*count > total {
+					e.res[i] = v
+					break
+				}
+			}
+		}
+	}
+	return e.res[0]
 }
 
 // TreeSize returns the number of stored tree nodes (for overhead metrics).
-func (e *EIG) TreeSize() int { return len(e.tree) }
+func (e *EIG) TreeSize() int {
+	size := 0
+	for _, s := range e.set {
+		if s {
+			size++
+		}
+	}
+	return size
+}
 
 // Corrupt scrambles the instance's internal state (transient fault model):
-// random round counter, garbage tree entries, arbitrary decision flag.
+// random round counter, garbage values, arbitrary decision flag.
 func (e *EIG) Corrupt(entropy func() uint64) {
 	e.round = int(entropy() % uint64(e.f+2))
 	e.decided = entropy()&1 == 0
 	e.decision = Value(fmt.Sprintf("garbage-%d", entropy()%97))
-	e.tree = map[string]Value{"": e.decision}
+	for i := range e.set {
+		e.set[i] = false
+	}
+	e.vals[0] = e.decision
+	e.set[0] = true
 	// A few arbitrary nodes.
 	for i := uint64(0); i < entropy()%5; i++ {
 		j := byte(entropy() % uint64(e.n))
-		e.tree[string(j)] = Value(fmt.Sprintf("junk-%d", entropy()%31))
+		if idx, ok := e.lay.index[string(j)]; ok {
+			e.vals[idx] = Value(fmt.Sprintf("junk-%d", entropy()%31))
+			e.set[idx] = true
+		}
 	}
 }

@@ -26,9 +26,12 @@ type Clock struct {
 	// (true in the synchronized regime); exposed for diagnostics.
 	lastQuorum bool
 
-	// pending accumulates one vote per sender between Vote and Tick.
-	pending     map[int]int
-	pendingSeen map[int]bool
+	// Vote accumulators, pre-sized at construction so the per-pulse
+	// Vote/Tick cycle never allocates: votes counts ballots per clock value,
+	// voted marks senders already heard this pulse.
+	votes  []int
+	voted  []bool
+	nvotes int
 }
 
 var (
@@ -48,7 +51,12 @@ func New(id, n, f, m int, seed uint64) (*Clock, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("%w: m=%d", ErrConfig, m)
 	}
-	return &Clock{id: id, n: n, f: f, m: m, src: prng.Derive(seed, 0xC10C, uint64(id))}, nil
+	return &Clock{
+		id: id, n: n, f: f, m: m,
+		src:   prng.Derive(seed, 0xC10C, uint64(id)),
+		votes: make([]int, m),
+		voted: make([]bool, n),
+	}, nil
 }
 
 // ID implements sim.Process.
@@ -80,52 +88,51 @@ func (c *Clock) Step(pulse int, inbox []sim.Message) []sim.Message {
 // range). Composition layers (ssba, the authority) call Vote/Tick directly
 // when they multiplex clock votes into their own message types.
 func (c *Clock) Vote(from, value int) {
-	if c.pending == nil {
-		c.pending = make(map[int]int, c.n)
-		c.pendingSeen = make(map[int]bool, c.n)
-	}
-	if c.pendingSeen[from] {
+	if from < 0 || from >= c.n || c.voted[from] {
 		return
 	}
-	c.pendingSeen[from] = true
+	c.voted[from] = true
 	v := ((value % c.m) + c.m) % c.m
-	c.pending[v]++
+	c.votes[v]++
+	c.nvotes++
 }
 
 // Tick applies the quorum/coin update rule to the votes collected since the
 // last Tick and resets the collection. With no votes the clock is left
 // unchanged (no information to act on). It returns the new value.
 func (c *Clock) Tick() int {
-	if len(c.pending) > 0 {
-		c.update(c.pending)
+	if c.nvotes > 0 {
+		c.update()
+		for i := range c.votes {
+			c.votes[i] = 0
+		}
+		for i := range c.voted {
+			c.voted[i] = false
+		}
+		c.nvotes = 0
 	}
-	c.pending = nil
-	c.pendingSeen = nil
 	return c.value
 }
 
-// update applies the quorum/coin rule to one pulse's votes.
-func (c *Clock) update(votes map[int]int) {
+// update applies the quorum/coin rule to one pulse's votes. Both rules scan
+// values in ascending order, so "smallest wins" ties need no sorting.
+func (c *Clock) update() {
 	quorum := c.n - c.f
 	// Quorum rule (unique candidate for n > 3f; take smallest for
 	// determinism against malformed vote multisets).
-	best := -1
-	for v, count := range votes {
-		if count >= quorum && (best < 0 || v < best) {
-			best = v
+	for v := 0; v < c.m; v++ {
+		if c.votes[v] >= quorum {
+			c.value = (v + 1) % c.m
+			c.lastQuorum = true
+			return
 		}
-	}
-	if best >= 0 {
-		c.value = (best + 1) % c.m
-		c.lastQuorum = true
-		return
 	}
 	c.lastQuorum = false
 	// Coin rule: plurality (ties toward smallest value) or reset.
 	w, wCount := 0, -1
-	for v, count := range votes {
-		if count > wCount || (count == wCount && v < w) {
-			w, wCount = v, count
+	for v := 0; v < c.m; v++ {
+		if c.votes[v] > 0 && c.votes[v] > wCount {
+			w, wCount = v, c.votes[v]
 		}
 	}
 	if c.src.Bool() {

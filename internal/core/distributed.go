@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"gameauthority/internal/audit"
 	"gameauthority/internal/bap"
@@ -82,27 +81,37 @@ type DistProcessor struct {
 	phaseLen int
 	m        int
 
-	ic        *bap.ICProc
+	// ic is the allocation-free interactive-consistency engine, built once
+	// at construction and Reset at every phase start; icActive gates it
+	// (replacing the old throwaway-ICProc-per-phase, where nil meant idle).
+	ic        *bap.IC
+	icActive  bool
 	icPhase   distPhase
 	icPulse   int
 	completed [numPhases]bool
 
-	// Reused per-pulse buffers (see Step): the outbox and inner-message
-	// scratch are recycled every pulse; the message slab and per-dest
-	// payload lists rotate over slabRounds pulses so in-flight pointers
-	// are never overwritten.
-	outBuf   []sim.Message
-	innerBuf []sim.Message
-	slabs    [slabRounds][]distMsg
-	destBuf  [slabRounds][][]any
+	// Reused per-pulse buffers (see Step): the outbox and the buffered
+	// inner-payload scratch are recycled every pulse; the carrier-message
+	// slab rotates over slabRounds pulses so in-flight pointers are never
+	// overwritten. All destinations share one inner payload list per pulse
+	// (IC broadcasts are identical to every destination).
+	outBuf    []sim.Message
+	innerPay  []any
+	innerFrom []int
+	slabs     [slabRounds][]distMsg
 
-	// Per-play working state (agreed evidence).
-	prev      game.Profile
-	round     int
-	myOpening commit.Opening
-	digests   []commit.Digest
-	openings  []commit.Opening
-	revealed  []bool
+	// Per-play working state (agreed evidence), pre-sized at construction;
+	// haveDigests/haveOpenings flag which phases have produced evidence
+	// since the last play (or corruption).
+	prev         game.Profile
+	round        int
+	myOpening    commit.Opening
+	digests      []commit.Digest
+	openings     []commit.Opening
+	revealed     []bool
+	haveDigests  bool
+	haveOpenings bool
+	convicted    []bool
 
 	results []DistRound
 }
@@ -144,10 +153,25 @@ func NewDistProcessor(id, n, f int, g game.Game, behavior *Agent, scheme punish.
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	return &DistProcessor{
+	ic, err := bap.NewIC(id, n, f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	p := &DistProcessor{
 		id: id, n: n, f: f, g: g, behavior: behavior, scheme: scheme, seed: seed,
-		clock: clock, phaseLen: bap.TotalPulses(f), m: m,
-	}, nil
+		clock: clock, phaseLen: bap.TotalPulses(f), m: m, ic: ic,
+		outBuf:    make([]sim.Message, 0, n),
+		innerPay:  make([]any, 0, n*n),
+		innerFrom: make([]int, 0, n*n),
+		digests:   make([]commit.Digest, n),
+		openings:  make([]commit.Opening, n),
+		revealed:  make([]bool, n),
+		convicted: make([]bool, n),
+	}
+	for i := range p.slabs {
+		p.slabs[i] = make([]distMsg, 0, n)
+	}
+	return p, nil
 }
 
 // ID implements sim.Process.
@@ -182,70 +206,65 @@ func (p *DistProcessor) Excluded(agent int) bool { return p.scheme.Excluded(agen
 
 // Step implements sim.Process.
 func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
-	// 1. Split inbox into clock votes and phase traffic.
-	inner := p.innerBuf[:0]
+	// 1. Split inbox into clock votes and phase traffic. Inner payloads
+	// are buffered, not delivered: whether they count must be decided
+	// against the schedule the post-Tick clock implies (a stale-phase
+	// message discarded here and one absorbed after a phase restart would
+	// otherwise diverge under Byzantine clock chaos).
+	innerPay := p.innerPay[:0]
+	innerFrom := p.innerFrom[:0]
 	for _, m := range inbox {
 		msg, ok := m.Payload.(*distMsg)
 		if !ok {
 			continue
 		}
 		p.clock.Vote(m.From, msg.Tick)
-		if msg.HasInner && p.ic != nil && msg.Phase == p.icPhase {
+		if msg.HasInner && p.icActive && msg.Phase == p.icPhase {
 			for _, payload := range msg.Inner {
-				inner = append(inner, sim.Message{From: m.From, To: p.id, Payload: payload})
+				innerPay = append(innerPay, payload)
+				innerFrom = append(innerFrom, m.From)
 			}
 		}
 	}
-	p.innerBuf = inner
+	p.innerPay = innerPay
+	p.innerFrom = innerFrom
 	v := p.clock.Tick()
 
 	// 2. Map the clock value onto (phase, relative pulse). Values 0 and
 	// M-1 are the wrap slack with no protocol activity.
 	phase, rel, active := p.locate(v)
 
-	var out []sim.Message
+	var out []any
 	if active {
 		if rel == 0 {
 			p.startPhase(phase, pulse)
 		}
-		if p.ic != nil && p.icPhase == phase {
-			out = p.ic.Step(p.icPulse, inner)
+		if p.icActive && p.icPhase == phase {
+			for i, payload := range innerPay {
+				p.ic.Deliver(innerFrom[i], payload)
+			}
+			var done bool
+			out, done = p.ic.EndPulse(pulse)
 			p.icPulse++
-			if p.ic.Done() {
-				p.finishPhase(phase, p.ic.Vector(), pulse)
-				p.ic = nil
+			if done {
+				p.finishPhase(phase, p.ic.VectorRef(), pulse)
+				p.icActive = false
 			}
 		}
 	}
 
-	// 3. Broadcast combined payload. The IC outbox holds one message per
-	// (instance, destination) pair; group them all per destination in the
-	// rotating per-dest lists, then box one slab-backed *distMsg per
-	// destination. Slabs rotate over slabRounds pulses so messages still
-	// in transit are never overwritten.
+	// 3. Broadcast combined payload: one slab-backed *distMsg per
+	// destination, all sharing the engine's inner payload list for this
+	// pulse. Slabs rotate over slabRounds pulses so messages still in
+	// transit are never overwritten.
 	slabIdx := pulse % slabRounds
-	if p.destBuf[slabIdx] == nil {
-		p.destBuf[slabIdx] = make([][]any, p.n)
-	}
-	perDest := p.destBuf[slabIdx]
-	for to := range perDest {
-		perDest[to] = perDest[to][:0]
-	}
-	for _, m := range out {
-		if m.To >= 0 && m.To < p.n {
-			perDest[m.To] = append(perDest[m.To], m.Payload)
-		}
-	}
 	slab := p.slabs[slabIdx][:0]
-	if cap(slab) < p.n {
-		slab = make([]distMsg, 0, p.n)
-	}
 	msgs := p.outBuf[:0]
 	tick := p.clock.Value()
 	for to := 0; to < p.n; to++ {
 		dm := distMsg{Tick: tick, Phase: p.icPhase}
-		if payloads := perDest[to]; len(payloads) > 0 {
-			dm.Inner = payloads
+		if len(out) > 0 {
+			dm.Inner = out
 			dm.HasInner = true
 		}
 		slab = append(slab, dm)
@@ -269,12 +288,8 @@ func (p *DistProcessor) locate(v int) (distPhase, int, bool) {
 // this processor's private value.
 func (p *DistProcessor) startPhase(phase distPhase, pulse int) {
 	private := p.privateValue(phase, pulse)
-	ic, err := bap.NewICProc(p.id, p.n, p.f, private)
-	if err != nil {
-		p.ic = nil // configuration was validated; only corruption gets here
-		return
-	}
-	p.ic = ic
+	p.ic.Reset(private)
+	p.icActive = true
 	p.icPhase = phase
 	p.icPulse = 0
 	p.completed[phase] = false
@@ -341,16 +356,21 @@ func (p *DistProcessor) finishPhase(phase distPhase, vector []bap.Value, pulse i
 		}
 
 	case phaseCommit:
-		p.digests = make([]commit.Digest, p.n)
+		for i := range p.digests {
+			p.digests[i] = commit.Digest{}
+		}
 		for i, v := range vector {
 			if d, err := DecodeDigest(string(v)); err == nil {
 				p.digests[i] = d
 			}
 		}
+		p.haveDigests = true
 
 	case phaseReveal:
-		p.openings = make([]commit.Opening, p.n)
-		p.revealed = make([]bool, p.n)
+		for i := range p.openings {
+			p.openings[i] = commit.Opening{}
+			p.revealed[i] = false
+		}
 		for i, v := range vector {
 			if v == "" {
 				continue
@@ -360,6 +380,7 @@ func (p *DistProcessor) finishPhase(phase distPhase, vector []bap.Value, pulse i
 				p.revealed[i] = true
 			}
 		}
+		p.haveOpenings = true
 
 	case phaseVerdict:
 		p.finishPlay(vector, pulse)
@@ -370,7 +391,7 @@ func (p *DistProcessor) finishPhase(phase distPhase, vector []bap.Value, pulse i
 // pure function of Byzantine-agreed data, so every honest processor
 // computes the same verdict.
 func (p *DistProcessor) localAudit() (audit.Verdict, game.Profile, error) {
-	if p.digests == nil || p.openings == nil || p.revealed == nil {
+	if !p.haveDigests || !p.haveOpenings {
 		return audit.Verdict{}, nil, fmt.Errorf("%w: no evidence", ErrConfig)
 	}
 	ev := audit.PlayEvidence{
@@ -411,15 +432,17 @@ func (p *DistProcessor) finishPlay(verdictVector []bap.Value, pulse int) {
 	}
 	_ = verdict
 	outcome := make(game.Profile, p.n)
-	convicted := make(map[int]bool, len(guilty))
+	for i := range p.convicted {
+		p.convicted[i] = false
+	}
 	for _, id := range guilty {
 		if id >= 0 && id < p.n {
-			convicted[id] = true
+			p.convicted[id] = true
 			_ = p.scheme.Punish(id, p.round, 1)
 		}
 	}
 	for i := 0; i < p.n; i++ {
-		if actions[i] >= 0 && !convicted[i] && !p.scheme.Excluded(i) {
+		if actions[i] >= 0 && !p.convicted[i] && !p.scheme.Excluded(i) {
 			outcome[i] = actions[i]
 			continue
 		}
@@ -431,7 +454,7 @@ func (p *DistProcessor) finishPlay(verdictVector []bap.Value, pulse int) {
 	p.results = append(p.results, DistRound{Pulse: pulse, Outcome: outcome, Guilty: guilty})
 	p.prev = outcome
 	p.round++
-	p.digests, p.openings, p.revealed = nil, nil, nil
+	p.haveDigests, p.haveOpenings = false, false
 }
 
 // Corrupt implements sim.Corruptible: scrambles every piece of state the
@@ -439,11 +462,11 @@ func (p *DistProcessor) finishPlay(verdictVector []bap.Value, pulse int) {
 // (see the package comment on the §4 executive remark).
 func (p *DistProcessor) Corrupt(entropy func() uint64) {
 	p.clock.Corrupt(entropy)
-	p.ic = nil
+	p.icActive = false
 	p.icPulse = int(entropy() % 7)
 	p.icPhase = distPhase(entropy() % uint64(numPhases))
 	p.round = int(entropy() % 13)
-	p.digests, p.openings, p.revealed = nil, nil, nil
+	p.haveDigests, p.haveOpenings = false, false
 	if entropy()&1 == 0 {
 		garbage := make(game.Profile, p.n)
 		for i := range garbage {
@@ -464,20 +487,19 @@ func majorityValue(vector []bap.Value) bap.Value {
 	return v
 }
 
+// majorityWithCount is mapless (vectors are n-sized, so the quadratic count
+// is cheaper than a map and allocation-free on the play hot path).
 func majorityWithCount(vector []bap.Value) (bap.Value, int) {
-	counts := make(map[bap.Value]int, len(vector))
-	for _, v := range vector {
-		counts[v]++
-	}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, string(k))
-	}
-	sort.Strings(keys)
 	best, bestCount := bap.Value(""), -1
-	for _, k := range keys {
-		if c := counts[bap.Value(k)]; c > bestCount {
-			best, bestCount = bap.Value(k), c
+	for _, v := range vector {
+		c := 0
+		for _, w := range vector {
+			if w == v {
+				c++
+			}
+		}
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
 		}
 	}
 	return best, bestCount

@@ -284,6 +284,129 @@ func CoordinationN(n, k int) (*TableGame, error) {
 	return t, nil
 }
 
+// MiningGame returns the longest-chain fork-choice race as an n-player
+// game: each miner either extends the public head (action 0) or backs a
+// competing fork (action 1). The fork wins only with a strict majority of
+// hash power (ties resolve to the incumbent chain). Each miner pays unit
+// mining cost; winners recoup an equal share of the block reward, so a
+// winning-side miner pays 1 − 1/v where v miners share the win, and losers
+// pay the full 1. A successful fork additionally charges every miner the
+// reorg cost (stale confirmations, replayed state) — the externality that
+// separates the two consensus outcomes.
+//
+// Equilibrium structure: for n ≥ 3 the PNEs are exactly all-extend and
+// all-fork — any split leaves a losing miner who strictly gains by joining
+// the winning side, while leaving unanimity strands the deviator on a
+// losing one-miner chain. All-extend is the social optimum at cost n−1;
+// all-fork adds n·reorg, so PoA = 1 + n·reorg/(n−1) and PoS = 1.
+func MiningGame(n int, reorg float64) (*TableGame, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: mining needs n ≥ 3 miners (at n = 2 all-fork is not a PNE)", ErrProfileShape)
+	}
+	if reorg <= 0 || math.IsNaN(reorg) || math.IsInf(reorg, 0) {
+		return nil, fmt.Errorf("%w: reorg cost %v (want finite > 0)", ErrProfileShape, reorg)
+	}
+	shape := make([]int, n)
+	for i := range shape {
+		shape[i] = 2
+	}
+	t, err := NewTableGame("mining", shape)
+	if err != nil {
+		return nil, err
+	}
+	t.Fill(func(player int, p Profile) float64 {
+		forkers := 0
+		for _, a := range p {
+			forkers += a
+		}
+		extenders := n - forkers
+		forkWins := forkers > extenders
+		cost := 1.0
+		if (p[player] == 1) == forkWins { // winning side shares the reward
+			winners := extenders
+			if forkWins {
+				winners = forkers
+			}
+			cost -= 1 / float64(winners)
+		}
+		if forkWins {
+			cost += reorg
+		}
+		return cost
+	})
+	return t, nil
+}
+
+// ValidatorCommittee returns committee attestation voting as an n-player
+// game: each validator attests to the canonical block (action 0) or a
+// competing stale block (action 1). A side is finalized when it reaches
+// the ⌊2n/3⌋+1 quorum — the interactive-consistency threshold, so at most
+// one side can finalize. Every validator pays unit participation cost;
+// attesting stale adds the intrinsic staleness cost; once a side is
+// finalized every validator on the other side is slashed. If neither side
+// reaches quorum, everyone pays the missed-finality penalty of 2, relieved
+// by v/n where v is the size of the validator's own faction — larger
+// factions are closer to finalizing, which makes every stalemate
+// escapable by a single switch.
+//
+// Equilibrium structure: for n ≥ 2 and 0 < stale < slash the PNEs are
+// exactly the two consensus profiles. Dissent under a finalized side costs
+// the slash; in a stalemate one of the two switch directions always
+// strictly pays (the faction-size relief terms cannot both be unprofitable
+// at once). All-canonical is the social optimum at cost n; all-stale adds
+// stale per validator, so PoA = 1 + stale and PoS = 1.
+func ValidatorCommittee(n int, slash, stale float64) (*TableGame, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: committee needs n ≥ 2 validators", ErrProfileShape)
+	}
+	if math.IsNaN(slash) || math.IsInf(slash, 0) || math.IsNaN(stale) || math.IsInf(stale, 0) {
+		return nil, fmt.Errorf("%w: non-finite committee parameter", ErrProfileShape)
+	}
+	if !(0 < stale && stale < slash) {
+		return nil, fmt.Errorf("%w: want 0 < stale < slash, got stale=%v slash=%v",
+			ErrProfileShape, stale, slash)
+	}
+	const missedFinality = 2.0
+	quorum := 2*n/3 + 1
+	shape := make([]int, n)
+	for i := range shape {
+		shape[i] = 2
+	}
+	t, err := NewTableGame("validator-committee", shape)
+	if err != nil {
+		return nil, err
+	}
+	t.Fill(func(player int, p Profile) float64 {
+		staleVotes := 0
+		for _, a := range p {
+			staleVotes += a
+		}
+		canonVotes := n - staleVotes
+		cost := 1.0
+		if p[player] == 1 {
+			cost += stale
+		}
+		switch {
+		case canonVotes >= quorum:
+			if p[player] == 1 {
+				cost += slash
+			}
+		case staleVotes >= quorum:
+			if p[player] == 0 {
+				cost += slash
+			}
+		default:
+			faction := canonVotes
+			if p[player] == 1 {
+				faction = staleVotes
+			}
+			cost += missedFinality - float64(faction)/float64(n)
+		}
+		return cost
+	})
+	return t, nil
+}
+
 // CatalogEntry describes one scenario family the repo can generate at any
 // size: a registry name, a sizing rule, a builder, and the equilibrium
 // structure the family guarantees (what the catalog tests pin down).
@@ -355,6 +478,12 @@ func Catalog() []CatalogEntry {
 			Equilibrium: "winner bids ~second-highest value on the discrete grid",
 		},
 		{
+			Name:        "mining",
+			Players:     atLeast(3),
+			Build:       func(n int) (Game, error) { return MiningGame(n, 0.5) },
+			Equilibrium: "PNEs are exactly all-extend and all-fork; PoA = 1 + n·reorg/(n−1), PoS = 1",
+		},
+		{
 			Name:        "minority",
 			Players:     func(n int) int { n = atLeast(3)(n); return n | 1 },
 			Build:       func(n int) (Game, error) { return MinorityGame(n) },
@@ -383,6 +512,12 @@ func Catalog() []CatalogEntry {
 				return SecondPriceAuction(values, auctionGrid(n))
 			},
 			Equilibrium: "truthful bidding is weakly dominant; truthful profile is a PNE",
+		},
+		{
+			Name:        "validator-committee",
+			Players:     atLeast(2),
+			Build:       func(n int) (Game, error) { return ValidatorCommittee(n, 4, 0.5) },
+			Equilibrium: "PNEs are exactly the two consensus attestations; PoA = 1 + stale, PoS = 1",
 		},
 	}
 }

@@ -320,6 +320,99 @@ func TestCoordinationNEquilibria(t *testing.T) {
 	}
 }
 
+func TestMiningGameEquilibria(t *testing.T) {
+	const reorg = 0.5
+	for _, n := range []int{3, 4, 5} {
+		g, err := MiningGame(n, reorg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pnes, err := PureNashEquilibria(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly the two unanimity profiles: every split leaves a losing
+		// miner who profits by joining the winning chain.
+		if len(pnes) != 2 {
+			t.Fatalf("n=%d: mining has %d PNEs (%v), want all-extend and all-fork", n, len(pnes), pnes)
+		}
+		allExtend := make(Profile, n)
+		allFork := make(Profile, n)
+		for i := range allFork {
+			allFork[i] = 1
+		}
+		if !IsPureNash(g, allExtend) || !IsPureNash(g, allFork) {
+			t.Fatalf("n=%d: unanimity profiles must both be PNEs", n)
+		}
+		for _, p := range pnes {
+			for _, a := range p {
+				if a != p[0] {
+					t.Fatalf("n=%d: non-unanimous PNE %v", n, p)
+				}
+			}
+		}
+		poa, pos := poaPos(t, g)
+		wantPoA := 1 + float64(n)*reorg/float64(n-1)
+		if math.Abs(poa-wantPoA) > Eps {
+			t.Fatalf("n=%d: mining PoA = %v, want 1 + n·reorg/(n−1) = %v", n, poa, wantPoA)
+		}
+		if math.Abs(pos-1) > Eps {
+			t.Fatalf("n=%d: mining PoS = %v, want 1", n, pos)
+		}
+	}
+	if _, err := MiningGame(2, reorg); err == nil {
+		t.Fatal("MiningGame(2) must be rejected: all-fork is not a PNE at n=2")
+	}
+	if _, err := MiningGame(4, 0); err == nil {
+		t.Fatal("zero reorg cost must be rejected")
+	}
+}
+
+func TestValidatorCommitteeEquilibria(t *testing.T) {
+	const slash, stale = 4.0, 0.5
+	for _, n := range []int{2, 3, 4, 5, 7} {
+		g, err := ValidatorCommittee(n, slash, stale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pnes, err := PureNashEquilibria(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly the two consensus attestations: finalized dissent is
+		// slashed, and every stalemate has a strictly profitable switch.
+		if len(pnes) != 2 {
+			t.Fatalf("n=%d: committee has %d PNEs (%v), want the two consensus profiles",
+				n, len(pnes), pnes)
+		}
+		for _, p := range pnes {
+			for _, a := range p {
+				if a != p[0] {
+					t.Fatalf("n=%d: non-consensus PNE %v", n, p)
+				}
+			}
+		}
+		poa, pos := poaPos(t, g)
+		if math.Abs(poa-(1+stale)) > Eps {
+			t.Fatalf("n=%d: committee PoA = %v, want 1 + stale = %v", n, poa, 1+stale)
+		}
+		if math.Abs(pos-1) > Eps {
+			t.Fatalf("n=%d: committee PoS = %v, want 1", n, pos)
+		}
+	}
+	// Slashing must strictly dominate staleness for consensus-on-stale to
+	// hold; degenerate parameterizations are rejected.
+	if _, err := ValidatorCommittee(4, 0.5, 0.5); err == nil {
+		t.Fatal("stale ≥ slash must be rejected")
+	}
+	if _, err := ValidatorCommittee(4, 4, 0); err == nil {
+		t.Fatal("zero staleness cost must be rejected")
+	}
+	if _, err := ValidatorCommittee(1, 4, 0.5); err == nil {
+		t.Fatal("single-validator committee must be rejected")
+	}
+}
+
 func TestCatalogBuildsEverySizeRequested(t *testing.T) {
 	entries := Catalog()
 	if len(entries) < 5 {

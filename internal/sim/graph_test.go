@@ -134,3 +134,24 @@ func TestNeighbors(t *testing.T) {
 		t.Fatalf("neighbors(1) = %v, want 2 entries", nbs)
 	}
 }
+
+func TestGraphRangeGuards(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	// Mutating queries degrade gracefully out of range: topology edits from
+	// sanctions target vertices that may already be excluded.
+	g.RemoveEdge(-1, 5)
+	g.RemoveEdge(0, 9)
+	g.RemoveVertexEdges(-2)
+	g.RemoveVertexEdges(7)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("in-range edge lost to out-of-range mutations")
+	}
+	// Construction is programmer-controlled: out-of-range AddEdge panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEdge must panic")
+		}
+	}()
+	g.AddEdge(0, 9)
+}

@@ -73,9 +73,14 @@ type Network struct {
 
 	// Concurrent-engine state: workers is the configured pool width
 	// (0 = auto, ≤1 = lockstep semantics on the caller's goroutine);
-	// pool is created lazily and released by Close.
-	workers int
-	pool    *workerPool
+	// pool is created lazily and released by Close. stepFn is the
+	// persistent per-processor job closure (reading the current pulse's
+	// inboxes through stepInboxes), so a concurrent pulse allocates
+	// nothing on the scheduling path.
+	workers     int
+	pool        *workerPool
+	stepFn      func(i int)
+	stepInboxes [][]Message
 
 	// Stats counts traffic for the E-AUD overhead experiments.
 	Stats Stats
@@ -312,10 +317,15 @@ func (nw *Network) StepConcurrent() {
 		nw.Close()
 		nw.pool = newWorkerPool(w)
 	}
+	if nw.stepFn == nil {
+		nw.stepFn = func(i int) {
+			nw.outboxes[i] = nw.stepOne(i, nw.procs[i], nw.stepInboxes[i])
+		}
+	}
 	inboxes := nw.beginPulse()
-	nw.pool.run(nw.N(), func(i int) {
-		nw.outboxes[i] = nw.stepOne(i, nw.procs[i], inboxes[i])
-	})
+	nw.stepInboxes = inboxes
+	nw.pool.run(nw.N(), nw.stepFn)
+	nw.stepInboxes = nil
 	nw.finishPulse(inboxes)
 }
 
@@ -340,32 +350,31 @@ func (nw *Network) Close() {
 // workerPool is a fixed set of goroutines that execute one pulse's
 // per-processor steps. Work is distributed by an atomic cursor so uneven
 // step costs (e.g. one processor running a heavy audit) balance across
-// workers.
+// workers. The job state lives on the pool itself — publishing it through
+// the signal-token channel sends (which order-before the receives) keeps
+// per-pulse dispatch allocation-free.
 type workerPool struct {
 	workers int
-	jobs    chan poolJob
-}
-
-type poolJob struct {
-	n    int
-	next *atomic.Int64
-	run  func(i int)
-	wg   *sync.WaitGroup
+	jobs    chan struct{} // one wake token per worker per pulse
+	n       int
+	next    atomic.Int64
+	fn      func(i int)
+	wg      sync.WaitGroup
 }
 
 func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{workers: workers, jobs: make(chan poolJob, workers)}
+	p := &workerPool{workers: workers, jobs: make(chan struct{}, workers)}
 	for w := 0; w < workers; w++ {
 		go func() {
-			for job := range p.jobs {
+			for range p.jobs {
 				for {
-					i := int(job.next.Add(1) - 1)
-					if i >= job.n {
+					i := int(p.next.Add(1) - 1)
+					if i >= p.n {
 						break
 					}
-					job.run(i)
+					p.fn(i)
 				}
-				job.wg.Done()
+				p.wg.Done()
 			}
 		}()
 	}
@@ -373,16 +382,19 @@ func newWorkerPool(workers int) *workerPool {
 }
 
 // run executes fn(0..n-1) across the pool and blocks until all complete —
-// the pulse barrier.
+// the pulse barrier. The field writes below happen-before every worker's
+// token receive; wg.Wait happens-after their last read, so reusing the
+// fields on the next pulse is race-free.
 func (p *workerPool) run(n int, fn func(i int)) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(p.workers)
-	job := poolJob{n: n, next: &next, run: fn, wg: &wg}
+	p.n = n
+	p.fn = fn
+	p.next.Store(0)
+	p.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		p.jobs <- job
+		p.jobs <- struct{}{}
 	}
-	wg.Wait()
+	p.wg.Wait()
+	p.fn = nil
 }
 
 func (p *workerPool) close() { close(p.jobs) }

@@ -389,3 +389,30 @@ func TestSteadyStatePulseAllocations(t *testing.T) {
 		t.Fatalf("steady-state pulse allocates %v times; engine buffers are not being recycled", allocs)
 	}
 }
+
+func TestProcessAccessor(t *testing.T) {
+	nw, raw := newEchoNet(t, nil)
+	for i, want := range raw {
+		if got := nw.Process(i); got != Process(want) {
+			t.Fatalf("Process(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSetWorkersClampsAndReconfigures(t *testing.T) {
+	nw, raw := newEchoNet(t, nil)
+	nw.SetWorkers(-3) // negative clamps to auto (0)
+	nw.Step()         // lockstep: auto engages only via StepConcurrent
+	nw.SetWorkers(0)  // same effective value: no pool churn
+	nw.SetWorkers(2)
+	nw.SetWorkers(2) // reconfiguring to the current width is a no-op
+	nw.Step()        // pool engine
+	if nw.Pulse() != 2 {
+		t.Fatalf("pulse = %d, want 2", nw.Pulse())
+	}
+	for i, p := range raw {
+		if len(p.heard) != 2 {
+			t.Fatalf("proc %d stepped %d times, want 2", i, len(p.heard))
+		}
+	}
+}
