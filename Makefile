@@ -4,10 +4,10 @@ GO ?= go
 	loadgen loadgen-chaos loadgen-smoke docs-check fuzz-smoke \
 	deviation-matrix deviation-matrix-short cover-gate \
 	crash-bench crash-smoke ws-smoke loadgen-ws chaos-bench chaos-smoke \
-	batch-bench batch-smoke dist-bench dist-smoke clean
+	batch-bench batch-smoke dist-bench dist-smoke obs-bench obs-smoke clean
 
 ci: fmt vet build test race bench-smoke loadgen-smoke crash-smoke \
-	ws-smoke chaos-smoke batch-smoke dist-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
+	ws-smoke chaos-smoke batch-smoke dist-smoke obs-smoke docs-check fuzz-smoke deviation-matrix-short cover-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -45,7 +45,8 @@ bench:
 # HTTP; the in-process run is the tracked BENCH_PR3.json artifact. See
 # DESIGN.md §7 for how to read it.
 loadgen:
-	$(GO) run ./cmd/loadgen -sessions 1000 -plays 20 \
+	( $(GO) run ./cmd/loadgen -sessions 1000 -plays 20; \
+	  $(GO) run ./cmd/loadgen -sessions 200 -plays 8 -obs ) \
 		| $(GO) run ./cmd/benchfmt -command "make loadgen" -out BENCH_PR3.json
 
 # The chaos run: the same 1000 sessions with 20% deviant sessions
@@ -144,6 +145,28 @@ dist-bench:
 	  GOMAXPROCS=4 $(GO) run ./cmd/loadgen -sessions 24 -plays 16 -seed 1 -pulse-workers 4 -mix "$(DIST_MIX)" ) \
 		| $(GO) run ./cmd/benchfmt -command "make dist-bench" -out BENCH_PR9.json
 
+# The observability-overhead benchmark (DESIGN.md §14): the dist-bench
+# Byzantine rows re-run with the full metrics plane compiled in and
+# tracing disabled, plus an /obs row carrying the server-side histogram
+# percentiles next to the client-side numbers. The tracked
+# BENCH_PR10.json artifact is read against BENCH_PR9.json: equal-shape
+# rows must stay within 5% plays/s.
+obs-bench:
+	( $(GO) run ./cmd/loadgen -sessions 24 -plays 16 -seed 1 -mix "$(DIST_MIX)"; \
+	  $(GO) run ./cmd/loadgen -sessions 24 -plays 16 -seed 1 -obs -mix "$(DIST_MIX)" ) \
+		| $(GO) run ./cmd/benchfmt -command "make obs-bench" -out BENCH_PR10.json
+
+# CI-sized observability smoke (DESIGN.md §14): obssmoke scrapes
+# /metrics under real load and asserts every histogram and gauge family
+# renders, parses, and is internally consistent, then captures one
+# distributed-play trace and validates its per-pulse spans; metriclint
+# enforces the gameauthority_ prefix and the _total/_seconds suffix
+# conventions on every declared family. Fails on violations, never on
+# timing.
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
+	$(GO) run ./cmd/metriclint
+
 # The crash/recovery harness (DESIGN.md §9): a durable loadgen run that
 # SIGKILL-drops the authority mid-run and recovers every session from the
 # write-ahead log, twice. The artifact tracks durable throughput plus the
@@ -183,7 +206,7 @@ fuzz-smoke:
 # covered by the whole suite (merged -coverpkg profile; see
 # cmd/covergate). The profile lives in a temp file so repeated local runs
 # leave no cover.out litter in the work tree.
-COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub,./internal/faults,./internal/sim,./internal/bap
+COVER_PKGS = ./internal/core,./internal/punish,./internal/audit,./internal/deviate,./internal/store,./internal/wire,./internal/hub,./internal/faults,./internal/sim,./internal/bap,./internal/obs
 cover-gate:
 	@profile=$$(mktemp); \
 	$(GO) test -short -coverprofile=$$profile -coverpkg=$(COVER_PKGS) ./... > /dev/null && \
@@ -192,7 +215,8 @@ cover-gate:
 		gameauthority/internal/audit gameauthority/internal/deviate \
 		gameauthority/internal/store gameauthority/internal/wire \
 		gameauthority/internal/hub gameauthority/internal/faults \
-		gameauthority/internal/sim gameauthority/internal/bap; \
+		gameauthority/internal/sim gameauthority/internal/bap \
+		gameauthority/internal/obs; \
 	status=$$?; rm -f $$profile; exit $$status
 
 # Remove generated local artifacts (coverage profiles, build cache junk).

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gameauthority/internal/hub"
 	"gameauthority/internal/metrics"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/store"
 )
 
@@ -207,7 +209,45 @@ func NewAuthority(opts ...AuthorityOption) *Authority {
 			a.store.Store(&storeBox{st: a.faultPlan.Store(st)})
 		}
 	}
+	a.registerGauges()
 	return a
+}
+
+// registerGauges publishes this authority's scrape-time gauges: live
+// sessions per registry shard, open circuit breakers, and the process
+// runtime stats. Registration replaces by name+labels, so the newest
+// authority owns the series (the semantics tests want when they build
+// many short-lived authorities) and the hot paths pay nothing — every
+// value is computed at scrape time.
+func (a *Authority) registerGauges() {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		obs.RegisterGaugeFunc("gameauthority_shard_sessions",
+			"Live sessions hosted per registry shard.",
+			func() float64 {
+				sh.mu.RLock()
+				n := len(sh.sessions)
+				sh.mu.RUnlock()
+				return float64(n)
+			}, obs.Label{Key: "shard", Value: strconv.Itoa(i)})
+	}
+	obs.RegisterGaugeFunc("gameauthority_breaker_open_sessions",
+		"Sessions whose journal circuit breaker is currently open.",
+		func() float64 {
+			open := 0
+			for i := range a.shards {
+				sh := &a.shards[i]
+				sh.mu.RLock()
+				for _, h := range sh.sessions {
+					if h.breakerUntil.Load() != 0 {
+						open++
+					}
+				}
+				sh.mu.RUnlock()
+			}
+			return float64(open)
+		})
+	obs.RegisterRuntimeGauges(obs.Default)
 }
 
 // shardFor maps a session ID onto its shard (FNV-1a over the ID bytes;

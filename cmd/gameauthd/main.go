@@ -21,6 +21,8 @@
 //	go run ./cmd/gameauthd -serve :8080             # multi-session HTTP host
 //	go run ./cmd/gameauthd -serve :8080 -data-dir /var/lib/gameauthd  # durable host
 //	go run ./cmd/gameauthd -serve :8080 -shards -1  # plays routed onto GOMAXPROCS shard loops
+//	go run ./cmd/gameauthd -serve :8080 -pprof      # live profiling at /debug/pprof/
+//	go run ./cmd/gameauthd -trace-out trace.json    # Chrome trace of the run
 package main
 
 import (
@@ -56,8 +58,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "serve mode: route every play through this many authoritative shard loops (0: direct HTTP plays, lazy loops for /ws; -1: GOMAXPROCS)")
 		chaosDisk = flag.Float64("chaos-disk", 0, "serve mode: inject seeded disk faults into the durable store at this base rate [0,1]")
 		chaosNet  = flag.Float64("chaos-net", 0, "serve mode: inject seeded network faults into accepted connections at this base rate [0,1]")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the trace run to this file (trace mode only)")
-		memProf   = flag.String("memprofile", "", "write a heap profile after the trace run to this file (trace mode only)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (serve mode: boot to shutdown)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run (serve mode: at drain shutdown)")
+		pprofOn   = flag.Bool("pprof", false, "serve mode: mount live profiling and trace capture under /debug/")
+		traceOut  = flag.String("trace-out", "", "record play spans and write a Chrome trace_event JSON file at exit")
 	)
 	flag.Parse()
 
@@ -68,7 +72,8 @@ func main() {
 		var stray []string
 		flag.Visit(func(fl *flag.Flag) {
 			switch fl.Name {
-			case "serve", "data-dir", "ws", "shards", "chaos-disk", "chaos-net", "seed":
+			case "serve", "data-dir", "ws", "shards", "chaos-disk", "chaos-net", "seed",
+				"pprof", "trace-out", "cpuprofile", "memprofile":
 			default:
 				stray = append(stray, "-"+fl.Name)
 			}
@@ -77,7 +82,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v only apply to trace mode; sessions are configured via POST /sessions\n", stray)
 			os.Exit(2)
 		}
-		if err := serveAPI(*serve, *dataDir, *ws, *shards, *seed, *chaosDisk, *chaosNet); err != nil {
+		err := serveAPI(*serve, serveOptions{
+			dataDir:   *dataDir,
+			ws:        *ws,
+			shards:    *shards,
+			seed:      *seed,
+			chaosDisk: *chaosDisk,
+			chaosNet:  *chaosNet,
+			pprof:     *pprofOn,
+			traceOut:  *traceOut,
+			cpuProf:   *cpuProf,
+			memProf:   *memProf,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 			os.Exit(1)
 		}
@@ -91,12 +108,12 @@ func main() {
 	strayServe := false
 	flag.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
-		case "ws", "shards", "chaos-disk", "chaos-net":
+		case "ws", "shards", "chaos-disk", "chaos-net", "pprof":
 			strayServe = true
 		}
 	})
 	if strayServe {
-		fmt.Fprintln(os.Stderr, "gameauthd: -ws, -shards, -chaos-disk and -chaos-net only apply to serve mode (-serve)")
+		fmt.Fprintln(os.Stderr, "gameauthd: -ws, -shards, -chaos-disk, -chaos-net and -pprof only apply to serve mode (-serve)")
 		os.Exit(2)
 	}
 	if err := validateFlags(*n, *f, *plays, *cheat); err != nil {
@@ -108,13 +125,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
 		os.Exit(2)
 	}
+	if *traceOut != "" {
+		// Trace every play of the run: the trace-mode workload is small and
+		// deterministic, so no sampling is wanted.
+		ga.EnableTracing(0, 1)
+	}
 	traceErr := trace(*n, *f, *plays, *cheat, *corrupt, *seed)
 	stopCPU()
+	if *cpuProf != "" {
+		fmt.Printf("gameauthd: CPU profile written to %s\n", *cpuProf)
+	}
+	if *traceOut != "" {
+		ga.DisableTracing()
+		if err := writeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+		} else {
+			// The trace CLI drives the pulse protocol below the Session
+			// layer, so the ring holds pulse/phase spans, not play roots.
+			fmt.Printf("gameauthd: trace (%d spans) written to %s\n", ga.TracedSpans(), *traceOut)
+		}
+	}
 	memErr := writeMemProfile(*memProf)
 	// Report both failures; the trace failure decides the exit code (the
 	// documented non-zero pulse-budget contract) ahead of the profile one.
 	if memErr != nil {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", memErr)
+	} else if *memProf != "" {
+		fmt.Printf("gameauthd: heap profile written to %s\n", *memProf)
 	}
 	if traceErr != nil {
 		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", traceErr)
@@ -125,6 +162,20 @@ func main() {
 	}
 }
 
+// serveOptions collects the serve-mode configuration.
+type serveOptions struct {
+	dataDir   string
+	ws        bool
+	shards    int
+	seed      uint64
+	chaosDisk float64
+	chaosNet  float64
+	pprof     bool
+	traceOut  string
+	cpuProf   string
+	memProf   string
+}
+
 // serveAPI hosts the multi-session HTTP API, optionally durable. With a
 // data directory the startup sequence is recover-then-listen (journaled
 // sessions answer requests from the first accepted connection), and the
@@ -132,37 +183,47 @@ func main() {
 // journaled is compacted and on disk before the process exits. A kill
 // that skips shutdown loses nothing either — that is what the
 // write-ahead log is for.
-func serveAPI(addr, dataDir string, ws bool, shards int, seed uint64, chaosDisk, chaosNet float64) error {
+func serveAPI(addr string, o serveOptions) error {
 	var opts []ga.AuthorityOption
-	if dataDir != "" {
-		st, err := ga.NewFileStore(dataDir)
+	if o.dataDir != "" {
+		st, err := ga.NewFileStore(o.dataDir)
 		if err != nil {
 			return err
 		}
 		opts = append(opts, ga.WithStore(st))
 	}
-	if shards != 0 {
+	if o.shards != 0 {
 		// Route every play (HTTP included) through the authoritative
 		// shard loops; the loops also back the /ws transport.
-		opts = append(opts, ga.WithShards(shards))
+		opts = append(opts, ga.WithShards(o.shards))
 	}
-	if chaosDisk > 0 {
-		opts = append(opts, ga.WithFaultPlan(ga.NewFaultPlan(ga.DiskFaultConfig(seed, chaosDisk))))
-		fmt.Printf("gameauthd: CHAOS disk faults armed at rate %g (seed %d)\n", chaosDisk, seed)
+	if o.chaosDisk > 0 {
+		opts = append(opts, ga.WithFaultPlan(ga.NewFaultPlan(ga.DiskFaultConfig(o.seed, o.chaosDisk))))
+		fmt.Printf("gameauthd: CHAOS disk faults armed at rate %g (seed %d)\n", o.chaosDisk, o.seed)
 	}
 	var netPlan *ga.FaultPlan
-	if chaosNet > 0 {
-		netPlan = ga.NewFaultPlan(ga.NetFaultConfig(seed, chaosNet))
-		fmt.Printf("gameauthd: CHAOS network faults armed at rate %g (seed %d)\n", chaosNet, seed)
+	if o.chaosNet > 0 {
+		netPlan = ga.NewFaultPlan(ga.NetFaultConfig(o.seed, o.chaosNet))
+		fmt.Printf("gameauthd: CHAOS network faults armed at rate %g (seed %d)\n", o.chaosNet, o.seed)
+	}
+	stopCPU, err := startCPUProfile(o.cpuProf)
+	if err != nil {
+		return err
+	}
+	if o.traceOut != "" {
+		// Record every play until shutdown; the ring keeps the most recent
+		// window, so the dump shows the tail of the serve run.
+		ga.EnableTracing(0, 1)
+		fmt.Printf("gameauthd: tracing plays; trace will be written to %s on shutdown\n", o.traceOut)
 	}
 	authority := ga.NewAuthority(opts...)
-	if dataDir != "" {
+	if o.dataDir != "" {
 		report, err := authority.Recover(context.Background())
 		if err != nil {
-			return fmt.Errorf("recover %s: %w", dataDir, err)
+			return fmt.Errorf("recover %s: %w", o.dataDir, err)
 		}
 		fmt.Printf("gameauthd: recovered %d sessions (%d plays replayed in %v) from %s\n",
-			report.Sessions, report.Rounds, report.Elapsed.Round(time.Millisecond), dataDir)
+			report.Sessions, report.Rounds, report.Elapsed.Round(time.Millisecond), o.dataDir)
 		for _, failure := range report.Failed {
 			fmt.Fprintf(os.Stderr, "gameauthd: recovery skipped %s\n", failure)
 		}
@@ -170,7 +231,10 @@ func serveAPI(addr, dataDir string, ws bool, shards int, seed uint64, chaosDisk,
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: addr, Handler: ga.NewServer(authority, ga.WithWebSocket(ws))}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: ga.NewServer(authority, ga.WithWebSocket(o.ws), ga.WithDebug(o.pprof)),
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		if netPlan == nil {
@@ -186,14 +250,18 @@ func serveAPI(addr, dataDir string, ws bool, shards int, seed uint64, chaosDisk,
 		}
 		errCh <- srv.Serve(netPlan.Listener(ln))
 	}()
-	if ws {
+	if o.ws {
 		fmt.Printf("gameauthd: serving the authority API on %s (streaming transport at /ws)\n", addr)
 	} else {
 		fmt.Printf("gameauthd: serving the authority API on %s\n", addr)
 	}
+	if o.pprof {
+		fmt.Printf("gameauthd: live profiling at http://%s/debug/pprof/ (trace capture at /debug/trace)\n", addr)
+	}
 
 	select {
 	case err := <-errCh:
+		stopCPU()
 		return err
 	case <-ctx.Done():
 	}
@@ -203,14 +271,51 @@ func serveAPI(addr, dataDir string, ws bool, shards int, seed uint64, chaosDisk,
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "gameauthd: drain: %v\n", err)
 	}
-	if dataDir != "" {
+	if o.dataDir != "" {
 		if n, err := authority.SnapshotAll(); err != nil {
 			fmt.Fprintf(os.Stderr, "gameauthd: snapshot: %v\n", err)
 		} else {
 			fmt.Printf("gameauthd: %d snapshots persisted\n", n)
 		}
 	}
+	// Drain-shutdown observability hooks: the drained-but-live process is
+	// the honest heap/trace to capture, so dump before Close tears the
+	// authority down. Profile failures are reported, never fatal — the
+	// snapshot-and-close contract above matters more.
+	if o.traceOut != "" {
+		ga.DisableTracing()
+		if err := writeTraceFile(o.traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+		} else {
+			fmt.Printf("gameauthd: trace (%d plays) written to %s\n", ga.TracedPlays(), o.traceOut)
+		}
+	}
+	stopCPU()
+	if o.cpuProf != "" {
+		fmt.Printf("gameauthd: CPU profile written to %s\n", o.cpuProf)
+	}
+	if err := writeMemProfile(o.memProf); err != nil {
+		fmt.Fprintf(os.Stderr, "gameauthd: %v\n", err)
+	} else if o.memProf != "" {
+		fmt.Printf("gameauthd: heap profile written to %s\n", o.memProf)
+	}
 	return authority.Close()
+}
+
+// writeTraceFile dumps the captured span ring as Chrome trace_event JSON.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := ga.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return nil
 }
 
 // startCPUProfile begins CPU profiling into path ("" = disabled) and

@@ -68,6 +68,8 @@ func main() {
 		"chaos acceptance mode: seeded disk-fault rate in [0,1] injected under the store (setting this flag, even to 0, switches to the chaos harness)")
 	flag.Float64Var(&cfg.chaosNet, "chaos-net", 0,
 		"chaos acceptance mode: seeded network-fault rate in [0,1] injected under every client connection (setting this flag, even to 0, switches to the chaos harness)")
+	flag.BoolVar(&cfg.obs, "obs", false,
+		"report server-side play-latency percentiles from the observability histograms next to the client-side numbers (in-process and -selfserve runs share the process with the server)")
 	flag.Parse()
 	// Setting either chaos rate — including explicitly to 0, for the
 	// fault-free baseline row — selects the acceptance harness.
@@ -102,8 +104,11 @@ type config struct {
 	// pulseWorkers overrides the distributed sessions' pulse engine width
 	// (0 keeps the driver default).
 	pulseWorkers int
-	out          io.Writer // bench lines (stdout in main)
-	info         io.Writer // human summary (stderr in main)
+	// obs reports server-side latency percentiles from the in-process
+	// observability histograms alongside the client-side numbers.
+	obs  bool
+	out  io.Writer // bench lines (stdout in main)
+	info io.Writer // human summary (stderr in main)
 }
 
 func defaultConfig() config {
@@ -565,6 +570,9 @@ func run(cfg config) error {
 	if cfg.pulseWorkers > 0 {
 		label += fmt.Sprintf("/pulse-workers=%d", cfg.pulseWorkers)
 	}
+	if cfg.obs {
+		label += "/obs"
+	}
 
 	counts := sessionCounts(mix, cfg.sessions)
 
@@ -768,12 +776,28 @@ func run(cfg config) error {
 			perScenario[i], sessionsPer[i], playDur)
 	}
 	writeBenchLine(cfg.out, label+"/total", all, len(slots), playDur)
+	if cfg.obs {
+		// Server-side view of the same run: the driver-level play-latency
+		// histograms /metrics exposes, read in-process. A remote -http
+		// target records into its own process, so nothing shows up here.
+		p50, n := ga.PlayLatencyQuantile(0.50)
+		p99, _ := ga.PlayLatencyQuantile(0.99)
+		if n == 0 {
+			fmt.Fprintln(cfg.info, "loadgen: -obs: no server-side play latency in this process (a remote -http target records into its own)")
+		} else {
+			fmt.Fprintf(cfg.info, "loadgen: server-side play latency over %d plays: p50 %v, p99 %v\n",
+				n, time.Duration(p50*1e9).Round(time.Microsecond), time.Duration(p99*1e9).Round(time.Microsecond))
+			fmt.Fprintf(cfg.out, "Benchmark%s/server-%d\t%d\t%.0f ns/op\t%.0f p50-ns/op\t%.0f p99-ns/op\n",
+				label, runtime.GOMAXPROCS(0), n, p50*1e9, p50*1e9, p99*1e9)
+		}
+	}
 	if deviantSessions > 0 {
 		detectionRate := float64(detected) / float64(deviantSessions)
 		convictionRate := float64(convicted) / float64(deviantSessions)
 		fmt.Fprintf(cfg.info, "loadgen: %d deviant sessions (%.0f%% of run): detection %.1f%%, conviction %.1f%%\n",
 			deviantSessions, 100*cfg.deviants, 100*detectionRate, 100*convictionRate)
-		s := metrics.Summarize(deviantLat)
+		sort.Float64s(deviantLat)
+		s := metrics.SummarizeSorted(deviantLat)
 		fmt.Fprintf(cfg.out, "BenchmarkLoadgen/deviants-%d\t%d\t%.0f ns/op\t%.3f detection-rate\t%.3f conviction-rate\t%d deviant-sessions\n",
 			runtime.GOMAXPROCS(0), s.N, s.Mean, detectionRate, convictionRate, deviantSessions)
 	}
@@ -781,7 +805,8 @@ func run(cfg config) error {
 		perCycle := recov.dur / time.Duration(recov.cycles)
 		fmt.Fprintf(cfg.info, "loadgen: %d crash/recover cycles: %d sessions recovered, %d rounds replayed, replay lag %v/cycle\n",
 			recov.cycles, recov.sessions, recov.rounds, perCycle.Round(time.Millisecond))
-		s := metrics.Summarize(recov.lat)
+		sort.Float64s(recov.lat)
+		s := metrics.SummarizeSorted(recov.lat)
 		replayRate := float64(recov.rounds) / recov.dur.Seconds()
 		crashName := "BenchmarkLoadgen/crash"
 		if cfg.batch > 1 {
@@ -830,7 +855,10 @@ func writeBenchLine(w io.Writer, name string, lat []float64, sessions int, windo
 	if len(lat) == 0 {
 		return
 	}
-	s := metrics.Summarize(lat)
+	// The latency slices are report-phase-owned by this point; sorting in
+	// place spares one copy of the full sample per row.
+	sort.Float64s(lat)
+	s := metrics.SummarizeSorted(lat)
 	fmt.Fprintf(w, "Benchmark%s-%d\t%d\t%.0f ns/op\t%.1f plays/s\t%.0f p50-ns/op\t%.0f p99-ns/op\t%d sessions\n",
 		name, runtime.GOMAXPROCS(0), s.N, s.Mean,
 		float64(s.N)/window.Seconds(), s.P50, s.P99, sessions)

@@ -1,0 +1,140 @@
+// Command metriclint enforces the repository's metric naming
+// conventions (make obs-smoke). It stands up a real in-process server —
+// so every package-level registration and every Authority/store/hub
+// gauge is live — scrapes GET /metrics, and asserts for every declared
+// family:
+//
+//   - the name starts with the gameauthority_ prefix;
+//   - counters end in _total;
+//   - histograms' base names end in _seconds (latencies are seconds);
+//   - gauges do not end in _total (that suffix is reserved for
+//     monotonic counters).
+//
+// A violation prints every offending family and exits non-zero, so a
+// new metric with a nonconforming name fails CI rather than shipping.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	ga "gameauthority"
+)
+
+func main() {
+	body, err := scrape()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(1)
+	}
+	problems, families := lint(body)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "metriclint: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d metric families conform\n", families)
+}
+
+// scrape builds a durable, sharded authority behind the HTTP server and
+// returns one /metrics exposition — the union of the host counters and
+// the observability registry.
+func scrape() (string, error) {
+	dir, err := os.MkdirTemp("", "metriclint-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+	st, err := ga.NewFileStore(dir)
+	if err != nil {
+		return "", err
+	}
+	authority := ga.NewAuthority(
+		ga.WithStore(st),
+		ga.WithGroupCommit(time.Millisecond, 64),
+		ga.WithShards(2),
+	)
+	defer authority.Close()
+	srv := httptest.NewServer(ga.NewServer(authority))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("scrape: status %d", resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// lint applies the naming rules to every `# TYPE name type` declaration
+// and checks each sample line belongs to a declared family.
+func lint(body string) (problems []string, families int) {
+	types := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "" || strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				problems = append(problems, fmt.Sprintf("malformed TYPE line %q", line))
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if prev, ok := types[name]; ok && prev != typ {
+				problems = append(problems, fmt.Sprintf("%s declared as both %s and %s", name, prev, typ))
+			}
+			types[name] = typ
+		case strings.HasPrefix(line, "#"):
+			problems = append(problems, fmt.Sprintf("unrecognized comment line %q", line))
+		default:
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if t, ok := strings.CutSuffix(name, suffix); ok && types[t] == "histogram" {
+					base = t
+					break
+				}
+			}
+			if _, ok := types[base]; !ok {
+				problems = append(problems, fmt.Sprintf("series %s has no TYPE declaration", name))
+			}
+		}
+	}
+	for name, typ := range types {
+		if !strings.HasPrefix(name, "gameauthority_") {
+			problems = append(problems, fmt.Sprintf("%s lacks the gameauthority_ prefix", name))
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %s must end in _total", name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") {
+				problems = append(problems, fmt.Sprintf("histogram %s must end in _seconds", name))
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("gauge %s must not end in _total (reserved for counters)", name))
+			}
+		default:
+			problems = append(problems, fmt.Sprintf("%s has unsupported type %s", name, typ))
+		}
+	}
+	return problems, len(types)
+}

@@ -1,0 +1,331 @@
+// Command obssmoke is the CI acceptance check of the observability
+// plane (make obs-smoke). It builds a durable, sharded in-process
+// authority behind the real HTTP server, drives plays on the pure and
+// distributed drivers over single and batched requests, then asserts:
+//
+//   - GET /metrics renders a parseable Prometheus exposition containing
+//     every expected histogram and gauge family, with the play-latency
+//     histograms actually populated and every histogram carrying a
+//     cumulative +Inf bucket consistent with its _count;
+//   - GET /debug/trace captures a distributed play end-to-end as valid
+//     Chrome trace_event JSON containing the per-pulse protocol spans
+//     (clock sync, Dolev–Strong, EIG resolve) and the store spans.
+//
+// It exits non-zero on the first violation; it never fails on timing.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	ga "gameauthority"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: metrics exposition and trace capture OK")
+}
+
+// histogramFamilies are the latency histograms the plane must expose
+// regardless of workload (all register at package init or server build).
+var histogramFamilies = []string{
+	"gameauthority_play_latency_seconds",
+	"gameauthority_playn_batch_seconds",
+	"gameauthority_restore_seconds",
+	"gameauthority_wal_append_seconds",
+	"gameauthority_fsync_seconds",
+	"gameauthority_commit_epoch_seconds",
+	"gameauthority_http_request_seconds",
+	"gameauthority_ws_roundtrip_seconds",
+}
+
+// gaugeFamilies are the gauges the smoke authority must expose (store,
+// shards, hub, breaker, and runtime).
+var gaugeFamilies = []string{
+	"gameauthority_group_commit_queue_depth",
+	"gameauthority_shard_sessions",
+	"gameauthority_shard_loop_queue_depth",
+	"gameauthority_breaker_open_sessions",
+	"gameauthority_hub_outbox_depth",
+	"gameauthority_goroutines",
+	"gameauthority_heap_alloc_bytes",
+	"gameauthority_heap_objects",
+	"gameauthority_gc_cycles",
+	"gameauthority_gc_pause_total_seconds",
+}
+
+// pulseSpans are the per-pulse protocol spans a distributed-play trace
+// must contain.
+var pulseSpans = []string{"pulse.clock-sync", "pulse.dolev-strong", "pulse.eig-resolve"}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "obssmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := ga.NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	authority := ga.NewAuthority(
+		ga.WithStore(st),
+		ga.WithGroupCommit(time.Millisecond, 64),
+		ga.WithShards(2),
+	)
+	defer authority.Close()
+	srv := httptest.NewServer(ga.NewServer(authority, ga.WithDebug(true)))
+	defer srv.Close()
+
+	if err := createSession(srv.URL, `{"id":"obs-pure","game":"congestion"}`); err != nil {
+		return err
+	}
+	if err := createSession(srv.URL,
+		`{"id":"obs-dist","game":"publicgoods","players":4,"kind":"distributed","distributed":{"n":4,"f":1}}`); err != nil {
+		return err
+	}
+
+	// A batched request populates the PlayN histogram; the single plays
+	// populate the per-driver latencies and the WAL/commit-epoch series.
+	if err := play(srv.URL, "obs-pure/play?n=8", 0); err != nil {
+		return err
+	}
+	if err := play(srv.URL, "obs-pure/play", 4); err != nil {
+		return err
+	}
+
+	// Trace capture races the plays on purpose — that is how an operator
+	// uses it. The capture arms the tracer, the play loop below feeds it,
+	// and plays=2 completes the response.
+	traceCh := make(chan result, 1)
+	go func() {
+		traceCh <- get(srv.URL + "/debug/trace?plays=2&wait=30s")
+	}()
+	var traceBody []byte
+	for traceBody == nil {
+		if err := play(srv.URL, "obs-dist/play", 1); err != nil {
+			return err
+		}
+		select {
+		case res := <-traceCh:
+			if res.err != nil {
+				return fmt.Errorf("trace capture: %w", res.err)
+			}
+			traceBody = res.body
+		default:
+		}
+	}
+	if err := checkTrace(traceBody); err != nil {
+		return err
+	}
+
+	res := get(srv.URL + "/metrics")
+	if res.err != nil {
+		return fmt.Errorf("scrape: %w", res.err)
+	}
+	return checkScrape(res.body)
+}
+
+type result struct {
+	body []byte
+	err  error
+}
+
+func get(url string) result {
+	resp, err := http.Get(url)
+	if err != nil {
+		return result{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return result{err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return result{err: fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, body)}
+	}
+	return result{body: body}
+}
+
+func createSession(base, spec string) error {
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("create: status %d: %s", resp.StatusCode, body)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func play(base, target string, rounds int) error {
+	body := "{}"
+	if rounds > 0 {
+		body = fmt.Sprintf(`{"rounds":%d}`, rounds)
+	}
+	resp, err := http.Post(base+"/sessions/"+target, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("play %s: status %d: %s", target, resp.StatusCode, out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// checkScrape validates the exposition: parseable lines, every expected
+// family present with the right TYPE, populated play histograms, and
+// internally consistent histogram series (+Inf bucket == _count).
+func checkScrape(body []byte) error {
+	types := map[string]string{}
+	samples := map[string]float64{} // full series line key (name+labels+suffix) -> value
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("malformed TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			return fmt.Errorf("malformed sample line %q", line)
+		}
+		series, raw := line[:idx], line[idx+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		samples[series] = v
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		families[name] = true
+	}
+	for _, name := range histogramFamilies {
+		if types[name] != "histogram" {
+			return fmt.Errorf("family %s: want TYPE histogram, got %q", name, types[name])
+		}
+		if !families[name+"_count"] {
+			return fmt.Errorf("family %s renders no _count series", name)
+		}
+	}
+	for _, name := range gaugeFamilies {
+		if types[name] != "gauge" {
+			return fmt.Errorf("family %s: want TYPE gauge, got %q", name, types[name])
+		}
+		if !families[name] {
+			return fmt.Errorf("family %s declared but renders no series", name)
+		}
+	}
+	// Histogram internal consistency: every _count series has a matching
+	// +Inf bucket holding the same value.
+	for series, count := range samples {
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i:]
+		}
+		base, ok := strings.CutSuffix(name, "_count")
+		if !ok || types[base] != "histogram" {
+			continue
+		}
+		inf := base + "_bucket"
+		if labels == "" {
+			inf += `{le="+Inf"}`
+		} else {
+			inf += strings.TrimSuffix(labels, "}") + `,le="+Inf"}`
+		}
+		infCount, ok := samples[inf]
+		if !ok {
+			return fmt.Errorf("histogram series %s lacks a +Inf bucket", series)
+		}
+		if infCount != count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %v != count %v", series, infCount, count)
+		}
+	}
+	// The workload above must actually have landed in the play paths.
+	for _, populated := range []string{
+		`gameauthority_play_latency_seconds_count{driver="pure"}`,
+		`gameauthority_play_latency_seconds_count{driver="distributed"}`,
+		`gameauthority_playn_batch_seconds_count`,
+		`gameauthority_wal_append_seconds_count`,
+		`gameauthority_commit_epoch_seconds_count`,
+		`gameauthority_http_request_seconds_count{route="POST /sessions/{id}/play"}`,
+	} {
+		if samples[populated] == 0 {
+			return fmt.Errorf("series %s recorded nothing under load", populated)
+		}
+	}
+	return nil
+}
+
+// traceFile is the Chrome trace_event shape GET /debug/trace emits.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// checkTrace validates the capture: well-formed JSON, complete events,
+// a root play span, and the per-pulse protocol spans of the distributed
+// driver.
+func checkTrace(body []byte) error {
+	if !json.Valid(body) {
+		return fmt.Errorf("trace is not valid JSON")
+	}
+	var tf traceFile
+	if err := json.Unmarshal(body, &tf); err != nil {
+		return fmt.Errorf("trace shape: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("trace capture holds no spans")
+	}
+	seen := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			return fmt.Errorf("span %q: want complete-event phase X, got %q", ev.Name, ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	if !seen["play"] {
+		return fmt.Errorf("trace lacks the root play span")
+	}
+	for _, name := range pulseSpans {
+		if !seen[name] {
+			return fmt.Errorf("trace lacks the per-pulse span %q", name)
+		}
+	}
+	if !seen["wal.append"] {
+		return fmt.Errorf("trace lacks the store span wal.append")
+	}
+	return nil
+}

@@ -11,7 +11,18 @@ import (
 	"time"
 
 	"gameauthority/internal/core"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/store"
+)
+
+// Host-layer telemetry: whole-batch latency for PlayN calls and
+// restore/replay duration for crash recovery. The per-round play
+// latency lives in the drivers (internal/core); see DESIGN.md §14.
+var (
+	playNBatchLatency = obs.NewHistogram("gameauthority_playn_batch_seconds",
+		"Latency of one PlayN batch (all rounds + the coalesced journal append).")
+	restoreLatency = obs.NewHistogram("gameauthority_restore_seconds",
+		"Duration of one session restore: journal load + deterministic replay.")
 )
 
 // Store is the authority's pluggable persistence backend: a per-session
@@ -260,6 +271,11 @@ func (h *HostedSession) Play(ctx context.Context) (RoundResult, error) {
 }
 
 func (h *HostedSession) playDirect(ctx context.Context) (RoundResult, error) {
+	// Root trace span for the end-to-end play: breaker gate → driver →
+	// journal. Transport layers (HTTP route, WS round trip) wrap it from
+	// outside; the distributed driver's phase/pulse spans nest inside.
+	span := obs.DefaultTracer.BeginRoot("play", "play", 0, 0)
+	defer span.End()
 	if err := h.breakerGate(); err != nil {
 		return RoundResult{}, err
 	}
@@ -335,6 +351,10 @@ func (h *HostedSession) playNDirect(ctx context.Context, n int, sink func(RoundR
 		// below never sizes from a negative n.
 		return RoundResult{}, fmt.Errorf("%w: non-positive batch size %d", ErrConfig, n)
 	}
+	span := obs.DefaultTracer.BeginRoot("play.batch", "play", 0, int64(n))
+	defer span.End()
+	t0 := time.Now()
+	defer func() { playNBatchLatency.Record(time.Since(t0)) }()
 	if err := h.breakerGate(); err != nil {
 		return RoundResult{}, err
 	}
@@ -806,6 +826,12 @@ func (a *Authority) restoreOne(ctx context.Context, state store.SessionState) (r
 		// beat us): skip before paying for the replay.
 		return 0, false, nil
 	}
+	t0 := time.Now()
+	defer func() {
+		if restored {
+			restoreLatency.Record(time.Since(t0))
+		}
+	}()
 	var req CreateSessionRequest
 	if err := json.Unmarshal(state.Spec, &req); err != nil {
 		return 0, false, fmt.Errorf("corrupt spec: %w", err)

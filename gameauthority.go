@@ -40,15 +40,66 @@
 package gameauthority
 
 import (
+	"io"
+
 	"gameauthority/internal/audit"
 	"gameauthority/internal/core"
 	"gameauthority/internal/deviate"
 	"gameauthority/internal/game"
 	"gameauthority/internal/metrics"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/punish"
 	"gameauthority/internal/sim"
 	"gameauthority/internal/voting"
 )
+
+// --- Observability ----------------------------------------------------------
+
+// TraceRingDefault is the span capacity EnableTracing uses for
+// ringSize <= 0.
+const TraceRingDefault = obs.DefaultTraceRing
+
+// EnableTracing arms the process-wide play tracer: every layer's spans
+// (HTTP/WS decode, shard dispatch, driver phases, per-pulse protocol
+// steps, WAL and commit-epoch writes) start recording into a fixed ring
+// of ringSize completed spans (<= 0 means TraceRingDefault). sample
+// admits one play in sample (<= 1 traces every play). Tracing is off by
+// default and costs one atomic load per span site while disabled.
+func EnableTracing(ringSize, sample int) { obs.DefaultTracer.Enable(ringSize, sample) }
+
+// DisableTracing stops span recording; the captured ring remains
+// available to WriteTrace.
+func DisableTracing() { obs.DefaultTracer.Disable() }
+
+// TracingEnabled reports whether the play tracer is recording.
+func TracingEnabled() bool { return obs.DefaultTracer.Enabled() }
+
+// TracedPlays reports completed root (play-level) spans since
+// EnableTracing — the progress signal for bounded captures.
+func TracedPlays() uint64 { return obs.DefaultTracer.RootCount() }
+
+// TracedSpans reports the spans currently held in the capture ring.
+// Drives of the protocol below the Session layer (the gameauthd trace
+// CLI) record pulse and phase spans with no play root, so this — not
+// TracedPlays — is their capture-size signal.
+func TracedSpans() int { return obs.DefaultTracer.Len() }
+
+// WriteTrace dumps the captured span ring as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
+func WriteTrace(w io.Writer) error { return obs.DefaultTracer.WriteJSON(w) }
+
+// WriteObsMetrics renders every registered histogram and gauge of the
+// observability plane in Prometheus text format — the same series
+// GET /metrics appends after the host counters.
+func WriteObsMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// PlayLatencyQuantile reports the q-quantile (0..1) of the server-side
+// play latency histogram merged across drivers, plus the number of
+// recorded plays. It returns (0, 0) before any play has been recorded.
+func PlayLatencyQuantile(q float64) (seconds float64, count uint64) {
+	ns, n := obs.Default.HistogramQuantile("gameauthority_play_latency_seconds", q)
+	return ns / 1e9, n
+}
 
 // --- Strategic-form games ----------------------------------------------------
 

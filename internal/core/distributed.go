@@ -8,6 +8,7 @@ import (
 	"gameauthority/internal/clocksync"
 	"gameauthority/internal/commit"
 	"gameauthority/internal/game"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/punish"
 	"gameauthority/internal/sim"
 )
@@ -113,7 +114,24 @@ type DistProcessor struct {
 	haveOpenings bool
 	convicted    []bool
 
+	// phaseSpan is the open trace span covering the current interactive-
+	// consistency phase (zero when the tracer is disabled or no phase is
+	// in flight); per-pulse sub-spans nest inside it in the dump.
+	phaseSpan obs.Ctx
+
 	results []DistRound
+}
+
+// phaseSpanNames maps a protocol phase to its trace span name (the
+// VERDICT phase is the paper's foul-set vote). Per-pulse spans inside a
+// phase are "pulse.clock-sync" (vote split + self-stabilizing tick),
+// "pulse.dolev-strong" (authenticated relay delivery) and
+// "pulse.eig-resolve" (EIG end-of-pulse resolution). See DESIGN.md §14.
+var phaseSpanNames = [numPhases]string{
+	phaseOutcome: "phase.outcome",
+	phaseCommit:  "phase.commit",
+	phaseReveal:  "phase.reveal",
+	phaseVerdict: "phase.vote",
 }
 
 // DistRound is one completed play as recorded by a processor.
@@ -211,6 +229,7 @@ func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 	// against the schedule the post-Tick clock implies (a stale-phase
 	// message discarded here and one absorbed after a phase restart would
 	// otherwise diverge under Byzantine clock chaos).
+	clockSpan := obs.DefaultTracer.Begin("pulse.clock-sync", "pulse", int64(p.id), int64(pulse))
 	innerPay := p.innerPay[:0]
 	innerFrom := p.innerFrom[:0]
 	for _, m := range inbox {
@@ -229,6 +248,7 @@ func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 	p.innerPay = innerPay
 	p.innerFrom = innerFrom
 	v := p.clock.Tick()
+	clockSpan.End()
 
 	// 2. Map the clock value onto (phase, relative pulse). Values 0 and
 	// M-1 are the wrap slack with no protocol activity.
@@ -240,15 +260,21 @@ func (p *DistProcessor) Step(pulse int, inbox []sim.Message) []sim.Message {
 			p.startPhase(phase, pulse)
 		}
 		if p.icActive && p.icPhase == phase {
+			dsSpan := obs.DefaultTracer.Begin("pulse.dolev-strong", "pulse", int64(p.id), int64(pulse))
 			for i, payload := range innerPay {
 				p.ic.Deliver(innerFrom[i], payload)
 			}
+			dsSpan.End()
+			eigSpan := obs.DefaultTracer.Begin("pulse.eig-resolve", "pulse", int64(p.id), int64(pulse))
 			var done bool
 			out, done = p.ic.EndPulse(pulse)
+			eigSpan.End()
 			p.icPulse++
 			if done {
 				p.finishPhase(phase, p.ic.VectorRef(), pulse)
 				p.icActive = false
+				p.phaseSpan.End()
+				p.phaseSpan = obs.Ctx{}
 			}
 		}
 	}
@@ -287,6 +313,8 @@ func (p *DistProcessor) locate(v int) (distPhase, int, bool) {
 // startPhase begins the interactive consistency of the given phase with
 // this processor's private value.
 func (p *DistProcessor) startPhase(phase distPhase, pulse int) {
+	p.phaseSpan.End() // a clock restart can abandon a phase mid-flight
+	p.phaseSpan = obs.DefaultTracer.Begin(phaseSpanNames[phase], "phase", int64(p.id), int64(pulse))
 	private := p.privateValue(phase, pulse)
 	p.ic.Reset(private)
 	p.icActive = true

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gameauthority/internal/audit"
 	"gameauthority/internal/game"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/prng"
 	"gameauthority/internal/punish"
 	"gameauthority/internal/sim"
@@ -259,6 +261,23 @@ func NewSession(cfg SessionConfig) (Session, error) {
 }
 
 // runSession is the shared Run implementation.
+// playLatency is the per-driver play-latency histogram family, indexed
+// by SessionKind. Recording is three atomic adds, so the instrumented
+// hot paths keep their pinned allocation budgets (pure play stays 0).
+// Single plays record in Play; batched rounds record inside playN, so
+// every audited round lands in the same series regardless of transport
+// or batching.
+var playLatency = [...]*obs.Histogram{
+	KindPure: obs.NewHistogram("gameauthority_play_latency_seconds",
+		"Latency of one audited play, by driver.", obs.Label{Key: "driver", Value: "pure"}),
+	KindMixed: obs.NewHistogram("gameauthority_play_latency_seconds",
+		"Latency of one audited play, by driver.", obs.Label{Key: "driver", Value: "mixed"}),
+	KindRRA: obs.NewHistogram("gameauthority_play_latency_seconds",
+		"Latency of one audited play, by driver.", obs.Label{Key: "driver", Value: "rra"}),
+	KindDistributed: obs.NewHistogram("gameauthority_play_latency_seconds",
+		"Latency of one audited play, by driver.", obs.Label{Key: "driver", Value: "distributed"}),
+}
+
 func runSession(ctx context.Context, s Session, rounds int) (RoundResult, error) {
 	var last RoundResult
 	for i := 0; i < rounds; i++ {
@@ -276,16 +295,20 @@ func runSession(ctx context.Context, s Session, rounds int) (RoundResult, error)
 // play reuses its scratch. Each driver's Play is lock + playLocked, so
 // the batch path is structurally the same state evolution as n
 // sequential Play calls.
-func playN(ctx context.Context, mu *sync.Mutex, play func(context.Context) (RoundResult, error),
+func playN(ctx context.Context, mu *sync.Mutex, kind SessionKind,
+	play func(context.Context) (RoundResult, error),
 	n int, sink func(RoundResult) error) (RoundResult, error) {
 	if n <= 0 {
 		return RoundResult{}, fmt.Errorf("%w: non-positive batch size %d", ErrConfig, n)
 	}
+	hist := playLatency[kind]
 	mu.Lock()
 	defer mu.Unlock()
 	var last RoundResult
 	for i := 0; i < n; i++ {
+		t0 := time.Now()
 		res, err := play(ctx)
+		hist.Record(time.Since(t0))
 		if err != nil {
 			return last, err
 		}
@@ -425,12 +448,15 @@ func (d *pureDriver) Pure() *PureSession { return d.s }
 func (d *pureDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.playLocked(ctx)
+	t0 := time.Now()
+	res, err := d.playLocked(ctx)
+	playLatency[KindPure].Record(time.Since(t0))
+	return res, err
 }
 
 // PlayN implements Session.
 func (d *pureDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
-	return playN(ctx, &d.mu, d.playLocked, n, sink)
+	return playN(ctx, &d.mu, KindPure, d.playLocked, n, sink)
 }
 
 func (d *pureDriver) playLocked(ctx context.Context) (RoundResult, error) {
@@ -590,12 +616,15 @@ func (d *mixedDriver) Mixed() *MixedSession { return d.s }
 func (d *mixedDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.playLocked(ctx)
+	t0 := time.Now()
+	res, err := d.playLocked(ctx)
+	playLatency[KindMixed].Record(time.Since(t0))
+	return res, err
 }
 
 // PlayN implements Session.
 func (d *mixedDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
-	return playN(ctx, &d.mu, d.playLocked, n, sink)
+	return playN(ctx, &d.mu, KindMixed, d.playLocked, n, sink)
 }
 
 func (d *mixedDriver) playLocked(ctx context.Context) (RoundResult, error) {
@@ -799,12 +828,15 @@ func (d *rraDriver) Harness() *RRASupervised { return d.h }
 func (d *rraDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.playLocked(ctx)
+	t0 := time.Now()
+	res, err := d.playLocked(ctx)
+	playLatency[KindRRA].Record(time.Since(t0))
+	return res, err
 }
 
 // PlayN implements Session.
 func (d *rraDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
-	return playN(ctx, &d.mu, d.playLocked, n, sink)
+	return playN(ctx, &d.mu, KindRRA, d.playLocked, n, sink)
 }
 
 func (d *rraDriver) playLocked(ctx context.Context) (RoundResult, error) {
@@ -979,12 +1011,15 @@ func (d *distDriver) Dist() *DistSession { return d.s }
 func (d *distDriver) Play(ctx context.Context) (RoundResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.playLocked(ctx)
+	t0 := time.Now()
+	res, err := d.playLocked(ctx)
+	playLatency[KindDistributed].Record(time.Since(t0))
+	return res, err
 }
 
 // PlayN implements Session.
 func (d *distDriver) PlayN(ctx context.Context, n int, sink func(RoundResult) error) (RoundResult, error) {
-	return playN(ctx, &d.mu, d.playLocked, n, sink)
+	return playN(ctx, &d.mu, KindDistributed, d.playLocked, n, sink)
 }
 
 func (d *distDriver) playLocked(ctx context.Context) (RoundResult, error) {

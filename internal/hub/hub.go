@@ -10,8 +10,32 @@ import (
 
 	"gameauthority/internal/core"
 	"gameauthority/internal/metrics"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/wire"
 )
+
+// wsRoundTrip measures a play command's full server-side round trip:
+// from command decode on the reader goroutine to the results frame being
+// queued on the connection outbox.
+var wsRoundTrip = obs.NewHistogram("gameauthority_ws_roundtrip_seconds",
+	"WebSocket play round-trip latency, decode to results frame queued.")
+
+// liveConns holds every open connection across all hubs; the outbox
+// depth gauge samples it at scrape time.
+var liveConns sync.Map // *wsConn -> struct{}
+
+func init() {
+	obs.RegisterGaugeFunc("gameauthority_hub_outbox_depth",
+		"Frames queued on WebSocket outboxes, summed over open connections.",
+		func() float64 {
+			var n int
+			liveConns.Range(func(k, _ any) bool {
+				n += len(k.(*wsConn).outbox)
+				return true
+			})
+			return float64(n)
+		})
+}
 
 // Handle is one hosted session as the hub needs it. The root package
 // adapts *gameauthority.HostedSession; the indirection keeps internal/hub
@@ -152,6 +176,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		done:   make(chan struct{}),
 		refs:   make(map[uint64]*refEntry),
 	}
+	liveConns.Store(conn, struct{}{})
 	defer conn.shutdown()
 
 	// Handshake: the client speaks first.
@@ -223,6 +248,7 @@ func (c *wsConn) closeConn() {
 // shutdown runs when the reader exits: tear everything down and detach
 // observers so closed connections stop consuming session events.
 func (c *wsConn) shutdown() {
+	liveConns.Delete(c)
 	c.closeConn()
 	c.mu.Lock()
 	refs := make([]*refEntry, 0, len(c.refs))
@@ -459,6 +485,7 @@ func (c *wsConn) finishBind(reqID uint64, handle Handle, err error) bool {
 // handlePlay enqueues the batch onto the session's shard loop; results
 // stream back as they complete in a single MsgResults frame.
 func (c *wsConn) handlePlay(m wire.Play) bool {
+	t0 := time.Now()
 	e := c.lookup(m.Ref)
 	if e == nil {
 		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
@@ -512,6 +539,7 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 			buf = wire.AppendResult(buf, &res)
 		}
 		c.send(wire.FinishResults(buf, code, detail, deduped))
+		wsRoundTrip.Record(time.Since(t0))
 	})
 	if !ok {
 		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")
@@ -525,6 +553,7 @@ func (c *wsConn) handlePlay(m wire.Play) bool {
 // plays. Results stream into the same MsgResults frame shape, so clients
 // decode both replies identically.
 func (c *wsConn) handlePlayBatch(m wire.PlayBatch) bool {
+	t0 := time.Now()
 	e := c.lookup(m.Ref)
 	if e == nil {
 		return c.sendError(m.ReqID, wire.CodeNotFound, "unknown ref")
@@ -587,6 +616,7 @@ func (c *wsConn) handlePlayBatch(m wire.PlayBatch) bool {
 			}
 		}
 		c.send(wire.FinishResults(buf, code, detail, deduped))
+		wsRoundTrip.Record(time.Since(t0))
 	})
 	if !ok {
 		return c.sendError(m.ReqID, wire.CodeUnavailable, "authority shutting down")

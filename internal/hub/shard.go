@@ -46,6 +46,16 @@ func NewShards(n int) *Shards {
 // N reports the number of shard loops.
 func (s *Shards) N() int { return len(s.inboxes) }
 
+// QueueDepth reports the commands currently queued across all shard
+// inboxes — the sampled backlog behind the authoritative loops.
+func (s *Shards) QueueDepth() int {
+	n := 0
+	for _, inbox := range s.inboxes {
+		n += len(inbox)
+	}
+	return n
+}
+
 // Index reports which shard owns the key.
 func (s *Shards) Index(key string) int {
 	// FNV-1a, matching the registry's shard pinning.

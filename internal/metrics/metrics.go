@@ -116,14 +116,27 @@ type Summary struct {
 }
 
 // Summarize computes summary statistics of xs; zero value for empty input.
+// It copies and sorts the sample; a caller that already holds (or can
+// afford to sort) its sample should use SummarizeSorted and skip the copy.
 func Summarize(xs []float64) Summary {
-	var s Summary
-	s.N = len(xs)
-	if s.N == 0 {
-		return s
+	if len(xs) == 0 {
+		return Summary{}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return SummarizeSorted(sorted)
+}
+
+// SummarizeSorted computes summary statistics of an ascending-sorted
+// sample without copying it; zero value for empty input. The statistics
+// are exactly Summarize's — percentiles are nearest-rank with linear
+// interpolation.
+func SummarizeSorted(sorted []float64) Summary {
+	var s Summary
+	s.N = len(sorted)
+	if s.N == 0 {
+		return s
+	}
 	var sum float64
 	for _, x := range sorted {
 		sum += x

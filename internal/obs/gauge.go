@@ -1,0 +1,43 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is an integer gauge (current level of something: open breakers,
+// live connections). Mutations are single atomic ops, safe on hot paths.
+// Construct through Registry.Gauge / obs.NewGauge.
+type Gauge struct {
+	name   string
+	help   string
+	labels []Label
+	key    string
+
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// gaugeFunc is a scrape-time sampled gauge: fn runs once per
+// WritePrometheus, so the instrumented structure pays nothing between
+// scrapes (used for queue depths, per-shard session counts, runtime
+// stats).
+type gaugeFunc struct {
+	name   string
+	help   string
+	labels []Label
+	key    string
+
+	fn func() float64
+}

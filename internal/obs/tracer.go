@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceRing is the completed-span capacity Enable uses when the
+// caller passes ringSize <= 0. Old spans are overwritten in FIFO order,
+// so a dump always holds the most recent window.
+const DefaultTraceRing = 8192
+
+// span is one completed trace span in the ring. Name and Cat are static
+// string constants at every instrumentation site, so recording never
+// allocates.
+type span struct {
+	name  string
+	cat   string
+	tid   int64
+	arg   int64
+	start int64 // ns since the tracer's Enable epoch
+	dur   int64 // ns
+}
+
+// Tracer is a ring-buffered, sampled span recorder. It is off by
+// default: a disabled Begin is one atomic load returning the zero Ctx,
+// and Ctx.End on the zero Ctx is a nil check — zero overhead and zero
+// allocations on the instrumented paths (pinned by
+// TestDisabledTracerZeroAlloc). When enabled, completed spans overwrite
+// a fixed ring under a mutex; dumps render Chrome trace_event JSON
+// loadable in chrome://tracing and Perfetto.
+//
+// Sampling is applied at play granularity: BeginRoot admits every
+// sample-th root span, and the driver layers gate their child spans on
+// the same enabled flag, so a capture of N plays costs N·spans, not
+// throughput·spans.
+type Tracer struct {
+	enabled atomic.Bool
+	sample  atomic.Int64  // admit every sample-th root span (≥1)
+	rootSeq atomic.Uint64 // BeginRoot admission counter
+	roots   atomic.Uint64 // completed root spans since Enable
+
+	mu    sync.Mutex
+	ring  []span
+	next  int // ring write cursor
+	n     int // spans held (≤ len(ring))
+	epoch time.Time
+}
+
+// DefaultTracer is the process-wide tracer every instrumentation site
+// records into; GET /debug/trace and gameauthd -trace-out drive it.
+var DefaultTracer = NewTracer()
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enable clears the ring and starts recording. ringSize <= 0 uses
+// DefaultTraceRing; sample <= 1 admits every root span, sample = n
+// admits one root span in n.
+func (t *Tracer) Enable(ringSize, sample int) {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	t.mu.Lock()
+	t.ring = make([]span, ringSize)
+	t.next, t.n = 0, 0
+	t.epoch = time.Now()
+	t.mu.Unlock()
+	t.rootSeq.Store(0)
+	t.roots.Store(0)
+	t.sample.Store(int64(sample))
+	t.enabled.Store(true)
+}
+
+// Disable stops recording. The ring is retained for dumping.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// RootCount reports completed root spans since Enable — the signal
+// GET /debug/trace?plays=N waits on.
+func (t *Tracer) RootCount() uint64 { return t.roots.Load() }
+
+// Ctx is an in-flight span. The zero Ctx (disabled tracer, unsampled
+// root) is valid: End on it is a nil check.
+type Ctx struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int64
+	arg   int64
+	start time.Time
+	root  bool
+}
+
+// Begin opens a child span. name and cat should be static string
+// constants (they are stored verbatim in the ring). tid groups spans
+// into trace rows (processor id, shard index); arg is a free integer
+// rendered into the event's args (pulse number, batch size).
+func (t *Tracer) Begin(name, cat string, tid, arg int64) Ctx {
+	if !t.enabled.Load() {
+		return Ctx{}
+	}
+	return Ctx{t: t, name: name, cat: cat, tid: tid, arg: arg, start: time.Now()}
+}
+
+// BeginRoot opens a root (play-level) span, applying the sample rate.
+// Its End increments RootCount.
+func (t *Tracer) BeginRoot(name, cat string, tid, arg int64) Ctx {
+	if !t.enabled.Load() {
+		return Ctx{}
+	}
+	if s := t.sample.Load(); s > 1 && (t.rootSeq.Add(1)-1)%uint64(s) != 0 {
+		return Ctx{}
+	}
+	c := t.Begin(name, cat, tid, arg)
+	c.root = true
+	return c
+}
+
+// End completes the span and commits it to the ring. Safe on the zero
+// Ctx and after Disable (the late span is simply kept if the ring still
+// exists).
+func (c Ctx) End() {
+	if c.t == nil {
+		return
+	}
+	end := time.Now()
+	t := c.t
+	t.mu.Lock()
+	if len(t.ring) > 0 {
+		t.ring[t.next] = span{
+			name:  c.name,
+			cat:   c.cat,
+			tid:   c.tid,
+			arg:   c.arg,
+			start: c.start.Sub(t.epoch).Nanoseconds(),
+			dur:   end.Sub(c.start).Nanoseconds(),
+		}
+		t.next = (t.next + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+	}
+	t.mu.Unlock()
+	if c.root {
+		t.roots.Add(1)
+	}
+}
+
+// Len reports the number of completed spans held in the ring.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// WriteJSON dumps the ring as Chrome trace_event JSON (the "X" complete
+// event phase, timestamps in microseconds relative to Enable), oldest
+// span first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	spans := make([]span, 0, t.n)
+	if t.n == len(t.ring) {
+		spans = append(spans, t.ring[t.next:]...)
+		spans = append(spans, t.ring[:t.next]...)
+	} else {
+		spans = append(spans, t.ring[:t.n]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, s := range spans {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w,
+			`%s{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"v":%d}}`,
+			sep, s.name, s.cat, s.tid, float64(s.start)/1e3, float64(s.dur)/1e3, s.arg); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, `],"displayTimeUnit":"ns"}`)
+	return err
+}

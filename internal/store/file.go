@@ -15,6 +15,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gameauthority/internal/obs"
+)
+
+// Durability-path telemetry: whole-append latency (write + commit park),
+// individual fsync latency, and whole-epoch flush latency. Recording is
+// allocation-free; see DESIGN.md §14.
+var (
+	walAppendLatency = obs.NewHistogram("gameauthority_wal_append_seconds",
+		"Latency of one WAL append, including any group-commit park.")
+	fsyncLatency = obs.NewHistogram("gameauthority_fsync_seconds",
+		"Latency of one fsync/syncfs barrier against a session WAL.")
+	commitEpochLatency = obs.NewHistogram("gameauthority_commit_epoch_seconds",
+		"Latency of one group-commit epoch flush (detach to wakeup).")
 )
 
 // File layout: one directory holds three files per session —
@@ -188,6 +202,8 @@ func (f *File) Append(id string, rec Record) error {
 	if !validID(id) {
 		return fmt.Errorf("%w: invalid id %q", ErrUnknownSession, id)
 	}
+	t0 := time.Now()
+	span := obs.DefaultTracer.Begin("wal.append", "store", 0, int64(rec.LastRound()))
 	line, err := appendWALLine(nil, rec)
 	if err != nil {
 		return err
@@ -207,6 +223,8 @@ func (f *File) Append(id string, rec Record) error {
 			}
 		}
 	}
+	span.End()
+	walAppendLatency.Record(time.Since(t0))
 	return nil
 }
 
@@ -797,6 +815,11 @@ func (f *File) SetGroupCommit(window time.Duration, maxBatch int, onEpoch func(s
 		}
 		return
 	}
+	// Scrape-time queue depth: appends parked on the open epoch. The
+	// newest armed committer owns the series; a stopped committer reads 0.
+	obs.RegisterGaugeFunc("gameauthority_group_commit_queue_depth",
+		"Appends parked on the open group-commit epoch.",
+		func() float64 { return float64(gc.pendingTickets()) })
 	gc.wg.Add(1)
 	go gc.run()
 }
@@ -921,6 +944,12 @@ func (gc *groupCommitter) flush(final bool) {
 	if e == nil {
 		return
 	}
+	t0 := time.Now()
+	span := obs.DefaultTracer.Begin("commit.epoch", "store", 0, int64(e.tickets))
+	defer func() {
+		span.End()
+		commitEpochLatency.Record(time.Since(t0))
+	}()
 	var first error
 	synced := 0
 	if gc.dir != nil {
@@ -930,7 +959,10 @@ func (gc *groupCommitter) flush(final bool) {
 		// It also covers page-cache data of handles the cache evicted (a
 		// closed fd's dirty pages still belong to the filesystem), which
 		// is why closeHandle skips its fsync in this mode.
-		if ok, err := syncFilesystem(gc.dir.Fd()); ok {
+		ts := time.Now()
+		ok, err := syncFilesystem(gc.dir.Fd())
+		if ok {
+			fsyncLatency.Record(time.Since(ts))
 			gc.f.fsyncs.Add(1)
 			e.err = err
 			gc.f.epochs.Add(1)
@@ -952,7 +984,9 @@ func (gc *groupCommitter) flush(final bool) {
 		if wh.f == nil {
 			return false, nil
 		}
+		ts := time.Now()
 		err = wh.f.Sync()
+		fsyncLatency.Record(time.Since(ts))
 		gc.f.fsyncs.Add(1)
 		return true, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"gameauthority/internal/audit"
 	"gameauthority/internal/metrics"
+	"gameauthority/internal/obs"
 )
 
 // maxPlayRounds caps rounds per play request on both transports (HTTP
@@ -28,12 +30,35 @@ type ServerOption func(*serverConfig)
 
 type serverConfig struct {
 	webSocket bool
+	debug     bool
 }
 
 // WithWebSocket enables or disables the /ws streaming endpoint (enabled
 // by default).
 func WithWebSocket(enabled bool) ServerOption {
 	return func(c *serverConfig) { c.webSocket = enabled }
+}
+
+// WithDebug mounts the live-profiling plane (disabled by default):
+// net/http/pprof under /debug/pprof/ and the tracer capture endpoint at
+// GET /debug/trace?plays=N. Enable it only on operator-facing listeners —
+// profiles and traces expose internals no public client should see.
+func WithDebug(enabled bool) ServerOption {
+	return func(c *serverConfig) { c.debug = enabled }
+}
+
+// route registers a handler wrapped with a per-route latency histogram.
+// The route label is the mux pattern, so series cardinality is fixed at
+// the size of the route table. Streaming routes (/ws, SSE events)
+// register directly: their "latency" is the connection lifetime.
+func route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	hist := obs.NewHistogram("gameauthority_http_request_seconds",
+		"HTTP request latency by route.", obs.Label{Key: "route", Value: pattern})
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.Record(time.Since(t0))
+	})
 }
 
 // NewServer exposes an Authority as an HTTP/JSON API:
@@ -50,6 +75,9 @@ func WithWebSocket(enabled bool) ServerOption {
 //	GET    /metrics                  Prometheus text exposition of host counters
 //	GET    /ws                       binary streaming transport (internal/wire
 //	                                 over WebSocket; see DESIGN.md §10)
+//	GET    /debug/pprof/             live profiling endpoints (WithDebug only)
+//	GET    /debug/trace              capture a play trace as Chrome
+//	                                 trace_event JSON (WithDebug only)
 //
 // Sessions are independent and may be created and played concurrently;
 // each session serializes its own plays. On a store-backed authority
@@ -66,43 +94,44 @@ func NewServer(a *Authority, opts ...ServerOption) http.Handler {
 	if cfg.webSocket {
 		mux.Handle("GET /ws", a.streamHub())
 	}
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(a, w, r)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	route(mux, "GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
 			"sessions": a.Len(),
 			"durable":  a.getStore() != nil,
 		})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+	route(mux, "GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = a.counters.WritePrometheus(w)
+		_ = obs.Default.WritePrometheus(w)
 	})
-	mux.HandleFunc("GET /snapshots", func(w http.ResponseWriter, _ *http.Request) {
+	route(mux, "GET /snapshots", func(w http.ResponseWriter, _ *http.Request) {
 		handleSnapshotList(a, w)
 	})
-	mux.HandleFunc("POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		withSession(a, w, r, handleSnapshot)
 	})
-	mux.HandleFunc("GET /deviants", func(w http.ResponseWriter, _ *http.Request) {
+	route(mux, "GET /deviants", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, deviantInfos())
 	})
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "GET /sessions", func(w http.ResponseWriter, r *http.Request) {
 		handleList(a, w)
 	})
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		withSession(a, w, r, handleStats)
 	})
-	mux.HandleFunc("POST /sessions/{id}/play", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "POST /sessions/{id}/play", func(w http.ResponseWriter, r *http.Request) {
 		withSession(a, w, r, handlePlay)
 	})
 	mux.HandleFunc("GET /sessions/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		withSession(a, w, r, handleEvents)
 	})
-	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	route(mux, "DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := a.Remove(r.PathValue("id")); err != nil {
 			status := http.StatusNotFound
 			if errors.Is(err, ErrDurability) {
@@ -113,7 +142,72 @@ func NewServer(a *Authority, opts ...ServerOption) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	if cfg.debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /debug/trace", handleTraceCapture)
+	}
 	return mux
+}
+
+// traceCaptureMu serializes /debug/trace captures: each one owns the
+// process-wide tracer for its duration.
+var traceCaptureMu sync.Mutex
+
+// handleTraceCapture arms the tracer, waits until ?plays=N sampled root
+// plays complete (bounded by ?wait, default 5s; ?sample=K admits one
+// play in K), and streams the span ring as Chrome trace_event JSON —
+// loadable in chrome://tracing or Perfetto.
+func handleTraceCapture(w http.ResponseWriter, r *http.Request) {
+	plays := 1
+	if raw := r.URL.Query().Get("plays"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid plays %q", raw))
+			return
+		}
+		plays = n
+	}
+	sample := 1
+	if raw := r.URL.Query().Get("sample"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid sample %q", raw))
+			return
+		}
+		sample = n
+	}
+	wait := 5 * time.Second
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid wait %q", raw))
+			return
+		}
+		wait = d
+	}
+	if !traceCaptureMu.TryLock() {
+		writeError(w, http.StatusConflict, fmt.Errorf("another trace capture is in progress"))
+		return
+	}
+	defer traceCaptureMu.Unlock()
+	obs.DefaultTracer.Enable(obs.DefaultTraceRing, sample)
+	defer obs.DefaultTracer.Disable()
+	deadline := time.Now().Add(wait)
+	for obs.DefaultTracer.RootCount() < uint64(plays) && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	obs.DefaultTracer.Disable()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.DefaultTracer.WriteJSON(w)
 }
 
 // CreateSessionRequest is the JSON body of POST /sessions. Game names a

@@ -9,8 +9,18 @@ import (
 
 	"gameauthority/internal/core"
 	"gameauthority/internal/hub"
+	"gameauthority/internal/obs"
 	"gameauthority/internal/wire"
 )
+
+// registerLoopGauge exposes the shard-loop backlog of the most recently
+// built pool. Name-keyed replacement in the obs registry means the
+// latest pool wins, which is the live one in any real process.
+func registerLoopGauge(sp *hub.Shards) {
+	obs.RegisterGaugeFunc("gameauthority_shard_loop_queue_depth",
+		"Commands queued on authoritative shard-loop inboxes.",
+		func() float64 { return float64(sp.QueueDepth()) })
+}
 
 // WithShards runs the authority's plays on n authoritative shard loops
 // (n < 1 means GOMAXPROCS): each hosted session is pinned onto one loop
@@ -21,8 +31,10 @@ import (
 // transport uses (lazily created) shard loops.
 func WithShards(n int) AuthorityOption {
 	return func(a *Authority) {
-		a.loops.Store(hub.NewShards(n))
+		sp := hub.NewShards(n)
+		a.loops.Store(sp)
 		a.loopsRoute.Store(true)
+		registerLoopGauge(sp)
 	}
 }
 
@@ -40,6 +52,7 @@ func (a *Authority) shardLoops() *hub.Shards {
 	}
 	sp := hub.NewShards(runtime.GOMAXPROCS(0))
 	a.loops.Store(sp)
+	registerLoopGauge(sp)
 	return sp
 }
 
